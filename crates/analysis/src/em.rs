@@ -1,0 +1,203 @@
+use ppdl_netlist::SyntheticBenchmark;
+
+use crate::IrDropReport;
+
+/// One electromigration violation: a segment whose current density
+/// exceeds the allowed maximum (eq. 4: `Iᵢ / wᵢ ≤ J_max`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmViolation {
+    /// Index into the benchmark's segment list.
+    pub segment: usize,
+    /// Index of the strap the segment belongs to.
+    pub strap: usize,
+    /// The segment's current density (A/µm).
+    pub density: f64,
+}
+
+/// Electromigration report over all segments of a benchmark.
+#[derive(Debug, Clone)]
+pub struct EmReport {
+    jmax: f64,
+    densities: Vec<f64>,
+    violations: Vec<EmViolation>,
+}
+
+impl EmReport {
+    /// The limit the check ran against (A/µm).
+    #[must_use]
+    pub fn jmax(&self) -> f64 {
+        self.jmax
+    }
+
+    /// Per-segment current densities (A/µm), parallel to
+    /// [`SyntheticBenchmark::segments`].
+    #[must_use]
+    pub fn densities(&self) -> &[f64] {
+        &self.densities
+    }
+
+    /// The violating segments, in decreasing density order.
+    #[must_use]
+    pub fn violations(&self) -> &[EmViolation] {
+        &self.violations
+    }
+
+    /// Highest current density in the grid (`0.0` for an empty grid).
+    #[must_use]
+    pub fn max_density(&self) -> f64 {
+        self.densities.iter().fold(0.0_f64, |m, d| m.max(*d))
+    }
+
+    /// Whether the whole grid satisfies the EM constraint.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Electromigration checker: evaluates eq. 4 per segment against the
+/// solved branch currents.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_analysis::{EmChecker, StaticAnalysis};
+/// use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
+///
+/// let bench = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg1, 0.005, 1).unwrap();
+/// let report = StaticAnalysis::default().solve(bench.network()).unwrap();
+/// let em = EmChecker::new(1.0).check(&bench, &report).unwrap();
+/// assert!(em.max_density() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EmChecker {
+    jmax: f64,
+}
+
+impl EmChecker {
+    /// Creates a checker with the current-density limit `jmax` in A/µm
+    /// (current per unit metal width — the form eq. 4 uses; thickness
+    /// is folded into the limit).
+    #[must_use]
+    pub fn new(jmax: f64) -> Self {
+        Self { jmax }
+    }
+
+    /// The configured limit.
+    #[must_use]
+    pub fn jmax(&self) -> f64 {
+        self.jmax
+    }
+
+    /// Evaluates the EM constraint on every segment of `bench` using
+    /// the branch currents from `report`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalysisError::Undefined`](crate::AnalysisError)
+    /// if a segment's resistor is somehow a short (cannot happen for
+    /// generated benchmarks, whose segments always have positive
+    /// resistance).
+    pub fn check(
+        &self,
+        bench: &SyntheticBenchmark,
+        report: &IrDropReport,
+    ) -> crate::Result<EmReport> {
+        let mut densities = Vec::with_capacity(bench.segments().len());
+        let mut violations = Vec::new();
+        for (idx, seg) in bench.segments().iter().enumerate() {
+            let current = report.branch_current(bench.network(), seg.resistor)?.abs();
+            let width = bench.straps()[seg.strap].width;
+            let density = current / width;
+            if density > self.jmax {
+                violations.push(EmViolation {
+                    segment: idx,
+                    strap: seg.strap,
+                    density,
+                });
+            }
+            densities.push(density);
+        }
+        violations.sort_by(|a, b| {
+            b.density
+                .partial_cmp(&a.density)
+                .expect("densities are finite")
+        });
+        Ok(EmReport {
+            jmax: self.jmax,
+            densities,
+            violations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticAnalysis;
+    use ppdl_netlist::{GridSpec, SyntheticBenchmark};
+
+    fn bench() -> SyntheticBenchmark {
+        let spec = GridSpec {
+            die_width: 200.0,
+            die_height: 200.0,
+            v_straps: 4,
+            h_straps: 4,
+            ..GridSpec::default()
+        };
+        let mut fp = ppdl_floorplan::Floorplan::new(200.0, 200.0).unwrap();
+        fp.add_block(
+            ppdl_floorplan::FunctionalBlock::new("b", 20.0, 20.0, 160.0, 160.0, 0.4).unwrap(),
+        )
+        .unwrap();
+        SyntheticBenchmark::generate("t", spec, fp).unwrap()
+    }
+
+    #[test]
+    fn densities_cover_every_segment() {
+        let b = bench();
+        let rep = StaticAnalysis::default().solve(b.network()).unwrap();
+        let em = EmChecker::new(1.0).check(&b, &rep).unwrap();
+        assert_eq!(em.densities().len(), b.segments().len());
+        assert!(em.densities().iter().all(|d| d.is_finite() && *d >= 0.0));
+    }
+
+    #[test]
+    fn tight_limit_produces_sorted_violations() {
+        let b = bench();
+        let rep = StaticAnalysis::default().solve(b.network()).unwrap();
+        // Any positive flow violates a zero limit wherever current is nonzero.
+        let em = EmChecker::new(1e-12).check(&b, &rep).unwrap();
+        assert!(!em.passes());
+        let v = em.violations();
+        assert!(!v.is_empty());
+        for w in v.windows(2) {
+            assert!(w[0].density >= w[1].density);
+        }
+        assert!((v[0].density - em.max_density()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn generous_limit_passes() {
+        let b = bench();
+        let rep = StaticAnalysis::default().solve(b.network()).unwrap();
+        let em = EmChecker::new(1e9).check(&b, &rep).unwrap();
+        assert!(em.passes());
+        assert!(em.violations().is_empty());
+    }
+
+    #[test]
+    fn widening_straps_lowers_density() {
+        let mut b = bench();
+        let rep = StaticAnalysis::default().solve(b.network()).unwrap();
+        let before = EmChecker::new(1.0).check(&b, &rep).unwrap().max_density();
+        let widths: Vec<f64> = b.strap_widths().iter().map(|w| w * 4.0).collect();
+        b.set_strap_widths(&widths).unwrap();
+        let rep2 = StaticAnalysis::default().solve(b.network()).unwrap();
+        let after = EmChecker::new(1.0).check(&b, &rep2).unwrap().max_density();
+        assert!(
+            after < before,
+            "widening should cut density: {after} vs {before}"
+        );
+    }
+}

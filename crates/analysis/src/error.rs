@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// Errors raised by the static analysis engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The netlist contains no voltage source, so node voltages are
+    /// undefined.
+    NoSupply,
+    /// Some nodes have no resistive path to any supply: the conductance
+    /// matrix would be singular.
+    FloatingNodes {
+        /// Number of floating (merged) nodes.
+        count: usize,
+        /// Name of one example floating node, for diagnostics.
+        example: String,
+    },
+    /// The linear solver failed.
+    Solver(ppdl_solver::SolverError),
+    /// A netlist-level error surfaced during analysis.
+    Netlist(ppdl_netlist::NetlistError),
+    /// A requested quantity is undefined for this element (e.g. the
+    /// branch current of a zero-ohm short).
+    Undefined {
+        /// What was requested and why it has no value.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoSupply => {
+                write!(f, "netlist has no voltage source; node voltages are undefined")
+            }
+            AnalysisError::FloatingNodes { count, example } => write!(
+                f,
+                "{count} node(s) have no path to a supply (e.g. '{example}'); \
+                 the MNA system is singular"
+            ),
+            AnalysisError::Solver(e) => write!(f, "linear solver failed: {e}"),
+            AnalysisError::Netlist(e) => write!(f, "netlist error: {e}"),
+            AnalysisError::Undefined { detail } => write!(f, "undefined quantity: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Solver(e) => Some(e),
+            AnalysisError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ppdl_solver::SolverError> for AnalysisError {
+    fn from(e: ppdl_solver::SolverError) -> Self {
+        AnalysisError::Solver(e)
+    }
+}
+
+impl From<ppdl_netlist::NetlistError> for AnalysisError {
+    fn from(e: ppdl_netlist::NetlistError) -> Self {
+        AnalysisError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AnalysisError::FloatingNodes {
+            count: 3,
+            example: "n1_5_5".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("n1_5_5"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = AnalysisError::from(ppdl_solver::SolverError::SingularMatrix { pivot: 0 });
+        assert!(e.source().is_some());
+        assert!(AnalysisError::NoSupply.source().is_none());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<AnalysisError>();
+    }
+}

@@ -1,0 +1,333 @@
+use ppdl_netlist::{NodeId, PowerGridNetwork};
+
+use crate::IrDropReport;
+
+/// A rasterised IR-drop map: the Fig. 8 plots of the paper.
+///
+/// Grid-node drops are binned onto a fixed `resolution × resolution`
+/// raster over the die bounding box; empty cells are filled by
+/// iterative neighbour averaging so the map is dense (the paper's maps
+/// are interpolated the same way by matplotlib).
+///
+/// # Example
+///
+/// ```
+/// use ppdl_analysis::{IrDropMap, StaticAnalysis};
+/// use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
+///
+/// let bench = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg2, 0.002, 1).unwrap();
+/// let report = StaticAnalysis::default().solve(bench.network()).unwrap();
+/// let map = IrDropMap::from_report(bench.network(), &report, 20).unwrap();
+/// assert_eq!(map.resolution(), 20);
+/// assert!(map.max_mv() >= map.min_mv());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IrDropMap {
+    resolution: usize,
+    /// Drop values in millivolts, row-major, `cells[y * res + x]`.
+    cells: Vec<f64>,
+}
+
+impl IrDropMap {
+    /// Rasterises `report` over the die. Returns `None`-like error if
+    /// the network has no coordinate-bearing nodes to place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Undefined`](crate::AnalysisError) if no
+    /// node carries grid coordinates or `resolution` is zero.
+    pub fn from_report(
+        network: &PowerGridNetwork,
+        report: &IrDropReport,
+        resolution: usize,
+    ) -> crate::Result<Self> {
+        let drops: Vec<f64> = (0..network.node_count())
+            .map(|i| report.drop_at(NodeId(i)))
+            .collect();
+        Self::from_node_drops(network, &drops, resolution)
+    }
+
+    /// Rasterises arbitrary per-node drop values (in volts, indexed by
+    /// `NodeId.0`; `NaN` entries are skipped). This is the constructor
+    /// the DL flow uses for its *predicted* maps, where only a subset
+    /// of nodes carries an estimate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`from_report`](Self::from_report), plus a
+    /// length check on `drops`.
+    pub fn from_node_drops(
+        network: &PowerGridNetwork,
+        drops: &[f64],
+        resolution: usize,
+    ) -> crate::Result<Self> {
+        if resolution == 0 {
+            return Err(crate::AnalysisError::Undefined {
+                detail: "map resolution must be at least 1".into(),
+            });
+        }
+        if drops.len() != network.node_count() {
+            return Err(crate::AnalysisError::Undefined {
+                detail: format!(
+                    "{} drop values for {} nodes",
+                    drops.len(),
+                    network.node_count()
+                ),
+            });
+        }
+        let ((min_x, min_y), (max_x, max_y)) =
+            network
+                .bounding_box()
+                .ok_or_else(|| crate::AnalysisError::Undefined {
+                    detail: "network has no coordinate-bearing nodes to map".into(),
+                })?;
+        let w = (max_x - min_x).max(1) as f64;
+        let h = (max_y - min_y).max(1) as f64;
+        let mut sums = vec![0.0; resolution * resolution];
+        let mut counts = vec![0usize; resolution * resolution];
+        for (i, name) in network.node_names().iter().enumerate() {
+            if drops[i].is_nan() {
+                continue;
+            }
+            let Some((x, y)) = name.coordinates() else {
+                continue;
+            };
+            let cx = (((x - min_x) as f64 / w) * resolution as f64)
+                .min(resolution as f64 - 1.0) as usize;
+            let cy = (((y - min_y) as f64 / h) * resolution as f64)
+                .min(resolution as f64 - 1.0) as usize;
+            sums[cy * resolution + cx] += drops[i] * 1000.0;
+            counts[cy * resolution + cx] += 1;
+        }
+        let mut cells = vec![f64::NAN; resolution * resolution];
+        for i in 0..cells.len() {
+            if counts[i] > 0 {
+                cells[i] = sums[i] / counts[i] as f64;
+            }
+        }
+        fill_holes(&mut cells, resolution);
+        Ok(Self { resolution, cells })
+    }
+
+    /// Map resolution (cells per side).
+    #[must_use]
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Drop in millivolts at raster cell `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    #[must_use]
+    pub fn get_mv(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.resolution && y < self.resolution, "cell out of range");
+        self.cells[y * self.resolution + x]
+    }
+
+    /// All cells, row-major, in millivolts.
+    #[must_use]
+    pub fn cells_mv(&self) -> &[f64] {
+        &self.cells
+    }
+
+    /// Largest drop on the map (mV).
+    #[must_use]
+    pub fn max_mv(&self) -> f64 {
+        self.cells.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest drop on the map (mV).
+    #[must_use]
+    pub fn min_mv(&self) -> f64 {
+        self.cells.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean drop over the map (mV).
+    #[must_use]
+    pub fn mean_mv(&self) -> f64 {
+        self.cells.iter().sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// Serialises the map as CSV (one row per raster row, `y` increasing
+    /// downward), ready for external plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for y in 0..self.resolution {
+            let row: Vec<String> = (0..self.resolution)
+                .map(|x| format!("{:.4}", self.get_mv(x, y)))
+                .collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Structural-similarity-style comparison: the mean absolute
+    /// difference between two maps in millivolts. Used to compare the
+    /// conventional map with the DL-predicted one (Fig. 8a vs 8b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolutions differ.
+    #[must_use]
+    pub fn mean_abs_diff_mv(&self, other: &IrDropMap) -> f64 {
+        assert_eq!(
+            self.resolution, other.resolution,
+            "map resolutions must match"
+        );
+        self.cells
+            .iter()
+            .zip(&other.cells)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / self.cells.len() as f64
+    }
+}
+
+/// Fills NaN holes by repeatedly averaging defined 4-neighbours until
+/// every cell is defined (the raster is connected, so this terminates).
+fn fill_holes(cells: &mut [f64], res: usize) {
+    loop {
+        let mut changed = false;
+        let mut any_nan = false;
+        let snapshot = cells.to_vec();
+        for y in 0..res {
+            for x in 0..res {
+                let i = y * res + x;
+                if !snapshot[i].is_nan() {
+                    continue;
+                }
+                any_nan = true;
+                let mut sum = 0.0;
+                let mut n = 0;
+                let mut push = |v: f64| {
+                    if !v.is_nan() {
+                        sum += v;
+                        n += 1;
+                    }
+                };
+                if x > 0 {
+                    push(snapshot[i - 1]);
+                }
+                if x + 1 < res {
+                    push(snapshot[i + 1]);
+                }
+                if y > 0 {
+                    push(snapshot[i - res]);
+                }
+                if y + 1 < res {
+                    push(snapshot[i + res]);
+                }
+                if n > 0 {
+                    cells[i] = sum / f64::from(n);
+                    changed = true;
+                }
+            }
+        }
+        if !any_nan {
+            break;
+        }
+        if !changed {
+            // Entirely empty map (no nodes at all): define as zero.
+            for c in cells.iter_mut() {
+                if c.is_nan() {
+                    *c = 0.0;
+                }
+            }
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticAnalysis;
+    use ppdl_netlist::parse_spice;
+
+    fn report_and_net() -> (PowerGridNetwork, IrDropReport) {
+        let net = parse_spice(
+            "R1 n1_0_0 n1_0_1000 1.0\nR2 n1_0_1000 n1_0_2000 1.0\nV0 n1_0_0 0 1.8\ni0 n1_0_2000 0 0.01\n",
+        )
+        .unwrap();
+        let rep = StaticAnalysis::default().solve(&net).unwrap();
+        (net, rep)
+    }
+
+    #[test]
+    fn map_is_dense_after_fill() {
+        let (net, rep) = report_and_net();
+        let map = IrDropMap::from_report(&net, &rep, 8).unwrap();
+        assert!(map.cells_mv().iter().all(|c| c.is_finite()));
+        assert_eq!(map.cells_mv().len(), 64);
+    }
+
+    #[test]
+    fn extremes_bracket_mean() {
+        let (net, rep) = report_and_net();
+        let map = IrDropMap::from_report(&net, &rep, 10).unwrap();
+        assert!(map.min_mv() <= map.mean_mv());
+        assert!(map.mean_mv() <= map.max_mv());
+        // Worst node drop is 20 mV; map max cannot exceed it.
+        assert!(map.max_mv() <= 20.0 + 1e-9);
+        assert!(map.max_mv() > 10.0);
+    }
+
+    #[test]
+    fn zero_resolution_rejected() {
+        let (net, rep) = report_and_net();
+        assert!(IrDropMap::from_report(&net, &rep, 0).is_err());
+    }
+
+    #[test]
+    fn csv_has_res_rows() {
+        let (net, rep) = report_and_net();
+        let map = IrDropMap::from_report(&net, &rep, 5).unwrap();
+        let csv = map.to_csv();
+        assert_eq!(csv.lines().count(), 5);
+        assert_eq!(csv.lines().next().unwrap().split(',').count(), 5);
+    }
+
+    #[test]
+    fn self_difference_is_zero() {
+        let (net, rep) = report_and_net();
+        let map = IrDropMap::from_report(&net, &rep, 6).unwrap();
+        assert_eq!(map.mean_abs_diff_mv(&map), 0.0);
+    }
+
+    #[test]
+    fn map_without_coordinates_rejected() {
+        let net = parse_spice("R1 a b 1.0\nV0 a 0 1.8\ni0 b 0 0.01\n").unwrap();
+        let rep = StaticAnalysis::default().solve(&net).unwrap();
+        assert!(IrDropMap::from_report(&net, &rep, 4).is_err());
+    }
+
+    #[test]
+    fn from_node_drops_skips_nan_entries() {
+        let (net, _) = report_and_net();
+        // Only the far node carries an estimate; the rest are NaN.
+        let mut drops = vec![f64::NAN; net.node_count()];
+        let far = net.node_id(&"n1_0_2000".parse().unwrap()).unwrap();
+        drops[far.0] = 0.02;
+        let map = IrDropMap::from_node_drops(&net, &drops, 4).unwrap();
+        // Hole filling spreads the single value everywhere.
+        assert!(map.cells_mv().iter().all(|c| (c - 20.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn from_node_drops_length_checked() {
+        let (net, _) = report_and_net();
+        assert!(IrDropMap::from_node_drops(&net, &[0.0], 4).is_err());
+    }
+
+    #[test]
+    fn all_nan_drops_give_zero_map() {
+        let (net, _) = report_and_net();
+        let drops = vec![f64::NAN; net.node_count()];
+        let map = IrDropMap::from_node_drops(&net, &drops, 3).unwrap();
+        assert!(map.cells_mv().iter().all(|c| *c == 0.0));
+    }
+}

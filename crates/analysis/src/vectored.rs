@@ -1,0 +1,253 @@
+//! Vectored power-grid analysis (the second analysis box of Fig. 1).
+//!
+//! After placement and routing, the conventional flow re-verifies the
+//! grid against *true current traces*: a sequence of per-load current
+//! vectors captured from simulation. Each step is a static solve;
+//! consecutive steps differ only in the right-hand side, so the solver
+//! warm-starts from the previous solution.
+
+use ppdl_netlist::{NodeId, PowerGridNetwork};
+
+use crate::{AnalysisError, AnalysisOptions, IrDropReport, StaticAnalysis};
+
+/// A sequence of load scalings — trace step `t` multiplies load `i` by
+/// `steps[t][i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentTrace {
+    steps: Vec<Vec<f64>>,
+}
+
+impl CurrentTrace {
+    /// Builds a trace, validating that every step covers every load
+    /// with a finite non-negative factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Undefined`] if the trace is empty,
+    /// ragged, or contains an invalid factor.
+    pub fn new(steps: Vec<Vec<f64>>, load_count: usize) -> crate::Result<Self> {
+        if steps.is_empty() {
+            return Err(AnalysisError::Undefined {
+                detail: "a current trace needs at least one step".into(),
+            });
+        }
+        for (t, step) in steps.iter().enumerate() {
+            if step.len() != load_count {
+                return Err(AnalysisError::Undefined {
+                    detail: format!(
+                        "trace step {t} has {} factors for {load_count} loads",
+                        step.len()
+                    ),
+                });
+            }
+            if let Some(f) = step.iter().find(|f| !(f.is_finite() && **f >= 0.0)) {
+                return Err(AnalysisError::Undefined {
+                    detail: format!("trace step {t} has invalid factor {f}"),
+                });
+            }
+        }
+        Ok(Self { steps })
+    }
+
+    /// A constant-activity trace (every factor `1.0`) of `len` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Undefined`] if `len` is zero.
+    pub fn constant(len: usize, load_count: usize) -> crate::Result<Self> {
+        Self::new(vec![vec![1.0; load_count]; len], load_count)
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace has no steps (never true once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The factors of one step.
+    #[must_use]
+    pub fn step(&self, t: usize) -> &[f64] {
+        &self.steps[t]
+    }
+}
+
+/// Result of a vectored analysis: per-step worst drops and the overall
+/// worst case across the trace.
+#[derive(Debug, Clone)]
+pub struct VectoredReport {
+    /// Worst drop of each trace step (volts).
+    pub step_worst: Vec<f64>,
+    /// The trace step at which the overall worst drop occurred.
+    pub worst_step: usize,
+    /// The node at which it occurred.
+    pub worst_node: NodeId,
+    /// The overall worst drop (volts).
+    pub worst: f64,
+    /// The full report of the worst step.
+    pub worst_report: IrDropReport,
+}
+
+/// Trace-driven analysis with warm-started solves.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_analysis::{CurrentTrace, VectoredAnalysis};
+/// use ppdl_netlist::parse_spice;
+///
+/// let net = parse_spice("\
+/// R1 n1_0_0 n1_0_100 1.0
+/// V0 n1_0_0 0 1.8
+/// i0 n1_0_100 0 0.01
+/// ").unwrap();
+/// // Activity ramps 50% -> 100% -> 150%.
+/// let trace = CurrentTrace::new(vec![vec![0.5], vec![1.0], vec![1.5]], 1).unwrap();
+/// let report = VectoredAnalysis::default().run(&net, &trace).unwrap();
+/// assert_eq!(report.worst_step, 2);
+/// assert!((report.worst - 0.015).abs() < 1e-8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VectoredAnalysis {
+    options: AnalysisOptions,
+}
+
+impl VectoredAnalysis {
+    /// Creates a vectored analyzer.
+    #[must_use]
+    pub fn new(options: AnalysisOptions) -> Self {
+        Self { options }
+    }
+
+    /// Runs every trace step against the grid, returning the per-step
+    /// and overall worst-case drops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates static-analysis errors, and
+    /// [`AnalysisError::Undefined`] for a trace/load mismatch.
+    pub fn run(
+        &self,
+        network: &PowerGridNetwork,
+        trace: &CurrentTrace,
+    ) -> crate::Result<VectoredReport> {
+        let load_count = network.current_loads().len();
+        if trace.steps.first().map(Vec::len) != Some(load_count) {
+            return Err(AnalysisError::Undefined {
+                detail: format!(
+                    "trace built for {} loads, network has {load_count}",
+                    trace.steps.first().map_or(0, Vec::len)
+                ),
+            });
+        }
+        let analyzer = StaticAnalysis::new(self.options.clone());
+        let base: Vec<f64> = network.current_loads().iter().map(|l| l.amps).collect();
+        let mut working = network.clone();
+
+        let mut step_worst = Vec::with_capacity(trace.len());
+        let mut best: Option<(usize, NodeId, f64, IrDropReport)> = None;
+        for t in 0..trace.len() {
+            for (i, (b, f)) in base.iter().zip(trace.step(t)).enumerate() {
+                working
+                    .set_load_current(i, b * f)
+                    .expect("validated factors");
+            }
+            let report = analyzer.solve(&working)?;
+            let (node, worst) = report
+                .worst_drop()
+                .ok_or_else(|| AnalysisError::Undefined {
+                    detail: "grid has no non-ground node".into(),
+                })?;
+            step_worst.push(worst);
+            if best.as_ref().map_or(true, |(_, _, w, _)| worst > *w) {
+                best = Some((t, node, worst, report));
+            }
+        }
+        let (worst_step, worst_node, worst, worst_report) =
+            best.expect("trace has at least one step");
+        Ok(VectoredReport {
+            step_worst,
+            worst_step,
+            worst_node,
+            worst,
+            worst_report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdl_netlist::parse_spice;
+
+    fn net() -> PowerGridNetwork {
+        parse_spice(
+            "R1 n1_0_0 n1_0_1 1.0\nR2 n1_0_1 n1_0_2 1.0\nV0 n1_0_0 0 1.8\ni0 n1_0_2 0 0.01\ni1 n1_0_1 0 0.02\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_validation() {
+        assert!(CurrentTrace::new(vec![], 2).is_err());
+        assert!(CurrentTrace::new(vec![vec![1.0]], 2).is_err());
+        assert!(CurrentTrace::new(vec![vec![1.0, -1.0]], 2).is_err());
+        assert!(CurrentTrace::new(vec![vec![1.0, f64::NAN]], 2).is_err());
+        let t = CurrentTrace::constant(3, 2).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.step(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_trace_matches_static() {
+        let n = net();
+        let trace = CurrentTrace::constant(4, 2).unwrap();
+        let vectored = VectoredAnalysis::default().run(&n, &trace).unwrap();
+        let static_worst = StaticAnalysis::default()
+            .solve(&n)
+            .unwrap()
+            .worst_drop()
+            .unwrap()
+            .1;
+        for w in &vectored.step_worst {
+            assert!((w - static_worst).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn peak_step_identified() {
+        let n = net();
+        let trace = CurrentTrace::new(
+            vec![vec![0.1, 0.1], vec![2.0, 2.0], vec![1.0, 1.0]],
+            2,
+        )
+        .unwrap();
+        let rep = VectoredAnalysis::default().run(&n, &trace).unwrap();
+        assert_eq!(rep.worst_step, 1);
+        assert!(rep.step_worst[1] > rep.step_worst[0]);
+        assert!(rep.step_worst[1] > rep.step_worst[2]);
+        assert!((rep.worst - rep.step_worst[1]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn original_network_not_mutated() {
+        let n = net();
+        let before: Vec<f64> = n.current_loads().iter().map(|l| l.amps).collect();
+        let trace = CurrentTrace::new(vec![vec![3.0, 3.0]], 2).unwrap();
+        let _ = VectoredAnalysis::default().run(&n, &trace).unwrap();
+        let after: Vec<f64> = n.current_loads().iter().map(|l| l.amps).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn mismatched_trace_rejected() {
+        let n = net();
+        let trace = CurrentTrace::new(vec![vec![1.0]], 1).unwrap();
+        assert!(VectoredAnalysis::default().run(&n, &trace).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation bench: preconditioner choice for the IR-drop solve on a
+//! generated power-grid benchmark (None vs Jacobi vs IC(0)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdl_analysis::{AnalysisOptions, PreconditionerKind, StaticAnalysis};
+use ppdl_core::experiment;
+use ppdl_netlist::IbmPgPreset;
+
+fn bench_preconditioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_precond");
+    group.sample_size(10);
+    let prepared = experiment::prepare(IbmPgPreset::Ibmpg2, 0.01, 7, 2.5).expect("prepare");
+    for (name, kind) in [
+        ("none", PreconditionerKind::None),
+        ("jacobi", PreconditionerKind::Jacobi),
+        ("ic0", PreconditionerKind::Ic0),
+    ] {
+        let analyzer = StaticAnalysis::new(AnalysisOptions {
+            preconditioner: kind,
+            ..AnalysisOptions::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &prepared.bench,
+            |b, bench| {
+                b.iter(|| analyzer.solve(bench.network()).expect("solve"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preconditioners);
+criterion_main!(benches);

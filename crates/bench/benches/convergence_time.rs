@@ -1,0 +1,51 @@
+//! Criterion bench behind Table IV: the conventional analysis solve vs
+//! the PowerPlanningDL prediction path, per benchmark, at a small
+//! scale (the `table4_speedup` binary sweeps larger grids).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdl_analysis::StaticAnalysis;
+use ppdl_core::{
+    experiment, ConventionalConfig, ConventionalFlow, IrPredictor, PredictorConfig,
+    WidthPredictor,
+};
+use ppdl_netlist::IbmPgPreset;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_time");
+    group.sample_size(10);
+    for preset in [IbmPgPreset::Ibmpg1, IbmPgPreset::Ibmpg2, IbmPgPreset::Ibmpg5] {
+        let prepared = experiment::prepare(preset, 0.01, 7, 2.5).expect("prepare");
+        let (sized, golden) = ConventionalFlow::new(ConventionalConfig {
+            ir_margin_fraction: prepared.margin_fraction,
+            ..ConventionalConfig::default()
+        })
+        .run(&prepared.bench)
+        .expect("sizing");
+        let (predictor, _) =
+            WidthPredictor::train(&sized, &golden.widths, PredictorConfig::fast())
+                .expect("train");
+        let analyzer = StaticAnalysis::default();
+
+        group.bench_with_input(
+            BenchmarkId::new("conventional_analysis", preset.name()),
+            &sized,
+            |b, bench| {
+                b.iter(|| analyzer.solve(bench.network()).expect("solve"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("powerplanningdl_predict", preset.name()),
+            &sized,
+            |b, bench| {
+                b.iter(|| {
+                    let widths = predictor.predict_strap_widths(bench).expect("widths");
+                    IrPredictor::new().predict(bench, &widths).expect("ir")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Training-throughput benches for the neural-network library:
+//! epoch time vs network depth on a fixed synthetic regression task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdl_nn::{Activation, Adam, Loss, Matrix, MlpBuilder};
+
+fn bench_epoch(c: &mut Criterion) {
+    let x = Matrix::from_fn(512, 3, |r, c| ((r * 7 + c * 13) % 23) as f64 / 23.0);
+    let y = Matrix::from_fn(512, 1, |r, _| {
+        x.get(r, 0) * 2.0 - x.get(r, 1) + 0.5 * x.get(r, 2)
+    });
+    let mut group = c.benchmark_group("train_epoch");
+    for depth in [1usize, 4, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut model = MlpBuilder::new(3)
+                .hidden_stack(depth, 24, Activation::Relu)
+                .output(1)
+                .seed(1)
+                .build()
+                .expect("model");
+            let mut opt = Adam::new(1e-3).expect("adam");
+            b.iter(|| {
+                model
+                    .train_batch(&x, &y, Loss::Mse, &mut opt)
+                    .expect("batch")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let x = Matrix::from_fn(4096, 3, |r, c| ((r + c) % 17) as f64 / 17.0);
+    let model = MlpBuilder::new(3)
+        .hidden_stack(10, 24, Activation::Relu)
+        .output(1)
+        .seed(1)
+        .build()
+        .expect("model");
+    c.bench_function("inference_4096x10layers", |b| {
+        b.iter(|| model.predict(&x).expect("predict"));
+    });
+}
+
+criterion_group!(benches, bench_epoch, bench_inference);
+criterion_main!(benches);

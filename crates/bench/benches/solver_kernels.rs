@@ -1,0 +1,92 @@
+//! Kernel benches for the sparse solver: SpMV and full CG solves on
+//! power-grid conductance matrices of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppdl_solver::{
+    CgOptions, ConjugateGradient, CsrMatrix, IdentityPreconditioner, IncompleteCholesky,
+    JacobiPreconditioner, SparseCholesky, TripletMatrix,
+};
+
+/// 2-D grid Laplacian with grounded corner — the structure of a
+/// power-grid conductance matrix.
+fn grid(side: usize) -> CsrMatrix {
+    let n = side * side;
+    let mut t = TripletMatrix::new(n, n);
+    for r in 0..side {
+        for c in 0..side {
+            let i = r * side + c;
+            if c + 1 < side {
+                t.stamp_conductance(i, i + 1, 1.0);
+            }
+            if r + 1 < side {
+                t.stamp_conductance(i, i + side, 1.0);
+            }
+        }
+    }
+    t.stamp_grounded_conductance(0, 2.0);
+    t.to_csr()
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for side in [32usize, 64, 128] {
+        let a = grid(side);
+        let x = vec![1.0; a.ncols()];
+        let mut y = vec![0.0; a.nrows()];
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &a, |b, a| {
+            b.iter(|| a.mul_vec_into(&x, &mut y).expect("spmv"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_solve");
+    group.sample_size(10);
+    for side in [32usize, 64] {
+        let a = grid(side);
+        let b_vec: Vec<f64> = (0..a.nrows()).map(|i| (i % 7) as f64 * 0.1).collect();
+        let cg = ConjugateGradient::new(CgOptions {
+            tolerance: 1e-8,
+            ..CgOptions::default()
+        });
+        group.bench_with_input(BenchmarkId::new("plain", side * side), &a, |bn, a| {
+            let pc = IdentityPreconditioner::new(a.nrows());
+            bn.iter(|| cg.solve(a, &b_vec, &pc).expect("cg"));
+        });
+        group.bench_with_input(BenchmarkId::new("jacobi", side * side), &a, |bn, a| {
+            let pc = JacobiPreconditioner::from_matrix(a).expect("jacobi");
+            bn.iter(|| cg.solve(a, &b_vec, &pc).expect("cg"));
+        });
+        group.bench_with_input(BenchmarkId::new("ic0", side * side), &a, |bn, a| {
+            let pc = IncompleteCholesky::from_matrix(a).expect("ic0");
+            bn.iter(|| cg.solve(a, &b_vec, &pc).expect("cg"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direct_cholesky");
+    group.sample_size(10);
+    for side in [16usize, 32] {
+        let a = grid(side);
+        group.bench_with_input(
+            BenchmarkId::new("factor", side * side),
+            &a,
+            |bn, a| bn.iter(|| SparseCholesky::factor(a).expect("spd")),
+        );
+        let chol = SparseCholesky::factor(&a).expect("spd");
+        let b_vec = vec![0.5; a.nrows()];
+        group.bench_with_input(
+            BenchmarkId::new("solve", side * side),
+            &chol,
+            |bn, chol| bn.iter(|| chol.solve(&b_vec).expect("solve")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_cg, bench_direct);
+criterion_main!(benches);

@@ -1,0 +1,256 @@
+//! Shared plumbing for the table/figure binaries.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use ppdl_core::{experiment, DlOutcome, PowerPlanningDl};
+use ppdl_netlist::IbmPgPreset;
+
+/// Command-line options shared by every experiment binary.
+///
+/// Supported arguments: `--scale <f>` (fraction of the published
+/// benchmark size, default per binary), `--seed <n>`, `--fast`
+/// (reduced model + training for smoke runs), and `--out <dir>`
+/// (CSV output directory, default `bench_results`).
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Grid scale relative to Table II sizes.
+    pub scale: f64,
+    /// Base seed for generation/perturbation.
+    pub seed: u64,
+    /// Use the reduced ("fast") model configuration.
+    pub fast: bool,
+    /// Output directory for CSV artefacts.
+    pub out_dir: PathBuf,
+}
+
+impl Options {
+    /// Parses `std::env::args`, with a per-binary default scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments — these are
+    /// developer-facing binaries, so failing loudly is the right UX.
+    #[must_use]
+    pub fn from_args(default_scale: f64) -> Self {
+        let mut opts = Self {
+            scale: default_scale,
+            seed: 7,
+            fast: false,
+            out_dir: PathBuf::from("bench_results"),
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    opts.scale = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--scale needs a number"));
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs an integer"));
+                }
+                "--fast" => opts.fast = true,
+                "--out" => {
+                    i += 1;
+                    opts.out_dir = PathBuf::from(
+                        args.get(i).unwrap_or_else(|| panic!("--out needs a path")),
+                    );
+                }
+                other => panic!(
+                    "unknown argument '{other}' (expected --scale, --seed, --fast, --out)"
+                ),
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Runs the full PowerPlanningDL flow for one preset under the
+/// standard experiment recipe (calibrated loads, Table III margin).
+///
+/// # Errors
+///
+/// Propagates framework errors.
+pub fn run_preset(
+    preset: IbmPgPreset,
+    opts: &Options,
+) -> ppdl_core::Result<DlOutcome> {
+    let prepared = experiment::prepare(preset, opts.scale, opts.seed, 2.5)?;
+    let config = experiment::flow_config(&prepared, opts.fast);
+    PowerPlanningDl::new(config).run(&prepared.bench)
+}
+
+/// Formats an aligned text table.
+#[must_use]
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{c:<w$}");
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_string()).collect();
+    fmt_row(&header_cells, &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Writes a CSV file (creating the directory), returning the path.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or file.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut content = header.join(",");
+    content.push('\n');
+    for row in rows {
+        content.push_str(&row.join(","));
+        content.push('\n');
+    }
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Bins `values` into `bins` equal-width buckets over `[lo, hi]`,
+/// returning `(bin_center, count)` pairs — the Fig. 7(b) histogram.
+#[must_use]
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<(f64, usize)> {
+    assert!(bins > 0 && hi > lo, "histogram needs a positive range");
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        if v < lo || v > hi {
+            continue;
+        }
+        let idx = (((v - lo) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (lo + (i as f64 + 0.5) * width, c))
+        .collect()
+}
+
+/// Windowed r² over an index-ordered series of (golden, predicted)
+/// pairs — the Fig. 4(b) per-interconnect r² trace.
+#[must_use]
+pub fn windowed_r2(pairs: &[(f64, f64)], window: usize) -> Vec<(usize, f64)> {
+    assert!(window >= 2, "window must cover at least 2 samples");
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + window <= pairs.len() {
+        let chunk = &pairs[start..start + window];
+        let mean: f64 = chunk.iter().map(|(g, _)| g).sum::<f64>() / window as f64;
+        let ss_tot: f64 = chunk.iter().map(|(g, _)| (g - mean) * (g - mean)).sum();
+        let ss_res: f64 = chunk.iter().map(|(g, p)| (g - p) * (g - p)).sum();
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+        out.push((start + window / 2, r2));
+        start += window;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a   "));
+    }
+
+    #[test]
+    fn histogram_bins_and_clips() {
+        let h = histogram(&[0.1, 0.1, 0.9, 5.0, -3.0], 0.0, 1.0, 2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].1, 2);
+        assert_eq!(h[1].1, 1);
+        assert!((h[0].0 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_boundary_lands_in_last_bin() {
+        let h = histogram(&[1.0], 0.0, 1.0, 4);
+        assert_eq!(h[3].1, 1);
+    }
+
+    #[test]
+    fn windowed_r2_perfect_prediction() {
+        let pairs: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, i as f64)).collect();
+        let series = windowed_r2(&pairs, 5);
+        assert_eq!(series.len(), 4);
+        assert!(series.iter().all(|(_, r2)| (*r2 - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn windowed_r2_mean_prediction_is_zero() {
+        // Predict the window mean: r2 = 0 per window.
+        let golden: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let pairs: Vec<(f64, f64)> = golden.iter().map(|g| (*g, 2.0)).collect();
+        let series = windowed_r2(&pairs[..5], 5);
+        assert_eq!(series.len(), 1);
+        assert!(series[0].1 <= 0.0);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("ppdl_csv_test");
+        let p = write_csv(
+            &dir,
+            "t.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+}

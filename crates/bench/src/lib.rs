@@ -1,0 +1,24 @@
+//! Experiment harness for the PowerPlanningDL reproduction.
+//!
+//! Everything needed to regenerate the paper's tables and figures:
+//!
+//! * [`memtrack`] — a tracking global allocator (live/peak byte
+//!   counters) plus a background sampler, standing in for the paper's
+//!   `mprof` memory profiles (Table V peak memory, Fig. 10).
+//! * [`harness`] — shared experiment plumbing: per-preset runs, table
+//!   formatting, CSV emission.
+//!
+//! One binary per table/figure lives in `src/bin/` (run with
+//! `cargo run -p ppdl-bench --release --bin <name>`), and the Criterion
+//! benches in `benches/` time the kernels and the end-to-end
+//! convergence comparison.
+//!
+//! This crate contains the only `unsafe` in the workspace: the
+//! [`GlobalAlloc`](std::alloc::GlobalAlloc) implementation of the
+//! tracking allocator, which simply delegates to the system allocator
+//! around counter updates.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod memtrack;

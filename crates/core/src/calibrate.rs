@@ -1,0 +1,139 @@
+//! Load-current calibration against published worst-case IR drops.
+//!
+//! The IBM decks come with real current loads; our synthetic grids
+//! need theirs scaled so the analysis reproduces the millivolt-scale
+//! drops of Table III. Because the static grid is linear, the drop
+//! vector scales exactly with a uniform load scaling, so one solve
+//! suffices to hit any target worst-case drop.
+
+use ppdl_analysis::{AnalysisOptions, StaticAnalysis};
+use ppdl_netlist::SyntheticBenchmark;
+
+use crate::CoreError;
+
+/// Scales every load current of `bench` (in place) so that its
+/// worst-case IR drop under static analysis equals `target_volts`.
+/// Returns the scale factor applied.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidConfig`] — non-positive target, or the grid
+///   draws no current / shows no drop (nothing to scale).
+/// * Analysis errors propagate.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_core::calibrate_to_worst_ir;
+/// use ppdl_analysis::StaticAnalysis;
+/// use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
+///
+/// let mut bench = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg2, 0.005, 3).unwrap();
+/// calibrate_to_worst_ir(&mut bench, 0.0363).unwrap(); // Table III: 36.3 mV
+/// let report = StaticAnalysis::default().solve(bench.network()).unwrap();
+/// let worst = report.worst_drop().unwrap().1;
+/// assert!((worst - 0.0363).abs() < 1e-5);
+/// ```
+pub fn calibrate_to_worst_ir(
+    bench: &mut SyntheticBenchmark,
+    target_volts: f64,
+) -> crate::Result<f64> {
+    if !(target_volts.is_finite() && target_volts > 0.0) {
+        return Err(CoreError::InvalidConfig {
+            detail: format!("calibration target {target_volts} must be positive"),
+        });
+    }
+    if bench.network().current_loads().is_empty()
+        || bench.network().total_load_current() <= 0.0
+    {
+        return Err(CoreError::InvalidConfig {
+            detail: "grid draws no current; cannot calibrate".into(),
+        });
+    }
+    let report = StaticAnalysis::new(AnalysisOptions {
+        tolerance: 1e-10,
+        ..AnalysisOptions::default()
+    })
+    .solve(bench.network())?;
+    let worst = report.worst_drop().map_or(0.0, |(_, d)| d);
+    if worst <= 0.0 {
+        return Err(CoreError::InvalidConfig {
+            detail: "grid shows no IR drop; cannot calibrate (no loads?)".into(),
+        });
+    }
+    let factor = target_volts / worst;
+    let loads: Vec<f64> = bench
+        .network()
+        .current_loads()
+        .iter()
+        .map(|l| l.amps * factor)
+        .collect();
+    for (i, amps) in loads.iter().enumerate() {
+        bench.network_mut().set_load_current(i, *amps)?;
+    }
+    Ok(factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdl_netlist::IbmPgPreset;
+
+    #[test]
+    fn hits_target_exactly() {
+        let mut b = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg1, 0.01, 1).unwrap();
+        let factor = calibrate_to_worst_ir(&mut b, 0.0698).unwrap();
+        assert!(factor > 0.0);
+        let rep = StaticAnalysis::default().solve(b.network()).unwrap();
+        assert!((rep.worst_drop().unwrap().1 - 0.0698).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaling_is_uniform() {
+        let mut b = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg1, 0.01, 1).unwrap();
+        let before: Vec<f64> = b.network().current_loads().iter().map(|l| l.amps).collect();
+        let factor = calibrate_to_worst_ir(&mut b, 0.01).unwrap();
+        for (l, old) in b.network().current_loads().iter().zip(&before) {
+            assert!((l.amps - old * factor).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn idempotent_at_target() {
+        let mut b = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg1, 0.01, 2).unwrap();
+        calibrate_to_worst_ir(&mut b, 0.02).unwrap();
+        let second = calibrate_to_worst_ir(&mut b, 0.02).unwrap();
+        assert!((second - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_target_rejected() {
+        let mut b = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg1, 0.01, 1).unwrap();
+        assert!(calibrate_to_worst_ir(&mut b, 0.0).is_err());
+        assert!(calibrate_to_worst_ir(&mut b, -1.0).is_err());
+        assert!(calibrate_to_worst_ir(&mut b, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn loadless_grid_rejected() {
+        use ppdl_netlist::GridSpec;
+        // A floorplan whose only block draws zero current.
+        let spec = GridSpec {
+            die_width: 100.0,
+            die_height: 100.0,
+            v_straps: 3,
+            h_straps: 3,
+            ..GridSpec::default()
+        };
+        let mut fp = ppdl_floorplan::Floorplan::new(100.0, 100.0).unwrap();
+        fp.add_block(
+            ppdl_floorplan::FunctionalBlock::new("idle", 10.0, 10.0, 50.0, 50.0, 0.0).unwrap(),
+        )
+        .unwrap();
+        let mut b = SyntheticBenchmark::generate("z", spec, fp).unwrap();
+        assert!(matches!(
+            calibrate_to_worst_ir(&mut b, 0.01),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,119 @@
+use std::fmt;
+
+/// Errors raised by the PowerPlanningDL framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A netlist-layer error.
+    Netlist(ppdl_netlist::NetlistError),
+    /// An analysis-layer error.
+    Analysis(ppdl_analysis::AnalysisError),
+    /// A neural-network-layer error.
+    Nn(ppdl_nn::NnError),
+    /// A floorplan-layer error.
+    Floorplan(ppdl_floorplan::FloorplanError),
+    /// The conventional sizing loop failed to satisfy the margins
+    /// within its iteration budget.
+    SizingDidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Worst IR drop at the end, in volts.
+        worst_ir: f64,
+        /// The IR margin that was requested, in volts.
+        margin: f64,
+    },
+    /// A framework configuration is invalid.
+    InvalidConfig {
+        /// Description of what is invalid.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CoreError::Analysis(e) => write!(f, "analysis error: {e}"),
+            CoreError::Nn(e) => write!(f, "neural network error: {e}"),
+            CoreError::Floorplan(e) => write!(f, "floorplan error: {e}"),
+            CoreError::SizingDidNotConverge {
+                iterations,
+                worst_ir,
+                margin,
+            } => write!(
+                f,
+                "conventional sizing did not converge after {iterations} iterations: \
+                 worst IR drop {:.3} mV > margin {:.3} mV",
+                worst_ir * 1e3,
+                margin * 1e3
+            ),
+            CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Netlist(e) => Some(e),
+            CoreError::Analysis(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            CoreError::Floorplan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ppdl_netlist::NetlistError> for CoreError {
+    fn from(e: ppdl_netlist::NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+impl From<ppdl_analysis::AnalysisError> for CoreError {
+    fn from(e: ppdl_analysis::AnalysisError) -> Self {
+        CoreError::Analysis(e)
+    }
+}
+
+impl From<ppdl_nn::NnError> for CoreError {
+    fn from(e: ppdl_nn::NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<ppdl_floorplan::FloorplanError> for CoreError {
+    fn from(e: ppdl_floorplan::FloorplanError) -> Self {
+        CoreError::Floorplan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_converts_units_to_mv() {
+        let e = CoreError::SizingDidNotConverge {
+            iterations: 5,
+            worst_ir: 0.1234,
+            margin: 0.1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("123.4"), "{s}");
+        assert!(s.contains("100.0"), "{s}");
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = CoreError::from(ppdl_nn::NnError::EmptyDataset);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<CoreError>();
+    }
+}

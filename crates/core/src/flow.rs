@@ -1,0 +1,260 @@
+//! The end-to-end PowerPlanningDL flow (Fig. 2 / Fig. 6).
+//!
+//! Training phase: run the conventional iterative design once to obtain
+//! golden widths, extract `(X, Y, Id, wᵢ)` quadruples, train the MLP.
+//! Validation phase: perturb the design (§IV-D), predict widths with
+//! the model, predict IR drop with Kirchhoff accumulation, and compare
+//! quality and wall-clock time against a conventional analysis of the
+//! same perturbed design — the Table III/IV/V measurements.
+
+use std::time::{Duration, Instant};
+
+use ppdl_analysis::{IrDropReport, StaticAnalysis};
+use ppdl_netlist::SyntheticBenchmark;
+
+
+use crate::{
+    ConventionalConfig, ConventionalFlow, IrPredictor, Perturbation, PerturbationKind,
+    PredictedIr, PredictorConfig, WidthMetrics, WidthPredictor,
+};
+
+/// Configuration of the full flow.
+#[derive(Debug, Clone)]
+pub struct DlFlowConfig {
+    /// The conventional baseline (golden-label generator and timing
+    /// comparator).
+    pub conventional: ConventionalConfig,
+    /// The width-prediction model.
+    pub predictor: PredictorConfig,
+    /// Perturbation size γ for the test design (the paper's headline
+    /// value is 10 %).
+    pub perturbation_gamma: f64,
+    /// What the perturbation touches.
+    pub perturbation_kind: PerturbationKind,
+    /// Seed for the perturbation randomness.
+    pub seed: u64,
+    /// Segment-sampling stride for the timed width-inference path (a
+    /// strap has one width, so predicting every n-th of its segments
+    /// and averaging is design-equivalent at 1/n the inference cost).
+    pub inference_stride: usize,
+}
+
+impl Default for DlFlowConfig {
+    fn default() -> Self {
+        Self {
+            conventional: ConventionalConfig::default(),
+            predictor: PredictorConfig::default(),
+            perturbation_gamma: 0.10,
+            perturbation_kind: PerturbationKind::Both,
+            seed: 1,
+            inference_stride: 4,
+        }
+    }
+}
+
+impl DlFlowConfig {
+    /// A reduced configuration for tests and doc examples.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            predictor: PredictorConfig::fast(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Wall-clock comparison between the two approaches (Table IV).
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Conventional convergence time: one full power-grid analysis of
+    /// the test design (the paper's best-case, single-iteration cost).
+    pub conventional: Duration,
+    /// PowerPlanningDL time: width inference plus Kirchhoff IR-drop
+    /// prediction.
+    pub dl: Duration,
+    /// `conventional / dl`.
+    pub speedup: f64,
+}
+
+/// Everything the flow produces for one benchmark.
+#[derive(Debug, Clone)]
+pub struct DlOutcome {
+    /// Golden per-strap widths from the conventional sizing.
+    pub golden_widths: Vec<f64>,
+    /// DL-predicted per-strap widths on the perturbed test design.
+    pub predicted_widths: Vec<f64>,
+    /// Width-prediction quality on the test design (Table V / Fig. 7).
+    pub width_metrics: WidthMetrics,
+    /// Worst-case IR drop of the test design under conventional
+    /// analysis, in mV (Table III left column).
+    pub conventional_worst_ir_mv: f64,
+    /// Worst-case IR drop predicted by PowerPlanningDL, in mV
+    /// (Table III right column).
+    pub predicted_worst_ir_mv: f64,
+    /// The timing comparison (Table IV).
+    pub timing: Timing,
+    /// The training run's loss history.
+    pub train_report: crate::TrainSummary,
+    /// The sized (trained-on) benchmark.
+    pub sized_bench: SyntheticBenchmark,
+    /// The perturbed test benchmark.
+    pub test_bench: SyntheticBenchmark,
+    /// The conventional analysis report on the test design (for maps).
+    pub test_report: IrDropReport,
+    /// The Kirchhoff IR estimate on the test design (for maps).
+    pub predicted_ir: PredictedIr,
+    /// Design-loop iterations the conventional sizing needed.
+    pub conventional_iterations: usize,
+}
+
+/// The PowerPlanningDL framework facade.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_core::{experiment, PowerPlanningDl};
+/// use ppdl_netlist::IbmPgPreset;
+///
+/// let prepared = experiment::prepare(IbmPgPreset::Ibmpg2, 0.006, 3, 2.5).unwrap();
+/// let config = experiment::flow_config(&prepared, true);
+/// let outcome = PowerPlanningDl::new(config).run(&prepared.bench).unwrap();
+/// assert!(outcome.width_metrics.r2 > 0.4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PowerPlanningDl {
+    config: DlFlowConfig,
+}
+
+impl PowerPlanningDl {
+    /// Creates the flow with the given configuration.
+    #[must_use]
+    pub fn new(config: DlFlowConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &DlFlowConfig {
+        &self.config
+    }
+
+    /// Runs the full train-then-validate flow on `bench`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conventional-sizing, training, prediction, and
+    /// analysis errors.
+    pub fn run(&self, bench: &SyntheticBenchmark) -> crate::Result<DlOutcome> {
+        let c = &self.config;
+
+        // 1. Conventional design: golden widths + training substrate.
+        let (sized, conventional) = ConventionalFlow::new(c.conventional.clone()).run(bench)?;
+
+        // 2. Train the width model on the sized design.
+        let (predictor, train_report) =
+            WidthPredictor::train(&sized, &conventional.widths, c.predictor.clone())?;
+
+        // 3. Build the perturbed test design (§IV-D).
+        let test_bench = Perturbation::new(c.perturbation_gamma, c.perturbation_kind, c.seed)?
+            .apply(&sized)?;
+
+        // 4. PowerPlanningDL path: width inference + Kirchhoff IR drop.
+        let t0 = Instant::now();
+        let predicted_widths =
+            predictor.predict_strap_widths_sampled(&test_bench, c.inference_stride)?;
+        let predicted_ir = IrPredictor::new().predict(&test_bench, &predicted_widths)?;
+        let dl_time = t0.elapsed();
+
+        // 5. Conventional path on the same test design: one full
+        //    analysis (the paper's best-case conventional cost).
+        let analyzer = StaticAnalysis::new(c.conventional.analysis.clone());
+        let t1 = Instant::now();
+        let test_report = analyzer.solve(test_bench.network())?;
+        let conventional_time = t1.elapsed();
+
+        // 6. Quality metrics.
+        let width_metrics = predictor.evaluate(&test_bench, &conventional.widths)?;
+        let conventional_worst_ir_mv =
+            test_report.worst_drop().map_or(0.0, |(_, d)| d) * 1e3;
+        let speedup =
+            conventional_time.as_secs_f64() / dl_time.as_secs_f64().max(f64::EPSILON);
+
+        Ok(DlOutcome {
+            golden_widths: conventional.widths,
+            predicted_widths,
+            width_metrics,
+            conventional_worst_ir_mv,
+            predicted_worst_ir_mv: predicted_ir.worst_mv(),
+            timing: Timing {
+                conventional: conventional_time,
+                dl: dl_time,
+                speedup,
+            },
+            train_report,
+            sized_bench: sized,
+            test_bench,
+            test_report,
+            predicted_ir,
+            conventional_iterations: conventional.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdl_netlist::IbmPgPreset;
+
+    fn outcome() -> DlOutcome {
+        let prepared = crate::experiment::prepare(IbmPgPreset::Ibmpg2, 0.008, 13, 2.5).unwrap();
+        let config = crate::experiment::flow_config(&prepared, true);
+        PowerPlanningDl::new(config).run(&prepared.bench).unwrap()
+    }
+
+    #[test]
+    fn full_flow_produces_consistent_outcome() {
+        let o = outcome();
+        assert_eq!(o.golden_widths.len(), o.predicted_widths.len());
+        assert!(o.width_metrics.r2 > 0.5, "r2 = {}", o.width_metrics.r2);
+        assert!(o.conventional_worst_ir_mv > 0.0);
+        assert!(o.predicted_worst_ir_mv > 0.0);
+        assert!(o.timing.speedup > 0.0);
+        assert!(o.conventional_iterations >= 1);
+        assert!(o.train_report.total_epochs() > 0);
+    }
+
+    #[test]
+    fn predicted_ir_same_order_as_conventional() {
+        let o = outcome();
+        let ratio = o.predicted_worst_ir_mv / o.conventional_worst_ir_mv;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "predicted {} vs conventional {} mV",
+            o.predicted_worst_ir_mv,
+            o.conventional_worst_ir_mv
+        );
+    }
+
+    #[test]
+    fn test_bench_is_perturbed_copy() {
+        let o = outcome();
+        assert_ne!(
+            o.test_bench.network().total_load_current(),
+            o.sized_bench.network().total_load_current()
+        );
+        assert_eq!(
+            o.test_bench.segments().len(),
+            o.sized_bench.segments().len()
+        );
+    }
+
+    #[test]
+    fn maps_buildable_from_outcome() {
+        use ppdl_analysis::IrDropMap;
+        let o = outcome();
+        let conv = IrDropMap::from_report(o.test_bench.network(), &o.test_report, 12).unwrap();
+        let pred = o.predicted_ir.to_map(&o.test_bench, 12).unwrap();
+        assert_eq!(conv.resolution(), pred.resolution());
+        assert!(conv.max_mv() > 0.0 && pred.max_mv() > 0.0);
+    }
+}

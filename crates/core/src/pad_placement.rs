@@ -1,0 +1,303 @@
+//! Power/ground pin placement (the first box of the paper's Fig. 1
+//! conventional flow).
+//!
+//! Before the grid is sized, the designer chooses where the supply
+//! pins attach along the package ring. This module provides a greedy
+//! optimizer: starting from an empty pin set, it repeatedly adds the
+//! boundary site that most reduces the worst-case IR drop, re-running
+//! the static analysis after each choice — exactly the expensive
+//! iterate-and-analyze loop that motivates learning approaches
+//! downstream.
+
+use ppdl_analysis::{AnalysisOptions, StaticAnalysis};
+use ppdl_netlist::{NodeId, SyntheticBenchmark};
+
+use crate::CoreError;
+
+/// Result of a pad-placement optimization.
+#[derive(Debug, Clone)]
+pub struct PadPlacementResult {
+    /// The chosen pin nodes, in selection order.
+    pub chosen: Vec<NodeId>,
+    /// Worst-case IR drop after each selection (volts):
+    /// `worst_after[k]` is the drop with `k + 1` pins placed.
+    pub worst_after: Vec<f64>,
+    /// The benchmark with exactly the chosen pins installed.
+    pub bench: SyntheticBenchmark,
+}
+
+/// Greedy worst-drop-minimising pin placement over the boundary ring.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_core::PadPlacer;
+/// use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
+///
+/// let bench = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg2, 0.004, 3).unwrap();
+/// let result = PadPlacer::new(4).place(&bench).unwrap();
+/// assert_eq!(result.chosen.len(), 4);
+/// // More pins never hurt.
+/// for w in result.worst_after.windows(2) {
+///     assert!(w[1] <= w[0] + 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PadPlacer {
+    pins: usize,
+    candidate_stride: usize,
+    options: AnalysisOptions,
+}
+
+impl PadPlacer {
+    /// Creates a placer that will choose `pins` pin sites.
+    #[must_use]
+    pub fn new(pins: usize) -> Self {
+        Self {
+            pins,
+            candidate_stride: 1,
+            options: AnalysisOptions::default(),
+        }
+    }
+
+    /// Considers only every `stride`-th boundary site (each round
+    /// costs one analysis per candidate, so thinning the pool trades
+    /// quality for time).
+    #[must_use]
+    pub fn with_candidate_stride(mut self, stride: usize) -> Self {
+        self.candidate_stride = stride.max(1);
+        self
+    }
+
+    /// Overrides the analysis options used for the inner solves.
+    #[must_use]
+    pub fn with_analysis(mut self, options: AnalysisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The candidate pin sites for a benchmark: the upper-layer nodes
+    /// on the die boundary (where wirebond pads can land), walked in
+    /// coordinate order.
+    #[must_use]
+    pub fn candidate_sites(bench: &SyntheticBenchmark) -> Vec<NodeId> {
+        let net = bench.network();
+        let upper = bench.spec().upper_layer;
+        let nodes: Vec<(usize, i64, i64)> = net
+            .node_names()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.layer() == Some(upper))
+            .filter_map(|(i, n)| n.coordinates().map(|(x, y)| (i, x, y)))
+            .collect();
+        let Some(&(_, x0, y0)) = nodes.first() else {
+            return Vec::new();
+        };
+        let (mut min_x, mut max_x, mut min_y, mut max_y) = (x0, x0, y0, y0);
+        for &(_, x, y) in &nodes {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        let mut ring: Vec<(i64, i64, usize)> = nodes
+            .into_iter()
+            .filter(|&(_, x, y)| x == min_x || x == max_x || y == min_y || y == max_y)
+            .map(|(i, x, y)| (x, y, i))
+            .collect();
+        ring.sort();
+        ring.into_iter().map(|(_, _, i)| NodeId(i)).collect()
+    }
+
+    /// Runs the greedy placement. Existing pins of the input benchmark
+    /// are discarded; the result contains exactly the chosen set, all
+    /// at the benchmark's supply voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the (strided) candidate
+    /// pool is smaller than the requested pin count or zero pins are
+    /// requested; analysis errors propagate.
+    pub fn place(&self, bench: &SyntheticBenchmark) -> crate::Result<PadPlacementResult> {
+        if self.pins == 0 {
+            return Err(CoreError::InvalidConfig {
+                detail: "at least one pin must be placed".into(),
+            });
+        }
+        let vdd = bench.spec().vdd;
+        let candidates: Vec<NodeId> = Self::candidate_sites(bench)
+            .into_iter()
+            .step_by(self.candidate_stride)
+            .collect();
+        if candidates.len() < self.pins {
+            return Err(CoreError::InvalidConfig {
+                detail: format!(
+                    "{} candidate sites for {} pins",
+                    candidates.len(),
+                    self.pins
+                ),
+            });
+        }
+
+        // Sources pin nodes structurally, so each trial rebuilds the
+        // element lists with only the pins under evaluation (resistors
+        // and loads are copied verbatim, preserving node identity).
+        let analyzer = StaticAnalysis::new(self.options.clone());
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut worst_after = Vec::new();
+        for _round in 0..self.pins {
+            let mut best: Option<(usize, f64)> = None;
+            for ci in 0..candidates.len() {
+                if chosen.contains(&ci) {
+                    continue;
+                }
+                let trial = rebuild_with_sources(bench, &candidates, &chosen, Some(ci), vdd);
+                let report = match analyzer.solve(&trial) {
+                    Ok(r) => r,
+                    // A small pin set can leave floating regions; such
+                    // a candidate set is simply invalid this round.
+                    Err(_) => continue,
+                };
+                let worst = report.worst_drop().map_or(f64::INFINITY, |(_, d)| d);
+                if best.map_or(true, |(_, b)| worst < b) {
+                    best = Some((ci, worst));
+                }
+            }
+            let (ci, worst) = best.ok_or_else(|| CoreError::InvalidConfig {
+                detail: "no candidate pin yields a solvable grid".into(),
+            })?;
+            chosen.push(ci);
+            worst_after.push(worst);
+        }
+
+        let mut placed = bench.clone();
+        *placed.network_mut() = rebuild_with_sources(bench, &candidates, &chosen, None, vdd);
+        Ok(PadPlacementResult {
+            chosen: chosen.iter().map(|&ci| candidates[ci]).collect(),
+            worst_after,
+            bench: placed,
+        })
+    }
+}
+
+/// Clones the benchmark's network keeping resistors and loads but
+/// installing only the sources in `chosen` (plus optionally `extra`).
+fn rebuild_with_sources(
+    bench: &SyntheticBenchmark,
+    candidates: &[NodeId],
+    chosen: &[usize],
+    extra: Option<usize>,
+    vdd: f64,
+) -> ppdl_netlist::PowerGridNetwork {
+    let src = bench.network();
+    let mut net = ppdl_netlist::PowerGridNetwork::new();
+    for name in src.node_names() {
+        net.intern(name.clone());
+    }
+    for r in src.resistors() {
+        net.add_resistor(r.name.clone(), r.a, r.b, r.ohms)
+            .expect("copied resistor is valid");
+    }
+    for l in src.current_loads() {
+        net.add_current_load(l.name.clone(), l.node, l.amps)
+            .expect("copied load is valid");
+    }
+    for (k, &ci) in chosen.iter().chain(extra.iter()).enumerate() {
+        net.add_voltage_source(format!("Vpad{k}"), candidates[ci], vdd)
+            .expect("copied source is valid");
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdl_netlist::IbmPgPreset;
+
+    fn bench() -> SyntheticBenchmark {
+        SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg2, 0.004, 9).unwrap()
+    }
+
+    #[test]
+    fn candidates_are_boundary_upper_nodes() {
+        let b = bench();
+        let sites = PadPlacer::candidate_sites(&b);
+        assert!(!sites.is_empty());
+        let upper = b.spec().upper_layer;
+        for id in &sites {
+            assert_eq!(b.network().node_name(*id).layer(), Some(upper));
+        }
+        // A square grid of s straps has 4s - 4 boundary crossings.
+        let s = b
+            .straps()
+            .iter()
+            .filter(|st| st.orientation == ppdl_netlist::Orientation::Vertical)
+            .count();
+        assert_eq!(sites.len(), 4 * s - 4);
+    }
+
+    #[test]
+    fn places_requested_pin_count() {
+        let b = bench();
+        let r = PadPlacer::new(3).place(&b).unwrap();
+        assert_eq!(r.chosen.len(), 3);
+        assert_eq!(r.worst_after.len(), 3);
+        assert_eq!(r.bench.network().voltage_sources().len(), 3);
+    }
+
+    #[test]
+    fn worst_drop_monotonically_improves() {
+        let b = bench();
+        let r = PadPlacer::new(4).place(&b).unwrap();
+        for w in r.worst_after.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "{:?}", r.worst_after);
+        }
+    }
+
+    #[test]
+    fn chosen_pins_are_distinct_candidates() {
+        let b = bench();
+        let r = PadPlacer::new(4).place(&b).unwrap();
+        let mut nodes = r.chosen.clone();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 4);
+        let sites = PadPlacer::candidate_sites(&b);
+        assert!(r.chosen.iter().all(|n| sites.contains(n)));
+    }
+
+    #[test]
+    fn greedy_beats_arbitrary_prefix() {
+        // The greedy k-pin placement should beat (or match) simply
+        // taking the first k boundary sites in coordinate order.
+        let b = bench();
+        let k = 3;
+        let greedy = PadPlacer::new(k).place(&b).unwrap();
+        let candidates = PadPlacer::candidate_sites(&b);
+        let prefix_net = rebuild_with_sources(&b, &candidates, &[0, 1, 2], None, b.spec().vdd);
+        let prefix_worst = StaticAnalysis::default()
+            .solve(&prefix_net)
+            .map(|r| r.worst_drop().map_or(f64::INFINITY, |(_, d)| d))
+            .unwrap_or(f64::INFINITY);
+        assert!(greedy.worst_after[k - 1] <= prefix_worst + 1e-12);
+    }
+
+    #[test]
+    fn invalid_requests_rejected() {
+        let b = bench();
+        assert!(PadPlacer::new(0).place(&b).is_err());
+        assert!(PadPlacer::new(10_000).place(&b).is_err());
+    }
+
+    #[test]
+    fn candidate_stride_thins_the_pool() {
+        let b = bench();
+        let pool = PadPlacer::candidate_sites(&b).len();
+        // With stride 2 only ~half the pool remains, so a full-pool
+        // request must fail.
+        assert!(PadPlacer::new(pool)
+            .with_candidate_stride(2)
+            .place(&b)
+            .is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the PowerPlanningDL framework.
+
+use ppdl_analysis::StaticAnalysis;
+use ppdl_core::{
+    calibrate_to_worst_ir, FeatureExtractor, FeatureSet, IrPredictor, Perturbation,
+    PerturbationKind,
+};
+use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
+use proptest::prelude::*;
+
+fn bench(seed: u64) -> SyntheticBenchmark {
+    SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg2, 0.003, seed).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Calibration hits any positive target exactly (linearity of the
+    /// resistive grid).
+    #[test]
+    fn calibration_is_exact(target_mv in 1.0_f64..100.0, seed in 0u64..20) {
+        let mut b = bench(seed);
+        let target = target_mv / 1e3;
+        calibrate_to_worst_ir(&mut b, target).unwrap();
+        let worst = StaticAnalysis::default()
+            .solve(b.network())
+            .unwrap()
+            .worst_drop()
+            .unwrap()
+            .1;
+        // Tolerance: the verifying solve runs at relative residual
+        // 1e-8 on a ~1.8 V solution, so sub-microvolt agreement cannot
+        // be demanded of millivolt-scale drops.
+        prop_assert!(
+            (worst - target).abs() < 1e-3 * target + 1e-6,
+            "worst {worst} vs target {target}"
+        );
+    }
+
+    /// Perturbation factors are exactly 1 ± gamma and the perturbation
+    /// never mutates its input.
+    #[test]
+    fn perturbation_moves_by_exactly_gamma(gamma in 0.01_f64..0.9, seed in 0u64..50) {
+        let b = bench(3);
+        let before: Vec<f64> = b.network().current_loads().iter().map(|l| l.amps).collect();
+        let out = Perturbation::new(gamma, PerturbationKind::CurrentWorkloads, seed)
+            .unwrap()
+            .apply(&b)
+            .unwrap();
+        for (new, old) in out.network().current_loads().iter().zip(&before) {
+            let f = new.amps / old;
+            let dev = (f - (1.0 + gamma)).abs().min((f - (1.0 - gamma)).abs());
+            prop_assert!(dev < 1e-12, "factor {f} not 1 +/- {gamma}");
+        }
+        let after: Vec<f64> = b.network().current_loads().iter().map(|l| l.amps).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// The IR estimate is homogeneous of degree -1 in a uniform width
+    /// scaling... not exactly (vias scale too), but it must be strictly
+    /// monotone: wider grids never drop more.
+    #[test]
+    fn ir_estimate_monotone_in_width(factor in 1.1_f64..4.0, seed in 0u64..10) {
+        let b = bench(seed);
+        let w1 = b.strap_widths();
+        let w2: Vec<f64> = w1.iter().map(|w| w * factor).collect();
+        let p = IrPredictor::new();
+        let e1 = p.predict(&b, &w1).unwrap();
+        let e2 = p.predict(&b, &w2).unwrap();
+        prop_assert!(e2.worst < e1.worst);
+    }
+
+    /// Feature extraction is pure: identical benchmarks give identical
+    /// features, and every row matches its segment's midpoint.
+    #[test]
+    fn features_are_pure_and_positional(seed in 0u64..20) {
+        let b = bench(seed);
+        let fx = FeatureExtractor::new(FeatureSet::Combined);
+        let a = fx.raw_features(&b);
+        let c = fx.raw_features(&b);
+        prop_assert_eq!(&a, &c);
+        for (r, seg) in b.segments().iter().enumerate() {
+            prop_assert_eq!(a.get(r, 0), seg.x);
+            prop_assert_eq!(a.get(r, 1), seg.y);
+            prop_assert!(a.get(r, 2) >= 0.0);
+        }
+    }
+
+    /// The sampled strap-width prediction converges to the full one.
+    #[test]
+    fn sampled_prediction_close_to_full(seed in 0u64..6) {
+        use ppdl_core::{experiment, ConventionalConfig, ConventionalFlow, PredictorConfig, WidthPredictor};
+        let prepared = experiment::prepare(IbmPgPreset::Ibmpg2, 0.004, seed, 2.5).unwrap();
+        let (sized, res) = ConventionalFlow::new(ConventionalConfig {
+            ir_margin_fraction: prepared.margin_fraction,
+            ..ConventionalConfig::default()
+        })
+        .run(&prepared.bench)
+        .unwrap();
+        let (p, _) = WidthPredictor::train(&sized, &res.widths, PredictorConfig::fast()).unwrap();
+        let full = p.predict_strap_widths(&sized).unwrap();
+        let sampled = p.predict_strap_widths_sampled(&sized, 4).unwrap();
+        for (f, s) in full.iter().zip(&sampled) {
+            prop_assert!((f - s).abs() < 0.25 * f.max(0.1), "{f} vs {s}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+use crate::FloorplanError;
+
+/// A placed functional block (macro / standard-cell region) with its
+/// switching-current demand.
+///
+/// Coordinates are in micrometres with the origin at the lower-left die
+/// corner; `(x, y)` is the block's lower-left corner. The switching
+/// current `Id` is the time-averaged current the block draws, the value
+/// the paper extracts from the front-end VCD file and uses as the third
+/// input feature of the width predictor.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_floorplan::FunctionalBlock;
+///
+/// let b = FunctionalBlock::new("dcache", 5.0, 5.0, 20.0, 10.0, 0.25).unwrap();
+/// assert_eq!(b.center(), (15.0, 10.0));
+/// assert!(b.contains(6.0, 6.0));
+/// assert!(!b.contains(30.0, 6.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalBlock {
+    name: String,
+    x: f64,
+    y: f64,
+    width: f64,
+    height: f64,
+    switching_current: f64,
+}
+
+impl FunctionalBlock {
+    /// Creates a block after validating geometry and current.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidDimension`] if `width` or
+    /// `height` is not strictly positive, if any coordinate is negative
+    /// or non-finite, or if `switching_current` is negative or
+    /// non-finite.
+    pub fn new(
+        name: impl Into<String>,
+        x: f64,
+        y: f64,
+        width: f64,
+        height: f64,
+        switching_current: f64,
+    ) -> crate::Result<Self> {
+        let check = |what: &str, v: f64, allow_zero: bool| -> crate::Result<()> {
+            let ok = v.is_finite() && (v > 0.0 || (allow_zero && v >= 0.0));
+            if ok {
+                Ok(())
+            } else {
+                Err(FloorplanError::InvalidDimension {
+                    what: what.to_string(),
+                    value: v,
+                })
+            }
+        };
+        check("block x", x, true)?;
+        check("block y", y, true)?;
+        check("block width", width, false)?;
+        check("block height", height, false)?;
+        check("block switching current", switching_current, true)?;
+        Ok(Self {
+            name: name.into(),
+            x,
+            y,
+            width,
+            height,
+            switching_current,
+        })
+    }
+
+    /// Block name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Lower-left x coordinate (µm).
+    #[must_use]
+    pub fn x(&self) -> f64 {
+        self.x
+    }
+
+    /// Lower-left y coordinate (µm).
+    #[must_use]
+    pub fn y(&self) -> f64 {
+        self.y
+    }
+
+    /// Width (µm).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Height (µm).
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Switching current `Id` (A).
+    #[must_use]
+    pub fn switching_current(&self) -> f64 {
+        self.switching_current
+    }
+
+    /// Centre point of the block.
+    #[must_use]
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// Area in µm².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Current density demand of the block (A/µm²), used to distribute
+    /// the block's current over the grid nodes it covers.
+    #[must_use]
+    pub fn current_density(&self) -> f64 {
+        self.switching_current / self.area()
+    }
+
+    /// Whether the point `(px, py)` lies inside the block (boundary
+    /// inclusive on the lower/left edges, exclusive on the upper/right,
+    /// so tilings do not double-count).
+    #[must_use]
+    pub fn contains(&self, px: f64, py: f64) -> bool {
+        px >= self.x && px < self.x + self.width && py >= self.y && py < self.y + self.height
+    }
+
+    /// Whether this block's interior overlaps `other`'s.
+    #[must_use]
+    pub fn overlaps(&self, other: &FunctionalBlock) -> bool {
+        self.x < other.x + other.width
+            && other.x < self.x + self.width
+            && self.y < other.y + other.height
+            && other.y < self.y + self.height
+    }
+
+    /// Returns a copy with the switching current scaled by `factor`
+    /// (used by the perturbation engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidDimension`] if the scaled current
+    /// would be negative or non-finite.
+    pub fn with_scaled_current(&self, factor: f64) -> crate::Result<Self> {
+        Self::new(
+            self.name.clone(),
+            self.x,
+            self.y,
+            self.width,
+            self.height,
+            self.switching_current * factor,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_block_roundtrips() {
+        let b = FunctionalBlock::new("b", 1.0, 2.0, 3.0, 4.0, 0.5).unwrap();
+        assert_eq!(b.name(), "b");
+        assert_eq!(b.area(), 12.0);
+        assert_eq!(b.center(), (2.5, 4.0));
+        assert!((b.current_density() - 0.5 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert!(FunctionalBlock::new("b", 0.0, 0.0, 0.0, 1.0, 0.1).is_err());
+        assert!(FunctionalBlock::new("b", 0.0, 0.0, 1.0, 0.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn negative_coordinate_rejected() {
+        let err = FunctionalBlock::new("b", -1.0, 0.0, 1.0, 1.0, 0.1).unwrap_err();
+        assert!(matches!(err, FloorplanError::InvalidDimension { .. }));
+    }
+
+    #[test]
+    fn nan_current_rejected() {
+        assert!(FunctionalBlock::new("b", 0.0, 0.0, 1.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zero_current_allowed() {
+        // Idle blocks draw no switching current; they are still legal.
+        assert!(FunctionalBlock::new("b", 0.0, 0.0, 1.0, 1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn containment_half_open() {
+        let b = FunctionalBlock::new("b", 0.0, 0.0, 10.0, 10.0, 0.1).unwrap();
+        assert!(b.contains(0.0, 0.0));
+        assert!(!b.contains(10.0, 5.0));
+        assert!(!b.contains(5.0, 10.0));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = FunctionalBlock::new("a", 0.0, 0.0, 10.0, 10.0, 0.1).unwrap();
+        let b = FunctionalBlock::new("b", 5.0, 5.0, 10.0, 10.0, 0.1).unwrap();
+        let c = FunctionalBlock::new("c", 10.0, 0.0, 5.0, 5.0, 0.1).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        // Touching edges do not overlap.
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn scaled_current() {
+        let b = FunctionalBlock::new("b", 0.0, 0.0, 1.0, 1.0, 0.4).unwrap();
+        let s = b.with_scaled_current(1.5).unwrap();
+        assert!((s.switching_current() - 0.6).abs() < 1e-15);
+        assert!(b.with_scaled_current(-1.0).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Errors raised while building or validating a floorplan.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FloorplanError {
+    /// A geometric quantity (die size, block size, coordinate, current)
+    /// was non-positive or non-finite where a positive finite value is
+    /// required.
+    InvalidDimension {
+        /// Which quantity was invalid.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A block or pad does not fit within the die outline.
+    OutsideDie {
+        /// Name of the offending block or pad.
+        name: String,
+    },
+    /// Two blocks overlap.
+    BlockOverlap {
+        /// Name of the first block.
+        first: String,
+        /// Name of the second block.
+        second: String,
+    },
+    /// A block or pad with this name already exists in the floorplan.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A strap plan violates the ring-width constraint (eq. 3):
+    /// `Σ (sᵢ + wᵢ)` must equal the core width.
+    RingWidthViolation {
+        /// Sum of strap widths plus spacings.
+        total: f64,
+        /// The core width the sum must match.
+        core_width: f64,
+    },
+    /// The generator configuration is unsatisfiable (e.g. more blocks
+    /// than grid cells).
+    InfeasibleConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::InvalidDimension { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            FloorplanError::OutsideDie { name } => {
+                write!(f, "'{name}' lies outside the die outline")
+            }
+            FloorplanError::BlockOverlap { first, second } => {
+                write!(f, "blocks '{first}' and '{second}' overlap")
+            }
+            FloorplanError::DuplicateName { name } => {
+                write!(f, "duplicate name '{name}'")
+            }
+            FloorplanError::RingWidthViolation { total, core_width } => write!(
+                f,
+                "strap widths + spacings sum to {total}, but the core width is {core_width}"
+            ),
+            FloorplanError::InfeasibleConfig { detail } => {
+                write!(f, "infeasible generator configuration: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_data() {
+        let e = FloorplanError::BlockOverlap {
+            first: "alu".into(),
+            second: "fpu".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("alu") && s.contains("fpu"));
+
+        let e = FloorplanError::RingWidthViolation {
+            total: 90.0,
+            core_width: 100.0,
+        };
+        assert!(e.to_string().contains("90"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<FloorplanError>();
+    }
+}

@@ -1,0 +1,297 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{FloorplanError, Floorplan, FunctionalBlock, PadPlacement, PowerNet, PowerPad};
+
+/// Configuration for the seeded random floorplan generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Die width in µm.
+    pub die_width: f64,
+    /// Die height in µm.
+    pub die_height: f64,
+    /// Number of functional blocks to place.
+    pub blocks: usize,
+    /// Fraction of each grid cell a block occupies, in `(0, 1]`.
+    pub cell_utilization: f64,
+    /// Mean switching current per block (A); individual blocks draw a
+    /// uniform random current in `[0.2, 1.8] × mean`.
+    pub mean_block_current: f64,
+    /// How the supply pads are placed.
+    pub pad_placement: PadPlacement,
+    /// Number of VDD pads (and equally many GND pads).
+    pub pads_per_net: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            die_width: 1000.0,
+            die_height: 1000.0,
+            blocks: 16,
+            cell_utilization: 0.7,
+            mean_block_current: 0.1,
+            pad_placement: PadPlacement::Perimeter,
+            pads_per_net: 8,
+        }
+    }
+}
+
+/// Seeded random floorplan generator.
+///
+/// Places blocks on a √n × √n grid of cells (each block filling a
+/// configurable fraction of its cell, guaranteeing non-overlap by
+/// construction) and rings the die with supply pads. Deterministic for a
+/// given `(config, seed)` pair, which is what dataset reproducibility
+/// requires.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_floorplan::{FloorplanGenerator, GeneratorConfig};
+///
+/// let fp = FloorplanGenerator::new(GeneratorConfig::default()).generate(42).unwrap();
+/// assert_eq!(fp.blocks().len(), 16);
+/// let fp2 = FloorplanGenerator::new(GeneratorConfig::default()).generate(42).unwrap();
+/// assert_eq!(fp.blocks(), fp2.blocks()); // deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct FloorplanGenerator {
+    config: GeneratorConfig,
+}
+
+impl FloorplanGenerator {
+    /// Creates a generator with the given configuration.
+    #[must_use]
+    pub fn new(config: GeneratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates a floorplan from a seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InfeasibleConfig`] if the configuration
+    /// cannot be realised (zero blocks, utilization outside `(0, 1]`,
+    /// or non-positive mean current), and propagates validation errors
+    /// from the floorplan mutators (which indicate a bug in the
+    /// generator rather than a user error).
+    pub fn generate(&self, seed: u64) -> crate::Result<Floorplan> {
+        let c = &self.config;
+        if c.blocks == 0 {
+            return Err(FloorplanError::InfeasibleConfig {
+                detail: "at least one block is required".into(),
+            });
+        }
+        if !(c.cell_utilization > 0.0 && c.cell_utilization <= 1.0) {
+            return Err(FloorplanError::InfeasibleConfig {
+                detail: format!(
+                    "cell utilization {} outside (0, 1]",
+                    c.cell_utilization
+                ),
+            });
+        }
+        if !(c.mean_block_current.is_finite() && c.mean_block_current > 0.0) {
+            return Err(FloorplanError::InfeasibleConfig {
+                detail: format!("mean block current {} must be positive", c.mean_block_current),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fp = Floorplan::new(c.die_width, c.die_height)?;
+
+        // Blocks on a grid of cells; each block sized to a random
+        // fraction of its cell around the configured utilization.
+        let cols = (c.blocks as f64).sqrt().ceil() as usize;
+        let rows = c.blocks.div_ceil(cols);
+        let cell_w = c.die_width / cols as f64;
+        let cell_h = c.die_height / rows as f64;
+        for i in 0..c.blocks {
+            let (r, col) = (i / cols, i % cols);
+            // Utilization jitter of ±15 % keeps the dataset from being
+            // perfectly regular while preserving non-overlap.
+            let u = (c.cell_utilization * rng.gen_range(0.85..1.0)).min(1.0);
+            let side = u.sqrt();
+            let bw = cell_w * side;
+            let bh = cell_h * side;
+            let bx = col as f64 * cell_w + (cell_w - bw) / 2.0;
+            let by = r as f64 * cell_h + (cell_h - bh) / 2.0;
+            let id = c.mean_block_current * rng.gen_range(0.2..1.8);
+            fp.add_block(FunctionalBlock::new(
+                format!("blk_{i}"),
+                bx,
+                by,
+                bw,
+                bh,
+                id,
+            )?)?;
+        }
+
+        // Pads.
+        match c.pad_placement {
+            PadPlacement::Perimeter => {
+                for i in 0..c.pads_per_net {
+                    let t = (i as f64 + 0.5) / c.pads_per_net as f64;
+                    let (x, y) = perimeter_point(t, c.die_width, c.die_height);
+                    fp.add_pad(PowerPad::new(format!("vdd_{i}"), x, y, PowerNet::Vdd))?;
+                    // Ground pads offset half a step around the ring.
+                    let tg = (i as f64 + 1.0) / c.pads_per_net as f64 % 1.0;
+                    let (gx, gy) = perimeter_point(tg, c.die_width, c.die_height);
+                    fp.add_pad(PowerPad::new(format!("gnd_{i}"), gx, gy, PowerNet::Gnd))?;
+                }
+            }
+            PadPlacement::AreaArray => {
+                let side = (c.pads_per_net as f64).sqrt().ceil() as usize;
+                let mut placed = 0;
+                'outer: for r in 0..side {
+                    for col in 0..side {
+                        if placed >= c.pads_per_net {
+                            break 'outer;
+                        }
+                        let x = (col as f64 + 0.5) * c.die_width / side as f64;
+                        let y = (r as f64 + 0.5) * c.die_height / side as f64;
+                        fp.add_pad(PowerPad::new(
+                            format!("vdd_{placed}"),
+                            x,
+                            y,
+                            PowerNet::Vdd,
+                        ))?;
+                        fp.add_pad(PowerPad::new(
+                            format!("gnd_{placed}"),
+                            (x + 1.0).min(c.die_width),
+                            y,
+                            PowerNet::Gnd,
+                        ))?;
+                        placed += 1;
+                    }
+                }
+            }
+        }
+        Ok(fp)
+    }
+}
+
+/// Maps `t ∈ [0, 1)` to a point on the die perimeter, walking
+/// counter-clockwise from the lower-left corner.
+fn perimeter_point(t: f64, w: f64, h: f64) -> (f64, f64) {
+    let perim = 2.0 * (w + h);
+    let d = t.rem_euclid(1.0) * perim;
+    if d < w {
+        (d, 0.0)
+    } else if d < w + h {
+        (w, d - w)
+    } else if d < 2.0 * w + h {
+        (w - (d - w - h), h)
+    } else {
+        (0.0, h - (d - 2.0 * w - h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = FloorplanGenerator::new(GeneratorConfig::default());
+        let a = g.generate(7).unwrap();
+        let b = g.generate(7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = FloorplanGenerator::new(GeneratorConfig::default());
+        let a = g.generate(1).unwrap();
+        let b = g.generate(2).unwrap();
+        assert_ne!(a.blocks(), b.blocks());
+    }
+
+    #[test]
+    fn block_count_honoured_even_when_not_square() {
+        let g = FloorplanGenerator::new(GeneratorConfig {
+            blocks: 7,
+            ..GeneratorConfig::default()
+        });
+        assert_eq!(g.generate(0).unwrap().blocks().len(), 7);
+    }
+
+    #[test]
+    fn pads_on_both_nets() {
+        let fp = FloorplanGenerator::new(GeneratorConfig::default())
+            .generate(3)
+            .unwrap();
+        assert_eq!(fp.pads_on(PowerNet::Vdd).count(), 8);
+        assert_eq!(fp.pads_on(PowerNet::Gnd).count(), 8);
+    }
+
+    #[test]
+    fn area_array_pads_inside_die() {
+        let fp = FloorplanGenerator::new(GeneratorConfig {
+            pad_placement: PadPlacement::AreaArray,
+            pads_per_net: 9,
+            ..GeneratorConfig::default()
+        })
+        .generate(5)
+        .unwrap();
+        assert_eq!(fp.pads_on(PowerNet::Vdd).count(), 9);
+        for p in fp.pads() {
+            assert!(p.x() >= 0.0 && p.x() <= fp.die_width());
+            assert!(p.y() >= 0.0 && p.y() <= fp.die_height());
+        }
+    }
+
+    #[test]
+    fn zero_blocks_rejected() {
+        let g = FloorplanGenerator::new(GeneratorConfig {
+            blocks: 0,
+            ..GeneratorConfig::default()
+        });
+        assert!(matches!(
+            g.generate(0),
+            Err(FloorplanError::InfeasibleConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_utilization_rejected() {
+        for u in [0.0, 1.5, -0.2] {
+            let g = FloorplanGenerator::new(GeneratorConfig {
+                cell_utilization: u,
+                ..GeneratorConfig::default()
+            });
+            assert!(g.generate(0).is_err(), "utilization {u} should fail");
+        }
+    }
+
+    #[test]
+    fn perimeter_point_walks_all_edges() {
+        let (w, h) = (10.0, 20.0);
+        assert_eq!(perimeter_point(0.0, w, h), (0.0, 0.0));
+        // Quarter of the perimeter = 15 along the walk: bottom edge (10)
+        // then 5 up the right edge.
+        let (x, y) = perimeter_point(0.25, w, h);
+        assert_eq!((x, y), (10.0, 5.0));
+        // Three quarters: past bottom(10) + right(20) + top(10) = 40,
+        // walk distance 45 -> 5 down the left edge from the top.
+        let (x, y) = perimeter_point(0.75, w, h);
+        assert_eq!((x, y), (0.0, 15.0));
+    }
+
+    #[test]
+    fn utilization_close_to_config() {
+        let fp = FloorplanGenerator::new(GeneratorConfig {
+            cell_utilization: 0.5,
+            ..GeneratorConfig::default()
+        })
+        .generate(11)
+        .unwrap();
+        // Jitter is ±15 %, so overall utilization stays in a band.
+        assert!(fp.utilization() > 0.35 && fp.utilization() < 0.55);
+    }
+}

@@ -1,0 +1,51 @@
+//! Floorplan model for power planning.
+//!
+//! Power planning happens right after floorplanning: the functional
+//! blocks of the SoC have been placed, their switching-current demands
+//! are known from the front end (the paper extracts them from a VCD
+//! file), and the power grid must be drawn over them. This crate models
+//! that input:
+//!
+//! * [`FunctionalBlock`] — a placed macro with a switching current `Id`.
+//! * [`PowerPad`] — a VDD/GND bump or wirebond pad location.
+//! * [`Floorplan`] — the die with its blocks and pads, validated for
+//!   containment and overlap.
+//! * [`StrapPlan`] — the widths/spacings of the power-grid straps across
+//!   the core, enforcing the ring-width constraint
+//!   `Σ (sᵢ + wᵢ) = W_core` (eq. 3 of the paper).
+//! * [`FloorplanGenerator`] — seeded random floorplans for dataset
+//!   generation.
+//!
+//! # Example
+//!
+//! ```
+//! use ppdl_floorplan::{Floorplan, FunctionalBlock, PowerPad, PowerNet};
+//!
+//! let mut fp = Floorplan::new(100.0, 100.0).unwrap();
+//! fp.add_block(FunctionalBlock::new("cpu", 10.0, 10.0, 30.0, 30.0, 0.5).unwrap()).unwrap();
+//! fp.add_pad(PowerPad::new("vdd0", 0.0, 50.0, PowerNet::Vdd)).unwrap();
+//! assert_eq!(fp.blocks().len(), 1);
+//! assert!((fp.total_switching_current() - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod error;
+mod generator;
+mod pad;
+mod plan;
+mod straps;
+mod svg;
+
+pub use block::FunctionalBlock;
+pub use error::FloorplanError;
+pub use generator::{FloorplanGenerator, GeneratorConfig};
+pub use pad::{PadPlacement, PowerNet, PowerPad};
+pub use plan::Floorplan;
+pub use straps::{StrapPlan, StrapSegment};
+pub use svg::SvgOptions;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, FloorplanError>;

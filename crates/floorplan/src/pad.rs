@@ -1,0 +1,120 @@
+use std::fmt;
+
+/// The supply net a pad or grid line belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerNet {
+    /// The positive supply (VDD).
+    Vdd,
+    /// The ground return (GND / VSS).
+    Gnd,
+}
+
+impl fmt::Display for PowerNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerNet::Vdd => write!(f, "VDD"),
+            PowerNet::Gnd => write!(f, "GND"),
+        }
+    }
+}
+
+/// Where the package pads attach to the on-chip grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PadPlacement {
+    /// Wirebond-style pads around the die perimeter (older IBM parts,
+    /// matches the ibmpg1-4 structure with few supply nodes).
+    #[default]
+    Perimeter,
+    /// Flip-chip area array of bumps across the whole die (matches the
+    /// ibmpg5/6 structure where a large fraction of nodes are supply
+    /// nodes).
+    AreaArray,
+}
+
+/// A power or ground pad at a die location.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_floorplan::{PowerPad, PowerNet};
+///
+/// let p = PowerPad::new("vdd_nw", 0.0, 100.0, PowerNet::Vdd);
+/// assert_eq!(p.net(), PowerNet::Vdd);
+/// assert_eq!(p.position(), (0.0, 100.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerPad {
+    name: String,
+    x: f64,
+    y: f64,
+    net: PowerNet,
+}
+
+impl PowerPad {
+    /// Creates a pad. Coordinates are validated by the floorplan when
+    /// the pad is added (a pad alone has no die to be inside of).
+    #[must_use]
+    pub fn new(name: impl Into<String>, x: f64, y: f64, net: PowerNet) -> Self {
+        Self {
+            name: name.into(),
+            x,
+            y,
+            net,
+        }
+    }
+
+    /// Pad name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pad position `(x, y)` in µm.
+    #[must_use]
+    pub fn position(&self) -> (f64, f64) {
+        (self.x, self.y)
+    }
+
+    /// X coordinate (µm).
+    #[must_use]
+    pub fn x(&self) -> f64 {
+        self.x
+    }
+
+    /// Y coordinate (µm).
+    #[must_use]
+    pub fn y(&self) -> f64 {
+        self.y
+    }
+
+    /// Which net the pad feeds.
+    #[must_use]
+    pub fn net(&self) -> PowerNet {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_accessors() {
+        let p = PowerPad::new("g0", 3.0, 4.0, PowerNet::Gnd);
+        assert_eq!(p.name(), "g0");
+        assert_eq!(p.x(), 3.0);
+        assert_eq!(p.y(), 4.0);
+        assert_eq!(p.net(), PowerNet::Gnd);
+    }
+
+    #[test]
+    fn net_display() {
+        assert_eq!(PowerNet::Vdd.to_string(), "VDD");
+        assert_eq!(PowerNet::Gnd.to_string(), "GND");
+    }
+
+    #[test]
+    fn placement_default_is_perimeter() {
+        assert_eq!(PadPlacement::default(), PadPlacement::Perimeter);
+    }
+}

@@ -1,0 +1,288 @@
+use crate::{FloorplanError, FunctionalBlock, PowerNet, PowerPad};
+
+/// A die outline with its placed functional blocks and power pads.
+///
+/// Invariants maintained by the mutators:
+///
+/// * every block lies fully inside the die and overlaps no other block;
+/// * every pad lies inside (or on the boundary of) the die;
+/// * block and pad names are unique within their kind.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_floorplan::{Floorplan, FunctionalBlock};
+///
+/// let mut fp = Floorplan::new(50.0, 50.0).unwrap();
+/// fp.add_block(FunctionalBlock::new("a", 0.0, 0.0, 10.0, 10.0, 0.1).unwrap()).unwrap();
+/// // Overlapping block is rejected:
+/// let b = FunctionalBlock::new("b", 5.0, 5.0, 10.0, 10.0, 0.1).unwrap();
+/// assert!(fp.add_block(b).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    die_width: f64,
+    die_height: f64,
+    blocks: Vec<FunctionalBlock>,
+    pads: Vec<PowerPad>,
+}
+
+impl Floorplan {
+    /// Creates an empty floorplan with the given die dimensions (µm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidDimension`] if either dimension
+    /// is not a strictly positive finite number.
+    pub fn new(die_width: f64, die_height: f64) -> crate::Result<Self> {
+        for (what, v) in [("die width", die_width), ("die height", die_height)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(FloorplanError::InvalidDimension {
+                    what: what.into(),
+                    value: v,
+                });
+            }
+        }
+        Ok(Self {
+            die_width,
+            die_height,
+            blocks: Vec::new(),
+            pads: Vec::new(),
+        })
+    }
+
+    /// Die width (µm).
+    #[must_use]
+    pub fn die_width(&self) -> f64 {
+        self.die_width
+    }
+
+    /// Die height (µm).
+    #[must_use]
+    pub fn die_height(&self) -> f64 {
+        self.die_height
+    }
+
+    /// The placed blocks.
+    #[must_use]
+    pub fn blocks(&self) -> &[FunctionalBlock] {
+        &self.blocks
+    }
+
+    /// The power pads.
+    #[must_use]
+    pub fn pads(&self) -> &[PowerPad] {
+        &self.pads
+    }
+
+    /// Adds a block, enforcing containment, non-overlap, and name
+    /// uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// * [`FloorplanError::OutsideDie`] — the block does not fit.
+    /// * [`FloorplanError::BlockOverlap`] — it overlaps an existing block.
+    /// * [`FloorplanError::DuplicateName`] — the name is taken.
+    pub fn add_block(&mut self, block: FunctionalBlock) -> crate::Result<()> {
+        if block.x() + block.width() > self.die_width + 1e-9
+            || block.y() + block.height() > self.die_height + 1e-9
+        {
+            return Err(FloorplanError::OutsideDie {
+                name: block.name().to_string(),
+            });
+        }
+        if self.blocks.iter().any(|b| b.name() == block.name()) {
+            return Err(FloorplanError::DuplicateName {
+                name: block.name().to_string(),
+            });
+        }
+        if let Some(other) = self.blocks.iter().find(|b| b.overlaps(&block)) {
+            return Err(FloorplanError::BlockOverlap {
+                first: other.name().to_string(),
+                second: block.name().to_string(),
+            });
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Adds a pad, enforcing containment and name uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// * [`FloorplanError::OutsideDie`] — the pad is off-die.
+    /// * [`FloorplanError::DuplicateName`] — the name is taken.
+    pub fn add_pad(&mut self, pad: PowerPad) -> crate::Result<()> {
+        if pad.x() < 0.0
+            || pad.y() < 0.0
+            || pad.x() > self.die_width
+            || pad.y() > self.die_height
+            || !pad.x().is_finite()
+            || !pad.y().is_finite()
+        {
+            return Err(FloorplanError::OutsideDie {
+                name: pad.name().to_string(),
+            });
+        }
+        if self.pads.iter().any(|p| p.name() == pad.name()) {
+            return Err(FloorplanError::DuplicateName {
+                name: pad.name().to_string(),
+            });
+        }
+        self.pads.push(pad);
+        Ok(())
+    }
+
+    /// The block covering the point `(x, y)`, if any.
+    #[must_use]
+    pub fn block_at(&self, x: f64, y: f64) -> Option<&FunctionalBlock> {
+        self.blocks.iter().find(|b| b.contains(x, y))
+    }
+
+    /// The switching current demanded at a point: the covering block's
+    /// current density times `tile_area`, or `0.0` in the whitespace
+    /// between blocks. This is how a block's total current is
+    /// apportioned to the grid nodes above it.
+    #[must_use]
+    pub fn current_demand_at(&self, x: f64, y: f64, tile_area: f64) -> f64 {
+        self.block_at(x, y)
+            .map_or(0.0, |b| b.current_density() * tile_area)
+    }
+
+    /// Sum of all block switching currents (A).
+    #[must_use]
+    pub fn total_switching_current(&self) -> f64 {
+        self.blocks.iter().map(FunctionalBlock::switching_current).sum()
+    }
+
+    /// Pads belonging to one net.
+    pub fn pads_on(&self, net: PowerNet) -> impl Iterator<Item = &PowerPad> {
+        self.pads.iter().filter(move |p| p.net() == net)
+    }
+
+    /// Fraction of the die area covered by blocks.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let covered: f64 = self.blocks.iter().map(FunctionalBlock::area).sum();
+        covered / (self.die_width * self.die_height)
+    }
+
+    /// Returns a copy with every block's switching current multiplied by
+    /// `factor` — the "perturbation in current workloads" of §IV-D.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidDimension`] if any scaled
+    /// current would be invalid (negative factor).
+    pub fn with_scaled_currents(&self, factor: f64) -> crate::Result<Self> {
+        let mut fp = Self::new(self.die_width, self.die_height)?;
+        for b in &self.blocks {
+            fp.blocks.push(b.with_scaled_current(factor)?);
+        }
+        fp.pads = self.pads.clone();
+        Ok(fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> Floorplan {
+        let mut fp = Floorplan::new(100.0, 100.0).unwrap();
+        fp.add_block(FunctionalBlock::new("a", 0.0, 0.0, 40.0, 40.0, 0.8).unwrap())
+            .unwrap();
+        fp.add_block(FunctionalBlock::new("b", 50.0, 50.0, 20.0, 20.0, 0.2).unwrap())
+            .unwrap();
+        fp.add_pad(PowerPad::new("v0", 0.0, 50.0, PowerNet::Vdd)).unwrap();
+        fp.add_pad(PowerPad::new("g0", 100.0, 50.0, PowerNet::Gnd)).unwrap();
+        fp
+    }
+
+    #[test]
+    fn invalid_die_rejected() {
+        assert!(Floorplan::new(0.0, 10.0).is_err());
+        assert!(Floorplan::new(10.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn block_outside_die_rejected() {
+        let mut fp = Floorplan::new(10.0, 10.0).unwrap();
+        let b = FunctionalBlock::new("x", 5.0, 5.0, 10.0, 2.0, 0.1).unwrap();
+        assert!(matches!(
+            fp.add_block(b),
+            Err(FloorplanError::OutsideDie { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_block_name_rejected() {
+        let mut fp = Floorplan::new(100.0, 100.0).unwrap();
+        fp.add_block(FunctionalBlock::new("x", 0.0, 0.0, 5.0, 5.0, 0.1).unwrap())
+            .unwrap();
+        let dup = FunctionalBlock::new("x", 20.0, 20.0, 5.0, 5.0, 0.1).unwrap();
+        assert!(matches!(
+            fp.add_block(dup),
+            Err(FloorplanError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_block_rejected() {
+        let mut fp = plan();
+        let c = FunctionalBlock::new("c", 30.0, 30.0, 30.0, 30.0, 0.1).unwrap();
+        assert!(matches!(
+            fp.add_block(c),
+            Err(FloorplanError::BlockOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn pad_on_boundary_allowed_outside_rejected() {
+        let mut fp = Floorplan::new(10.0, 10.0).unwrap();
+        fp.add_pad(PowerPad::new("p", 10.0, 10.0, PowerNet::Vdd)).unwrap();
+        assert!(fp
+            .add_pad(PowerPad::new("q", 10.1, 0.0, PowerNet::Vdd))
+            .is_err());
+    }
+
+    #[test]
+    fn block_at_finds_covering_block() {
+        let fp = plan();
+        assert_eq!(fp.block_at(10.0, 10.0).unwrap().name(), "a");
+        assert_eq!(fp.block_at(55.0, 55.0).unwrap().name(), "b");
+        assert!(fp.block_at(90.0, 10.0).is_none());
+    }
+
+    #[test]
+    fn current_demand_proportional_to_tile() {
+        let fp = plan();
+        // Block a: 0.8 A over 1600 µm² -> 5e-4 A/µm².
+        let d = fp.current_demand_at(10.0, 10.0, 2.0);
+        assert!((d - 0.001).abs() < 1e-12);
+        assert_eq!(fp.current_demand_at(90.0, 10.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn totals_and_utilization() {
+        let fp = plan();
+        assert!((fp.total_switching_current() - 1.0).abs() < 1e-12);
+        assert!((fp.utilization() - 0.2) < 1e-12);
+    }
+
+    #[test]
+    fn pads_on_filters_by_net() {
+        let fp = plan();
+        assert_eq!(fp.pads_on(PowerNet::Vdd).count(), 1);
+        assert_eq!(fp.pads_on(PowerNet::Gnd).count(), 1);
+    }
+
+    #[test]
+    fn scaled_currents() {
+        let fp = plan();
+        let scaled = fp.with_scaled_currents(1.1).unwrap();
+        assert!((scaled.total_switching_current() - 1.1).abs() < 1e-12);
+        assert_eq!(scaled.pads().len(), 2);
+        assert!(fp.with_scaled_currents(-1.0).is_err());
+    }
+}

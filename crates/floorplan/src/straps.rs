@@ -1,0 +1,240 @@
+use crate::FloorplanError;
+
+/// One strap of the power grid: its centre position across the core,
+/// its width, and the spacing to the next strap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrapSegment {
+    /// Centre coordinate of the strap across the core (µm).
+    pub position: f64,
+    /// Metal width `wᵢ` (µm) — the quantity the paper's model predicts.
+    pub width: f64,
+    /// Spacing `sᵢ` to the following strap (µm); the last strap's
+    /// spacing runs to the core edge.
+    pub spacing: f64,
+}
+
+/// The set of strap widths and spacings across one direction of the
+/// core, subject to the ring-width constraint of eq. 3:
+/// `Σ (sᵢ + wᵢ) = W_core`.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_floorplan::StrapPlan;
+///
+/// // Four straps, each 2 µm wide with 23 µm spacing, across a 100 µm core.
+/// let plan = StrapPlan::uniform(100.0, 4, 2.0).unwrap();
+/// assert_eq!(plan.segments().len(), 4);
+/// assert!((plan.total_extent() - 100.0).abs() < 1e-9);
+/// assert!(plan.satisfies_ring_constraint(1e-9));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrapPlan {
+    core_width: f64,
+    segments: Vec<StrapSegment>,
+}
+
+impl StrapPlan {
+    /// Builds a plan with `count` equal-width straps evenly pitched
+    /// across `core_width`; spacings are derived so the ring constraint
+    /// holds exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidDimension`] if `core_width` or
+    /// `width` is not strictly positive/finite or `count` is zero, and
+    /// [`FloorplanError::RingWidthViolation`] if the straps are too wide
+    /// to fit (`count * width > core_width`).
+    pub fn uniform(core_width: f64, count: usize, width: f64) -> crate::Result<Self> {
+        if !(core_width.is_finite() && core_width > 0.0) {
+            return Err(FloorplanError::InvalidDimension {
+                what: "core width".into(),
+                value: core_width,
+            });
+        }
+        if count == 0 {
+            return Err(FloorplanError::InvalidDimension {
+                what: "strap count".into(),
+                value: 0.0,
+            });
+        }
+        if !(width.is_finite() && width > 0.0) {
+            return Err(FloorplanError::InvalidDimension {
+                what: "strap width".into(),
+                value: width,
+            });
+        }
+        let total_metal = width * count as f64;
+        if total_metal > core_width {
+            return Err(FloorplanError::RingWidthViolation {
+                total: total_metal,
+                core_width,
+            });
+        }
+        let spacing = (core_width - total_metal) / count as f64;
+        let pitch = core_width / count as f64;
+        let segments = (0..count)
+            .map(|i| StrapSegment {
+                position: (i as f64 + 0.5) * pitch,
+                width,
+                spacing,
+            })
+            .collect();
+        Ok(Self {
+            core_width,
+            segments,
+        })
+    }
+
+    /// Builds a plan from explicit per-strap widths, keeping the pitch
+    /// even and deriving each spacing so the ring constraint holds.
+    /// This is the form the DL flow uses: the model predicts one width
+    /// per strap and the spacings absorb the remainder.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`uniform`](Self::uniform), with the violation
+    /// check applied to the *sum* of widths.
+    pub fn from_widths(core_width: f64, widths: &[f64]) -> crate::Result<Self> {
+        if !(core_width.is_finite() && core_width > 0.0) {
+            return Err(FloorplanError::InvalidDimension {
+                what: "core width".into(),
+                value: core_width,
+            });
+        }
+        if widths.is_empty() {
+            return Err(FloorplanError::InvalidDimension {
+                what: "strap count".into(),
+                value: 0.0,
+            });
+        }
+        let mut total_metal = 0.0;
+        for &w in widths {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(FloorplanError::InvalidDimension {
+                    what: "strap width".into(),
+                    value: w,
+                });
+            }
+            total_metal += w;
+        }
+        if total_metal > core_width {
+            return Err(FloorplanError::RingWidthViolation {
+                total: total_metal,
+                core_width,
+            });
+        }
+        let count = widths.len();
+        let spacing_total = core_width - total_metal;
+        let spacing = spacing_total / count as f64;
+        let pitch = core_width / count as f64;
+        let segments = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| StrapSegment {
+                position: (i as f64 + 0.5) * pitch,
+                width: w,
+                spacing,
+            })
+            .collect();
+        Ok(Self {
+            core_width,
+            segments,
+        })
+    }
+
+    /// The core width this plan spans.
+    #[must_use]
+    pub fn core_width(&self) -> f64 {
+        self.core_width
+    }
+
+    /// The strap segments, ordered by position.
+    #[must_use]
+    pub fn segments(&self) -> &[StrapSegment] {
+        &self.segments
+    }
+
+    /// `Σ (sᵢ + wᵢ)` — must equal the core width (eq. 3).
+    #[must_use]
+    pub fn total_extent(&self) -> f64 {
+        self.segments.iter().map(|s| s.width + s.spacing).sum()
+    }
+
+    /// Checks eq. 3 to within `tol` (absolute, in µm).
+    #[must_use]
+    pub fn satisfies_ring_constraint(&self, tol: f64) -> bool {
+        (self.total_extent() - self.core_width).abs() <= tol
+    }
+
+    /// Total metal area per unit strap length (µm): the overdesign
+    /// metric the paper's Problem 1 is trying to minimise while still
+    /// meeting the IR/EM margins.
+    #[must_use]
+    pub fn total_metal_width(&self) -> f64 {
+        self.segments.iter().map(|s| s.width).sum()
+    }
+
+    /// Number of straps, the `#PG line = W_core / wᵢ` quantity of eq. 6
+    /// when widths are uniform.
+    #[must_use]
+    pub fn strap_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_plan_satisfies_eq3() {
+        let p = StrapPlan::uniform(200.0, 8, 3.0).unwrap();
+        assert!(p.satisfies_ring_constraint(1e-9));
+        assert_eq!(p.strap_count(), 8);
+        assert!((p.total_metal_width() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positions_increase_across_core() {
+        let p = StrapPlan::uniform(100.0, 4, 1.0).unwrap();
+        let pos: Vec<f64> = p.segments().iter().map(|s| s.position).collect();
+        assert_eq!(pos, vec![12.5, 37.5, 62.5, 87.5]);
+    }
+
+    #[test]
+    fn overfull_plan_rejected() {
+        let err = StrapPlan::uniform(10.0, 4, 3.0).unwrap_err();
+        assert!(matches!(err, FloorplanError::RingWidthViolation { .. }));
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        assert!(StrapPlan::uniform(10.0, 0, 1.0).is_err());
+        assert!(StrapPlan::from_widths(10.0, &[]).is_err());
+    }
+
+    #[test]
+    fn from_widths_preserves_widths_and_eq3() {
+        let widths = [1.0, 2.0, 3.0];
+        let p = StrapPlan::from_widths(60.0, &widths).unwrap();
+        for (seg, w) in p.segments().iter().zip(&widths) {
+            assert_eq!(seg.width, *w);
+        }
+        assert!(p.satisfies_ring_constraint(1e-9));
+    }
+
+    #[test]
+    fn from_widths_rejects_bad_width() {
+        assert!(StrapPlan::from_widths(10.0, &[1.0, -2.0]).is_err());
+        assert!(StrapPlan::from_widths(10.0, &[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn exactly_full_core_allowed() {
+        // Widths exactly fill the core: zero spacing everywhere.
+        let p = StrapPlan::from_widths(6.0, &[2.0, 2.0, 2.0]).unwrap();
+        assert!(p.satisfies_ring_constraint(1e-12));
+        assert!(p.segments().iter().all(|s| s.spacing == 0.0));
+    }
+}

@@ -1,0 +1,185 @@
+//! SVG rendering of floorplans — the Fig. 4(a) picture: functional
+//! blocks, power pads, and (optionally) the power-grid straps drawn
+//! over them.
+
+use std::fmt::Write as _;
+
+use crate::{Floorplan, PowerNet, StrapPlan};
+
+/// Options for the SVG renderer.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Pixel width of the output; height follows the die aspect ratio.
+    pub width_px: f64,
+    /// Whether to label blocks with their names.
+    pub labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width_px: 640.0,
+            labels: true,
+        }
+    }
+}
+
+impl Floorplan {
+    /// Renders the floorplan as a standalone SVG document. Pass strap
+    /// plans to overlay the power grid (vertical straps first, then
+    /// horizontal), mirroring the paper's Fig. 4(a).
+    #[must_use]
+    pub fn to_svg(
+        &self,
+        vertical: Option<&StrapPlan>,
+        horizontal: Option<&StrapPlan>,
+        options: &SvgOptions,
+    ) -> String {
+        let scale = options.width_px / self.die_width();
+        let w = self.die_width() * scale;
+        let h = self.die_height() * scale;
+        // SVG y grows downward; flip so the origin is bottom-left like
+        // the die coordinate system.
+        let flip = |y: f64| h - y;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.2} {h:.2}">"#
+        );
+        let _ = writeln!(
+            out,
+            r##"<rect x="0" y="0" width="{w:.2}" height="{h:.2}" fill="#fcfcf7" stroke="#333" stroke-width="2"/>"##
+        );
+
+        // Blocks.
+        for b in self.blocks() {
+            let bx = b.x() * scale;
+            let by = flip((b.y() + b.height()) * scale);
+            let bw = b.width() * scale;
+            let bh = b.height() * scale;
+            // Shade by switching current relative to the busiest block.
+            let max_id = self
+                .blocks()
+                .iter()
+                .map(crate::FunctionalBlock::switching_current)
+                .fold(1e-12, f64::max);
+            let heat = (b.switching_current() / max_id * 155.0) as u8;
+            let _ = writeln!(
+                out,
+                r##"<rect x="{bx:.2}" y="{by:.2}" width="{bw:.2}" height="{bh:.2}" fill="rgb(255,{g},{g})" stroke="#555" stroke-width="1"/>"##,
+                g = 230 - heat
+            );
+            if options.labels {
+                let _ = writeln!(
+                    out,
+                    r##"<text x="{:.2}" y="{:.2}" font-size="{:.1}" font-family="monospace" text-anchor="middle" fill="#222">{}</text>"##,
+                    bx + bw / 2.0,
+                    by + bh / 2.0,
+                    (bw.min(bh) * 0.18).clamp(6.0, 14.0),
+                    xml_escape(b.name())
+                );
+            }
+        }
+
+        // Straps (semi-transparent so blocks stay visible).
+        if let Some(plan) = vertical {
+            for seg in plan.segments() {
+                let x = (seg.position - seg.width / 2.0) * scale;
+                let sw = (seg.width * scale).max(1.0);
+                let _ = writeln!(
+                    out,
+                    r##"<rect x="{x:.2}" y="0" width="{sw:.2}" height="{h:.2}" fill="#3a6fb0" fill-opacity="0.45"/>"##
+                );
+            }
+        }
+        if let Some(plan) = horizontal {
+            for seg in plan.segments() {
+                let y = flip((seg.position + seg.width / 2.0) * scale);
+                let sh = (seg.width * scale).max(1.0);
+                let _ = writeln!(
+                    out,
+                    r##"<rect x="0" y="{y:.2}" width="{w:.2}" height="{sh:.2}" fill="#2e8b57" fill-opacity="0.45"/>"##
+                );
+            }
+        }
+
+        // Pads.
+        for p in self.pads() {
+            let (px, py) = (p.x() * scale, flip(p.y() * scale));
+            let color = match p.net() {
+                PowerNet::Vdd => "#c62828",
+                PowerNet::Gnd => "#1565c0",
+            };
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{px:.2}" cy="{py:.2}" r="5" fill="{color}" stroke="#000"/>"##
+            );
+        }
+
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionalBlock, PowerPad};
+
+    fn plan() -> Floorplan {
+        let mut fp = Floorplan::new(100.0, 50.0).unwrap();
+        fp.add_block(FunctionalBlock::new("alu<&>", 10.0, 10.0, 30.0, 20.0, 0.2).unwrap())
+            .unwrap();
+        fp.add_pad(PowerPad::new("v0", 0.0, 25.0, PowerNet::Vdd)).unwrap();
+        fp.add_pad(PowerPad::new("g0", 100.0, 25.0, PowerNet::Gnd)).unwrap();
+        fp
+    }
+
+    #[test]
+    fn svg_is_wellformed_enough() {
+        let fp = plan();
+        let svg = fp.to_svg(None, None, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect for the die, one per block; two pad circles.
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(svg.matches("<rect").count() >= 2);
+    }
+
+    #[test]
+    fn labels_are_escaped_and_optional() {
+        let fp = plan();
+        let with = fp.to_svg(None, None, &SvgOptions::default());
+        assert!(with.contains("alu&lt;&amp;&gt;"));
+        let without = fp.to_svg(
+            None,
+            None,
+            &SvgOptions {
+                labels: false,
+                ..SvgOptions::default()
+            },
+        );
+        assert!(!without.contains("<text"));
+    }
+
+    #[test]
+    fn straps_overlay_when_given() {
+        let fp = plan();
+        let v = StrapPlan::uniform(100.0, 4, 2.0).unwrap();
+        let h = StrapPlan::uniform(50.0, 3, 1.0).unwrap();
+        let svg = fp.to_svg(Some(&v), Some(&h), &SvgOptions::default());
+        assert_eq!(svg.matches("fill-opacity").count(), 7);
+    }
+
+    #[test]
+    fn aspect_ratio_follows_die() {
+        let fp = plan(); // 100 x 50 die
+        let svg = fp.to_svg(None, None, &SvgOptions::default());
+        assert!(svg.contains(r#"width="640" height="320""#));
+    }
+}

@@ -1,0 +1,165 @@
+use crate::network::NodeId;
+use crate::NetlistError;
+
+/// A resistor (power-grid wire segment or via) between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resistor {
+    /// Element name as written in the deck (e.g. `R1234`).
+    pub name: String,
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Resistance in ohms. Zero is legal and denotes a short (via).
+    pub ohms: f64,
+}
+
+impl Resistor {
+    /// Creates a resistor after validating the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidElement`] if `ohms` is negative or
+    /// non-finite.
+    pub fn new(name: impl Into<String>, a: NodeId, b: NodeId, ohms: f64) -> crate::Result<Self> {
+        let name = name.into();
+        if !(ohms.is_finite() && ohms >= 0.0) {
+            return Err(NetlistError::InvalidElement {
+                name,
+                detail: format!("resistance {ohms} must be finite and non-negative"),
+            });
+        }
+        Ok(Self { name, a, b, ohms })
+    }
+
+    /// Whether this resistor is a short (zero ohms), i.e. a via that the
+    /// extractor collapsed. Shorted nodes are merged before analysis.
+    #[must_use]
+    pub fn is_short(&self) -> bool {
+        self.ohms == 0.0
+    }
+
+    /// Conductance in siemens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistor is a short; callers must merge shorts
+    /// first (see `PowerGridNetwork::merged_shorts`).
+    #[must_use]
+    pub fn conductance(&self) -> f64 {
+        assert!(
+            !self.is_short(),
+            "conductance of a short '{}' is infinite; merge shorts first",
+            self.name
+        );
+        1.0 / self.ohms
+    }
+}
+
+/// An ideal voltage source pinning a node to the supply rail.
+///
+/// In the IBM decks every `V` card connects a grid node to ground with
+/// the rail voltage (`1.8` for VDD nets, `0` for GND nets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageSource {
+    /// Element name (e.g. `V12`).
+    pub name: String,
+    /// The node held at `volts`.
+    pub node: NodeId,
+    /// Source voltage (V).
+    pub volts: f64,
+}
+
+impl VoltageSource {
+    /// Creates a voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidElement`] if `volts` is non-finite.
+    pub fn new(name: impl Into<String>, node: NodeId, volts: f64) -> crate::Result<Self> {
+        let name = name.into();
+        if !volts.is_finite() {
+            return Err(NetlistError::InvalidElement {
+                name,
+                detail: format!("voltage {volts} must be finite"),
+            });
+        }
+        Ok(Self { name, node, volts })
+    }
+}
+
+/// A DC current load drawing current from a node to ground — the
+/// benchmark's representation of a functional block's switching-current
+/// demand (`Id`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentLoad {
+    /// Element name (e.g. `i56`).
+    pub name: String,
+    /// The loaded node.
+    pub node: NodeId,
+    /// Current drawn (A); positive means current flows out of the grid
+    /// node into ground.
+    pub amps: f64,
+}
+
+impl CurrentLoad {
+    /// Creates a current load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidElement`] if `amps` is negative or
+    /// non-finite (the benchmarks only contain draws, never injections).
+    pub fn new(name: impl Into<String>, node: NodeId, amps: f64) -> crate::Result<Self> {
+        let name = name.into();
+        if !(amps.is_finite() && amps >= 0.0) {
+            return Err(NetlistError::InvalidElement {
+                name,
+                detail: format!("load current {amps} must be finite and non-negative"),
+            });
+        }
+        Ok(Self { name, node, amps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistor_validation() {
+        assert!(Resistor::new("R1", NodeId(0), NodeId(1), 0.5).is_ok());
+        assert!(Resistor::new("R1", NodeId(0), NodeId(1), 0.0).is_ok());
+        assert!(Resistor::new("R1", NodeId(0), NodeId(1), -1.0).is_err());
+        assert!(Resistor::new("R1", NodeId(0), NodeId(1), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn short_detection_and_conductance() {
+        let r = Resistor::new("R1", NodeId(0), NodeId(1), 2.0).unwrap();
+        assert!(!r.is_short());
+        assert_eq!(r.conductance(), 0.5);
+        let via = Resistor::new("Rv", NodeId(0), NodeId(1), 0.0).unwrap();
+        assert!(via.is_short());
+    }
+
+    #[test]
+    #[should_panic(expected = "merge shorts")]
+    fn conductance_of_short_panics() {
+        let via = Resistor::new("Rv", NodeId(0), NodeId(1), 0.0).unwrap();
+        let _ = via.conductance();
+    }
+
+    #[test]
+    fn source_validation() {
+        assert!(VoltageSource::new("V1", NodeId(0), 1.8).is_ok());
+        assert!(VoltageSource::new("V1", NodeId(0), 0.0).is_ok());
+        assert!(VoltageSource::new("V1", NodeId(0), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn load_validation() {
+        assert!(CurrentLoad::new("i1", NodeId(0), 0.01).is_ok());
+        assert!(CurrentLoad::new("i1", NodeId(0), 0.0).is_ok());
+        assert!(CurrentLoad::new("i1", NodeId(0), -0.01).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+use std::fmt;
+
+/// Errors raised while parsing, building, or generating netlists.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A line of the SPICE deck could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A numeric field could not be interpreted as a value with an
+    /// optional engineering suffix.
+    InvalidValue {
+        /// The offending token.
+        token: String,
+    },
+    /// An element value is outside its physical domain (negative
+    /// resistance, non-finite current, …).
+    InvalidElement {
+        /// Element name.
+        name: String,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A node id was used that the network does not contain.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+        /// Number of nodes in the network.
+        nodes: usize,
+    },
+    /// The generator configuration cannot produce a valid grid.
+    InfeasibleGrid {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A floorplan error surfaced while generating a benchmark.
+    Floorplan(ppdl_floorplan::FloorplanError),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Parse { line, detail } => {
+                write!(f, "parse error at line {line}: {detail}")
+            }
+            NetlistError::InvalidValue { token } => {
+                write!(f, "cannot parse numeric value from '{token}'")
+            }
+            NetlistError::InvalidElement { name, detail } => {
+                write!(f, "invalid element '{name}': {detail}")
+            }
+            NetlistError::UnknownNode { index, nodes } => {
+                write!(f, "node index {index} out of range for {nodes} nodes")
+            }
+            NetlistError::InfeasibleGrid { detail } => {
+                write!(f, "infeasible grid specification: {detail}")
+            }
+            NetlistError::Floorplan(e) => write!(f, "floorplan error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetlistError::Floorplan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ppdl_floorplan::FloorplanError> for NetlistError {
+    fn from(e: ppdl_floorplan::FloorplanError) -> Self {
+        NetlistError::Floorplan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_mentions_line() {
+        let e = NetlistError::Parse {
+            line: 42,
+            detail: "bad card".into(),
+        };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn floorplan_error_chains_source() {
+        use std::error::Error;
+        let inner = ppdl_floorplan::FloorplanError::InvalidDimension {
+            what: "die".into(),
+            value: -1.0,
+        };
+        let e = NetlistError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<NetlistError>();
+    }
+}

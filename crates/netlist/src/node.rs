@@ -1,0 +1,157 @@
+use std::fmt;
+
+/// A structured power-grid node name in the IBM benchmark convention:
+/// `n<layer>_<x>_<y>` (e.g. `n1_12400_300`), with the bare token `0`
+/// denoting ground.
+///
+/// Coordinates are integers in the benchmark's database units. Names
+/// that do not follow the convention (the decks contain a few, e.g.
+/// internal via names) are preserved as [`NodeName::Opaque`].
+///
+/// # Example
+///
+/// ```
+/// use ppdl_netlist::NodeName;
+///
+/// let n: NodeName = "n2_100_250".parse().unwrap();
+/// assert_eq!(n, NodeName::Grid { layer: 2, x: 100, y: 250 });
+/// assert_eq!(n.to_string(), "n2_100_250");
+/// assert_eq!("0".parse::<NodeName>().unwrap(), NodeName::Ground);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeName {
+    /// The global ground reference, written `0`.
+    Ground,
+    /// A grid node with a metal layer and integer coordinates.
+    Grid {
+        /// Metal layer number (1 = lowest).
+        layer: u32,
+        /// X coordinate in database units.
+        x: i64,
+        /// Y coordinate in database units.
+        y: i64,
+    },
+    /// Any other name, preserved verbatim.
+    Opaque(String),
+}
+
+impl NodeName {
+    /// Builds a grid node name.
+    #[must_use]
+    pub fn grid(layer: u32, x: i64, y: i64) -> Self {
+        NodeName::Grid { layer, x, y }
+    }
+
+    /// The `(x, y)` coordinates if this is a grid node.
+    #[must_use]
+    pub fn coordinates(&self) -> Option<(i64, i64)> {
+        match self {
+            NodeName::Grid { x, y, .. } => Some((*x, *y)),
+            _ => None,
+        }
+    }
+
+    /// The metal layer if this is a grid node.
+    #[must_use]
+    pub fn layer(&self) -> Option<u32> {
+        match self {
+            NodeName::Grid { layer, .. } => Some(*layer),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the ground reference.
+    #[must_use]
+    pub fn is_ground(&self) -> bool {
+        matches!(self, NodeName::Ground)
+    }
+}
+
+impl fmt::Display for NodeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeName::Ground => write!(f, "0"),
+            NodeName::Grid { layer, x, y } => write!(f, "n{layer}_{x}_{y}"),
+            NodeName::Opaque(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::str::FromStr for NodeName {
+    type Err = std::convert::Infallible;
+
+    /// Parsing never fails: names outside the convention become
+    /// [`NodeName::Opaque`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "0" {
+            return Ok(NodeName::Ground);
+        }
+        if let Some(rest) = s.strip_prefix('n') {
+            let parts: Vec<&str> = rest.split('_').collect();
+            if parts.len() == 3 {
+                if let (Ok(layer), Ok(x), Ok(y)) = (
+                    parts[0].parse::<u32>(),
+                    parts[1].parse::<i64>(),
+                    parts[2].parse::<i64>(),
+                ) {
+                    return Ok(NodeName::Grid { layer, x, y });
+                }
+            }
+        }
+        Ok(NodeName::Opaque(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_grid_names() {
+        let n: NodeName = "n3_0_987654".parse().unwrap();
+        assert_eq!(n.layer(), Some(3));
+        assert_eq!(n.coordinates(), Some((0, 987654)));
+    }
+
+    #[test]
+    fn parses_negative_coordinates() {
+        let n: NodeName = "n1_-5_10".parse().unwrap();
+        assert_eq!(n.coordinates(), Some((-5, 10)));
+    }
+
+    #[test]
+    fn ground_token() {
+        let n: NodeName = "0".parse().unwrap();
+        assert!(n.is_ground());
+        assert_eq!(n.to_string(), "0");
+    }
+
+    #[test]
+    fn non_conventional_names_preserved() {
+        for s in ["X17", "n1_2", "n_a_b", "vdd", "n1_2_3_4"] {
+            let n: NodeName = s.parse().unwrap();
+            assert_eq!(n, NodeName::Opaque(s.to_string()));
+            assert_eq!(n.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for n in [
+            NodeName::Ground,
+            NodeName::grid(1, 42, 99),
+            NodeName::Opaque("abc".into()),
+        ] {
+            let s = n.to_string();
+            let back: NodeName = s.parse().unwrap();
+            assert_eq!(back, n);
+        }
+    }
+
+    #[test]
+    fn opaque_has_no_geometry() {
+        let n: NodeName = "foo".parse().unwrap();
+        assert_eq!(n.coordinates(), None);
+        assert_eq!(n.layer(), None);
+    }
+}

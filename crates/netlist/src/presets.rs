@@ -1,0 +1,293 @@
+//! Per-benchmark presets matching the IBM PG benchmark suite.
+//!
+//! Table II of the paper lists the size of each benchmark (`#n` nodes,
+//! `#r` resistors, `#v` supply sources, `#i` current loads). The
+//! presets here carry those published numbers and derive a generator
+//! configuration whose *scaled* grid reproduces the same structure:
+//! node count, source-to-node ratio (which distinguishes the wirebond
+//! parts ibmpg1-4 from the flip-chip parts ibmpg5/6), and load density.
+
+use ppdl_floorplan::{GeneratorConfig, PadPlacement};
+
+use crate::{BenchmarkStats, GridSpec, NetlistError};
+
+/// The eight IBM power-grid benchmarks of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IbmPgPreset {
+    Ibmpg1,
+    Ibmpg2,
+    Ibmpg3,
+    Ibmpg4,
+    Ibmpg5,
+    Ibmpg6,
+    IbmpgNew1,
+    IbmpgNew2,
+}
+
+impl IbmPgPreset {
+    /// All presets in Table II order.
+    pub const ALL: [IbmPgPreset; 8] = [
+        IbmPgPreset::Ibmpg1,
+        IbmPgPreset::Ibmpg2,
+        IbmPgPreset::Ibmpg3,
+        IbmPgPreset::Ibmpg4,
+        IbmPgPreset::Ibmpg5,
+        IbmPgPreset::Ibmpg6,
+        IbmPgPreset::IbmpgNew1,
+        IbmPgPreset::IbmpgNew2,
+    ];
+
+    /// The six benchmarks that Table III reports worst-case IR drop for.
+    pub const TABLE3: [IbmPgPreset; 6] = [
+        IbmPgPreset::Ibmpg1,
+        IbmPgPreset::Ibmpg2,
+        IbmPgPreset::Ibmpg3,
+        IbmPgPreset::Ibmpg4,
+        IbmPgPreset::Ibmpg5,
+        IbmPgPreset::Ibmpg6,
+    ];
+
+    /// Canonical benchmark name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IbmPgPreset::Ibmpg1 => "ibmpg1",
+            IbmPgPreset::Ibmpg2 => "ibmpg2",
+            IbmPgPreset::Ibmpg3 => "ibmpg3",
+            IbmPgPreset::Ibmpg4 => "ibmpg4",
+            IbmPgPreset::Ibmpg5 => "ibmpg5",
+            IbmPgPreset::Ibmpg6 => "ibmpg6",
+            IbmPgPreset::IbmpgNew1 => "ibmpgnew1",
+            IbmPgPreset::IbmpgNew2 => "ibmpgnew2",
+        }
+    }
+
+    /// The published full-size statistics (Table II).
+    #[must_use]
+    pub fn published_stats(self) -> BenchmarkStats {
+        let (nodes, resistors, sources, loads) = match self {
+            IbmPgPreset::Ibmpg1 => (30_638, 30_027, 14_308, 10_774),
+            IbmPgPreset::Ibmpg2 => (127_238, 208_325, 330, 37_926),
+            IbmPgPreset::Ibmpg3 => (851_584, 1_401_572, 955, 201_054),
+            IbmPgPreset::Ibmpg4 => (953_583, 1_560_645, 962, 276_976),
+            IbmPgPreset::Ibmpg5 => (1_079_310, 1_076_848, 539_087, 540_800),
+            IbmPgPreset::Ibmpg6 => (1_670_494, 1_649_002, 836_239, 761_484),
+            IbmPgPreset::IbmpgNew1 => (1_461_036, 2_352_355, 955, 357_930),
+            IbmPgPreset::IbmpgNew2 => (1_461_039, 1_422_830, 930_216, 357_930),
+        };
+        BenchmarkStats {
+            nodes,
+            resistors,
+            sources,
+            loads,
+        }
+    }
+
+    /// The worst-case IR drop Table III reports for the conventional
+    /// flow, in millivolts; `None` for the two `new` benchmarks Table
+    /// III omits. The calibration helper in `ppdl-core` scales load
+    /// currents so the synthetic grid reproduces this value.
+    #[must_use]
+    pub fn table3_worst_ir_mv(self) -> Option<f64> {
+        match self {
+            IbmPgPreset::Ibmpg1 => Some(69.8),
+            IbmPgPreset::Ibmpg2 => Some(36.3),
+            IbmPgPreset::Ibmpg3 => Some(18.1),
+            IbmPgPreset::Ibmpg4 => Some(4.0),
+            IbmPgPreset::Ibmpg5 => Some(4.3),
+            IbmPgPreset::Ibmpg6 => Some(13.1),
+            IbmPgPreset::IbmpgNew1 | IbmPgPreset::IbmpgNew2 => None,
+        }
+    }
+
+    /// Whether this part is flip-chip (area-array supply pins): true
+    /// when a large fraction of nodes carry a source in Table II.
+    #[must_use]
+    pub fn is_flip_chip(self) -> bool {
+        let s = self.published_stats();
+        s.sources as f64 / s.nodes as f64 > 0.1
+    }
+
+    /// Builds the grid specification for this benchmark at `scale` ∈
+    /// (0, 1]: strap counts are chosen so the scaled node count is
+    /// approximately `scale × #n`, and the source fraction matches the
+    /// published `#v / #n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InfeasibleGrid`] if `scale` is not in
+    /// `(0, 1]` or is so small that fewer than two straps remain per
+    /// direction.
+    pub fn grid_spec(self, scale: f64) -> crate::Result<GridSpec> {
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err(NetlistError::InfeasibleGrid {
+                detail: format!("scale {scale} outside (0, 1]"),
+            });
+        }
+        let stats = self.published_stats();
+        // Two layers of straps: nodes = 2 * v * h with v = h.
+        let straps = ((scale * stats.nodes as f64 / 2.0).sqrt().round() as usize).max(2);
+        if straps < 2 {
+            return Err(NetlistError::InfeasibleGrid {
+                detail: format!("scale {scale} leaves fewer than 2 straps"),
+            });
+        }
+        // 50 µm pitch keeps die size proportional to grid size.
+        let pitch = 50.0;
+        let die = straps as f64 * pitch;
+        // The published #v counts the supply pins of BOTH nets (VDD and
+        // GND); this generator models the VDD net alone, so its pin
+        // density is half the published ratio.
+        let source_fraction =
+            (stats.sources as f64 / 2.0 / stats.nodes as f64).clamp(1e-4, 1.0);
+        Ok(GridSpec {
+            die_width: die,
+            die_height: die,
+            v_straps: straps,
+            h_straps: straps,
+            source_fraction,
+            pad_placement: if self.is_flip_chip() {
+                PadPlacement::AreaArray
+            } else {
+                PadPlacement::Perimeter
+            },
+            ..GridSpec::default()
+        })
+    }
+
+    /// Builds the floorplan generator configuration for this benchmark
+    /// at `scale`: die dimensions match [`grid_spec`](Self::grid_spec),
+    /// the block-covered fraction of the die tracks the published load
+    /// density `#i / #n`, and block count grows gently with size.
+    #[must_use]
+    pub fn floorplan_config(self, scale: f64) -> GeneratorConfig {
+        let stats = self.published_stats();
+        let straps = ((scale.max(1e-9) * stats.nodes as f64 / 2.0)
+            .sqrt()
+            .round() as usize)
+            .max(2);
+        let die = straps as f64 * 50.0;
+        // Loads sit on lower-layer nodes (half of all nodes), so the
+        // covered fraction of the die should be 2 * #i / #n.
+        let utilization = (2.0 * stats.loads as f64 / stats.nodes as f64).clamp(0.2, 0.85);
+        let blocks = (((scale * stats.nodes as f64).sqrt() / 4.0).round() as usize)
+            .clamp(4, 64);
+        GeneratorConfig {
+            die_width: die,
+            die_height: die,
+            blocks,
+            cell_utilization: utilization,
+            mean_block_current: 0.02,
+            pad_placement: if self.is_flip_chip() {
+                PadPlacement::AreaArray
+            } else {
+                PadPlacement::Perimeter
+            },
+            pads_per_net: 8,
+        }
+    }
+}
+
+impl std::fmt::Display for IbmPgPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for IbmPgPreset {
+    type Err = NetlistError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        IbmPgPreset::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| NetlistError::InvalidValue {
+                token: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticBenchmark;
+
+    #[test]
+    fn names_round_trip() {
+        for p in IbmPgPreset::ALL {
+            let back: IbmPgPreset = p.name().parse().unwrap();
+            assert_eq!(back, p);
+        }
+        assert!("ibmpg9".parse::<IbmPgPreset>().is_err());
+    }
+
+    #[test]
+    fn published_stats_match_table2() {
+        let s = IbmPgPreset::Ibmpg5.published_stats();
+        assert_eq!(s.nodes, 1_079_310);
+        assert_eq!(s.sources, 539_087);
+    }
+
+    #[test]
+    fn flip_chip_detection() {
+        assert!(!IbmPgPreset::Ibmpg2.is_flip_chip());
+        assert!(IbmPgPreset::Ibmpg5.is_flip_chip());
+        assert!(IbmPgPreset::Ibmpg6.is_flip_chip());
+        assert!(IbmPgPreset::IbmpgNew2.is_flip_chip());
+        assert!(!IbmPgPreset::IbmpgNew1.is_flip_chip());
+        // ibmpg1 is wirebond-era but has an unusually high #v.
+        assert!(IbmPgPreset::Ibmpg1.is_flip_chip());
+    }
+
+    #[test]
+    fn scaled_node_count_tracks_target() {
+        for p in [IbmPgPreset::Ibmpg1, IbmPgPreset::Ibmpg2] {
+            let scale = 0.01;
+            let b = SyntheticBenchmark::from_preset(p, scale, 3).unwrap();
+            let target = (scale * p.published_stats().nodes as f64) as usize;
+            let got = b.network().stats().nodes;
+            let ratio = got as f64 / target as f64;
+            assert!(
+                (0.7..1.4).contains(&ratio),
+                "{}: got {got}, target {target}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn source_fraction_tracks_table2() {
+        let scale = 0.005;
+        let b5 = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg5, scale, 1).unwrap();
+        let s5 = b5.network().stats();
+        let frac5 = s5.sources as f64 / s5.nodes as f64;
+        // The generator models one of the two symmetric supply nets, so
+        // it targets half the published #v/#n ratio.
+        let published5_per_net = 539_087.0 / 2.0 / 1_079_310.0;
+        assert!((frac5 - published5_per_net).abs() < 0.1, "frac {frac5}");
+
+        let b2 = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg2, scale, 1).unwrap();
+        let s2 = b2.network().stats();
+        assert!(s2.sources < s2.nodes / 50, "ibmpg2 is sparse-source");
+    }
+
+    #[test]
+    fn invalid_scale_rejected() {
+        assert!(IbmPgPreset::Ibmpg1.grid_spec(0.0).is_err());
+        assert!(IbmPgPreset::Ibmpg1.grid_spec(1.5).is_err());
+        assert!(IbmPgPreset::Ibmpg1.grid_spec(-0.1).is_err());
+    }
+
+    #[test]
+    fn table3_values() {
+        assert_eq!(IbmPgPreset::Ibmpg1.table3_worst_ir_mv(), Some(69.8));
+        assert_eq!(IbmPgPreset::IbmpgNew1.table3_worst_ir_mv(), None);
+        assert_eq!(IbmPgPreset::TABLE3.len(), 6);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(IbmPgPreset::IbmpgNew2.to_string(), "ibmpgnew2");
+    }
+}

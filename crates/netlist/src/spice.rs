@@ -1,0 +1,299 @@
+//! Parser for the IBM power-grid benchmark SPICE subset.
+//!
+//! The decks consist of `R` (wire segments and vias, zero ohms allowed),
+//! `V` (supply pins), and `I` (block current loads) cards, `*` comments,
+//! and `.op`/`.end` control cards. Transient-analysis variants of the
+//! decks also carry `L` and `C` elements; for the static analysis this
+//! framework performs, inductors are DC shorts (kept as zero-ohm
+//! resistors, merged before analysis) and capacitors are DC opens
+//! (skipped).
+
+use crate::{parse_value, NetlistError, NodeName, PowerGridNetwork};
+
+/// Parses a complete SPICE deck from a string.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] (with a 1-based line number) for any
+/// malformed card, and propagates element-validation errors.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_netlist::parse_spice;
+///
+/// let deck = "\
+/// * a 2-node grid
+/// R1 n1_0_0 n1_0_100 0.5
+/// V1 n1_0_0 0 1.8
+/// i1 n1_0_100 0 10m
+/// .op
+/// .end
+/// ";
+/// let net = parse_spice(deck).unwrap();
+/// let s = net.stats();
+/// assert_eq!((s.nodes, s.resistors, s.sources, s.loads), (2, 1, 1, 1));
+/// assert!((net.current_loads()[0].amps - 0.01).abs() < 1e-15);
+/// ```
+pub fn parse_spice(input: &str) -> crate::Result<PowerGridNetwork> {
+    parse_spice_lines(input.lines())
+}
+
+/// Parses a SPICE deck from an iterator of lines (for streaming large
+/// decks without materialising the whole file as one string).
+///
+/// # Errors
+///
+/// Same conditions as [`parse_spice`].
+pub fn parse_spice_lines<I, S>(lines: I) -> crate::Result<PowerGridNetwork>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut net = PowerGridNetwork::new();
+    for (lineno, raw) in lines.into_iter().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.as_ref().trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if let Some(dot) = line.strip_prefix('.') {
+            let card = dot.split_whitespace().next().unwrap_or("");
+            match card.to_ascii_lowercase().as_str() {
+                "end" => break,
+                // Control cards that carry no network content.
+                "op" | "option" | "options" | "tran" | "print" | "probe" => continue,
+                other => {
+                    return Err(NetlistError::Parse {
+                        line: lineno,
+                        detail: format!("unsupported control card '.{other}'"),
+                    })
+                }
+            }
+        }
+        let mut fields = line.split_whitespace();
+        let name = fields.next().expect("non-empty line has a first token");
+        let kind = name
+            .chars()
+            .next()
+            .expect("token is non-empty")
+            .to_ascii_lowercase();
+        let rest: Vec<&str> = fields.collect();
+        match kind {
+            'r' | 'l' | 'v' | 'i' | 'c' => {
+                if rest.len() < 3 {
+                    return Err(NetlistError::Parse {
+                        line: lineno,
+                        detail: format!(
+                            "element '{name}' needs two nodes and a value, got {} fields",
+                            rest.len()
+                        ),
+                    });
+                }
+                let value = parse_value(rest[2]).map_err(|_| NetlistError::Parse {
+                    line: lineno,
+                    detail: format!("bad value '{}' for element '{name}'", rest[2]),
+                })?;
+                let node_a: NodeName = rest[0].parse().expect("node parsing is infallible");
+                let node_b: NodeName = rest[1].parse().expect("node parsing is infallible");
+                match kind {
+                    'r' => {
+                        let a = net.intern(node_a);
+                        let b = net.intern(node_b);
+                        net.add_resistor(name, a, b, value).map_err(|e| at(lineno, e))?;
+                    }
+                    'l' => {
+                        // Inductor: DC short.
+                        let a = net.intern(node_a);
+                        let b = net.intern(node_b);
+                        net.add_resistor(name, a, b, 0.0).map_err(|e| at(lineno, e))?;
+                    }
+                    'c' => {
+                        // Capacitor: DC open; contributes nothing to the
+                        // static solution.
+                    }
+                    'v' => {
+                        let node = grounded_terminal(node_a, node_b, lineno, name)?;
+                        let id = net.intern(node);
+                        net.add_voltage_source(name, id, value)
+                            .map_err(|e| at(lineno, e))?;
+                    }
+                    'i' => {
+                        let node = grounded_terminal(node_a, node_b, lineno, name)?;
+                        let id = net.intern(node);
+                        net.add_current_load(name, id, value.abs())
+                            .map_err(|e| at(lineno, e))?;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    detail: format!("unsupported element type '{other}' in '{name}'"),
+                })
+            }
+        }
+    }
+    Ok(net)
+}
+
+/// Sources and loads in the benchmarks always reference ground on one
+/// terminal; returns the non-ground one.
+fn grounded_terminal(
+    a: NodeName,
+    b: NodeName,
+    lineno: usize,
+    name: &str,
+) -> crate::Result<NodeName> {
+    match (a.is_ground(), b.is_ground()) {
+        (false, true) => Ok(a),
+        (true, false) => Ok(b),
+        (true, true) => Err(NetlistError::Parse {
+            line: lineno,
+            detail: format!("element '{name}' connects ground to ground"),
+        }),
+        (false, false) => Err(NetlistError::Parse {
+            line: lineno,
+            detail: format!("element '{name}' must have one terminal at ground"),
+        }),
+    }
+}
+
+fn at(line: usize, e: NetlistError) -> NetlistError {
+    match e {
+        NetlistError::InvalidElement { name, detail } => NetlistError::Parse {
+            line,
+            detail: format!("invalid element '{name}': {detail}"),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_case() {
+        let deck = "\n* header\n\nr1 n1_0_0 n1_10_0 1.5\nV1 n1_0_0 0 1.8\nI1 0 n1_10_0 5m\n.OP\n.end\n";
+        let net = parse_spice(deck).unwrap();
+        let s = net.stats();
+        assert_eq!((s.nodes, s.resistors, s.sources, s.loads), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn ground_on_either_terminal() {
+        let net = parse_spice("V1 0 n1_0_0 1.8\ni1 n1_0_0 0 1m\n").unwrap();
+        assert_eq!(net.voltage_sources()[0].volts, 1.8);
+        assert_eq!(
+            net.node_name(net.voltage_sources()[0].node).to_string(),
+            "n1_0_0"
+        );
+    }
+
+    #[test]
+    fn source_without_ground_rejected() {
+        let err = parse_spice("V1 n1_0_0 n1_1_0 1.8\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn ground_to_ground_rejected() {
+        let err = parse_spice("i1 0 0 1m\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn missing_fields_rejected_with_line_number() {
+        let err = parse_spice("* ok\nR1 n1_0_0 1.0\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_value_rejected() {
+        let err = parse_spice("R1 n1_0_0 n1_1_0 abc\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn negative_resistance_rejected_at_line() {
+        let err = parse_spice("R1 n1_0_0 n1_1_0 -5\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_element_rejected() {
+        let err = parse_spice("Q1 n1_0_0 n1_1_0 1.0\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn unknown_control_card_rejected() {
+        let err = parse_spice(".measure foo\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn end_stops_parsing() {
+        let net = parse_spice("R1 n1_0_0 n1_1_0 1.0\n.end\nR2 bogus line here oops\n");
+        assert_eq!(net.unwrap().resistors().len(), 1);
+    }
+
+    #[test]
+    fn inductor_becomes_short_capacitor_skipped() {
+        let net = parse_spice("L1 n1_0_0 n2_0_0 1n\nC1 n1_0_0 0 2p\nR1 n1_0_0 n2_0_0 1.0\n").unwrap();
+        assert_eq!(net.resistors().len(), 2);
+        assert!(net.resistors()[0].is_short());
+        let (merged, _) = net.merged_shorts();
+        assert_eq!(merged.node_count(), 1);
+    }
+
+    #[test]
+    fn load_sign_is_normalised() {
+        // Some decks write loads with a negative value and swapped nodes;
+        // magnitude is what matters for a draw to ground.
+        let net = parse_spice("i1 n1_0_0 0 -3m\n").unwrap();
+        assert!((net.current_loads()[0].amps - 0.003).abs() < 1e-15);
+    }
+
+    #[test]
+    fn engineering_suffixes_in_all_positions() {
+        let net = parse_spice("R1 n1_0_0 n1_1_0 1.5k\nV1 n1_0_0 0 1800m\ni1 n1_1_0 0 10u\n").unwrap();
+        assert_eq!(net.resistors()[0].ohms, 1500.0);
+        assert!((net.voltage_sources()[0].volts - 1.8).abs() < 1e-12);
+        assert!((net.current_loads()[0].amps - 1e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn streaming_lines_matches_string_parse() {
+        let deck = "R1 n1_0_0 n1_1_0 1.0\nV1 n1_0_0 0 1.8\ni1 n1_1_0 0 2m\n";
+        let from_str = parse_spice(deck).unwrap();
+        // Feed the same content as owned lines (e.g. from a BufReader).
+        let lines: Vec<String> = deck.lines().map(str::to_string).collect();
+        let from_lines = crate::parse_spice_lines(lines).unwrap();
+        assert_eq!(from_lines.stats(), from_str.stats());
+        assert_eq!(from_lines.resistors()[0].ohms, 1.0);
+    }
+
+    #[test]
+    fn whitespace_variants_tolerated() {
+        let net = parse_spice("  R1\tn1_0_0   n1_1_0\t 1.0  \n\n\tV1 n1_0_0 0 1.8\n").unwrap();
+        assert_eq!(net.stats().resistors, 1);
+        assert_eq!(net.stats().sources, 1);
+    }
+
+    #[test]
+    fn writer_parser_round_trip() {
+        let deck = "R1 n1_0_0 n1_0_200 0.25\nRv n1_0_200 n2_0_200 0\nV0 n2_0_200 0 1.8\ni0 n1_0_0 0 0.012\n";
+        let net = parse_spice(deck).unwrap();
+        let out = net.to_spice();
+        let again = parse_spice(&out).unwrap();
+        assert_eq!(again.stats(), net.stats());
+        assert_eq!(again.resistors()[1].ohms, 0.0);
+        assert!((again.current_loads()[0].amps - 0.012).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,182 @@
+/// Disjoint-set (union-find) structure with path compression and union
+/// by rank.
+///
+/// Used to merge nodes connected by zero-resistance vias before
+/// analysis: the IBM decks model many vias as `R = 0` shorts, which a
+/// nodal-analysis matrix cannot represent directly.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_netlist::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(1, 2));
+/// assert_eq!(uf.component_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `x`'s set, compressing paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "union-find index out of range");
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they
+    /// were previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Produces a dense relabelling: a vector mapping each element to a
+    /// component index in `0..component_count()`, with representatives
+    /// numbered in first-seen order.
+    pub fn dense_labels(&mut self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut label = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut out = vec![0; n];
+        for i in 0..n {
+            let r = self.find(i);
+            if label[r] == usize::MAX {
+                label[r] = next;
+                next += 1;
+            }
+            out[i] = label[r];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.component_count(), 3);
+        assert!(!uf.same(0, 2));
+    }
+
+    #[test]
+    fn union_reduces_components() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already joined
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.same(0, 2));
+    }
+
+    #[test]
+    fn transitive_chains() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.same(0, 99));
+    }
+
+    #[test]
+    fn dense_labels_first_seen_order() {
+        let mut uf = UnionFind::new(6);
+        uf.union(3, 4);
+        uf.union(0, 5);
+        let labels = uf.dense_labels();
+        // Components: {0,5}=0, {1}=1, {2}=2, {3,4}=3.
+        assert_eq!(labels[0], labels[5]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[2], 2);
+        assert_eq!(labels[3], 3);
+        let max = *labels.iter().max().unwrap();
+        assert_eq!(max + 1, uf.component_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn find_out_of_range_panics() {
+        let mut uf = UnionFind::new(2);
+        uf.find(2);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+}

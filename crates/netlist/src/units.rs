@@ -1,0 +1,194 @@
+//! SPICE numeric values with engineering suffixes.
+
+use crate::NetlistError;
+
+/// Parses a SPICE numeric token: a float in ordinary or scientific
+/// notation, optionally followed by an engineering suffix
+/// (`f p n u m k meg g t`, case-insensitive; trailing unit letters such
+/// as `kohm` or `mA` are ignored after the suffix, per SPICE custom).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidValue`] if the token has no leading
+/// numeric part or the result is non-finite.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_netlist::parse_value;
+///
+/// assert_eq!(parse_value("1.5k").unwrap(), 1500.0);
+/// assert_eq!(parse_value("2meg").unwrap(), 2e6);
+/// assert!((parse_value("10u").unwrap() - 1e-5).abs() < 1e-18);
+/// assert_eq!(parse_value("3.3").unwrap(), 3.3);
+/// assert_eq!(parse_value("-4e-3").unwrap(), -0.004);
+/// ```
+pub fn parse_value(token: &str) -> crate::Result<f64> {
+    let t = token.trim();
+    if t.is_empty() {
+        return Err(NetlistError::InvalidValue {
+            token: token.to_string(),
+        });
+    }
+    // Split the leading float from the suffix. Scientific-notation 'e'
+    // must be followed by a digit or sign to count as part of the number.
+    let bytes = t.as_bytes();
+    let mut end = 0;
+    let mut seen_digit = false;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        match c {
+            '0'..='9' => {
+                seen_digit = true;
+                end += 1;
+            }
+            '.' => end += 1,
+            '+' | '-' if end == 0 => end += 1,
+            'e' | 'E' if seen_digit => {
+                let next = bytes.get(end + 1).map(|&b| b as char);
+                match next {
+                    Some('0'..='9') => end += 2,
+                    Some('+') | Some('-')
+                        if matches!(
+                            bytes.get(end + 2).map(|&b| b as char),
+                            Some('0'..='9')
+                        ) =>
+                    {
+                        end += 3
+                    }
+                    _ => break,
+                }
+                // Consume remaining exponent digits.
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    if !seen_digit {
+        return Err(NetlistError::InvalidValue {
+            token: token.to_string(),
+        });
+    }
+    let mantissa: f64 = t[..end].parse().map_err(|_| NetlistError::InvalidValue {
+        token: token.to_string(),
+    })?;
+    let suffix = t[end..].to_ascii_lowercase();
+    let mult = if suffix.starts_with("meg") {
+        1e6
+    } else {
+        match suffix.chars().next() {
+            None => 1.0,
+            Some('f') => 1e-15,
+            Some('p') => 1e-12,
+            Some('n') => 1e-9,
+            Some('u') => 1e-6,
+            Some('m') => 1e-3,
+            Some('k') => 1e3,
+            Some('g') => 1e9,
+            Some('t') => 1e12,
+            // Unknown trailing letters (e.g. "ohm", "v", "a") are units.
+            Some(_) => 1.0,
+        }
+    };
+    let v = mantissa * mult;
+    if !v.is_finite() {
+        return Err(NetlistError::InvalidValue {
+            token: token.to_string(),
+        });
+    }
+    Ok(v)
+}
+
+/// Formats a value compactly for netlist output: plain decimal when it
+/// round-trips, scientific otherwise. SPICE tools accept both; we never
+/// emit suffixes to keep the writer trivially unambiguous.
+#[must_use]
+pub fn format_si(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let abs = v.abs();
+    if (1e-4..1e9).contains(&abs) {
+        // Rust's Display prints the shortest decimal that round-trips
+        // exactly, which is precisely what a netlist writer wants.
+        format!("{v}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_value("42").unwrap(), 42.0);
+        assert_eq!(parse_value("-1.25").unwrap(), -1.25);
+        assert_eq!(parse_value("+0.5").unwrap(), 0.5);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(parse_value("1e3").unwrap(), 1000.0);
+        assert_eq!(parse_value("2.5E-2").unwrap(), 0.025);
+        assert_eq!(parse_value("1e+2").unwrap(), 100.0);
+    }
+
+    #[test]
+    fn suffixes() {
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert_eq!(parse_value("1K").unwrap(), 1e3);
+        assert_eq!(parse_value("1m").unwrap(), 1e-3);
+        assert_eq!(parse_value("1MEG").unwrap(), 1e6);
+        assert_eq!(parse_value("1g").unwrap(), 1e9);
+        assert_eq!(parse_value("1t").unwrap(), 1e12);
+        assert_eq!(parse_value("1f").unwrap(), 1e-15);
+        assert_eq!(parse_value("1p").unwrap(), 1e-12);
+        assert_eq!(parse_value("1n").unwrap(), 1e-9);
+        assert_eq!(parse_value("1u").unwrap(), 1e-6);
+    }
+
+    #[test]
+    fn suffix_with_unit_letters() {
+        assert_eq!(parse_value("2kohm").unwrap(), 2000.0);
+        assert_eq!(parse_value("5mA").unwrap(), 0.005);
+        assert_eq!(parse_value("1.8V").unwrap(), 1.8);
+    }
+
+    #[test]
+    fn e_not_exponent_when_followed_by_letter() {
+        // "1e" alone: 'e' cannot start an exponent, so it's a unit letter.
+        assert_eq!(parse_value("1e").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("ohm").is_err());
+        assert!(parse_value("--3").is_err());
+        assert!(parse_value(".").is_err());
+    }
+
+    #[test]
+    fn format_round_trips_typical_values() {
+        for v in [0.0, 1.8, 0.025, 1500.0, -3.3e-5, 2.5e9, 1e-12] {
+            let s = format_si(v);
+            let back = parse_value(&s).unwrap();
+            assert!(
+                (back - v).abs() <= 1e-12 * v.abs().max(1.0),
+                "{v} -> {s} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn format_compact() {
+        assert_eq!(format_si(0.0), "0");
+        assert_eq!(format_si(1.5), "1.5");
+        assert_eq!(format_si(100.0), "100");
+    }
+}

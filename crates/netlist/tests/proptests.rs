@@ -1,0 +1,162 @@
+//! Property-based tests for netlist parsing, writing, and generation.
+
+use ppdl_netlist::{
+    format_si, parse_spice, parse_value, GridSpec, NodeName, PowerGridNetwork,
+    SyntheticBenchmark, UnionFind,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// format_si -> parse_value is the identity (to rounding) for any
+    /// finite value in the physical range netlists use.
+    #[test]
+    fn value_format_round_trip(v in -1e12_f64..1e12) {
+        let s = format_si(v);
+        let back = parse_value(&s).unwrap();
+        prop_assert!((back - v).abs() <= 1e-9 * v.abs().max(1e-12), "{} -> {} -> {}", v, s, back);
+    }
+
+    /// Node names in the grid convention round-trip through Display/FromStr.
+    #[test]
+    fn node_name_round_trip(layer in 1u32..9, x in -1_000_000i64..1_000_000, y in -1_000_000i64..1_000_000) {
+        let n = NodeName::grid(layer, x, y);
+        let back: NodeName = n.to_string().parse().unwrap();
+        prop_assert_eq!(back, n);
+    }
+
+    /// A randomly built network round-trips through the SPICE writer and
+    /// parser with identical statistics and element values.
+    #[test]
+    fn network_spice_round_trip(
+        resistors in proptest::collection::vec((0usize..12, 0usize..12, 0.0_f64..100.0), 1..30),
+        loads in proptest::collection::vec((0usize..12, 0.0_f64..1.0), 0..10),
+        volts in 0.5_f64..5.0,
+    ) {
+        let mut net = PowerGridNetwork::new();
+        let ids: Vec<_> = (0..12)
+            .map(|i| net.intern(NodeName::grid(1, i as i64 * 10, 0)))
+            .collect();
+        for (k, (a, b, ohms)) in resistors.iter().enumerate() {
+            if a != b {
+                net.add_resistor(format!("R{k}"), ids[*a], ids[*b], *ohms).unwrap();
+            }
+        }
+        net.add_voltage_source("V0", ids[0], volts).unwrap();
+        for (k, (n, amps)) in loads.iter().enumerate() {
+            net.add_current_load(format!("i{k}"), ids[*n], *amps).unwrap();
+        }
+        let deck = net.to_spice();
+        let back = parse_spice(&deck).unwrap();
+        // The writer emits only nodes referenced by elements, so compare
+        // element counts plus the count of *referenced* nodes.
+        let mut referenced: Vec<usize> = net
+            .resistors()
+            .iter()
+            .flat_map(|r| [r.a.0, r.b.0])
+            .chain(net.voltage_sources().iter().map(|s| s.node.0))
+            .chain(net.current_loads().iter().map(|l| l.node.0))
+            .collect();
+        referenced.sort_unstable();
+        referenced.dedup();
+        prop_assert_eq!(back.stats().nodes, referenced.len());
+        prop_assert_eq!(back.stats().resistors, net.stats().resistors);
+        prop_assert_eq!(back.stats().sources, net.stats().sources);
+        prop_assert_eq!(back.stats().loads, net.stats().loads);
+        for (r1, r2) in back.resistors().iter().zip(net.resistors()) {
+            prop_assert!((r1.ohms - r2.ohms).abs() <= 1e-9 * r2.ohms.max(1e-12));
+        }
+        for (l1, l2) in back.current_loads().iter().zip(net.current_loads()) {
+            prop_assert!((l1.amps - l2.amps).abs() <= 1e-9 * l2.amps.max(1e-12));
+        }
+    }
+
+    /// Merging shorts never changes the load/source element counts and
+    /// never leaves a zero-ohm resistor behind.
+    #[test]
+    fn merged_shorts_invariants(
+        edges in proptest::collection::vec((0usize..10, 0usize..10, prop_oneof![Just(0.0), 0.1_f64..10.0]), 1..40),
+    ) {
+        let mut net = PowerGridNetwork::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| net.intern(NodeName::grid(1, i as i64, 0)))
+            .collect();
+        for (k, (a, b, ohms)) in edges.iter().enumerate() {
+            if a != b {
+                net.add_resistor(format!("R{k}"), ids[*a], ids[*b], *ohms).unwrap();
+            }
+        }
+        net.add_voltage_source("V0", ids[0], 1.8).unwrap();
+        net.add_current_load("i0", ids[9], 0.1).unwrap();
+        let (merged, map) = net.merged_shorts();
+        prop_assert!(merged.resistors().iter().all(|r| !r.is_short()));
+        prop_assert_eq!(merged.voltage_sources().len(), 1);
+        prop_assert_eq!(merged.current_loads().len(), 1);
+        prop_assert_eq!(map.len(), net.node_count());
+        // Every mapped id is in range.
+        for id in &map {
+            prop_assert!(id.0 < merged.node_count());
+        }
+        // Endpoints of any short map to the same merged node.
+        for r in net.resistors() {
+            if r.is_short() {
+                prop_assert_eq!(map[r.a.0], map[r.b.0]);
+            }
+        }
+    }
+
+    /// Union-find component count equals the number of distinct roots.
+    #[test]
+    fn union_find_component_count(
+        unions in proptest::collection::vec((0usize..15, 0usize..15), 0..30),
+    ) {
+        let mut uf = UnionFind::new(15);
+        for (a, b) in unions {
+            uf.union(a, b);
+        }
+        let labels = uf.dense_labels();
+        let distinct = {
+            let mut l = labels.clone();
+            l.sort_unstable();
+            l.dedup();
+            l.len()
+        };
+        prop_assert_eq!(distinct, uf.component_count());
+    }
+
+    /// Generated grids always have: every load on an existing node,
+    /// sources at Vdd, stats consistent with the element lists, and
+    /// segment resistances equal to rho * l / w.
+    #[test]
+    fn generated_grid_invariants(v in 2usize..8, h in 2usize..8, seed in 0u64..20) {
+        let die_w = v as f64 * 50.0;
+        let die_h = h as f64 * 50.0;
+        let spec = GridSpec {
+            die_width: die_w,
+            die_height: die_h,
+            v_straps: v,
+            h_straps: h,
+            ..GridSpec::default()
+        };
+        let fp = ppdl_floorplan::FloorplanGenerator::new(ppdl_floorplan::GeneratorConfig {
+            die_width: die_w,
+            die_height: die_h,
+            blocks: 4,
+            ..ppdl_floorplan::GeneratorConfig::default()
+        })
+        .generate(seed)
+        .unwrap();
+        let b = SyntheticBenchmark::generate("p", spec.clone(), fp).unwrap();
+        let net = b.network();
+        let s = net.stats();
+        prop_assert_eq!(s.nodes, 2 * v * h);
+        prop_assert_eq!(s.resistors, v * (h - 1) + h * (v - 1) + v * h);
+        prop_assert!(net.voltage_sources().iter().all(|src| src.volts == spec.vdd));
+        for seg in b.segments() {
+            let strap = &b.straps()[seg.strap];
+            let rho = spec.sheet_resistance(strap.orientation);
+            let expect = rho * seg.length / strap.width;
+            let got = net.resistors()[seg.resistor].ohms;
+            prop_assert!((got - expect).abs() < 1e-9);
+        }
+    }
+}

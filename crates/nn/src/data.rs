@@ -1,0 +1,371 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{Matrix, NnError};
+
+/// A supervised dataset: paired feature and target matrices with one
+/// sample per row.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_nn::{Dataset, Matrix};
+///
+/// let x = Matrix::from_fn(10, 3, |r, c| (r + c) as f64);
+/// let y = Matrix::from_fn(10, 1, |r, _| r as f64);
+/// let data = Dataset::new(x, y).unwrap();
+/// let (train, test) = data.split(0.8).unwrap();
+/// assert_eq!(train.len(), 8);
+/// assert_eq!(test.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    x: Matrix,
+    y: Matrix,
+}
+
+impl Dataset {
+    /// Pairs features with targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the row counts differ, or
+    /// [`NnError::EmptyDataset`] if there are no samples.
+    pub fn new(x: Matrix, y: Matrix) -> crate::Result<Self> {
+        if x.rows() != y.rows() {
+            return Err(NnError::ShapeMismatch {
+                detail: format!("{} feature rows vs {} target rows", x.rows(), y.rows()),
+            });
+        }
+        if x.rows() == 0 {
+            return Err(NnError::EmptyDataset);
+        }
+        Ok(Self { x, y })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed
+    /// dataset, but part of the conventional API pair with `len`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// The feature matrix.
+    #[must_use]
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The target matrix.
+    #[must_use]
+    pub fn y(&self) -> &Matrix {
+        &self.y
+    }
+
+    /// Returns a copy with rows shuffled by the seeded permutation.
+    #[must_use]
+    pub fn shuffled(&self, seed: u64) -> Self {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        Self {
+            x: self.x.gather_rows(&idx),
+            y: self.y.gather_rows(&idx),
+        }
+    }
+
+    /// Splits into `(first, second)` at `fraction` of the samples
+    /// (first gets `ceil(fraction * len)`, at least 1 and at most
+    /// `len - 1` so both halves are non-empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `fraction` is not in
+    /// `(0, 1)` or the dataset has fewer than 2 samples.
+    pub fn split(&self, fraction: f64) -> crate::Result<(Dataset, Dataset)> {
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(NnError::InvalidConfig {
+                detail: format!("split fraction {fraction} outside (0, 1)"),
+            });
+        }
+        if self.len() < 2 {
+            return Err(NnError::InvalidConfig {
+                detail: "cannot split a dataset with fewer than 2 samples".into(),
+            });
+        }
+        let cut = ((fraction * self.len() as f64).ceil() as usize).clamp(1, self.len() - 1);
+        Ok((
+            Dataset {
+                x: self.x.slice_rows(0, cut),
+                y: self.y.slice_rows(0, cut),
+            },
+            Dataset {
+                x: self.x.slice_rows(cut, self.len()),
+                y: self.y.slice_rows(cut, self.len()),
+            },
+        ))
+    }
+
+    /// Iterates over `(x_batch, y_batch)` chunks of up to `batch_size`
+    /// rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = (Matrix, Matrix)> + '_ {
+        assert!(batch_size > 0, "batch size must be positive");
+        let n = self.len();
+        (0..n.div_ceil(batch_size)).map(move |k| {
+            let lo = k * batch_size;
+            let hi = (lo + batch_size).min(n);
+            (self.x.slice_rows(lo, hi), self.y.slice_rows(lo, hi))
+        })
+    }
+}
+
+/// Per-column standardisation to zero mean / unit variance, the
+/// preprocessing the width regressor applies to `(X, Y, Id)` features
+/// whose raw scales differ by orders of magnitude.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler to the columns of `data`. Constant columns get a
+    /// standard deviation of 1 so transforming them is a no-op shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyDataset`] for an empty matrix.
+    pub fn fit(data: &Matrix) -> crate::Result<Self> {
+        if data.rows() == 0 || data.cols() == 0 {
+            return Err(NnError::EmptyDataset);
+        }
+        let n = data.rows() as f64;
+        let mut means = vec![0.0; data.cols()];
+        for r in 0..data.rows() {
+            for (m, v) in means.iter_mut().zip(data.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; data.cols()];
+        for r in 0..data.rows() {
+            for ((var, v), m) in vars.iter_mut().zip(data.row(r)).zip(&means) {
+                *var += (v - m) * (v - m);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(Self { means, stds })
+    }
+
+    /// Rebuilds a scaler from persisted parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if lengths differ, or
+    /// [`NnError::InvalidConfig`] for a non-positive or non-finite
+    /// standard deviation.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> crate::Result<Self> {
+        if means.len() != stds.len() {
+            return Err(NnError::ShapeMismatch {
+                detail: format!("{} means vs {} stds", means.len(), stds.len()),
+            });
+        }
+        if let Some(s) = stds.iter().find(|s| !(s.is_finite() && **s > 0.0)) {
+            return Err(NnError::InvalidConfig {
+                detail: format!("standard deviation {s} must be positive"),
+            });
+        }
+        Ok(Self { means, stds })
+    }
+
+    /// Per-column means.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column standard deviations.
+    #[must_use]
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Standardises `data` column-wise: `(v - mean) / std`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the column count differs
+    /// from the fitted one.
+    pub fn transform(&self, data: &Matrix) -> crate::Result<Matrix> {
+        if data.cols() != self.means.len() {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "scaler fitted on {} columns, input has {}",
+                    self.means.len(),
+                    data.cols()
+                ),
+            });
+        }
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverts [`transform`](Self::transform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on column-count mismatch.
+    pub fn inverse_transform(&self, data: &Matrix) -> crate::Result<Matrix> {
+        if data.cols() != self.means.len() {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "scaler fitted on {} columns, input has {}",
+                    self.means.len(),
+                    data.cols()
+                ),
+            });
+        }
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = *v * s + m;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let x = Matrix::from_fn(10, 2, |r, c| (r * 2 + c) as f64);
+        let y = Matrix::from_fn(10, 1, |r, _| r as f64 * 10.0);
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let x = Matrix::zeros(3, 2);
+        let y = Matrix::zeros(4, 1);
+        assert!(Dataset::new(x, y).is_err());
+        assert!(matches!(
+            Dataset::new(Matrix::zeros(0, 2), Matrix::zeros(0, 1)),
+            Err(NnError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_keeps_pairs() {
+        let d = data();
+        let s = d.shuffled(5);
+        assert_eq!(s.len(), d.len());
+        // Pairing preserved: y = 5 * x[0] for this construction.
+        for r in 0..s.len() {
+            assert_eq!(s.y().get(r, 0), s.x().get(r, 0) * 5.0);
+        }
+        // Same seed gives same order; different seeds differ.
+        assert_eq!(s.x(), d.shuffled(5).x());
+        assert_ne!(s.x(), d.shuffled(6).x());
+    }
+
+    #[test]
+    fn split_sizes() {
+        let d = data();
+        let (a, b) = d.split(0.7).unwrap();
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        assert!(d.split(0.0).is_err());
+        assert!(d.split(1.0).is_err());
+        // Extreme fraction still leaves both halves non-empty.
+        let (a, b) = d.split(0.999).unwrap();
+        assert_eq!(a.len(), 9);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = data();
+        let mut rows = 0;
+        for (xb, yb) in d.batches(3) {
+            assert_eq!(xb.rows(), yb.rows());
+            rows += xb.rows();
+        }
+        assert_eq!(rows, 10);
+        assert_eq!(d.batches(3).count(), 4);
+        assert_eq!(d.batches(100).count(), 1);
+    }
+
+    #[test]
+    fn scaler_standardises() {
+        let d = data();
+        let sc = StandardScaler::fit(d.x()).unwrap();
+        let t = sc.transform(d.x()).unwrap();
+        // Each column now has ~zero mean and unit variance.
+        for c in 0..t.cols() {
+            let col: Vec<f64> = (0..t.rows()).map(|r| t.get(r, c)).collect();
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaler_round_trips() {
+        let d = data();
+        let sc = StandardScaler::fit(d.x()).unwrap();
+        let t = sc.transform(d.x()).unwrap();
+        let back = sc.inverse_transform(&t).unwrap();
+        for (a, b) in back.as_slice().iter().zip(d.x().as_slice()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn scaler_constant_column_safe() {
+        let x = Matrix::from_fn(5, 1, |_, _| 7.0);
+        let sc = StandardScaler::fit(&x).unwrap();
+        let t = sc.transform(&x).unwrap();
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scaler_shape_mismatch() {
+        let sc = StandardScaler::fit(&Matrix::zeros(3, 2)).unwrap();
+        assert!(sc.transform(&Matrix::zeros(3, 3)).is_err());
+        assert!(sc.inverse_transform(&Matrix::zeros(3, 1)).is_err());
+        assert!(StandardScaler::fit(&Matrix::zeros(0, 2)).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors raised by the neural-network library.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Description of the operation and shapes.
+        detail: String,
+    },
+    /// A model or trainer configuration is invalid (zero-width layer,
+    /// non-positive learning rate, …).
+    InvalidConfig {
+        /// What is invalid.
+        detail: String,
+    },
+    /// An operation needs data but the dataset is empty.
+    EmptyDataset,
+    /// A persisted model could not be decoded.
+    Decode {
+        /// 1-based line number of the problem.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Training produced a non-finite loss (diverged).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            NnError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            NnError::EmptyDataset => write!(f, "dataset is empty"),
+            NnError::Decode { line, detail } => {
+                write!(f, "model decode error at line {line}: {detail}")
+            }
+            NnError::Diverged { epoch } => {
+                write!(f, "training diverged (non-finite loss) at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(NnError::EmptyDataset.to_string().contains("empty"));
+        assert!(NnError::Diverged { epoch: 3 }.to_string().contains('3'));
+        assert!(NnError::Decode {
+            line: 9,
+            detail: "bad".into()
+        }
+        .to_string()
+        .contains('9'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<NnError>();
+    }
+}

@@ -1,0 +1,202 @@
+use crate::{Matrix, NnError};
+
+/// Regression loss functions.
+///
+/// The paper minimises the mean-squared error (its eq. 10); MAE and
+/// Huber are provided for robustness experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Loss {
+    /// Mean squared error `(1/n) Σ (y − ŷ)²`.
+    Mse,
+    /// Mean absolute error.
+    Mae,
+    /// Huber loss with transition point `delta`.
+    Huber(f64),
+}
+
+impl Loss {
+    /// Loss value averaged over all elements of the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if shapes differ, or
+    /// [`NnError::EmptyDataset`] for empty matrices.
+    pub fn value(self, prediction: &Matrix, target: &Matrix) -> crate::Result<f64> {
+        check(prediction, target)?;
+        let n = (prediction.rows() * prediction.cols()) as f64;
+        let sum: f64 = prediction
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(p, t)| self.pointwise(p - t))
+            .sum();
+        Ok(sum / n)
+    }
+
+    /// Gradient of the loss with respect to the prediction, same shape
+    /// as the inputs, already divided by the element count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`value`](Self::value).
+    pub fn gradient(self, prediction: &Matrix, target: &Matrix) -> crate::Result<Matrix> {
+        check(prediction, target)?;
+        let n = (prediction.rows() * prediction.cols()) as f64;
+        let data: Vec<f64> = prediction
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(p, t)| self.pointwise_grad(p - t) / n)
+            .collect();
+        Matrix::from_vec(prediction.rows(), prediction.cols(), data)
+    }
+
+    fn pointwise(self, e: f64) -> f64 {
+        match self {
+            Loss::Mse => e * e,
+            Loss::Mae => e.abs(),
+            Loss::Huber(delta) => {
+                if e.abs() <= delta {
+                    0.5 * e * e
+                } else {
+                    delta * (e.abs() - 0.5 * delta)
+                }
+            }
+        }
+    }
+
+    fn pointwise_grad(self, e: f64) -> f64 {
+        match self {
+            Loss::Mse => 2.0 * e,
+            // Subgradient choice: 0 at the kink, so an exact prediction
+            // produces a zero update.
+            Loss::Mae => {
+                if e == 0.0 {
+                    0.0
+                } else {
+                    e.signum()
+                }
+            }
+            Loss::Huber(delta) => {
+                if e.abs() <= delta {
+                    e
+                } else {
+                    delta * e.signum()
+                }
+            }
+        }
+    }
+
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Loss::Mse => "mse",
+            Loss::Mae => "mae",
+            Loss::Huber(_) => "huber",
+        }
+    }
+}
+
+fn check(p: &Matrix, t: &Matrix) -> crate::Result<()> {
+    if p.shape() != t.shape() {
+        return Err(NnError::ShapeMismatch {
+            detail: format!(
+                "loss: prediction {:?} vs target {:?}",
+                p.shape(),
+                t.shape()
+            ),
+        });
+    }
+    if p.rows() == 0 || p.cols() == 0 {
+        return Err(NnError::EmptyDataset);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Matrix, Matrix) {
+        (
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap(),
+            Matrix::from_rows(&[&[1.5, 2.0], &[2.0, 4.0]]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn mse_value() {
+        let (p, t) = pair();
+        // errors: -0.5, 0, 1, 0 -> (0.25 + 1) / 4
+        assert!((Loss::Mse.value(&p, &t).unwrap() - 0.3125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_value() {
+        let (p, t) = pair();
+        assert!((Loss::Mae.value(&p, &t).unwrap() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_interpolates() {
+        let (p, t) = pair();
+        // delta large -> quadratic/2; delta tiny -> ~delta * |e|.
+        let big = Loss::Huber(10.0).value(&p, &t).unwrap();
+        assert!((big - 0.5 * 0.3125).abs() < 1e-12);
+        let small = Loss::Huber(1e-9).value(&p, &t).unwrap();
+        assert!(small < 1e-8);
+    }
+
+    #[test]
+    fn zero_loss_at_exact_prediction() {
+        let (p, _) = pair();
+        for loss in [Loss::Mse, Loss::Mae, Loss::Huber(1.0)] {
+            assert_eq!(loss.value(&p, &p).unwrap(), 0.0);
+            let g = loss.gradient(&p, &p).unwrap();
+            assert!(g.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let (mut p, t) = pair();
+        let h = 1e-6;
+        for loss in [Loss::Mse, Loss::Huber(0.4)] {
+            let g = loss.gradient(&p, &t).unwrap();
+            for r in 0..2 {
+                for c in 0..2 {
+                    let orig = p.get(r, c);
+                    p.set(r, c, orig + h);
+                    let up = loss.value(&p, &t).unwrap();
+                    p.set(r, c, orig - h);
+                    let down = loss.value(&p, &t).unwrap();
+                    p.set(r, c, orig);
+                    let fd = (up - down) / (2.0 * h);
+                    assert!(
+                        (fd - g.get(r, c)).abs() < 1e-5,
+                        "{}: fd {fd} vs {g:?}",
+                        loss.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let p = Matrix::zeros(2, 2);
+        let t = Matrix::zeros(2, 3);
+        assert!(Loss::Mse.value(&p, &t).is_err());
+        assert!(Loss::Mse.gradient(&p, &t).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let p = Matrix::zeros(0, 2);
+        assert!(matches!(
+            Loss::Mse.value(&p, &p),
+            Err(NnError::EmptyDataset)
+        ));
+    }
+}

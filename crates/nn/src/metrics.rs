@@ -1,0 +1,200 @@
+//! Regression quality metrics.
+//!
+//! The paper evaluates its model with the mean squared error (eq. 10)
+//! and the r² score ("coefficient of determination", Definition 1).
+//! These free functions operate on prediction/target matrices with one
+//! sample per row; multi-output targets are averaged uniformly.
+
+use crate::{Matrix, NnError};
+
+fn check(p: &Matrix, t: &Matrix) -> crate::Result<()> {
+    if p.shape() != t.shape() {
+        return Err(NnError::ShapeMismatch {
+            detail: format!("metrics: {:?} vs {:?}", p.shape(), t.shape()),
+        });
+    }
+    if p.rows() == 0 || p.cols() == 0 {
+        return Err(NnError::EmptyDataset);
+    }
+    Ok(())
+}
+
+/// Mean squared error over all elements (the paper's eq. 10).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] or [`NnError::EmptyDataset`].
+///
+/// # Example
+///
+/// ```
+/// use ppdl_nn::{metrics, Matrix};
+///
+/// let p = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+/// let t = Matrix::from_rows(&[&[0.0], &[4.0]]).unwrap();
+/// assert_eq!(metrics::mse(&p, &t).unwrap(), 2.5);
+/// ```
+pub fn mse(prediction: &Matrix, target: &Matrix) -> crate::Result<f64> {
+    check(prediction, target)?;
+    let n = (prediction.rows() * prediction.cols()) as f64;
+    Ok(prediction
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n)
+}
+
+/// Mean absolute error over all elements.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] or [`NnError::EmptyDataset`].
+pub fn mae(prediction: &Matrix, target: &Matrix) -> crate::Result<f64> {
+    check(prediction, target)?;
+    let n = (prediction.rows() * prediction.cols()) as f64;
+    Ok(prediction
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / n)
+}
+
+/// The r² score (coefficient of determination, Definition 1 of the
+/// paper): `1 − SS_res / SS_tot`, averaged uniformly over output
+/// columns. A value of 1 is a perfect fit; 0 matches the constant-mean
+/// predictor; negative is worse than that. A constant target column
+/// contributes 1 if predicted exactly, else 0 (scikit-learn
+/// convention).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] or [`NnError::EmptyDataset`].
+pub fn r2_score(prediction: &Matrix, target: &Matrix) -> crate::Result<f64> {
+    check(prediction, target)?;
+    let rows = target.rows();
+    let mut total = 0.0;
+    for c in 0..target.cols() {
+        let mean: f64 = (0..rows).map(|r| target.get(r, c)).sum::<f64>() / rows as f64;
+        let ss_tot: f64 = (0..rows)
+            .map(|r| (target.get(r, c) - mean).powi(2))
+            .sum();
+        let ss_res: f64 = (0..rows)
+            .map(|r| (target.get(r, c) - prediction.get(r, c)).powi(2))
+            .sum();
+        total += if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    Ok(total / target.cols() as f64)
+}
+
+/// Pearson correlation coefficient between flattened prediction and
+/// target (the Fig. 7(a) scatter statistic).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] or [`NnError::EmptyDataset`].
+pub fn pearson(prediction: &Matrix, target: &Matrix) -> crate::Result<f64> {
+    check(prediction, target)?;
+    let p = prediction.as_slice();
+    let t = target.as_slice();
+    let n = p.len() as f64;
+    let mp = p.iter().sum::<f64>() / n;
+    let mt = t.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vp = 0.0;
+    let mut vt = 0.0;
+    for (a, b) in p.iter().zip(t) {
+        cov += (a - mp) * (b - mt);
+        vp += (a - mp) * (a - mp);
+        vt += (b - mt) * (b - mt);
+    }
+    if vp == 0.0 || vt == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (vp.sqrt() * vt.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_mae_basic() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let t = Matrix::from_rows(&[&[2.0, 4.0]]).unwrap();
+        assert_eq!(mse(&p, &t).unwrap(), 2.5);
+        assert_eq!(mae(&p, &t).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let t = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as f64);
+        assert_eq!(mse(&t, &t).unwrap(), 0.0);
+        assert_eq!(r2_score(&t, &t).unwrap(), 1.0);
+        assert!((pearson(&t, &t).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let t = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let p = Matrix::from_fn(3, 1, |_, _| 2.0);
+        assert!(r2_score(&p, &t).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_negative_for_bad_predictor() {
+        let t = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let p = Matrix::from_rows(&[&[10.0], &[-5.0], &[8.0]]).unwrap();
+        assert!(r2_score(&p, &t).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn r2_constant_target_convention() {
+        let t = Matrix::from_fn(4, 1, |_, _| 5.0);
+        assert_eq!(r2_score(&t, &t).unwrap(), 1.0);
+        let p = Matrix::from_fn(4, 1, |_, _| 4.0);
+        assert_eq!(r2_score(&p, &t).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn r2_multi_output_averages() {
+        // Column 0 predicted exactly (r2=1), column 1 with mean (r2=0).
+        let t = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let p = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 2.0], &[3.0, 2.0]]).unwrap();
+        assert!((r2_score(&p, &t).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_sign_and_invariance() {
+        let t = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        // Perfectly anti-correlated.
+        let p = Matrix::from_rows(&[&[3.0], &[2.0], &[1.0]]).unwrap();
+        assert!((pearson(&p, &t).unwrap() + 1.0).abs() < 1e-12);
+        // Affine transform leaves correlation at 1.
+        let q = t.map(|v| 10.0 * v + 3.0);
+        assert!((pearson(&q, &t).unwrap() - 1.0).abs() < 1e-12);
+        // Constant prediction: zero by convention.
+        let c = Matrix::from_fn(3, 1, |_, _| 1.0);
+        assert_eq!(pearson(&c, &t).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn shape_checks() {
+        let a = Matrix::zeros(2, 1);
+        let b = Matrix::zeros(3, 1);
+        assert!(mse(&a, &b).is_err());
+        assert!(r2_score(&a, &b).is_err());
+        assert!(pearson(&a, &b).is_err());
+        let e = Matrix::zeros(0, 1);
+        assert!(matches!(mse(&e, &e), Err(NnError::EmptyDataset)));
+    }
+}

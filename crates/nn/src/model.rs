@@ -1,0 +1,426 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Activation, DenseLayer, Loss, Matrix, NnError, Optimizer};
+
+/// A sequential multilayer perceptron.
+///
+/// Built with [`MlpBuilder`]; the paper's configuration is three inputs
+/// (`X`, `Y`, `Id`), ten hidden layers, and one output (`wᵢ`), trained
+/// with Adam on MSE.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_nn::{Activation, Matrix, MlpBuilder};
+///
+/// let model = MlpBuilder::new(3)
+///     .hidden_stack(10, 24, Activation::Relu) // the paper's 10 hidden layers
+///     .output(1)
+///     .seed(1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(model.layer_count(), 11);
+/// let y = model.predict(&Matrix::zeros(4, 3)).unwrap();
+/// assert_eq!(y.shape(), (4, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    pub(crate) fn from_layers(layers: Vec<DenseLayer>) -> crate::Result<Self> {
+        if layers.is_empty() {
+            return Err(NnError::InvalidConfig {
+                detail: "a network needs at least one layer".into(),
+            });
+        }
+        for w in layers.windows(2) {
+            if w[0].output_dim() != w[1].input_dim() {
+                return Err(NnError::ShapeMismatch {
+                    detail: format!(
+                        "layer output {} feeds layer input {}",
+                        w[0].output_dim(),
+                        w[1].input_dim()
+                    ),
+                });
+            }
+        }
+        Ok(Self { layers })
+    }
+
+    /// Number of layers (hidden + output).
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input feature dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].output_dim()
+    }
+
+    /// Read access to the layers.
+    #[must_use]
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Total trainable parameter count.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(DenseLayer::parameter_count).sum()
+    }
+
+    /// Inference on a batch (`batch × input_dim`), without touching the
+    /// training caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for a wrong feature width.
+    pub fn predict(&self, x: &Matrix) -> crate::Result<Matrix> {
+        let mut a = x.clone();
+        for layer in &self.layers {
+            a = layer.forward_inference(&a)?;
+        }
+        Ok(a)
+    }
+
+    /// One optimisation step on a batch: forward, loss, backward, and
+    /// parameter update. Returns the pre-update batch loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors and optimizer errors.
+    pub fn train_batch<O: Optimizer>(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        loss: Loss,
+        optimizer: &mut O,
+    ) -> crate::Result<f64> {
+        self.train_batch_regularized(x, y, loss, 0.0, optimizer)
+    }
+
+    /// [`train_batch`](Self::train_batch) with an L2 penalty
+    /// `λ ‖Ω‖²` on the weights (not the biases) — the λC(Ω) term of
+    /// the paper's eq. 2. The returned loss excludes the penalty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors, optimizer errors, and
+    /// [`NnError::InvalidConfig`] for a negative or non-finite λ.
+    pub fn train_batch_regularized<O: Optimizer>(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        loss: Loss,
+        weight_decay: f64,
+        optimizer: &mut O,
+    ) -> crate::Result<f64> {
+        if !(weight_decay.is_finite() && weight_decay >= 0.0) {
+            return Err(NnError::InvalidConfig {
+                detail: format!("weight decay {weight_decay} must be non-negative"),
+            });
+        }
+        // Forward with caching.
+        let mut a = x.clone();
+        for layer in &mut self.layers {
+            a = layer.forward(&a)?;
+        }
+        let value = loss.value(&a, y)?;
+        // Backward.
+        let mut grad = loss.gradient(&a, y)?;
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        // Update: two parameter groups (weights, bias) per layer. The
+        // weight group (even index) receives the decay gradient 2λw.
+        let mut result = Ok(());
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            let mut group = 2 * li;
+            layer.update_parameters(|params, grads| {
+                if result.is_ok() {
+                    result = if weight_decay > 0.0 && group % 2 == 0 {
+                        let decayed: Vec<f64> = params
+                            .iter()
+                            .zip(grads)
+                            .map(|(p, g)| g + 2.0 * weight_decay * p)
+                            .collect();
+                        optimizer.step(group, params, &decayed)
+                    } else {
+                        optimizer.step(group, params, grads)
+                    };
+                }
+                group += 1;
+            });
+        }
+        result?;
+        optimizer.end_step();
+        Ok(value)
+    }
+}
+
+/// Builder for [`Mlp`] networks.
+#[derive(Debug, Clone)]
+pub struct MlpBuilder {
+    input_dim: usize,
+    hidden: Vec<(usize, Activation)>,
+    output_dim: usize,
+    output_activation: Activation,
+    seed: u64,
+}
+
+impl MlpBuilder {
+    /// Starts a network taking `input_dim` features.
+    #[must_use]
+    pub fn new(input_dim: usize) -> Self {
+        Self {
+            input_dim,
+            hidden: Vec::new(),
+            output_dim: 1,
+            output_activation: Activation::Identity,
+            seed: 0,
+        }
+    }
+
+    /// Appends one hidden layer.
+    #[must_use]
+    pub fn hidden(mut self, width: usize, activation: Activation) -> Self {
+        self.hidden.push((width, activation));
+        self
+    }
+
+    /// Appends `count` identical hidden layers — the convenient form
+    /// for the paper's 10-deep stack.
+    #[must_use]
+    pub fn hidden_stack(mut self, count: usize, width: usize, activation: Activation) -> Self {
+        for _ in 0..count {
+            self.hidden.push((width, activation));
+        }
+        self
+    }
+
+    /// Sets the output dimension (default 1), with a linear output
+    /// activation as regression requires.
+    #[must_use]
+    pub fn output(mut self, dim: usize) -> Self {
+        self.output_dim = dim;
+        self
+    }
+
+    /// Overrides the output activation (rarely useful for regression).
+    #[must_use]
+    pub fn output_activation(mut self, activation: Activation) -> Self {
+        self.output_activation = activation;
+        self
+    }
+
+    /// Sets the weight-initialisation seed (default 0) for
+    /// reproducibility.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if any dimension is zero.
+    pub fn build(self) -> crate::Result<Mlp> {
+        if self.input_dim == 0 || self.output_dim == 0 {
+            return Err(NnError::InvalidConfig {
+                detail: "input and output dimensions must be positive".into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut layers = Vec::with_capacity(self.hidden.len() + 1);
+        let mut prev = self.input_dim;
+        for (width, act) in &self.hidden {
+            layers.push(DenseLayer::new(prev, *width, *act, &mut rng)?);
+            prev = *width;
+        }
+        layers.push(DenseLayer::new(
+            prev,
+            self.output_dim,
+            self.output_activation,
+            &mut rng,
+        )?);
+        Mlp::from_layers(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Sgd};
+
+    #[test]
+    fn builder_shapes() {
+        let m = MlpBuilder::new(3)
+            .hidden(8, Activation::Relu)
+            .hidden(4, Activation::Tanh)
+            .output(2)
+            .build()
+            .unwrap();
+        assert_eq!(m.layer_count(), 3);
+        assert_eq!(m.input_dim(), 3);
+        assert_eq!(m.output_dim(), 2);
+        assert_eq!(
+            m.parameter_count(),
+            (3 * 8 + 8) + (8 * 4 + 4) + (4 * 2 + 2)
+        );
+    }
+
+    #[test]
+    fn hidden_stack_builds_deep_net() {
+        let m = MlpBuilder::new(3)
+            .hidden_stack(10, 16, Activation::Relu)
+            .output(1)
+            .build()
+            .unwrap();
+        assert_eq!(m.layer_count(), 11);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(MlpBuilder::new(0).output(1).build().is_err());
+        assert!(MlpBuilder::new(2).output(0).build().is_err());
+        assert!(MlpBuilder::new(2)
+            .hidden(0, Activation::Relu)
+            .output(1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn seeded_builds_are_identical() {
+        let a = MlpBuilder::new(2).hidden(4, Activation::Relu).seed(9).build().unwrap();
+        let b = MlpBuilder::new(2).hidden(4, Activation::Relu).seed(9).build().unwrap();
+        let x = Matrix::from_fn(3, 2, |r, c| (r + c) as f64);
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+        let c = MlpBuilder::new(2).hidden(4, Activation::Relu).seed(10).build().unwrap();
+        assert_ne!(a.predict(&x).unwrap(), c.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn predict_wrong_width_rejected() {
+        let m = MlpBuilder::new(3).output(1).build().unwrap();
+        assert!(m.predict(&Matrix::zeros(2, 4)).is_err());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_linear_target() {
+        let x = Matrix::from_fn(32, 2, |r, c| ((r * 5 + c * 3) % 11) as f64 / 11.0);
+        let y = Matrix::from_fn(32, 1, |r, _| x.get(r, 0) + 0.5 * x.get(r, 1));
+        let mut m = MlpBuilder::new(2)
+            .hidden(8, Activation::Tanh)
+            .output(1)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut opt = Adam::new(0.01).unwrap();
+        let first = m.train_batch(&x, &y, Loss::Mse, &mut opt).unwrap();
+        let mut last = first;
+        for _ in 0..300 {
+            last = m.train_batch(&x, &y, Loss::Mse, &mut opt).unwrap();
+        }
+        assert!(last < first / 10.0, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn deep_network_trains_without_nan() {
+        let x = Matrix::from_fn(16, 3, |r, c| ((r + c) % 7) as f64 / 7.0);
+        let y = Matrix::from_fn(16, 1, |r, _| x.get(r, 0) * x.get(r, 1) + x.get(r, 2));
+        let mut m = MlpBuilder::new(3)
+            .hidden_stack(10, 12, Activation::Relu)
+            .output(1)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut opt = Adam::new(0.003).unwrap();
+        for _ in 0..100 {
+            let loss = m.train_batch(&x, &y, Loss::Mse, &mut opt).unwrap();
+            assert!(loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        // On a zero-loss task (targets already matched by a zero
+        // network output), the only force is the decay: weights shrink.
+        let x = Matrix::from_fn(8, 2, |_, _| 0.0);
+        let y = Matrix::zeros(8, 1);
+        let mut m = MlpBuilder::new(2)
+            .hidden(4, Activation::Identity)
+            .output(1)
+            .seed(4)
+            .build()
+            .unwrap();
+        let norm = |m: &Mlp| -> f64 {
+            m.layers()
+                .iter()
+                .map(|l| l.weights().as_slice().iter().map(|w| w * w).sum::<f64>())
+                .sum()
+        };
+        let before = norm(&m);
+        let mut opt = Sgd::new(0.05).unwrap();
+        for _ in 0..50 {
+            m.train_batch_regularized(&x, &y, Loss::Mse, 0.1, &mut opt)
+                .unwrap();
+        }
+        assert!(norm(&m) < before * 0.5, "{} -> {}", before, norm(&m));
+    }
+
+    #[test]
+    fn zero_decay_matches_plain_training() {
+        let x = Matrix::from_fn(8, 2, |r, c| (r + c) as f64 * 0.1);
+        let y = Matrix::from_fn(8, 1, |r, _| r as f64 * 0.05);
+        let mut a = MlpBuilder::new(2).hidden(4, Activation::Tanh).seed(6).build().unwrap();
+        let mut b = a.clone();
+        let mut oa = Sgd::new(0.1).unwrap();
+        let mut ob = Sgd::new(0.1).unwrap();
+        for _ in 0..10 {
+            a.train_batch(&x, &y, Loss::Mse, &mut oa).unwrap();
+            b.train_batch_regularized(&x, &y, Loss::Mse, 0.0, &mut ob).unwrap();
+        }
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn negative_decay_rejected() {
+        let x = Matrix::zeros(2, 2);
+        let y = Matrix::zeros(2, 1);
+        let mut m = MlpBuilder::new(2).output(1).build().unwrap();
+        let mut opt = Sgd::new(0.1).unwrap();
+        assert!(m
+            .train_batch_regularized(&x, &y, Loss::Mse, -0.1, &mut opt)
+            .is_err());
+        assert!(m
+            .train_batch_regularized(&x, &y, Loss::Mse, f64::NAN, &mut opt)
+            .is_err());
+    }
+
+    #[test]
+    fn sgd_also_works() {
+        let x = Matrix::from_fn(16, 1, |r, _| r as f64 / 16.0);
+        let y = x.map(|v| 3.0 * v);
+        let mut m = MlpBuilder::new(1).output(1).seed(2).build().unwrap();
+        let mut opt = Sgd::new(0.5).unwrap();
+        for _ in 0..500 {
+            m.train_batch(&x, &y, Loss::Mse, &mut opt).unwrap();
+        }
+        let final_loss = Loss::Mse.value(&m.predict(&x).unwrap(), &y).unwrap();
+        assert!(final_loss < 1e-4, "loss {final_loss}");
+    }
+}

@@ -1,0 +1,406 @@
+use crate::NnError;
+
+/// A first-order optimizer updating parameter slices in place.
+///
+/// Optimizers are stateful per parameter group: [`Optimizer::step`] is
+/// called with a stable `group` index (one per layer-parameter tensor),
+/// and the optimizer lazily allocates whatever moment state it needs the
+/// first time it sees a group.
+pub trait Optimizer {
+    /// Applies one update: `params -= f(grads)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `params` and `grads` differ
+    /// in length, or if a group's size changed between calls.
+    fn step(&mut self, group: usize, params: &mut [f64], grads: &[f64]) -> crate::Result<()>;
+
+    /// Informs the optimizer that a full optimisation step over all
+    /// groups has completed (Adam uses this for bias-correction time).
+    fn end_step(&mut self) {}
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f64;
+}
+
+fn check_lens(group: usize, p: &[f64], g: &[f64]) -> crate::Result<()> {
+    if p.len() != g.len() {
+        return Err(NnError::ShapeMismatch {
+            detail: format!(
+                "optimizer group {group}: {} params vs {} grads",
+                p.len(),
+                g.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn fetch_state<'a>(
+    states: &'a mut Vec<Vec<f64>>,
+    group: usize,
+    len: usize,
+) -> crate::Result<&'a mut Vec<f64>> {
+    while states.len() <= group {
+        states.push(Vec::new());
+    }
+    let s = &mut states[group];
+    if s.is_empty() {
+        s.resize(len, 0.0);
+    } else if s.len() != len {
+        return Err(NnError::ShapeMismatch {
+            detail: format!(
+                "optimizer group {group} changed size: {} vs {}",
+                s.len(),
+                len
+            ),
+        });
+    }
+    Ok(s)
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for a non-positive rate.
+    pub fn new(lr: f64) -> crate::Result<Self> {
+        validate_lr(lr)?;
+        Ok(Self { lr })
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, group: usize, params: &mut [f64], grads: &[f64]) -> crate::Result<()> {
+        check_lens(group, params, grads)?;
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// SGD with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    lr: f64,
+    beta: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for a non-positive rate or a
+    /// momentum coefficient outside `[0, 1)`.
+    pub fn new(lr: f64, beta: f64) -> crate::Result<Self> {
+        validate_lr(lr)?;
+        if !(0.0..1.0).contains(&beta) {
+            return Err(NnError::InvalidConfig {
+                detail: format!("momentum beta {beta} outside [0, 1)"),
+            });
+        }
+        Ok(Self {
+            lr,
+            beta,
+            velocity: Vec::new(),
+        })
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, group: usize, params: &mut [f64], grads: &[f64]) -> crate::Result<()> {
+        check_lens(group, params, grads)?;
+        let v = fetch_state(&mut self.velocity, group, params.len())?;
+        for ((p, g), vi) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
+            *vi = self.beta * *vi + g;
+            *p -= self.lr * *vi;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// RMSProp: per-parameter adaptive rates from a running second moment.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f64,
+    decay: f64,
+    eps: f64,
+    sq: Vec<Vec<f64>>,
+}
+
+impl RmsProp {
+    /// Creates RMSProp with the usual defaults (`decay = 0.9`,
+    /// `eps = 1e-8`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for a non-positive rate.
+    pub fn new(lr: f64) -> crate::Result<Self> {
+        validate_lr(lr)?;
+        Ok(Self {
+            lr,
+            decay: 0.9,
+            eps: 1e-8,
+            sq: Vec::new(),
+        })
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, group: usize, params: &mut [f64], grads: &[f64]) -> crate::Result<()> {
+        check_lens(group, params, grads)?;
+        let s = fetch_state(&mut self.sq, group, params.len())?;
+        for ((p, g), si) in params.iter_mut().zip(grads).zip(s.iter_mut()) {
+            *si = self.decay * *si + (1.0 - self.decay) * g * g;
+            *p -= self.lr * g / (si.sqrt() + self.eps);
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// Adam: adaptive moment estimation (Kingma & Ba, paper ref. 13) — the optimizer
+/// the paper trains with.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_nn::{Adam, Optimizer};
+///
+/// let mut opt = Adam::new(0.1).unwrap();
+/// let mut params = vec![1.0_f64];
+/// // Minimise f(p) = p²: gradient is 2p.
+/// for _ in 0..200 {
+///     let grads = vec![2.0 * params[0]];
+///     opt.step(0, &mut params, &grads).unwrap();
+///     opt.end_step();
+/// }
+/// assert!(params[0].abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates Adam with the paper-standard hyperparameters
+    /// (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for a non-positive rate.
+    pub fn new(lr: f64) -> crate::Result<Self> {
+        validate_lr(lr)?;
+        Ok(Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        })
+    }
+
+    /// Creates Adam with explicit moment coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the rate is non-positive or
+    /// either beta lies outside `[0, 1)`.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64) -> crate::Result<Self> {
+        validate_lr(lr)?;
+        for (name, b) in [("beta1", beta1), ("beta2", beta2)] {
+            if !(0.0..1.0).contains(&b) {
+                return Err(NnError::InvalidConfig {
+                    detail: format!("{name} {b} outside [0, 1)"),
+                });
+            }
+        }
+        Ok(Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        })
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, group: usize, params: &mut [f64], grads: &[f64]) -> crate::Result<()> {
+        check_lens(group, params, grads)?;
+        // Time index of the *current* step (end_step increments after
+        // all groups have been visited).
+        let t = (self.t + 1) as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let m = fetch_state(&mut self.m, group, params.len())?;
+        let v = fetch_state(&mut self.v, group, params.len())?;
+        // fetch_state borrows self.m mutably, so split the second fetch.
+        for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            let mi = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            m[i] = mi;
+            let mhat = mi / bc1;
+            let vi = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            v[i] = vi;
+            let vhat = vi / bc2;
+            *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+        Ok(())
+    }
+
+    fn end_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+fn validate_lr(lr: f64) -> crate::Result<()> {
+    if !(lr.is_finite() && lr > 0.0) {
+        return Err(NnError::InvalidConfig {
+            detail: format!("learning rate must be positive, got {lr}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise the quadratic f(p) = Σ (p_i - target_i)² with each
+    /// optimizer; all must converge.
+    fn run<O: Optimizer>(mut opt: O, iters: usize) -> Vec<f64> {
+        let target = [3.0, -1.0];
+        let mut params = vec![0.0, 0.0];
+        for _ in 0..iters {
+            let grads: Vec<f64> = params
+                .iter()
+                .zip(&target)
+                .map(|(p, t)| 2.0 * (p - t))
+                .collect();
+            opt.step(0, &mut params, &grads).unwrap();
+            opt.end_step();
+        }
+        params
+            .iter()
+            .zip(&target)
+            .map(|(p, t)| (p - t).abs())
+            .collect()
+    }
+
+    #[test]
+    fn sgd_converges() {
+        for e in run(Sgd::new(0.1).unwrap(), 200) {
+            assert!(e < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_converges() {
+        for e in run(Momentum::new(0.05, 0.9).unwrap(), 300) {
+            assert!(e < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rmsprop_converges() {
+        for e in run(RmsProp::new(0.05).unwrap(), 2000) {
+            assert!(e < 1e-3);
+        }
+    }
+
+    #[test]
+    fn adam_converges() {
+        for e in run(Adam::new(0.2).unwrap(), 500) {
+            assert!(e < 1e-4);
+        }
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction the very first Adam step has magnitude
+        // ~lr regardless of gradient scale.
+        for g in [1e-6, 1.0, 1e6] {
+            let mut p = vec![0.0];
+            let mut opt = Adam::new(0.01).unwrap();
+            opt.step(0, &mut p, &[g]).unwrap();
+            // epsilon softens the tiny-gradient case slightly (~1 %).
+            assert!(
+                (p[0].abs() - 0.01).abs() < 2e-4,
+                "step size {} for gradient {g}",
+                p[0].abs()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Sgd::new(0.0).is_err());
+        assert!(Sgd::new(-1.0).is_err());
+        assert!(Sgd::new(f64::NAN).is_err());
+        assert!(Momentum::new(0.1, 1.0).is_err());
+        assert!(Adam::with_betas(0.1, 1.0, 0.999).is_err());
+        assert!(Adam::with_betas(0.1, 0.9, -0.1).is_err());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let mut opt = Sgd::new(0.1).unwrap();
+        let mut p = vec![0.0; 2];
+        assert!(opt.step(0, &mut p, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn group_size_change_rejected() {
+        let mut opt = Adam::new(0.1).unwrap();
+        let mut p2 = vec![0.0; 2];
+        opt.step(0, &mut p2, &[1.0, 1.0]).unwrap();
+        let mut p3 = vec![0.0; 3];
+        assert!(opt.step(0, &mut p3, &[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let mut opt = Momentum::new(0.1, 0.5).unwrap();
+        let mut a = vec![0.0];
+        let mut b = vec![0.0; 3];
+        opt.step(0, &mut a, &[1.0]).unwrap();
+        opt.step(1, &mut b, &[1.0, 1.0, 1.0]).unwrap();
+        opt.end_step();
+        assert!(a[0] < 0.0 && b[2] < 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Versioned text persistence for trained models.
+//!
+//! The format is line-oriented and human-inspectable:
+//!
+//! ```text
+//! ppdl-mlp v1
+//! layers 2
+//! layer 8 3 relu
+//! <8 weight rows, space-separated>
+//! <1 bias row>
+//! layer 1 8 identity
+//! ...
+//! end
+//! ```
+//!
+//! Values are written with Rust's shortest-round-trip float formatting,
+//! so save/load is lossless.
+
+use crate::{Activation, DenseLayer, Matrix, Mlp, NnError};
+
+impl Mlp {
+    /// Serialises the model to the versioned text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "ppdl-mlp v1");
+        let _ = writeln!(out, "layers {}", self.layer_count());
+        for layer in self.layers() {
+            let act = layer.activation();
+            match act {
+                Activation::LeakyRelu(alpha) => {
+                    let _ = writeln!(
+                        out,
+                        "layer {} {} leaky_relu {alpha}",
+                        layer.output_dim(),
+                        layer.input_dim()
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        out,
+                        "layer {} {} {}",
+                        layer.output_dim(),
+                        layer.input_dim(),
+                        act.name()
+                    );
+                }
+            }
+            for r in 0..layer.output_dim() {
+                let row: Vec<String> = (0..layer.input_dim())
+                    .map(|c| format!("{}", layer.weights().get(r, c)))
+                    .collect();
+                let _ = writeln!(out, "{}", row.join(" "));
+            }
+            let bias: Vec<String> = layer.bias().iter().map(|b| format!("{b}")).collect();
+            let _ = writeln!(out, "{}", bias.join(" "));
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Reconstructs a model from [`to_text`](Self::to_text) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Decode`] (with a line number) for any
+    /// malformed input.
+    pub fn from_text(text: &str) -> crate::Result<Self> {
+        let mut lines = text.lines().enumerate();
+        let mut next = |expect: &str| -> crate::Result<(usize, &str)> {
+            lines
+                .next()
+                .map(|(i, l)| (i + 1, l.trim()))
+                .ok_or_else(|| NnError::Decode {
+                    line: 0,
+                    detail: format!("unexpected end of input, expected {expect}"),
+                })
+        };
+        let (ln, header) = next("header")?;
+        if header != "ppdl-mlp v1" {
+            return Err(NnError::Decode {
+                line: ln,
+                detail: format!("bad header '{header}'"),
+            });
+        }
+        let (ln, count_line) = next("layer count")?;
+        let count: usize = count_line
+            .strip_prefix("layers ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| NnError::Decode {
+                line: ln,
+                detail: format!("bad layer count line '{count_line}'"),
+            })?;
+        let mut layers = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (ln, decl) = next("layer declaration")?;
+            let fields: Vec<&str> = decl.split_whitespace().collect();
+            if fields.len() < 4 || fields[0] != "layer" {
+                return Err(NnError::Decode {
+                    line: ln,
+                    detail: format!("bad layer declaration '{decl}'"),
+                });
+            }
+            let out_dim: usize = fields[1].parse().map_err(|_| NnError::Decode {
+                line: ln,
+                detail: format!("bad output dim '{}'", fields[1]),
+            })?;
+            let in_dim: usize = fields[2].parse().map_err(|_| NnError::Decode {
+                line: ln,
+                detail: format!("bad input dim '{}'", fields[2]),
+            })?;
+            let activation = match fields[3] {
+                "identity" => Activation::Identity,
+                "relu" => Activation::Relu,
+                "tanh" => Activation::Tanh,
+                "sigmoid" => Activation::Sigmoid,
+                "leaky_relu" => {
+                    let alpha: f64 = fields
+                        .get(4)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| NnError::Decode {
+                            line: ln,
+                            detail: "leaky_relu requires an alpha".into(),
+                        })?;
+                    Activation::LeakyRelu(alpha)
+                }
+                other => {
+                    return Err(NnError::Decode {
+                        line: ln,
+                        detail: format!("unknown activation '{other}'"),
+                    })
+                }
+            };
+            let mut weights = Matrix::zeros(out_dim, in_dim);
+            for r in 0..out_dim {
+                let (ln, row) = next("weight row")?;
+                let vals = parse_floats(row, ln)?;
+                if vals.len() != in_dim {
+                    return Err(NnError::Decode {
+                        line: ln,
+                        detail: format!("weight row has {} values, expected {in_dim}", vals.len()),
+                    });
+                }
+                weights.row_mut(r).copy_from_slice(&vals);
+            }
+            let (ln, brow) = next("bias row")?;
+            let bias = parse_floats(brow, ln)?;
+            if bias.len() != out_dim {
+                return Err(NnError::Decode {
+                    line: ln,
+                    detail: format!("bias row has {} values, expected {out_dim}", bias.len()),
+                });
+            }
+            layers.push(DenseLayer::from_parameters(weights, bias, activation)?);
+        }
+        let (ln, terminator) = next("end")?;
+        if terminator != "end" {
+            return Err(NnError::Decode {
+                line: ln,
+                detail: format!("expected 'end', found '{terminator}'"),
+            });
+        }
+        Mlp::from_layers(layers)
+    }
+}
+
+fn parse_floats(line: &str, ln: usize) -> crate::Result<Vec<f64>> {
+    line.split_whitespace()
+        .map(|t| {
+            t.parse().map_err(|_| NnError::Decode {
+                line: ln,
+                detail: format!("bad float '{t}'"),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MlpBuilder;
+
+    fn model() -> Mlp {
+        MlpBuilder::new(3)
+            .hidden(5, Activation::Relu)
+            .hidden(4, Activation::LeakyRelu(0.02))
+            .output(2)
+            .seed(17)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let m = model();
+        let text = m.to_text();
+        let back = Mlp::from_text(&text).unwrap();
+        assert_eq!(back.layer_count(), m.layer_count());
+        let x = Matrix::from_fn(7, 3, |r, c| (r as f64 - c as f64) * 0.37);
+        assert_eq!(back.predict(&x).unwrap(), m.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn round_trip_preserves_activations() {
+        let m = model();
+        let back = Mlp::from_text(&m.to_text()).unwrap();
+        for (a, b) in back.layers().iter().zip(m.layers()) {
+            assert_eq!(a.activation(), b.activation());
+        }
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = Mlp::from_text("nonsense v9\n").unwrap_err();
+        assert!(matches!(err, NnError::Decode { line: 1, .. }));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let m = model();
+        let text = m.to_text();
+        let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(Mlp::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn corrupted_float_rejected_with_line() {
+        let m = MlpBuilder::new(1).output(1).build().unwrap();
+        let text = m.to_text().replace(
+            m.layers()[0].weights().get(0, 0).to_string().as_str(),
+            "not_a_number",
+        );
+        match Mlp::from_text(&text) {
+            Err(NnError::Decode { line, .. }) => assert!(line >= 3),
+            other => panic!("expected decode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_row_width_rejected() {
+        let text = "ppdl-mlp v1\nlayers 1\nlayer 1 2 identity\n0.5\n0.0\nend\n";
+        // Weight row has 1 value but input dim is 2.
+        assert!(Mlp::from_text(text).is_err());
+    }
+
+    #[test]
+    fn missing_end_rejected() {
+        let text = "ppdl-mlp v1\nlayers 1\nlayer 1 1 identity\n0.5\n0.0\nnot-end\n";
+        assert!(Mlp::from_text(text).is_err());
+    }
+
+    #[test]
+    fn unknown_activation_rejected() {
+        let text = "ppdl-mlp v1\nlayers 1\nlayer 1 1 swish extra\n0.5\n0.0\nend\n";
+        assert!(Mlp::from_text(text).is_err());
+    }
+}

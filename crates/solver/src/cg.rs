@@ -1,0 +1,414 @@
+use crate::vecops::{all_finite, axpy, dot, norm2, xpby};
+use crate::{CsrMatrix, Preconditioner, SolverError};
+
+/// Options controlling a (preconditioned) conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOptions {
+    /// Relative residual tolerance: the solve stops when
+    /// `||b - A x|| <= tolerance * ||b||`.
+    pub tolerance: f64,
+    /// Hard iteration cap. `0` means "dimension of the system".
+    pub max_iterations: usize,
+    /// If `true`, record the residual norm at every iteration in
+    /// [`CgSolution::residual_history`] (off by default; it allocates).
+    pub record_history: bool,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-9,
+            max_iterations: 0,
+            record_history: false,
+        }
+    }
+}
+
+/// Result of a successful CG solve.
+#[derive(Debug, Clone)]
+pub struct CgSolution {
+    /// The computed solution vector.
+    pub x: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `||b - A x|| / ||b||`.
+    pub relative_residual: f64,
+    /// Per-iteration residual norms, if requested via
+    /// [`CgOptions::record_history`].
+    pub residual_history: Vec<f64>,
+}
+
+/// Preconditioned conjugate-gradient solver for symmetric
+/// positive-definite systems.
+///
+/// This is the solver used for static IR-drop analysis: the MNA
+/// conductance matrix of a power grid (with the voltage-source nodes
+/// eliminated) is SPD and diagonally dominant, the regime in which CG
+/// with a Jacobi or IC(0) preconditioner converges quickly.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_solver::{TripletMatrix, ConjugateGradient, CgOptions, IdentityPreconditioner};
+///
+/// let mut t = TripletMatrix::new(3, 3);
+/// t.stamp_conductance(0, 1, 1.0);
+/// t.stamp_conductance(1, 2, 1.0);
+/// t.stamp_grounded_conductance(0, 1.0);
+/// let a = t.to_csr();
+/// let b = vec![0.0, 0.0, 1.0]; // 1 A injected at the far node
+///
+/// let cg = ConjugateGradient::new(CgOptions::default());
+/// let sol = cg.solve(&a, &b, &IdentityPreconditioner::new(3)).unwrap();
+/// // Voltages accumulate along the chain: 1, 2, 3 volts.
+/// assert!((sol.x[2] - 3.0).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConjugateGradient {
+    options: CgOptions,
+}
+
+impl ConjugateGradient {
+    /// Creates a solver with the given options.
+    #[must_use]
+    pub fn new(options: CgOptions) -> Self {
+        Self { options }
+    }
+
+    /// Returns the configured options.
+    #[must_use]
+    pub fn options(&self) -> &CgOptions {
+        &self.options
+    }
+
+    /// Solves `A x = b` starting from `x = 0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::DimensionMismatch`] — shapes are inconsistent.
+    /// * [`SolverError::DidNotConverge`] — the iteration cap was reached
+    ///   before the residual dropped below tolerance.
+    /// * [`SolverError::NonFiniteValue`] — the recurrence produced a NaN
+    ///   or infinity (e.g. the matrix is not SPD).
+    pub fn solve<P: Preconditioner>(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        precond: &P,
+    ) -> crate::Result<CgSolution> {
+        let x0 = vec![0.0; b.len()];
+        self.solve_with_guess(a, b, precond, x0)
+    }
+
+    /// Solves `A x = b` starting from a caller-provided initial guess —
+    /// the warm-start path the iterative design loop uses between sizing
+    /// rounds, where consecutive solves differ only slightly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_with_guess<P: Preconditioner>(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        precond: &P,
+        mut x: Vec<f64>,
+    ) -> crate::Result<CgSolution> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!("cg requires a square matrix, got {}x{}", n, a.ncols()),
+            });
+        }
+        if b.len() != n || x.len() != n || precond.dim() != n {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!(
+                    "cg: matrix dim {n}, b {}, x0 {}, preconditioner {}",
+                    b.len(),
+                    x.len(),
+                    precond.dim()
+                ),
+            });
+        }
+        if !all_finite(b) {
+            return Err(SolverError::NonFiniteValue {
+                context: "cg right-hand side".into(),
+            });
+        }
+
+        let bnorm = norm2(b);
+        if bnorm == 0.0 {
+            // Homogeneous system with SPD matrix: the solution is zero.
+            return Ok(CgSolution {
+                x: vec![0.0; n],
+                iterations: 0,
+                relative_residual: 0.0,
+                residual_history: Vec::new(),
+            });
+        }
+
+        let max_iter = if self.options.max_iterations == 0 {
+            // CG converges in at most n steps in exact arithmetic; give
+            // some slack for floating point.
+            2 * n + 50
+        } else {
+            self.options.max_iterations
+        };
+
+        // r = b - A x
+        let mut r = a.residual(&x, b)?;
+        let mut z = vec![0.0; n];
+        precond.apply(&r, &mut z)?;
+        let mut p = z.clone();
+        let mut rz = dot(&r, &z);
+        let mut ap = vec![0.0; n];
+        let mut history = Vec::new();
+
+        let mut resid = norm2(&r) / bnorm;
+        if self.options.record_history {
+            history.push(resid);
+        }
+        if resid <= self.options.tolerance {
+            return Ok(CgSolution {
+                x,
+                iterations: 0,
+                relative_residual: resid,
+                residual_history: history,
+            });
+        }
+
+        for iter in 1..=max_iter {
+            a.mul_vec_into(&p, &mut ap)?;
+            let pap = dot(&p, &ap);
+            if pap <= 0.0 || !pap.is_finite() {
+                return Err(SolverError::NonFiniteValue {
+                    context: format!("cg iteration {iter}: p·Ap = {pap:e} (matrix not SPD?)"),
+                });
+            }
+            let alpha = rz / pap;
+            axpy(alpha, &p, &mut x);
+            axpy(-alpha, &ap, &mut r);
+
+            resid = norm2(&r) / bnorm;
+            if self.options.record_history {
+                history.push(resid);
+            }
+            if resid <= self.options.tolerance {
+                return Ok(CgSolution {
+                    x,
+                    iterations: iter,
+                    relative_residual: resid,
+                    residual_history: history,
+                });
+            }
+
+            precond.apply(&r, &mut z)?;
+            let rz_new = dot(&r, &z);
+            if !rz_new.is_finite() {
+                return Err(SolverError::NonFiniteValue {
+                    context: format!("cg iteration {iter}: r·z"),
+                });
+            }
+            let beta = rz_new / rz;
+            rz = rz_new;
+            xpby(&z, beta, &mut p);
+        }
+
+        Err(SolverError::DidNotConverge {
+            iterations: max_iter,
+            residual: resid,
+            tolerance: self.options.tolerance,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        IdentityPreconditioner, IncompleteCholesky, JacobiPreconditioner, TripletMatrix,
+    };
+
+    fn chain(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n - 1 {
+            t.stamp_conductance(i, i + 1, 1.0);
+        }
+        t.stamp_grounded_conductance(0, 1.0);
+        t.to_csr()
+    }
+
+    /// 2-D grid Laplacian with one grounded corner — the structure of a
+    /// single-layer power grid.
+    fn grid2d(side: usize) -> CsrMatrix {
+        let n = side * side;
+        let mut t = TripletMatrix::new(n, n);
+        for r in 0..side {
+            for c in 0..side {
+                let i = r * side + c;
+                if c + 1 < side {
+                    t.stamp_conductance(i, i + 1, 1.0);
+                }
+                if r + 1 < side {
+                    t.stamp_conductance(i, i + side, 1.0);
+                }
+            }
+        }
+        t.stamp_grounded_conductance(0, 2.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_chain_exactly() {
+        let a = chain(4);
+        let b = vec![0.0, 0.0, 0.0, 1.0];
+        let cg = ConjugateGradient::new(CgOptions::default());
+        let sol = cg.solve(&a, &b, &IdentityPreconditioner::new(4)).unwrap();
+        for (i, &v) in sol.x.iter().enumerate() {
+            assert!((v - (i as f64 + 1.0)).abs() < 1e-7, "node {i}: {v}");
+        }
+        assert!(sol.relative_residual <= 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_instantly() {
+        let a = chain(5);
+        let cg = ConjugateGradient::default();
+        let sol = cg
+            .solve(&a, &[0.0; 5], &IdentityPreconditioner::new(5))
+            .unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.x, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn matches_dense_cholesky_on_grid() {
+        let a = grid2d(6);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 * 0.1).collect();
+        let cg = ConjugateGradient::new(CgOptions {
+            tolerance: 1e-12,
+            ..CgOptions::default()
+        });
+        let pc = JacobiPreconditioner::from_matrix(&a).unwrap();
+        let sol = cg.solve(&a, &b, &pc).unwrap();
+        let dense = a.to_dense().cholesky().unwrap().solve(&b).unwrap();
+        for (u, v) in sol.x.iter().zip(&dense) {
+            assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn ic0_converges_faster_than_plain() {
+        let a = grid2d(12);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 * 0.2 + 0.1).collect();
+        let cg = ConjugateGradient::new(CgOptions {
+            tolerance: 1e-10,
+            ..CgOptions::default()
+        });
+        let plain = cg
+            .solve(&a, &b, &IdentityPreconditioner::new(n))
+            .unwrap();
+        let ic = IncompleteCholesky::from_matrix(&a).unwrap();
+        let pre = cg.solve(&a, &b, &ic).unwrap();
+        assert!(
+            pre.iterations < plain.iterations,
+            "IC(0) {} iters vs plain {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_takes_fewer_iterations() {
+        let a = grid2d(10);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.3).collect();
+        let cg = ConjugateGradient::new(CgOptions {
+            tolerance: 1e-10,
+            ..CgOptions::default()
+        });
+        let pc = JacobiPreconditioner::from_matrix(&a).unwrap();
+        let cold = cg.solve(&a, &b, &pc).unwrap();
+        // Perturb b slightly and warm-start from the previous solution.
+        let b2: Vec<f64> = b.iter().map(|v| v * 1.01).collect();
+        let warm = cg.solve_with_guess(&a, &b2, &pc, cold.x.clone()).unwrap();
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn iteration_cap_reports_nonconvergence() {
+        let a = grid2d(8);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let cg = ConjugateGradient::new(CgOptions {
+            tolerance: 1e-14,
+            max_iterations: 2,
+            record_history: false,
+        });
+        let err = cg
+            .solve(&a, &b, &IdentityPreconditioner::new(n))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SolverError::DidNotConverge { iterations: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn residual_history_is_recorded_and_decreases_overall() {
+        let a = grid2d(5);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let cg = ConjugateGradient::new(CgOptions {
+            record_history: true,
+            ..CgOptions::default()
+        });
+        let pc = JacobiPreconditioner::from_matrix(&a).unwrap();
+        let sol = cg.solve(&a, &b, &pc).unwrap();
+        assert_eq!(sol.residual_history.len(), sol.iterations + 1);
+        assert!(sol.residual_history.last().unwrap() < sol.residual_history.first().unwrap());
+    }
+
+    #[test]
+    fn rejects_non_spd_direction() {
+        // Symmetric but indefinite matrix: CG must detect p·Ap <= 0.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, -1.0);
+        let a = t.to_csr();
+        let cg = ConjugateGradient::default();
+        let err = cg
+            .solve(&a, &[0.0, 1.0], &IdentityPreconditioner::new(2))
+            .unwrap_err();
+        assert!(matches!(err, SolverError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn rejects_nan_rhs() {
+        let a = chain(3);
+        let cg = ConjugateGradient::default();
+        let err = cg
+            .solve(&a, &[1.0, f64::NAN, 0.0], &IdentityPreconditioner::new(3))
+            .unwrap_err();
+        assert!(matches!(err, SolverError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let a = chain(3);
+        let cg = ConjugateGradient::default();
+        assert!(cg
+            .solve(&a, &[1.0, 2.0], &IdentityPreconditioner::new(3))
+            .is_err());
+        assert!(cg
+            .solve(&a, &[1.0, 2.0, 3.0], &IdentityPreconditioner::new(2))
+            .is_err());
+    }
+}

@@ -1,0 +1,492 @@
+use crate::{SolverError, TripletMatrix};
+
+/// Compressed-sparse-row matrix.
+///
+/// The workhorse storage format for the assembled MNA conductance matrix.
+/// Rows are stored contiguously; within each row, column indices are
+/// strictly increasing. Construct one either from a [`TripletMatrix`]
+/// (the usual path when stamping a circuit) or from validated raw parts.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_solver::TripletMatrix;
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.stamp_conductance(0, 1, 2.0);
+/// let a = t.to_csr();
+/// let y = a.mul_vec(&[1.0, 0.0]).unwrap();
+/// assert_eq!(y, vec![2.0, -2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if `indptr` does not
+    /// have `nrows + 1` monotonically non-decreasing entries ending at
+    /// `indices.len()`, if `indices` and `data` differ in length, if any
+    /// column index is out of range, or if columns within a row are not
+    /// strictly increasing.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> crate::Result<Self> {
+        if indptr.len() != nrows + 1 {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!(
+                    "indptr length {} != nrows + 1 = {}",
+                    indptr.len(),
+                    nrows + 1
+                ),
+            });
+        }
+        if indices.len() != data.len() {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!(
+                    "indices length {} != data length {}",
+                    indices.len(),
+                    data.len()
+                ),
+            });
+        }
+        if indptr.first() != Some(&0) || indptr.last() != Some(&indices.len()) {
+            return Err(SolverError::DimensionMismatch {
+                detail: "indptr must start at 0 and end at nnz".into(),
+            });
+        }
+        for w in indptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(SolverError::DimensionMismatch {
+                    detail: "indptr must be non-decreasing".into(),
+                });
+            }
+        }
+        for r in 0..nrows {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                if w[1] <= w[0] {
+                    return Err(SolverError::DimensionMismatch {
+                        detail: format!("columns in row {r} not strictly increasing"),
+                    });
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= ncols {
+                    return Err(SolverError::IndexOutOfBounds {
+                        row: r,
+                        col: last,
+                        nrows,
+                        ncols,
+                    });
+                }
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Builds an `n x n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            data: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns the stored value at `(row, col)`, or `0.0` if the entry is
+    /// structurally zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.nrows && col < self.ncols, "get out of bounds");
+        let lo = self.indptr[row];
+        let hi = self.indptr[row + 1];
+        match self.indices[lo..hi].binary_search(&col) {
+            Ok(pos) => self.data[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over `(col, value)` pairs of one row, in increasing column
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= nrows`.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.nrows, "row out of bounds");
+        let lo = self.indptr[row];
+        let hi = self.indptr[row + 1];
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.data[lo..hi].iter().copied())
+    }
+
+    /// Number of stored entries in one row.
+    #[must_use]
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.indptr[row + 1] - self.indptr[row]
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if `x.len() != ncols`.
+    pub fn mul_vec(&self, x: &[f64]) -> crate::Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!(
+                    "spmv: matrix is {}x{}, vector has length {}",
+                    self.nrows,
+                    self.ncols,
+                    x.len()
+                ),
+            });
+        }
+        let mut y = vec![0.0; self.nrows];
+        self.mul_vec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Matrix–vector product writing into a preallocated output buffer.
+    /// This is the allocation-free kernel the CG loop uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] on shape mismatch.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) -> crate::Result<()> {
+        if x.len() != self.ncols || y.len() != self.nrows {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!(
+                    "spmv into: matrix is {}x{}, x has length {}, y has length {}",
+                    self.nrows,
+                    self.ncols,
+                    x.len(),
+                    y.len()
+                ),
+            });
+        }
+        for r in 0..self.nrows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.data[k] * x[self.indices[k]];
+            }
+            y[r] = acc;
+        }
+        Ok(())
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut t = TripletMatrix::with_capacity(self.ncols, self.nrows, self.nnz());
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                t.push(c, r, v);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Extracts the diagonal into a vector (missing diagonal entries are
+    /// `0.0`). Defined for square matrices only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn diagonal(&self) -> Vec<f64> {
+        assert_eq!(self.nrows, self.ncols, "diagonal requires a square matrix");
+        (0..self.nrows).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Checks structural and numerical symmetry to within `tol` (relative
+    /// to the larger of the two mirrored magnitudes).
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                let m = self.get(c, r);
+                let scale = v.abs().max(m.abs()).max(1.0);
+                if (v - m).abs() > tol * scale {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks weak row diagonal dominance: `|a_ii| >= sum_{j != i} |a_ij|`
+    /// for every row. MNA conductance matrices with at least one path to a
+    /// voltage source satisfy this, which guarantees CG convergence.
+    #[must_use]
+    pub fn is_diagonally_dominant(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for r in 0..self.nrows {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (c, v) in self.row(r) {
+                if c == r {
+                    diag = v.abs();
+                } else {
+                    off += v.abs();
+                }
+            }
+            // Tiny tolerance for floating point accumulation.
+            if diag + 1e-12 * (diag + off) < off {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Computes the residual vector `r = b - A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] on shape mismatch.
+    pub fn residual(&self, x: &[f64], b: &[f64]) -> crate::Result<Vec<f64>> {
+        if b.len() != self.nrows {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!(
+                    "residual: matrix has {} rows, b has length {}",
+                    self.nrows,
+                    b.len()
+                ),
+            });
+        }
+        let ax = self.mul_vec(x)?;
+        Ok(b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect())
+    }
+
+    /// Converts to a dense matrix. Intended for small systems and tests.
+    #[must_use]
+    pub fn to_dense(&self) -> crate::DenseMatrix {
+        let mut d = crate::DenseMatrix::zeros(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                d.set(r, c, v);
+            }
+        }
+        d
+    }
+
+    /// Frobenius norm of the matrix.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        crate::vecops::norm2(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 3, 0],
+        //  [4, 0, 5]]
+        CsrMatrix::from_raw_parts(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let a = sample();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn invalid_indptr_rejected() {
+        let err = CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SolverError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn decreasing_indptr_rejected() {
+        let err =
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SolverError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn unsorted_columns_rejected() {
+        let err = CsrMatrix::from_raw_parts(
+            1,
+            3,
+            vec![0, 2],
+            vec![2, 0],
+            vec![1.0, 2.0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolverError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = CsrMatrix::from_raw_parts(
+            1,
+            3,
+            vec![0, 2],
+            vec![1, 1],
+            vec![1.0, 2.0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolverError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn column_out_of_range_rejected() {
+        let err =
+            CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SolverError::IndexOutOfBounds { col: 5, .. }));
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = sample();
+        let y = a.mul_vec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn spmv_shape_mismatch() {
+        let a = sample();
+        assert!(a.mul_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn identity_acts_as_identity() {
+        let i = CsrMatrix::identity(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(i.mul_vec(&x).unwrap(), x);
+        assert_eq!(i.nnz(), 4);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = sample();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let a = sample();
+        let at = a.transpose();
+        assert_eq!(at.get(2, 0), 2.0);
+        assert_eq!(at.get(0, 2), 4.0);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = sample();
+        assert_eq!(a.diagonal(), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_conductance(0, 1, 2.0);
+        t.stamp_grounded_conductance(0, 1.0);
+        let a = t.to_csr();
+        assert!(a.is_symmetric(1e-12));
+        assert!(!sample().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn diagonal_dominance_of_stamped_grid() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.stamp_conductance(0, 1, 1.0);
+        t.stamp_conductance(1, 2, 1.0);
+        t.stamp_grounded_conductance(0, 0.5);
+        let a = t.to_csr();
+        assert!(a.is_diagonally_dominant());
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = CsrMatrix::identity(3);
+        let r = a.residual(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(r, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn to_dense_matches_get() {
+        let a = sample();
+        let d = a.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(d.get(r, c), a.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_value() {
+        let a = sample();
+        let expect = (1.0f64 + 4.0 + 9.0 + 16.0 + 25.0).sqrt();
+        assert!((a.frobenius_norm() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,415 @@
+use crate::SolverError;
+
+/// Row-major dense matrix.
+///
+/// Used for small MNA systems (a handful of straps), as the test oracle
+/// for the sparse path, and inside the dense factorizations.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_solver::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+/// let chol = a.cholesky().unwrap();
+/// let x = chol.solve(&[1.0, 2.0]).unwrap();
+/// assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    #[must_use]
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if the rows have unequal
+    /// lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> crate::Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(SolverError::DimensionMismatch {
+                    detail: format!(
+                        "row {i} has length {}, expected {ncols}",
+                        row.len()
+                    ),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.nrows && c < self.ncols, "dense get out of bounds");
+        self.data[r * self.ncols + c]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.nrows && c < self.ncols, "dense set out of bounds");
+        self.data[r * self.ncols + c] = v;
+    }
+
+    /// Adds `v` to the element at `(r, c)` (stamping accumulation).
+    pub fn add_to(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.nrows && c < self.ncols, "dense add out of bounds");
+        self.data[r * self.ncols + c] += v;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if `x.len() != ncols`.
+    pub fn mul_vec(&self, x: &[f64]) -> crate::Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!(
+                    "dense mul_vec: matrix is {}x{}, vector has length {}",
+                    self.nrows,
+                    self.ncols,
+                    x.len()
+                ),
+            });
+        }
+        Ok((0..self.nrows)
+            .map(|r| {
+                let row = &self.data[r * self.ncols..(r + 1) * self.ncols];
+                crate::vecops::dot(row, x)
+            })
+            .collect())
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` for symmetric positive-definite
+    /// matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if the matrix is not
+    /// square, or [`SolverError::NotPositiveDefinite`] if a pivot is not
+    /// strictly positive.
+    pub fn cholesky(&self) -> crate::Result<DenseCholesky> {
+        if self.nrows != self.ncols {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!("cholesky of non-square {}x{}", self.nrows, self.ncols),
+            });
+        }
+        let n = self.nrows;
+        let mut l = vec![0.0; n * n];
+        for j in 0..n {
+            let mut d = self.get(j, j);
+            for k in 0..j {
+                d -= l[j * n + k] * l[j * n + k];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(SolverError::NotPositiveDefinite { pivot: j, value: d });
+            }
+            let dj = d.sqrt();
+            l[j * n + j] = dj;
+            for i in (j + 1)..n {
+                let mut s = self.get(i, j);
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                l[i * n + j] = s / dj;
+            }
+        }
+        Ok(DenseCholesky { n, l })
+    }
+
+    /// LU factorization with partial pivoting, `P A = L U`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if the matrix is not
+    /// square, or [`SolverError::SingularMatrix`] if a pivot column is
+    /// entirely (numerically) zero.
+    pub fn lu(&self) -> crate::Result<DenseLu> {
+        if self.nrows != self.ncols {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!("lu of non-square {}x{}", self.nrows, self.ncols),
+            });
+        }
+        let n = self.nrows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let mut piv = k;
+            let mut best = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > best {
+                    best = v;
+                    piv = i;
+                }
+            }
+            if best < f64::EPSILON * n as f64 {
+                return Err(SolverError::SingularMatrix { pivot: k });
+            }
+            if piv != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, piv * n + c);
+                }
+                perm.swap(k, piv);
+            }
+            let pivval = lu[k * n + k];
+            for i in (k + 1)..n {
+                let m = lu[i * n + k] / pivval;
+                lu[i * n + k] = m;
+                for c in (k + 1)..n {
+                    lu[i * n + c] -= m * lu[k * n + c];
+                }
+            }
+        }
+        Ok(DenseLu { n, lu, perm })
+    }
+}
+
+/// Dense Cholesky factorization of a symmetric positive-definite matrix.
+///
+/// Produced by [`DenseMatrix::cholesky`]; solves `A x = b` by forward and
+/// backward substitution.
+#[derive(Debug, Clone)]
+pub struct DenseCholesky {
+    n: usize,
+    /// Lower-triangular factor, row-major, including the diagonal.
+    l: Vec<f64>,
+}
+
+impl DenseCholesky {
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!("cholesky solve: dim {n}, b has length {}", b.len()),
+            });
+        }
+        // Forward: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[i * n + k] * y[k];
+            }
+            y[i] /= self.l[i * n + i];
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[k * n + i] * y[k];
+            }
+            y[i] /= self.l[i * n + i];
+        }
+        Ok(y)
+    }
+}
+
+/// Dense LU factorization with partial pivoting.
+///
+/// Produced by [`DenseMatrix::lu`].
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    n: usize,
+    /// Packed LU factors (unit lower diagonal implicit), row-major.
+    lu: Vec<f64>,
+    /// Row permutation: `perm[k]` is the original row now at position `k`.
+    perm: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!("lu solve: dim {n}, b has length {}", b.len()),
+            });
+        }
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                x[i] -= self.lu[i * n + k] * x[k];
+            }
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.lu[i * n + k] * x[k];
+            }
+            x[i] /= self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_get() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn from_rows_ragged_rejected() {
+        let err = DenseMatrix::from_rows(&[&[1.0], &[1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, SolverError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn mul_vec_identity() {
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.mul_vec(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn add_to_accumulates() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.add_to(0, 0, 1.5);
+        m.add_to(0, 0, 2.5);
+        assert_eq!(m.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn cholesky_solves_spd() {
+        let a = DenseMatrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
+        let chol = a.cholesky().unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = chol.solve(&b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-9, "residual too large");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let err = a.cholesky().unwrap_err();
+        assert!(matches!(err, SolverError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(a.cholesky().is_err());
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        // Needs pivoting: zero on the first diagonal entry.
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]).unwrap();
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&[2.0, 2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let err = a.lu().unwrap_err();
+        assert!(matches!(err, SolverError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn lu_matches_cholesky_on_spd() {
+        let a = DenseMatrix::from_rows(&[&[5.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let b = [7.0, -1.0];
+        let x1 = a.cholesky().unwrap().solve(&b).unwrap();
+        let x2 = a.lu().unwrap().solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_wrong_rhs_length() {
+        let a = DenseMatrix::identity(2);
+        assert!(a.cholesky().unwrap().solve(&[1.0]).is_err());
+        assert!(a.lu().unwrap().solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

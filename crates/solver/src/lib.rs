@@ -1,0 +1,67 @@
+//! Sparse and dense linear algebra kernels for power-grid analysis.
+//!
+//! Static IR-drop analysis of an on-chip power grid reduces to solving the
+//! modified-nodal-analysis (MNA) system `G v = i`, where `G` is a large,
+//! sparse, symmetric positive-definite conductance matrix. This crate
+//! provides everything the analysis layer needs to do that from scratch:
+//!
+//! * [`TripletMatrix`] — a coordinate-format accumulator used while
+//!   stamping conductances, with duplicate summing.
+//! * [`CsrMatrix`] — compressed-sparse-row storage with matrix–vector
+//!   products, transpose, and structural queries.
+//! * [`DenseMatrix`] — small dense matrices with Cholesky and LU
+//!   factorizations, used for tiny systems and as a test oracle.
+//! * [`ConjugateGradient`] — (preconditioned) conjugate-gradient solver
+//!   with pluggable [`Preconditioner`]s: [`IdentityPreconditioner`],
+//!   [`JacobiPreconditioner`], and [`IncompleteCholesky`] (IC(0)).
+//! * [`vecops`] — the BLAS-1 style kernels (`dot`, `axpy`, norms) shared
+//!   by the iterative solvers.
+//!
+//! # Example
+//!
+//! Solve a small SPD system with preconditioned CG:
+//!
+//! ```
+//! use ppdl_solver::{TripletMatrix, ConjugateGradient, CgOptions, JacobiPreconditioner};
+//!
+//! // 2x2 SPD system: [[4, 1], [1, 3]] x = [1, 2]
+//! let mut t = TripletMatrix::new(2, 2);
+//! t.push(0, 0, 4.0);
+//! t.push(0, 1, 1.0);
+//! t.push(1, 0, 1.0);
+//! t.push(1, 1, 3.0);
+//! let a = t.to_csr();
+//!
+//! let pc = JacobiPreconditioner::from_matrix(&a).unwrap();
+//! let solver = ConjugateGradient::new(CgOptions::default());
+//! let sol = solver.solve(&a, &[1.0, 2.0], &pc).unwrap();
+//! assert!((sol.x[0] - 1.0 / 11.0).abs() < 1e-8);
+//! assert!((sol.x[1] - 7.0 / 11.0).abs() < 1e-8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cg;
+mod csr;
+mod dense;
+mod error;
+mod precond;
+mod sparse_chol;
+mod stationary;
+mod triplet;
+pub mod vecops;
+
+pub use cg::{CgOptions, CgSolution, ConjugateGradient};
+pub use csr::CsrMatrix;
+pub use dense::{DenseCholesky, DenseLu, DenseMatrix};
+pub use error::SolverError;
+pub use precond::{
+    IdentityPreconditioner, IncompleteCholesky, JacobiPreconditioner, Preconditioner,
+};
+pub use sparse_chol::SparseCholesky;
+pub use stationary::{GaussSeidel, StationaryOptions, StationarySolution};
+pub use triplet::TripletMatrix;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SolverError>;

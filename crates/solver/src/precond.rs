@@ -1,0 +1,345 @@
+use crate::{CsrMatrix, SolverError};
+
+/// A preconditioner approximating `A⁻¹`, applied once per CG iteration.
+///
+/// Implementations must be symmetric positive definite for use with
+/// [`ConjugateGradient`](crate::ConjugateGradient).
+pub trait Preconditioner {
+    /// Applies the preconditioner: writes `z = M⁻¹ r` into `z`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if `r` and `z` do not
+    /// match the preconditioner's dimension.
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> crate::Result<()>;
+
+    /// Dimension of the vectors this preconditioner operates on.
+    fn dim(&self) -> usize;
+}
+
+/// The trivial preconditioner `M = I` (plain CG).
+#[derive(Debug, Clone)]
+pub struct IdentityPreconditioner {
+    n: usize,
+}
+
+impl IdentityPreconditioner {
+    /// Creates an identity preconditioner for dimension `n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+}
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> crate::Result<()> {
+        check_dims(self.n, r, z)?;
+        z.copy_from_slice(r);
+        Ok(())
+    }
+
+    fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+/// Jacobi (diagonal) preconditioner `M = diag(A)`.
+///
+/// Cheap and effective for the diagonally dominant conductance matrices
+/// that power grids produce.
+#[derive(Debug, Clone)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Extracts the diagonal of `a` and inverts it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NotPositiveDefinite`] if any diagonal entry
+    /// is not strictly positive (an SPD matrix always has a positive
+    /// diagonal), or [`SolverError::DimensionMismatch`] if `a` is not
+    /// square.
+    pub fn from_matrix(a: &CsrMatrix) -> crate::Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!("jacobi of non-square {}x{}", a.nrows(), a.ncols()),
+            });
+        }
+        let mut inv_diag = Vec::with_capacity(a.nrows());
+        for (i, d) in a.diagonal().into_iter().enumerate() {
+            if d <= 0.0 || !d.is_finite() {
+                return Err(SolverError::NotPositiveDefinite { pivot: i, value: d });
+            }
+            inv_diag.push(1.0 / d);
+        }
+        Ok(Self { inv_diag })
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> crate::Result<()> {
+        check_dims(self.inv_diag.len(), r, z)?;
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+        Ok(())
+    }
+
+    fn dim(&self) -> usize {
+        self.inv_diag.len()
+    }
+}
+
+/// Zero-fill incomplete Cholesky preconditioner, IC(0).
+///
+/// Computes a lower-triangular `L` with the sparsity pattern of the lower
+/// triangle of `A` such that `L Lᵀ ≈ A`, then applies `M⁻¹ = L⁻ᵀ L⁻¹` by
+/// two triangular solves. This is the standard preconditioner for
+/// power-grid analysis and cuts CG iteration counts substantially on
+/// large grids (see the `ablation_precond` bench).
+#[derive(Debug, Clone)]
+pub struct IncompleteCholesky {
+    n: usize,
+    // CSR storage of L (strictly lower part, row by row, columns ascending)
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+    diag: Vec<f64>,
+}
+
+impl IncompleteCholesky {
+    /// Factors the lower triangle of `a` in place of its own pattern.
+    ///
+    /// If a pivot becomes non-positive (possible for IC(0) even on SPD
+    /// matrices), it is boosted by a small shift, which keeps the
+    /// preconditioner SPD at a modest cost in quality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if `a` is not square,
+    /// or [`SolverError::NotPositiveDefinite`] if a diagonal entry of `a`
+    /// is missing or non-positive.
+    pub fn from_matrix(a: &CsrMatrix) -> crate::Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!("ic0 of non-square {}x{}", a.nrows(), a.ncols()),
+            });
+        }
+        let n = a.nrows();
+        // Collect strictly-lower pattern and the diagonal.
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        let mut diag = vec![0.0; n];
+        indptr.push(0);
+        for i in 0..n {
+            let mut found_diag = false;
+            for (j, v) in a.row(i) {
+                if j < i {
+                    indices.push(j);
+                    data.push(v);
+                } else if j == i {
+                    diag[i] = v;
+                    found_diag = true;
+                }
+            }
+            indptr.push(indices.len());
+            if !found_diag || diag[i] <= 0.0 {
+                return Err(SolverError::NotPositiveDefinite {
+                    pivot: i,
+                    value: diag[i],
+                });
+            }
+        }
+
+        // Up-looking IC(0): for each row i, update entries against all
+        // previous rows k that appear in row i's pattern.
+        //
+        // l_ik = (a_ik - sum_{j<k, j in both patterns} l_ij * l_kj) / d_k
+        // d_i  = sqrt(a_ii - sum_{k<i} l_ik^2)
+        for i in 0..n {
+            let (lo_i, hi_i) = (indptr[i], indptr[i + 1]);
+            for idx in lo_i..hi_i {
+                let k = indices[idx];
+                // Dot of row i and row k over shared columns < k.
+                let mut s = data[idx];
+                let (mut p, mut q) = (lo_i, indptr[k]);
+                let (p_end, q_end) = (idx, indptr[k + 1]);
+                while p < p_end && q < q_end {
+                    match indices[p].cmp(&indices[q]) {
+                        std::cmp::Ordering::Less => p += 1,
+                        std::cmp::Ordering::Greater => q += 1,
+                        std::cmp::Ordering::Equal => {
+                            s -= data[p] * data[q];
+                            p += 1;
+                            q += 1;
+                        }
+                    }
+                }
+                data[idx] = s / diag[k];
+            }
+            let mut d = diag[i];
+            for idx in lo_i..hi_i {
+                d -= data[idx] * data[idx];
+            }
+            if d <= 0.0 {
+                // Breakdown: boost the pivot to keep the factor SPD.
+                d = (diag[i] * 1e-3).max(f64::EPSILON);
+            }
+            diag[i] = d.sqrt();
+        }
+        Ok(Self {
+            n,
+            indptr,
+            indices,
+            data,
+            diag,
+        })
+    }
+}
+
+impl Preconditioner for IncompleteCholesky {
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> crate::Result<()> {
+        check_dims(self.n, r, z)?;
+        // Forward solve L y = r.
+        for i in 0..self.n {
+            let mut s = r[i];
+            for idx in self.indptr[i]..self.indptr[i + 1] {
+                s -= self.data[idx] * z[self.indices[idx]];
+            }
+            z[i] = s / self.diag[i];
+        }
+        // Backward solve Lᵀ z = y (in place, traversing rows in reverse;
+        // row i's entries scatter into earlier columns).
+        for i in (0..self.n).rev() {
+            z[i] /= self.diag[i];
+            let zi = z[i];
+            for idx in self.indptr[i]..self.indptr[i + 1] {
+                z[self.indices[idx]] -= self.data[idx] * zi;
+            }
+        }
+        Ok(())
+    }
+
+    fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+fn check_dims(n: usize, r: &[f64], z: &[f64]) -> crate::Result<()> {
+    if r.len() != n || z.len() != n {
+        return Err(SolverError::DimensionMismatch {
+            detail: format!(
+                "preconditioner dim {n}, r has length {}, z has length {}",
+                r.len(),
+                z.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn spd_grid(n: usize) -> CsrMatrix {
+        // 1-D resistor chain with grounded end: tridiagonal SPD.
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n - 1 {
+            t.stamp_conductance(i, i + 1, 1.0);
+        }
+        t.stamp_grounded_conductance(0, 1.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn identity_copies() {
+        let p = IdentityPreconditioner::new(3);
+        let mut z = vec![0.0; 3];
+        p.apply(&[1.0, 2.0, 3.0], &mut z).unwrap();
+        assert_eq!(z, vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.dim(), 3);
+    }
+
+    #[test]
+    fn jacobi_divides_by_diagonal() {
+        let a = spd_grid(3);
+        let p = JacobiPreconditioner::from_matrix(&a).unwrap();
+        let mut z = vec![0.0; 3];
+        p.apply(&[a.get(0, 0), a.get(1, 1), a.get(2, 2)], &mut z)
+            .unwrap();
+        for zi in z {
+            assert!((zi - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn jacobi_rejects_nonpositive_diagonal() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, -1.0);
+        t.push(1, 1, 1.0);
+        let err = JacobiPreconditioner::from_matrix(&t.to_csr()).unwrap_err();
+        assert!(matches!(err, SolverError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn jacobi_rejects_missing_diagonal() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 1, 1.0);
+        // Row 0 has no diagonal entry -> treated as 0 -> rejected.
+        let err = JacobiPreconditioner::from_matrix(&t.to_csr()).unwrap_err();
+        assert!(matches!(
+            err,
+            SolverError::NotPositiveDefinite { pivot: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn ic0_exact_on_tridiagonal() {
+        // For a tridiagonal SPD matrix IC(0) IS the exact Cholesky factor,
+        // so M^{-1} r must equal A^{-1} r.
+        let a = spd_grid(5);
+        let ic = IncompleteCholesky::from_matrix(&a).unwrap();
+        let r = vec![1.0, 2.0, -1.0, 0.5, 3.0];
+        let mut z = vec![0.0; 5];
+        ic.apply(&r, &mut z).unwrap();
+        let x = a.to_dense().cholesky().unwrap().solve(&r).unwrap();
+        for (zi, xi) in z.iter().zip(&x) {
+            assert!((zi - xi).abs() < 1e-10, "{zi} vs {xi}");
+        }
+    }
+
+    #[test]
+    fn ic0_apply_is_spd_form() {
+        // z = M^{-1} r must satisfy r·z > 0 for r != 0 (SPD preconditioner).
+        let a = spd_grid(8);
+        let ic = IncompleteCholesky::from_matrix(&a).unwrap();
+        let r: Vec<f64> = (0..8).map(|i| (i as f64 - 3.5) * 0.7).collect();
+        let mut z = vec![0.0; 8];
+        ic.apply(&r, &mut z).unwrap();
+        assert!(crate::vecops::dot(&r, &z) > 0.0);
+    }
+
+    #[test]
+    fn ic0_rejects_missing_diag() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_conductance(0, 1, 1.0);
+        t.push(0, 0, -1.0); // cancels row-0 diagonal to zero
+        let csr = t.to_csr();
+        let err = IncompleteCholesky::from_matrix(&csr).unwrap_err();
+        assert!(matches!(err, SolverError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn apply_dim_mismatch() {
+        let a = spd_grid(3);
+        let p = JacobiPreconditioner::from_matrix(&a).unwrap();
+        let mut z = vec![0.0; 2];
+        assert!(p.apply(&[1.0, 2.0, 3.0], &mut z).is_err());
+    }
+}

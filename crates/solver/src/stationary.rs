@@ -1,0 +1,247 @@
+use crate::vecops::norm2;
+use crate::{CsrMatrix, SolverError};
+
+/// Options for the stationary (Gauss–Seidel) iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationaryOptions {
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Maximum number of sweeps.
+    pub max_sweeps: usize,
+    /// Successive over-relaxation factor in `(0, 2)`. `1.0` gives plain
+    /// Gauss–Seidel.
+    pub relaxation: f64,
+}
+
+impl Default for StationaryOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-8,
+            max_sweeps: 10_000,
+            relaxation: 1.0,
+        }
+    }
+}
+
+/// Result of a stationary solve.
+#[derive(Debug, Clone)]
+pub struct StationarySolution {
+    /// The computed solution vector.
+    pub x: Vec<f64>,
+    /// Number of sweeps performed.
+    pub sweeps: usize,
+    /// Final relative residual.
+    pub relative_residual: f64,
+}
+
+/// Gauss–Seidel / SOR solver.
+///
+/// Slower than preconditioned CG on power-grid matrices but useful as an
+/// independent cross-check of the CG results (two very different
+/// algorithms agreeing is strong evidence the assembly is right) and as a
+/// smoother. Requires a nonzero diagonal; converges for the symmetric
+/// diagonally dominant systems power grids produce.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_solver::{TripletMatrix, GaussSeidel, StationaryOptions};
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.stamp_conductance(0, 1, 1.0);
+/// t.stamp_grounded_conductance(0, 1.0);
+/// let a = t.to_csr();
+/// let sol = GaussSeidel::new(StationaryOptions::default())
+///     .solve(&a, &[0.0, 1.0])
+///     .unwrap();
+/// assert!((sol.x[1] - 2.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GaussSeidel {
+    options: StationaryOptions,
+}
+
+impl GaussSeidel {
+    /// Creates a solver with the given options.
+    #[must_use]
+    pub fn new(options: StationaryOptions) -> Self {
+        Self { options }
+    }
+
+    /// Solves `A x = b` from a zero initial guess.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::DimensionMismatch`] — inconsistent shapes.
+    /// * [`SolverError::SingularMatrix`] — a zero diagonal entry.
+    /// * [`SolverError::DidNotConverge`] — sweep cap reached.
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> crate::Result<StationarySolution> {
+        if !(self.options.relaxation > 0.0 && self.options.relaxation < 2.0) {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!(
+                    "SOR relaxation factor {} outside (0, 2) cannot converge",
+                    self.options.relaxation
+                ),
+            });
+        }
+        let n = a.nrows();
+        if a.ncols() != n || b.len() != n {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!(
+                    "gauss-seidel: matrix {}x{}, b has length {}",
+                    n,
+                    a.ncols(),
+                    b.len()
+                ),
+            });
+        }
+        let diag = a.diagonal();
+        if let Some(i) = diag.iter().position(|&d| d == 0.0) {
+            return Err(SolverError::SingularMatrix { pivot: i });
+        }
+        let bnorm = norm2(b);
+        if bnorm == 0.0 {
+            return Ok(StationarySolution {
+                x: vec![0.0; n],
+                sweeps: 0,
+                relative_residual: 0.0,
+            });
+        }
+        let omega = self.options.relaxation;
+        let mut x = vec![0.0; n];
+        let mut resid = f64::INFINITY;
+        for sweep in 1..=self.options.max_sweeps {
+            for i in 0..n {
+                let mut s = b[i];
+                for (j, v) in a.row(i) {
+                    if j != i {
+                        s -= v * x[j];
+                    }
+                }
+                let xi_new = s / diag[i];
+                x[i] += omega * (xi_new - x[i]);
+            }
+            let r = a.residual(&x, b)?;
+            resid = norm2(&r) / bnorm;
+            if resid <= self.options.tolerance {
+                return Ok(StationarySolution {
+                    x,
+                    sweeps: sweep,
+                    relative_residual: resid,
+                });
+            }
+        }
+        Err(SolverError::DidNotConverge {
+            iterations: self.options.max_sweeps,
+            residual: resid,
+            tolerance: self.options.tolerance,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn chain(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n - 1 {
+            t.stamp_conductance(i, i + 1, 1.0);
+        }
+        t.stamp_grounded_conductance(0, 1.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_chain() {
+        let a = chain(4);
+        let sol = GaussSeidel::default()
+            .solve(&a, &[0.0, 0.0, 0.0, 1.0])
+            .unwrap();
+        for (i, &v) in sol.x.iter().enumerate() {
+            assert!((v - (i as f64 + 1.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn agrees_with_cg() {
+        use crate::{CgOptions, ConjugateGradient, JacobiPreconditioner};
+        let a = chain(10);
+        let b: Vec<f64> = (0..10).map(|i| (i % 3) as f64 * 0.4).collect();
+        let gs = GaussSeidel::new(StationaryOptions {
+            tolerance: 1e-10,
+            ..StationaryOptions::default()
+        })
+        .solve(&a, &b)
+        .unwrap();
+        let pc = JacobiPreconditioner::from_matrix(&a).unwrap();
+        let cg = ConjugateGradient::new(CgOptions {
+            tolerance: 1e-12,
+            ..CgOptions::default()
+        })
+        .solve(&a, &b, &pc)
+        .unwrap();
+        for (u, v) in gs.x.iter().zip(&cg.x) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn sor_converges_in_fewer_sweeps() {
+        let a = chain(30);
+        let b = vec![0.1; 30];
+        let plain = GaussSeidel::new(StationaryOptions::default())
+            .solve(&a, &b)
+            .unwrap();
+        let sor = GaussSeidel::new(StationaryOptions {
+            relaxation: 1.8,
+            ..StationaryOptions::default()
+        })
+        .solve(&a, &b)
+        .unwrap();
+        assert!(sor.sweeps < plain.sweeps, "{} vs {}", sor.sweeps, plain.sweeps);
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        let err = GaussSeidel::default().solve(&t.to_csr(), &[1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, SolverError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = chain(3);
+        let sol = GaussSeidel::default().solve(&a, &[0.0; 3]).unwrap();
+        assert_eq!(sol.sweeps, 0);
+    }
+
+    #[test]
+    fn invalid_relaxation_rejected() {
+        let a = chain(3);
+        for omega in [0.0, 2.0, -0.5, f64::NAN] {
+            let err = GaussSeidel::new(StationaryOptions {
+                relaxation: omega,
+                ..StationaryOptions::default()
+            })
+            .solve(&a, &[1.0; 3]);
+            assert!(err.is_err(), "omega {omega} should be rejected");
+        }
+    }
+
+    #[test]
+    fn sweep_cap_reported() {
+        let a = chain(50);
+        let err = GaussSeidel::new(StationaryOptions {
+            tolerance: 1e-14,
+            max_sweeps: 1,
+            relaxation: 1.0,
+        })
+        .solve(&a, &vec![1.0; 50])
+        .unwrap_err();
+        assert!(matches!(err, SolverError::DidNotConverge { .. }));
+    }
+}

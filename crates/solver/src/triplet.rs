@@ -1,0 +1,303 @@
+use crate::csr::CsrMatrix;
+use crate::SolverError;
+
+/// Coordinate-format (COO) sparse matrix accumulator.
+///
+/// This is the stamping interface used while assembling an MNA conductance
+/// matrix: each resistor stamp pushes up to four `(row, col, value)`
+/// entries, and duplicates are *summed* on conversion to CSR — exactly the
+/// accumulation semantics circuit stamping needs.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_solver::TripletMatrix;
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicate, summed on conversion
+/// t.push(1, 1, 5.0);
+/// let a = t.to_csr();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// assert_eq!(a.get(1, 1), 5.0);
+/// assert_eq!(a.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty accumulator with the given shape.
+    #[must_use]
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty accumulator with capacity for `cap` entries.
+    #[must_use]
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of raw (pre-deduplication) entries pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Returns `true` if no entries have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Pushes an entry. Duplicates are allowed and summed on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds. Stamping with an
+    /// out-of-range node index is a programming error in the assembler.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet push ({row}, {col}) out of bounds for {}x{} matrix",
+            self.nrows,
+            self.ncols
+        );
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+    }
+
+    /// Fallible variant of [`push`](Self::push), returning an error instead
+    /// of panicking on out-of-bounds indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::IndexOutOfBounds`] if the indices do not fit
+    /// the declared shape.
+    pub fn try_push(&mut self, row: usize, col: usize, value: f64) -> crate::Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SolverError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+        Ok(())
+    }
+
+    /// Stamps the symmetric 2x2 conductance pattern of a two-terminal
+    /// conductance `g` between nodes `a` and `b`:
+    /// `A[a][a] += g; A[b][b] += g; A[a][b] -= g; A[b][a] -= g`.
+    ///
+    /// This is the fundamental resistor stamp of nodal analysis.
+    pub fn stamp_conductance(&mut self, a: usize, b: usize, g: f64) {
+        self.push(a, a, g);
+        self.push(b, b, g);
+        self.push(a, b, -g);
+        self.push(b, a, -g);
+    }
+
+    /// Stamps a conductance from node `a` to ground (only the diagonal
+    /// term appears, because the ground node is eliminated).
+    pub fn stamp_grounded_conductance(&mut self, a: usize, g: f64) {
+        self.push(a, a, g);
+    }
+
+    /// Converts to CSR, summing duplicate entries and dropping explicit
+    /// zeros that result from cancellation. Entries whose summed magnitude
+    /// is exactly `0.0` are removed.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then sort each row segment by column and
+        // merge duplicates. O(nnz log nnz_row) overall.
+        let nnz = self.vals.len();
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; nnz];
+        let mut next = row_counts.clone();
+        for (k, &r) in self.rows.iter().enumerate() {
+            order[next[r]] = k;
+            next[r] += 1;
+        }
+
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut data = Vec::with_capacity(nnz);
+        indptr.push(0usize);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            scratch.clear();
+            for &k in &order[row_counts[r]..row_counts[r + 1]] {
+                scratch.push((self.cols[k], self.vals[k]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let col = scratch[i].0;
+                let mut sum = 0.0;
+                while i < scratch.len() && scratch[i].0 == col {
+                    sum += scratch[i].1;
+                    i += 1;
+                }
+                if sum != 0.0 {
+                    indices.push(col);
+                    data.push(sum);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw_parts(self.nrows, self.ncols, indptr, indices, data)
+            .expect("triplet-to-CSR conversion produced invalid structure")
+    }
+
+    /// Clears all entries, keeping the allocated capacity and shape.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_converts() {
+        let t = TripletMatrix::new(3, 3);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(1, 0, 1.5);
+        t.push(1, 0, 2.5);
+        t.push(0, 1, -1.0);
+        let a = t.to_csr();
+        assert_eq!(a.get(1, 0), 4.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(0, 0, 2.0);
+        t.push(0, 0, -2.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn columns_sorted_within_rows() {
+        let mut t = TripletMatrix::new(1, 5);
+        t.push(0, 4, 4.0);
+        t.push(0, 0, 1.0);
+        t.push(0, 2, 2.0);
+        let a = t.to_csr();
+        let row: Vec<_> = a.row(0).map(|(c, _)| c).collect();
+        assert_eq!(row, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn conductance_stamp_pattern() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.stamp_conductance(0, 2, 0.5);
+        let a = t.to_csr();
+        assert_eq!(a.get(0, 0), 0.5);
+        assert_eq!(a.get(2, 2), 0.5);
+        assert_eq!(a.get(0, 2), -0.5);
+        assert_eq!(a.get(2, 0), -0.5);
+        assert_eq!(a.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn grounded_stamp_only_diagonal() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_grounded_conductance(1, 3.0);
+        let a = t.to_csr();
+        assert_eq!(a.get(1, 1), 3.0);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn try_push_reports_error() {
+        let mut t = TripletMatrix::new(2, 2);
+        let err = t.try_push(0, 5, 1.0).unwrap_err();
+        assert!(matches!(err, SolverError::IndexOutOfBounds { col: 5, .. }));
+        assert!(t.try_push(0, 1, 1.0).is_ok());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut t = TripletMatrix::new(2, 3);
+        t.push(0, 0, 1.0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.ncols(), 3);
+    }
+
+    #[test]
+    fn rectangular_shape_respected() {
+        let mut t = TripletMatrix::new(2, 4);
+        t.push(1, 3, 9.0);
+        let a = t.to_csr();
+        assert_eq!(a.nrows(), 2);
+        assert_eq!(a.ncols(), 4);
+        assert_eq!(a.get(1, 3), 9.0);
+    }
+}

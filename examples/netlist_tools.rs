@@ -1,0 +1,85 @@
+//! Working with IBM-PG-format SPICE decks directly: parse, inspect,
+//! analyze, and write back — the CAD-tool side of the crate stack.
+//!
+//! If you have a real IBM power-grid benchmark deck, pass its path:
+//! `cargo run --release --example netlist_tools -- path/to/ibmpg1.spice`.
+//! Without an argument the example generates an ibmpg1-style deck,
+//! round-trips it through the writer/parser, and analyzes it.
+
+use powerplanningdl::analysis::{IrDropMap, StaticAnalysis};
+use powerplanningdl::netlist::{parse_spice, IbmPgPreset, SyntheticBenchmark};
+
+fn main() {
+    let deck = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("reading {path}");
+            std::fs::read_to_string(&path).expect("readable deck")
+        }
+        None => {
+            println!("no deck given; generating an ibmpg1-style one");
+            let bench = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg1, 0.02, 3)
+                .expect("generation");
+            bench.network().to_spice()
+        }
+    };
+
+    // Parse.
+    let network = parse_spice(&deck).expect("valid IBM-PG SPICE subset");
+    let stats = network.stats();
+    println!(
+        "parsed: #n={} #r={} #v={} #i={}",
+        stats.nodes, stats.resistors, stats.sources, stats.loads
+    );
+    println!(
+        "supply: {:.2} V, total load {:.3} A",
+        network.supply_voltage().unwrap_or(0.0),
+        network.total_load_current()
+    );
+    if let Some(((x0, y0), (x1, y1))) = network.bounding_box() {
+        println!(
+            "die span: ({:.0}, {:.0}) .. ({:.0}, {:.0}) µm",
+            x0 as f64 / 1000.0,
+            y0 as f64 / 1000.0,
+            x1 as f64 / 1000.0,
+            y1 as f64 / 1000.0
+        );
+    }
+    let shorts = network.resistors().iter().filter(|r| r.is_short()).count();
+    if shorts > 0 {
+        println!("{shorts} zero-ohm vias will be merged before analysis");
+    }
+
+    // Analyze.
+    let report = StaticAnalysis::default()
+        .solve(&network)
+        .expect("static IR-drop analysis");
+    let (node, worst) = report.worst_drop().expect("non-empty grid");
+    println!(
+        "\nstatic analysis: {} unknowns, {} CG iterations",
+        report.unknowns(),
+        report.iterations()
+    );
+    println!(
+        "worst-case IR drop: {:.2} mV at {} (mean {:.2} mV)",
+        worst * 1e3,
+        network.node_name(node),
+        report.mean_drop() * 1e3
+    );
+
+    // Map the drops.
+    if let Ok(map) = IrDropMap::from_report(&network, &report, 8) {
+        println!("\ncoarse IR map (mV):");
+        for y in (0..map.resolution()).rev() {
+            let row: Vec<String> = (0..map.resolution())
+                .map(|x| format!("{:5.1}", map.get_mv(x, y)))
+                .collect();
+            println!("  {}", row.join(" "));
+        }
+    }
+
+    // Round-trip check: writer output re-parses to the same stats.
+    let rewritten = network.to_spice();
+    let again = parse_spice(&rewritten).expect("round trip");
+    assert_eq!(again.stats(), network.stats());
+    println!("\nwriter round-trip: OK ({} bytes)", rewritten.len());
+}

@@ -1,0 +1,230 @@
+//! `ppdl` — command-line front end for the PowerPlanningDL stack.
+//!
+//! ```text
+//! ppdl generate --preset ibmpg2 --scale 0.01 --seed 7 --out grid.spice [--svg fp.svg]
+//! ppdl analyze <deck.spice> [--map map.csv] [--resolution 100]
+//! ppdl flow --preset ibmpg2 --scale 0.01 [--fast] [--gamma 0.1] [--model model.ppdl]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use powerplanningdl::analysis::{IrDropMap, StaticAnalysis};
+use powerplanningdl::core::{experiment, PowerPlanningDl, WidthPredictor};
+use powerplanningdl::floorplan::SvgOptions;
+use powerplanningdl::netlist::{parse_spice, IbmPgPreset, Orientation, SyntheticBenchmark};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("flow") => cmd_flow(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ppdl — reliability-aware power grid design using deep learning
+
+USAGE:
+  ppdl generate --preset <name> [--scale <f>] [--seed <n>] --out <deck.spice> [--svg <fp.svg>]
+  ppdl analyze <deck.spice> [--map <map.csv>] [--resolution <n>]
+  ppdl flow --preset <name> [--scale <f>] [--seed <n>] [--fast] [--gamma <f>] [--model <out.ppdl>]
+
+PRESETS: ibmpg1..ibmpg6, ibmpgnew1, ibmpgnew2 (Table II of the paper)";
+
+/// Tiny flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], switches: &[&str]) -> Result<Self, String> {
+        let mut f = Flags {
+            positional: Vec::new(),
+            pairs: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if switches.contains(&name) {
+                    f.switches.push(name.to_string());
+                } else {
+                    i += 1;
+                    let v = args.get(i).ok_or_else(|| format!("--{name} needs a value"))?;
+                    f.pairs.push((name.to_string(), v.clone()));
+                }
+            } else {
+                f.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(f)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value '{v}' for --{key}")),
+        }
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+fn preset_from(flags: &Flags) -> Result<IbmPgPreset, String> {
+    let name = flags.get("preset").ok_or("--preset is required")?;
+    name.parse()
+        .map_err(|_| format!("unknown preset '{name}' (expected ibmpg1..ibmpgnew2)"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let preset = preset_from(&flags)?;
+    let scale: f64 = flags.get_parse("scale", 0.01)?;
+    let seed: u64 = flags.get_parse("seed", 7)?;
+    let out = PathBuf::from(flags.get("out").ok_or("--out is required")?);
+
+    let bench =
+        SyntheticBenchmark::from_preset(preset, scale, seed).map_err(|e| e.to_string())?;
+    let stats = bench.network().stats();
+    std::fs::write(&out, bench.network().to_spice()).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} resistors, {} sources, {} loads)",
+        out.display(),
+        stats.nodes,
+        stats.resistors,
+        stats.sources,
+        stats.loads
+    );
+    if let Some(svg_path) = flags.get("svg") {
+        let svg = bench.floorplan().to_svg(
+            bench.strap_plan(Orientation::Vertical).ok().as_ref(),
+            bench.strap_plan(Orientation::Horizontal).ok().as_ref(),
+            &SvgOptions::default(),
+        );
+        std::fs::write(svg_path, svg).map_err(|e| e.to_string())?;
+        println!("wrote {svg_path}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let deck_path = flags
+        .positional
+        .first()
+        .ok_or("analyze needs a deck path")?;
+    let resolution: usize = flags.get_parse("resolution", 100)?;
+
+    let deck = std::fs::read_to_string(deck_path).map_err(|e| e.to_string())?;
+    let network = parse_spice(&deck).map_err(|e| e.to_string())?;
+    let stats = network.stats();
+    println!(
+        "{deck_path}: #n={} #r={} #v={} #i={}",
+        stats.nodes, stats.resistors, stats.sources, stats.loads
+    );
+    let report = StaticAnalysis::default()
+        .solve(&network)
+        .map_err(|e| e.to_string())?;
+    let (node, worst) = report.worst_drop().ok_or("grid has no non-ground node")?;
+    println!(
+        "worst-case IR drop: {:.3} mV at {} (mean {:.3} mV, {} unknowns, {} CG iterations)",
+        worst * 1e3,
+        network.node_name(node),
+        report.mean_drop() * 1e3,
+        report.unknowns(),
+        report.iterations()
+    );
+    if let Some(map_path) = flags.get("map") {
+        let map = IrDropMap::from_report(&network, &report, resolution)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(map_path, map.to_csv()).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {map_path} ({resolution}x{resolution} cells, {:.1}..{:.1} mV)",
+            map.min_mv(),
+            map.max_mv()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_flow(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["fast"])?;
+    let preset = preset_from(&flags)?;
+    let scale: f64 = flags.get_parse("scale", 0.01)?;
+    let seed: u64 = flags.get_parse("seed", 7)?;
+    let gamma: f64 = flags.get_parse("gamma", 0.10)?;
+
+    let prepared =
+        experiment::prepare(preset, scale, seed, 2.5).map_err(|e| e.to_string())?;
+    let mut config = experiment::flow_config(&prepared, flags.has("fast"));
+    config.perturbation_gamma = gamma;
+    let outcome = PowerPlanningDl::new(config.clone())
+        .run(&prepared.bench)
+        .map_err(|e| e.to_string())?;
+
+    println!("benchmark:        {preset} at scale {scale} (seed {seed})");
+    println!(
+        "conventional:     {} sizing iterations, worst IR {:.2} mV",
+        outcome.conventional_iterations, outcome.conventional_worst_ir_mv
+    );
+    println!(
+        "width model:      r2 {:.3}, MSE {:.4}, correlation {:.3}",
+        outcome.width_metrics.r2,
+        outcome.width_metrics.mse_scaled,
+        outcome.width_metrics.correlation
+    );
+    println!(
+        "predicted IR:     {:.2} mV ({:+.1}% vs conventional)",
+        outcome.predicted_worst_ir_mv,
+        100.0 * (outcome.predicted_worst_ir_mv - outcome.conventional_worst_ir_mv)
+            / outcome.conventional_worst_ir_mv
+    );
+    println!(
+        "convergence time: {:.2} ms conventional vs {:.2} ms DL ({:.2}x)",
+        outcome.timing.conventional.as_secs_f64() * 1e3,
+        outcome.timing.dl.as_secs_f64() * 1e3,
+        outcome.timing.speedup
+    );
+
+    if let Some(model_path) = flags.get("model") {
+        // Re-train on the sized design to obtain a persistable model
+        // (the flow's internal model is consumed by the run).
+        let (predictor, _) = WidthPredictor::train(
+            &outcome.sized_bench,
+            &outcome.golden_widths,
+            config.predictor,
+        )
+        .map_err(|e| e.to_string())?;
+        std::fs::write(model_path, predictor.to_text()).map_err(|e| e.to_string())?;
+        println!("wrote trained model to {model_path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Persistence integration tests: models and decks written to disk by
+//! one "process" must reload bit-exact for another.
+
+use powerplanningdl::netlist::{parse_spice, IbmPgPreset, SyntheticBenchmark};
+use powerplanningdl::nn::{Activation, Matrix, Mlp, MlpBuilder};
+
+#[test]
+fn model_file_round_trip() {
+    let model = MlpBuilder::new(3)
+        .hidden_stack(10, 24, Activation::Relu)
+        .output(1)
+        .seed(99)
+        .build()
+        .unwrap();
+    let dir = std::env::temp_dir().join("ppdl_persist_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.ppdl");
+    std::fs::write(&path, model.to_text()).unwrap();
+
+    let loaded = Mlp::from_text(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let x = Matrix::from_fn(16, 3, |r, c| (r as f64 - 8.0) * 0.3 + c as f64);
+    assert_eq!(loaded.predict(&x).unwrap(), model.predict(&x).unwrap());
+    assert_eq!(loaded.parameter_count(), model.parameter_count());
+}
+
+#[test]
+fn deck_file_round_trip_preserves_analysis() {
+    use powerplanningdl::analysis::StaticAnalysis;
+    let bench = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg1, 0.01, 31).unwrap();
+    let dir = std::env::temp_dir().join("ppdl_persist_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("grid.spice");
+    std::fs::write(&path, bench.network().to_spice()).unwrap();
+
+    let loaded = parse_spice(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(loaded.stats(), bench.network().stats());
+    let a = StaticAnalysis::default().solve(bench.network()).unwrap();
+    let b = StaticAnalysis::default().solve(&loaded).unwrap();
+    assert!((a.worst_drop().unwrap().1 - b.worst_drop().unwrap().1).abs() < 1e-12);
+}
+
+#[test]
+fn corrupted_model_file_fails_loudly() {
+    let model = MlpBuilder::new(2).output(1).build().unwrap();
+    let text = model.to_text();
+    // Flip the header version.
+    let bad = text.replace("ppdl-mlp v1", "ppdl-mlp v9");
+    assert!(Mlp::from_text(&bad).is_err());
+    // Truncate mid-file.
+    let truncated = &text[..text.len() / 2];
+    assert!(Mlp::from_text(truncated).is_err());
+}
