@@ -2,9 +2,12 @@
 //!
 //! After placement and routing, the conventional flow re-verifies the
 //! grid against *true current traces*: a sequence of per-load current
-//! vectors captured from simulation. Each step is a static solve;
-//! consecutive steps differ only in the right-hand side, so the solver
-//! warm-starts from the previous solution.
+//! vectors captured from simulation. Each step is an independent static
+//! solve (same conductance matrix, different right-hand side), so the
+//! steps run in parallel across the thread pool configured through
+//! [`ppdl_solver::parallel`]. Every step solves cold from the same
+//! initial state regardless of how the steps are scheduled, which keeps
+//! the report bitwise identical at any thread count.
 
 use ppdl_netlist::{NodeId, PowerGridNetwork};
 
@@ -147,11 +150,12 @@ impl VectoredAnalysis {
         }
         let analyzer = StaticAnalysis::new(self.options.clone());
         let base: Vec<f64> = network.current_loads().iter().map(|l| l.amps).collect();
-        let mut working = network.clone();
 
-        let mut step_worst = Vec::with_capacity(trace.len());
-        let mut best: Option<(usize, NodeId, f64, IrDropReport)> = None;
-        for t in 0..trace.len() {
+        // Each step is an independent cold-start solve on a private copy
+        // of the grid, so steps parallelize without changing any result.
+        let steps: Vec<usize> = (0..trace.len()).collect();
+        let solved = ppdl_solver::parallel::par_map_vec(&steps, |_, &t| {
+            let mut working = network.clone();
             for (i, (b, f)) in base.iter().zip(trace.step(t)).enumerate() {
                 working
                     .set_load_current(i, b * f)
@@ -163,6 +167,15 @@ impl VectoredAnalysis {
                 .ok_or_else(|| AnalysisError::Undefined {
                     detail: "grid has no non-ground node".into(),
                 })?;
+            Ok::<_, AnalysisError>((node, worst, report))
+        });
+
+        // Reduce in step order: the first strictly-worst step wins, the
+        // same tie-break the sequential loop applied.
+        let mut step_worst = Vec::with_capacity(trace.len());
+        let mut best: Option<(usize, NodeId, f64, IrDropReport)> = None;
+        for (t, res) in solved.into_iter().enumerate() {
+            let (node, worst, report) = res?;
             step_worst.push(worst);
             if best.as_ref().map_or(true, |(_, _, w, _)| worst > *w) {
                 best = Some((t, node, worst, report));

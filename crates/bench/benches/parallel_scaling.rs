@@ -1,0 +1,135 @@
+//! Thread-scaling benches for the parallel execution layer: the same
+//! SpMV, CG solve, and training epoch measured at 1 thread and at the
+//! machine's full parallelism, on ibmpg2- and ibmpg6-scale problems.
+//!
+//! Results are bitwise identical across thread counts by construction
+//! (see `ppdl_solver::parallel`), so these benches measure pure
+//! wall-clock scaling. The small-grid cases double as a regression
+//! guard: below the parallel threshold the kernels must not pay for
+//! threads they don't use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppdl_nn::{Activation, Adam, Loss, Matrix, MlpBuilder};
+use ppdl_solver::{
+    parallel_config, set_threads, CgOptions, ConjugateGradient, CsrMatrix,
+    JacobiPreconditioner, TripletMatrix,
+};
+
+/// 2-D grid Laplacian with grounded corner — the structure of a
+/// power-grid conductance matrix. `side = 150` is ibmpg2-scale
+/// (~22.5k unknowns); `side = 400` approaches ibmpg6 (~160k).
+fn grid(side: usize) -> CsrMatrix {
+    let n = side * side;
+    let mut t = TripletMatrix::new(n, n);
+    for r in 0..side {
+        for c in 0..side {
+            let i = r * side + c;
+            if c + 1 < side {
+                t.stamp_conductance(i, i + 1, 1.0);
+            }
+            if r + 1 < side {
+                t.stamp_conductance(i, i + side, 1.0);
+            }
+        }
+    }
+    t.stamp_grounded_conductance(0, 2.0);
+    t.to_csr()
+}
+
+/// The thread counts to compare: sequential vs whatever the machine
+/// offers (deduplicated on single-core machines).
+fn thread_points() -> Vec<usize> {
+    set_threads(0);
+    let max = parallel_config().threads;
+    if max > 1 {
+        vec![1, max]
+    } else {
+        vec![1]
+    }
+}
+
+fn bench_spmv_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_spmv");
+    // Small grid below the parallel threshold: both thread counts must
+    // take the sequential path, so their times should match.
+    for side in [32usize, 150, 400] {
+        let a = grid(side);
+        let x = vec![1.0; a.ncols()];
+        let mut y = vec![0.0; a.nrows()];
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        for threads in thread_points() {
+            set_threads(threads);
+            group.bench_function(
+                BenchmarkId::new(format!("threads{threads}"), side * side),
+                |b| b.iter(|| a.mul_vec_into(&x, &mut y).expect("spmv")),
+            );
+        }
+        set_threads(0);
+    }
+    group.finish();
+}
+
+fn bench_cg_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_cg_solve");
+    group.sample_size(10);
+    for side in [150usize, 400] {
+        let a = grid(side);
+        let b_vec: Vec<f64> = (0..a.nrows()).map(|i| (i % 7) as f64 * 0.1).collect();
+        let cg = ConjugateGradient::new(CgOptions {
+            tolerance: 1e-8,
+            ..CgOptions::default()
+        });
+        let pc = JacobiPreconditioner::from_matrix(&a).expect("jacobi");
+        for threads in thread_points() {
+            set_threads(threads);
+            group.bench_function(
+                BenchmarkId::new(format!("threads{threads}"), side * side),
+                |b| b.iter(|| cg.solve(&a, &b_vec, &pc).expect("cg")),
+            );
+        }
+        set_threads(0);
+    }
+    group.finish();
+}
+
+fn bench_training_epoch_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_train_epoch");
+    group.sample_size(10);
+    // One full-batch step on a paper-shaped model (3 features, deep
+    // ReLU stack, 1 output). 4096 rows is an ibmpg2-scale epoch; the
+    // chunked minibatch path engages above 512 rows.
+    for rows in [4096usize, 16384] {
+        let x = Matrix::from_fn(rows, 3, |r, c| ((r * 7 + c * 3) % 97) as f64 / 97.0);
+        let y = Matrix::from_fn(rows, 1, |r, _| {
+            0.4 * x.get(r, 0) - x.get(r, 1) + 0.2 * x.get(r, 2)
+        });
+        group.throughput(Throughput::Elements(rows as u64));
+        for threads in thread_points() {
+            set_threads(threads);
+            group.bench_function(BenchmarkId::new(format!("threads{threads}"), rows), |b| {
+                let mut model = MlpBuilder::new(3)
+                    .hidden_stack(10, 24, Activation::Relu)
+                    .output(1)
+                    .seed(7)
+                    .build()
+                    .expect("build");
+                let mut opt = Adam::new(1e-3).expect("adam");
+                b.iter(|| {
+                    model
+                        .train_batch(&x, &y, Loss::Mse, &mut opt)
+                        .expect("train step")
+                });
+            });
+        }
+        set_threads(0);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmv_threads,
+    bench_cg_threads,
+    bench_training_epoch_threads
+);
+criterion_main!(benches);

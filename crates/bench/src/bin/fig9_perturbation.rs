@@ -13,7 +13,7 @@
 use ppdl_bench::harness::{format_table, write_csv, Options};
 use ppdl_bench::memtrack::TrackingAllocator;
 use ppdl_core::{
-    experiment, ConventionalConfig, ConventionalFlow, Perturbation, PerturbationKind,
+    experiment, run_perturbation_sweep, ConventionalConfig, ConventionalFlow, PerturbationKind,
     PredictorConfig, WidthPredictor,
 };
 use ppdl_netlist::IbmPgPreset;
@@ -51,40 +51,38 @@ fn main() {
         let mut rows = Vec::new();
         let mut csv_rows = Vec::new();
         let repeats = 3u64;
+        // Kind-major grid with `repeats` seeded draws per (kind, γ)
+        // point — the random signs make any single draw noisy. Every
+        // point re-sizes the perturbed spec independently, so the whole
+        // grid evaluates in parallel across PPDL_THREADS.
+        let points =
+            experiment::perturbation_grid(&gammas, &PerturbationKind::ALL, opts.seed, repeats)
+                .expect("gammas in range");
+        let results = run_perturbation_sweep(&prepared.bench, &points, |perturbed, _| {
+            // Golden answer for the perturbed spec.
+            let (sized_p, golden_p) = conventional.run(perturbed)?;
+            let m = predictor.evaluate(&sized_p, &golden_p.widths)?;
+            // MSE(%): squared error relative to the mean golden width —
+            // a scale-free percentage that does not blow up when the
+            // golden widths are tightly clustered.
+            let mean_w = golden_p.widths.iter().sum::<f64>() / golden_p.widths.len() as f64;
+            Ok(100.0 * m.mse_um2 / (mean_w * mean_w))
+        });
+        let mut point = results.iter().zip(&points);
         for kind in PerturbationKind::ALL {
             let mut cells = vec![kind.label().to_string()];
-            for (gi, &gamma) in gammas.iter().enumerate() {
-                // Average over a few perturbation draws: the random
-                // signs make any single draw noisy.
+            for &gamma in &gammas {
                 let mut sum = 0.0;
                 let mut count = 0usize;
-                for rep in 0..repeats {
-                    let seed = opts
-                        .seed
-                        .wrapping_add(1 + gi as u64)
-                        .wrapping_mul(101)
-                        .wrapping_add(rep);
-                    let perturbed = Perturbation::new(gamma, kind, seed)
-                        .expect("gamma in range")
-                        .apply(&prepared.bench)
-                        .expect("perturb");
-                    // Golden answer for the perturbed spec.
-                    match conventional.run(&perturbed) {
-                        Ok((sized_p, golden_p)) => {
-                            let m = predictor
-                                .evaluate(&sized_p, &golden_p.widths)
-                                .expect("evaluate");
-                            // MSE(%): squared error relative to the mean
-                            // golden width — a scale-free percentage that
-                            // does not blow up when the golden widths are
-                            // tightly clustered.
-                            let mean_w = golden_p.widths.iter().sum::<f64>()
-                                / golden_p.widths.len() as f64;
-                            sum += 100.0 * m.mse_um2 / (mean_w * mean_w);
+                for _ in 0..repeats {
+                    let (res, p) = point.next().expect("grid covers kind x gamma x repeats");
+                    match res {
+                        Ok(mse_pct) => {
+                            sum += mse_pct;
                             count += 1;
                         }
                         Err(e) => {
-                            eprintln!("{preset} gamma={gamma} {kind:?} rep={rep}: {e}");
+                            eprintln!("{preset} gamma={gamma} {kind:?} seed={}: {e}", p.seed());
                         }
                     }
                 }

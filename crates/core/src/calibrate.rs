@@ -3,8 +3,12 @@
 //! The IBM decks come with real current loads; our synthetic grids
 //! need theirs scaled so the analysis reproduces the millivolt-scale
 //! drops of Table III. Because the static grid is linear, the drop
-//! vector scales exactly with a uniform load scaling, so one solve
-//! suffices to hit any target worst-case drop.
+//! vector scales exactly with a uniform load scaling — but the *solver*
+//! is iterative, so a single solve leaves a residual-sized error that
+//! can exceed a millivolt-scale target's tolerance. Calibration
+//! therefore rescales and re-verifies until the drop reported by a
+//! default-accuracy analysis lands on the target, and returns a typed
+//! [`CoreError::CalibrationDidNotConverge`] when it cannot.
 
 use ppdl_analysis::{AnalysisOptions, StaticAnalysis};
 use ppdl_netlist::SyntheticBenchmark;
@@ -13,12 +17,20 @@ use crate::CoreError;
 
 /// Scales every load current of `bench` (in place) so that its
 /// worst-case IR drop under static analysis equals `target_volts`.
-/// Returns the scale factor applied.
+/// Returns the total scale factor applied.
+///
+/// The result is *verified*: after scaling, the worst drop reported by
+/// a [`StaticAnalysis::default`] solve of the calibrated network agrees
+/// with the target to well within the solver's accuracy (see
+/// [`calibration_tolerance`]), or a typed error is returned.
 ///
 /// # Errors
 ///
 /// * [`CoreError::InvalidConfig`] — non-positive target, or the grid
 ///   draws no current / shows no drop (nothing to scale).
+/// * [`CoreError::CalibrationDidNotConverge`] — the verified drop could
+///   not be driven onto the target (degenerate or numerically
+///   unreachable target); the benchmark is left at the last iterate.
 /// * Analysis errors propagate.
 ///
 /// # Example
@@ -50,18 +62,69 @@ pub fn calibrate_to_worst_ir(
             detail: "grid draws no current; cannot calibrate".into(),
         });
     }
-    let report = StaticAnalysis::new(AnalysisOptions {
+    // First solve at a tight tolerance to get a good starting scale,
+    // then verify with the same default-accuracy analysis downstream
+    // consumers use, rescaling until the verified drop hits the target.
+    let tight = StaticAnalysis::new(AnalysisOptions {
         tolerance: 1e-10,
         ..AnalysisOptions::default()
-    })
-    .solve(bench.network())?;
-    let worst = report.worst_drop().map_or(0.0, |(_, d)| d);
-    if worst <= 0.0 {
-        return Err(CoreError::InvalidConfig {
-            detail: "grid shows no IR drop; cannot calibrate (no loads?)".into(),
-        });
+    });
+    let verifier = StaticAnalysis::default();
+    let tolerance = calibration_tolerance(target_volts);
+
+    let mut total_factor = 1.0;
+    let mut worst = tight
+        .solve(bench.network())?
+        .worst_drop()
+        .map_or(0.0, |(_, d)| d);
+    for iteration in 0..MAX_CALIBRATION_ITERS {
+        if !(worst.is_finite() && worst > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                detail: "grid shows no IR drop; cannot calibrate (no loads?)".into(),
+            });
+        }
+        let factor = target_volts / worst;
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(CoreError::CalibrationDidNotConverge {
+                target_volts,
+                achieved_volts: worst,
+                iterations: iteration,
+            });
+        }
+        scale_loads(bench, factor)?;
+        total_factor *= factor;
+        worst = verifier
+            .solve(bench.network())?
+            .worst_drop()
+            .map_or(0.0, |(_, d)| d);
+        if (worst - target_volts).abs() <= tolerance {
+            return Ok(total_factor);
+        }
     }
-    let factor = target_volts / worst;
+    Err(CoreError::CalibrationDidNotConverge {
+        target_volts,
+        achieved_volts: worst,
+        iterations: MAX_CALIBRATION_ITERS,
+    })
+}
+
+/// Rescale-and-verify budget; the system is linear, so two or three
+/// rounds normally suffice and more indicate a degenerate grid.
+const MAX_CALIBRATION_ITERS: usize = 8;
+
+/// Absolute agreement demanded between the verified worst-case drop
+/// and the calibration target, in volts.
+///
+/// The verifying solve runs at the default relative residual on a
+/// supply-scale (~1.8 V) solution, so agreement tighter than ~1e-8 V
+/// cannot be demanded; this bound is an order of magnitude stricter
+/// than what the calibration property tests assert.
+#[must_use]
+pub fn calibration_tolerance(target_volts: f64) -> f64 {
+    1e-4 * target_volts + 1e-7
+}
+
+fn scale_loads(bench: &mut SyntheticBenchmark, factor: f64) -> crate::Result<()> {
     let loads: Vec<f64> = bench
         .network()
         .current_loads()
@@ -71,7 +134,7 @@ pub fn calibrate_to_worst_ir(
     for (i, amps) in loads.iter().enumerate() {
         bench.network_mut().set_load_current(i, *amps)?;
     }
-    Ok(factor)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -104,6 +167,25 @@ mod tests {
         calibrate_to_worst_ir(&mut b, 0.02).unwrap();
         let second = calibrate_to_worst_ir(&mut b, 0.02).unwrap();
         assert!((second - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn millivolt_target_verified_within_property_bound() {
+        // The shrunk ppdl-core proptest regression: `target_mv = 1.0,
+        // seed = 0`. A single tight solve used to leave a residual-sized
+        // error that the default-accuracy verification could exceed; the
+        // rescale-and-verify loop must land inside the property bound.
+        let mut b = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg2, 0.003, 0).unwrap();
+        let target = 1.0e-3;
+        calibrate_to_worst_ir(&mut b, target).unwrap();
+        let worst = StaticAnalysis::default()
+            .solve(b.network())
+            .unwrap()
+            .worst_drop()
+            .unwrap()
+            .1;
+        assert!((worst - target).abs() <= calibration_tolerance(target));
+        assert!((worst - target).abs() < 1e-3 * target + 1e-6);
     }
 
     #[test]

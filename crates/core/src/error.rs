@@ -22,6 +22,17 @@ pub enum CoreError {
         /// The IR margin that was requested, in volts.
         margin: f64,
     },
+    /// Load-current calibration could not drive the verified worst-case
+    /// IR drop onto the requested target within its iteration budget
+    /// (degenerate grid or numerically unreachable target).
+    CalibrationDidNotConverge {
+        /// Requested worst-case IR drop, in volts.
+        target_volts: f64,
+        /// Verified worst-case IR drop actually achieved, in volts.
+        achieved_volts: f64,
+        /// Rescale-and-verify iterations performed.
+        iterations: usize,
+    },
     /// A framework configuration is invalid.
     InvalidConfig {
         /// Description of what is invalid.
@@ -46,6 +57,17 @@ impl fmt::Display for CoreError {
                  worst IR drop {:.3} mV > margin {:.3} mV",
                 worst_ir * 1e3,
                 margin * 1e3
+            ),
+            CoreError::CalibrationDidNotConverge {
+                target_volts,
+                achieved_volts,
+                iterations,
+            } => write!(
+                f,
+                "IR-drop calibration did not converge after {iterations} iterations: \
+                 achieved {:.6} mV vs target {:.6} mV",
+                achieved_volts * 1e3,
+                target_volts * 1e3
             ),
             CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
         }

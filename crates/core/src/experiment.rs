@@ -12,7 +12,10 @@
 
 use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
 
-use crate::{calibrate_to_worst_ir, ConventionalConfig, CoreError, DlFlowConfig};
+use crate::{
+    calibrate_to_worst_ir, ConventionalConfig, CoreError, DlFlowConfig, Perturbation,
+    PerturbationKind,
+};
 
 /// A benchmark prepared for a paper experiment.
 #[derive(Debug, Clone)]
@@ -74,6 +77,48 @@ pub fn prepare(
     })
 }
 
+/// Builds the γ × kind grid of [`Perturbation`]s a sweep study (Fig. 9)
+/// evaluates, with `repeats` independently seeded draws per point to
+/// average out the random signs.
+///
+/// Points are ordered kind-major, then γ, then repeat, and each point's
+/// seed is a deterministic function of `base_seed` and its grid
+/// position, so the grid — and everything downstream of it — is
+/// reproducible. Feed the result to
+/// [`run_perturbation_sweep`](crate::run_perturbation_sweep) or
+/// [`PowerPlanningDl::run_sweep`](crate::PowerPlanningDl::run_sweep)
+/// for parallel evaluation.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] if any γ is outside `(0, 1)`
+/// or `repeats` is zero.
+pub fn perturbation_grid(
+    gammas: &[f64],
+    kinds: &[PerturbationKind],
+    base_seed: u64,
+    repeats: u64,
+) -> crate::Result<Vec<Perturbation>> {
+    if repeats == 0 {
+        return Err(CoreError::InvalidConfig {
+            detail: "a perturbation grid needs at least one repeat per point".into(),
+        });
+    }
+    let mut out = Vec::with_capacity(kinds.len() * gammas.len() * repeats as usize);
+    for &kind in kinds {
+        for (gi, &gamma) in gammas.iter().enumerate() {
+            for rep in 0..repeats {
+                let seed = base_seed
+                    .wrapping_add(1 + gi as u64)
+                    .wrapping_mul(101)
+                    .wrapping_add(rep);
+                out.push(Perturbation::new(gamma, kind, seed)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// A [`DlFlowConfig`] matched to a prepared benchmark: the
 /// conventional margin targets the preset's Table III drop.
 #[must_use]
@@ -116,6 +161,27 @@ mod tests {
     fn overdrive_validated() {
         assert!(prepare(IbmPgPreset::Ibmpg1, 0.01, 1, 1.0).is_err());
         assert!(prepare(IbmPgPreset::Ibmpg1, 0.01, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn perturbation_grid_is_deterministic_and_ordered() {
+        let gammas = [0.1, 0.2];
+        let kinds = PerturbationKind::ALL;
+        let a = perturbation_grid(&gammas, &kinds, 7, 2).unwrap();
+        let b = perturbation_grid(&gammas, &kinds, 7, 2).unwrap();
+        assert_eq!(a.len(), kinds.len() * gammas.len() * 2);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.gamma(), pb.gamma());
+            assert_eq!(pa.kind(), pb.kind());
+            assert_eq!(pa.seed(), pb.seed());
+        }
+        // Kind-major ordering: the first gammas.len() * repeats points
+        // share the first kind.
+        assert!(a[..4].iter().all(|p| p.kind() == kinds[0]));
+        assert_eq!(a[0].gamma(), 0.1);
+        assert_eq!(a[2].gamma(), 0.2);
+        assert!(perturbation_grid(&[0.0], &kinds, 7, 2).is_err());
+        assert!(perturbation_grid(&gammas, &kinds, 7, 0).is_err());
     }
 
     #[test]

@@ -146,6 +146,41 @@ impl PowerPlanningDl {
     /// analysis errors.
     pub fn run(&self, bench: &SyntheticBenchmark) -> crate::Result<DlOutcome> {
         let c = &self.config;
+        let trained = self.train_phase(bench)?;
+        let perturbation = Perturbation::new(c.perturbation_gamma, c.perturbation_kind, c.seed)?;
+        self.validate_phase(&trained, &perturbation)
+    }
+
+    /// Trains once, then validates against every perturbation in
+    /// parallel — the γ-sweep form of the flow (Fig. 9).
+    ///
+    /// The expensive γ-independent work (conventional sizing, model
+    /// training) runs once; each perturbation then gets the same
+    /// perturb → predict → analyze validation [`run`](Self::run)
+    /// performs, distributed across the thread pool configured through
+    /// [`ppdl_solver::parallel`]. Results are returned in perturbation
+    /// order, one per point, and each point's outcome is identical to a
+    /// sequential evaluation at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// The training phase's errors fail the whole sweep; per-point
+    /// validation errors are reported in that point's slot.
+    pub fn run_sweep(
+        &self,
+        bench: &SyntheticBenchmark,
+        perturbations: &[Perturbation],
+    ) -> crate::Result<Vec<crate::Result<DlOutcome>>> {
+        let trained = self.train_phase(bench)?;
+        Ok(ppdl_solver::parallel::par_map_vec(
+            perturbations,
+            |_, p| self.validate_phase(&trained, p),
+        ))
+    }
+
+    /// The γ-independent phase: conventional sizing plus model training.
+    fn train_phase(&self, bench: &SyntheticBenchmark) -> crate::Result<TrainedFlow> {
+        let c = &self.config;
 
         // 1. Conventional design: golden widths + training substrate.
         let (sized, conventional) = ConventionalFlow::new(c.conventional.clone()).run(bench)?;
@@ -154,9 +189,32 @@ impl PowerPlanningDl {
         let (predictor, train_report) =
             WidthPredictor::train(&sized, &conventional.widths, c.predictor.clone())?;
 
+        Ok(TrainedFlow {
+            sized,
+            conventional,
+            predictor,
+            train_report,
+        })
+    }
+
+    /// The per-perturbation phase: perturb, predict, and compare
+    /// against the conventional analysis. Takes `&self` and a shared
+    /// [`TrainedFlow`], so sweep points can run concurrently.
+    fn validate_phase(
+        &self,
+        trained: &TrainedFlow,
+        perturbation: &Perturbation,
+    ) -> crate::Result<DlOutcome> {
+        let c = &self.config;
+        let TrainedFlow {
+            sized,
+            conventional,
+            predictor,
+            train_report,
+        } = trained;
+
         // 3. Build the perturbed test design (§IV-D).
-        let test_bench = Perturbation::new(c.perturbation_gamma, c.perturbation_kind, c.seed)?
-            .apply(&sized)?;
+        let test_bench = perturbation.apply(sized)?;
 
         // 4. PowerPlanningDL path: width inference + Kirchhoff IR drop.
         let t0 = Instant::now();
@@ -180,7 +238,7 @@ impl PowerPlanningDl {
             conventional_time.as_secs_f64() / dl_time.as_secs_f64().max(f64::EPSILON);
 
         Ok(DlOutcome {
-            golden_widths: conventional.widths,
+            golden_widths: conventional.widths.clone(),
             predicted_widths,
             width_metrics,
             conventional_worst_ir_mv,
@@ -190,14 +248,24 @@ impl PowerPlanningDl {
                 dl: dl_time,
                 speedup,
             },
-            train_report,
-            sized_bench: sized,
+            train_report: train_report.clone(),
+            sized_bench: sized.clone(),
             test_bench,
             test_report,
             predicted_ir,
             conventional_iterations: conventional.iterations,
         })
     }
+}
+
+/// Output of the γ-independent training phase, shared (immutably) by
+/// every validation point of a sweep.
+#[derive(Debug, Clone)]
+struct TrainedFlow {
+    sized: SyntheticBenchmark,
+    conventional: crate::ConventionalResult,
+    predictor: WidthPredictor,
+    train_report: crate::TrainSummary,
 }
 
 #[cfg(test)]
@@ -245,6 +313,41 @@ mod tests {
         assert_eq!(
             o.test_bench.segments().len(),
             o.sized_bench.segments().len()
+        );
+    }
+
+    #[test]
+    fn sweep_trains_once_and_orders_results() {
+        let prepared = crate::experiment::prepare(IbmPgPreset::Ibmpg2, 0.008, 13, 2.5).unwrap();
+        let config = crate::experiment::flow_config(&prepared, true);
+        let flow = PowerPlanningDl::new(config);
+        let points = crate::experiment::perturbation_grid(
+            &[0.1, 0.3],
+            &[PerturbationKind::Both],
+            5,
+            1,
+        )
+        .unwrap();
+        let outcomes = flow.run_sweep(&prepared.bench, &points).unwrap();
+        assert_eq!(outcomes.len(), points.len());
+        for (res, p) in outcomes.iter().zip(&points) {
+            let o = res.as_ref().unwrap();
+            assert_eq!(o.golden_widths.len(), o.predicted_widths.len());
+            // Every point validates against its own perturbation of the
+            // shared sized design.
+            let direct = p.apply(&o.sized_bench).unwrap();
+            assert_eq!(
+                o.test_bench.network().total_load_current(),
+                direct.network().total_load_current()
+            );
+        }
+        // The two points perturb differently, so their test designs
+        // differ even though the trained model is shared.
+        let a = outcomes[0].as_ref().unwrap();
+        let b = outcomes[1].as_ref().unwrap();
+        assert_ne!(
+            a.test_bench.network().total_load_current(),
+            b.test_bench.network().total_load_current()
         );
     }
 

@@ -51,14 +51,14 @@ mod perturb;
 mod predictor;
 mod predictor_persist;
 
-pub use calibrate::calibrate_to_worst_ir;
+pub use calibrate::{calibrate_to_worst_ir, calibration_tolerance};
 pub use conventional::{ConventionalConfig, ConventionalFlow, ConventionalResult};
 pub use error::CoreError;
 pub use features::{FeatureExtractor, FeatureSet, WidthDataset};
 pub use flow::{DlFlowConfig, DlOutcome, PowerPlanningDl, Timing};
 pub use irpredict::{IrPredictor, PredictedIr};
 pub use pad_placement::{PadPlacementResult, PadPlacer};
-pub use perturb::{Perturbation, PerturbationKind};
+pub use perturb::{run_perturbation_sweep, Perturbation, PerturbationKind};
 pub use predictor::{segment_dataset, PredictorConfig, TrainSummary, WidthMetrics, WidthPredictor};
 
 /// Convenience result alias for this crate.

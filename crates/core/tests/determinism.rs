@@ -1,0 +1,105 @@
+//! Thread-count determinism: `PPDL_THREADS=1` and `PPDL_THREADS=4`
+//! must produce bitwise-identical results everywhere.
+//!
+//! The parallel layer promises that work decomposition depends only on
+//! problem size and that reductions fold fixed chunks in a fixed order
+//! (see `ppdl_solver::parallel`). These tests pin the promise end to
+//! end on the ibmpg2 preset: the static IR-drop solve and a full
+//! training run must not change by a single bit when the thread count
+//! changes. The tests drive the thread count through
+//! `ppdl_solver::set_threads`, the in-process equivalent of the
+//! `PPDL_THREADS` environment variable.
+
+use ppdl_analysis::StaticAnalysis;
+use ppdl_core::FeatureExtractor;
+use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
+use ppdl_nn::{Activation, Adam, Loss, Matrix, MlpBuilder, Mlp};
+use ppdl_solver::parallel::DEFAULT_PAR_THRESHOLD;
+use ppdl_solver::{set_par_threshold, set_threads};
+
+fn ibmpg2() -> SyntheticBenchmark {
+    SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg2, 0.01, 3).unwrap()
+}
+
+/// Runs `f` under `threads` threads with a tiny parallel threshold so
+/// even this test-sized grid takes the chunked code paths, restoring
+/// the global defaults afterwards.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    set_threads(threads);
+    set_par_threshold(64);
+    let out = f();
+    set_threads(0);
+    set_par_threshold(DEFAULT_PAR_THRESHOLD);
+    out
+}
+
+#[test]
+fn static_solve_is_bitwise_stable_across_thread_counts() {
+    let bench = ibmpg2();
+    let solve = |threads: usize| {
+        with_threads(threads, || {
+            StaticAnalysis::default().solve(bench.network()).unwrap()
+        })
+    };
+    let one = solve(1);
+    let four = solve(4);
+    assert_eq!(one.voltages().len(), four.voltages().len());
+    for (a, b) in one.voltages().iter().zip(four.voltages()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "node voltage differs between 1 and 4 threads: {a} vs {b}"
+        );
+    }
+    assert_eq!(one.iterations(), four.iterations());
+}
+
+#[test]
+fn training_on_ibmpg2_features_is_bitwise_stable() {
+    // One sample per wire segment of the ibmpg2 grid, exactly as the
+    // width predictor sees it; a synthetic smooth target stands in for
+    // the golden widths so the test needs no conventional sizing run.
+    let bench = ibmpg2();
+    let x = FeatureExtractor::default().raw_features(&bench);
+    assert!(
+        x.rows() >= 512,
+        "need enough segments to engage the chunked minibatch path, got {}",
+        x.rows()
+    );
+    let y = Matrix::from_fn(x.rows(), 1, |r, _| {
+        let f = x.row(r);
+        0.3 * f[0] - 0.2 * f[1] + 5.0 * f[2]
+    });
+
+    let train = |threads: usize| -> (Vec<f64>, Mlp) {
+        with_threads(threads, || {
+            let mut model = MlpBuilder::new(x.cols())
+                .hidden_stack(3, 16, Activation::Relu)
+                .output(1)
+                .seed(42)
+                .build()
+                .unwrap();
+            let mut opt = Adam::new(1e-3).unwrap();
+            let mut losses = Vec::new();
+            for _ in 0..5 {
+                losses.push(model.train_batch(&x, &y, Loss::Mse, &mut opt).unwrap());
+            }
+            (losses, model)
+        })
+    };
+
+    let (loss_one, model_one) = train(1);
+    let (loss_four, model_four) = train(4);
+    assert_eq!(
+        loss_one, loss_four,
+        "loss trajectories must be bitwise identical"
+    );
+    for (la, lb) in model_one.layers().iter().zip(model_four.layers()) {
+        for (a, b) in la.weights().as_slice().iter().zip(lb.weights().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "weight differs: {a} vs {b}");
+        }
+        for (a, b) in la.bias().iter().zip(lb.bias()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bias differs: {a} vs {b}");
+        }
+    }
+}

@@ -20,13 +20,22 @@ impl Resistor {
     /// # Errors
     ///
     /// Returns [`NetlistError::InvalidElement`] if `ohms` is negative or
-    /// non-finite.
+    /// non-finite, or if both terminals are the same node (a self-loop):
+    /// a self-loop contributes nothing to the MNA system if non-zero and
+    /// makes the short-merging pass degenerate if zero, so it is always
+    /// a netlist defect.
     pub fn new(name: impl Into<String>, a: NodeId, b: NodeId, ohms: f64) -> crate::Result<Self> {
         let name = name.into();
         if !(ohms.is_finite() && ohms >= 0.0) {
             return Err(NetlistError::InvalidElement {
                 name,
                 detail: format!("resistance {ohms} must be finite and non-negative"),
+            });
+        }
+        if a == b {
+            return Err(NetlistError::InvalidElement {
+                name,
+                detail: format!("self-loop resistor: both terminals are node {a}"),
             });
         }
         Ok(Self { name, a, b, ohms })
@@ -131,6 +140,18 @@ mod tests {
         assert!(Resistor::new("R1", NodeId(0), NodeId(1), 0.0).is_ok());
         assert!(Resistor::new("R1", NodeId(0), NodeId(1), -1.0).is_err());
         assert!(Resistor::new("R1", NodeId(0), NodeId(1), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn self_loop_resistors_rejected() {
+        // The shrunk ppdl-netlist proptest regression: a zero-ohm
+        // self-loop `(0, 0, 0.0)` must yield a typed error, not a
+        // degenerate short or a singular MNA system.
+        let err = Resistor::new("R1", NodeId(0), NodeId(0), 0.0).unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidElement { .. }));
+        assert!(err.to_string().contains("self-loop"));
+        // Non-zero self-loops are rejected too.
+        assert!(Resistor::new("R1", NodeId(3), NodeId(3), 2.5).is_err());
     }
 
     #[test]

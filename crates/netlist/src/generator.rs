@@ -391,14 +391,10 @@ impl SyntheticBenchmark {
                 let crossings = nv * nh;
                 let m = ((crossings as f64 / want_sources as f64).round() as usize).max(1);
                 let mut k = 0;
-                for i in 0..nv {
-                    for j in 0..nh {
+                for (i, row) in upper.iter().enumerate() {
+                    for (j, &node) in row.iter().enumerate() {
                         if (i + 3 * j) % m == 0 {
-                            network.add_voltage_source(
-                                format!("V{k}"),
-                                upper[i][j],
-                                spec.vdd,
-                            )?;
+                            network.add_voltage_source(format!("V{k}"), node, spec.vdd)?;
                             k += 1;
                         }
                     }

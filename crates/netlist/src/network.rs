@@ -337,6 +337,10 @@ impl PowerGridNetwork {
             }
         }
         let map: Vec<NodeId> = labels.iter().map(|&c| NodeId(c)).collect();
+        // The merged elements are rebuilt by struct literal rather than
+        // through the validating constructors: values were validated at
+        // insertion, and the guards above ensure no short or self-loop
+        // survives, so re-validation could only manufacture a panic path.
         for r in &self.resistors {
             if r.is_short() {
                 continue;
@@ -345,19 +349,26 @@ impl PowerGridNetwork {
             if a == b {
                 continue;
             }
-            merged
-                .resistors
-                .push(Resistor::new(r.name.clone(), a, b, r.ohms).expect("validated"));
+            merged.resistors.push(Resistor {
+                name: r.name.clone(),
+                a,
+                b,
+                ohms: r.ohms,
+            });
         }
         for s in &self.sources {
-            merged
-                .sources
-                .push(VoltageSource::new(s.name.clone(), map[s.node.0], s.volts).expect("validated"));
+            merged.sources.push(VoltageSource {
+                name: s.name.clone(),
+                node: map[s.node.0],
+                volts: s.volts,
+            });
         }
         for l in &self.loads {
-            merged
-                .loads
-                .push(CurrentLoad::new(l.name.clone(), map[l.node.0], l.amps).expect("validated"));
+            merged.loads.push(CurrentLoad {
+                name: l.name.clone(),
+                node: map[l.node.0],
+                amps: l.amps,
+            });
         }
         (merged, map)
     }
@@ -442,6 +453,19 @@ mod tests {
         net.add_resistor("Rg", NodeId(0), g, 1.0).unwrap();
         assert_eq!(net.stats().nodes, 3);
         assert_eq!(net.node_count(), 4);
+    }
+
+    #[test]
+    fn self_loop_resistor_rejected_with_error() {
+        // Regression: `resistors = [(0, 0, 0.0)]` (the shrunk proptest
+        // case) used to slip through as a degenerate zero-ohm short.
+        let mut net = PowerGridNetwork::new();
+        let a = net.intern(NodeName::grid(1, 0, 0));
+        let err = net.add_resistor("Rbad", a, a, 0.0).unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidElement { .. }));
+        let err = net.add_resistor("Rbad2", a, a, 1.5).unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidElement { .. }));
+        assert_eq!(net.stats().resistors, 0);
     }
 
     #[test]

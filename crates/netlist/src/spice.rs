@@ -199,6 +199,19 @@ mod tests {
     }
 
     #[test]
+    fn self_loop_cards_rejected() {
+        // Zero-ohm self-loop, the shrunk proptest regression shape.
+        let err = parse_spice("R1 n1_0_0 n1_0_0 0\n.end\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+        // Non-zero self-loop resistor.
+        let err = parse_spice("R1 n1_5_5 n1_5_5 2.0\n.end\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+        // Inductor (DC short) looping on one node.
+        let err = parse_spice("L1 n1_0_0 n1_0_0 1n\n.end\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    }
+
+    #[test]
     fn ground_to_ground_rejected() {
         let err = parse_spice("i1 0 0 1m\n").unwrap_err();
         assert!(matches!(err, NetlistError::Parse { .. }));

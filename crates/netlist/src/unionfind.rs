@@ -106,13 +106,13 @@ impl UnionFind {
         let mut label = vec![usize::MAX; n];
         let mut next = 0;
         let mut out = vec![0; n];
-        for i in 0..n {
+        for (i, slot) in out.iter_mut().enumerate() {
             let r = self.find(i);
             if label[r] == usize::MAX {
                 label[r] = next;
                 next += 1;
             }
-            out[i] = label[r];
+            *slot = label[r];
         }
         out
     }

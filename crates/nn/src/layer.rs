@@ -124,14 +124,23 @@ impl DenseLayer {
     ///
     /// Returns [`NnError::ShapeMismatch`] if the batch width is wrong.
     pub fn forward(&mut self, input: &Matrix) -> crate::Result<Matrix> {
+        let (pre, out) = self.forward_pure(input)?;
+        self.cached_input = Some(input.clone());
+        self.cached_preact = Some(pre);
+        Ok(out)
+    }
+
+    /// Side-effect-free forward pass returning `(pre_activation, output)`
+    /// without touching the layer's caches. This is the kernel the
+    /// data-parallel minibatch path runs per row-chunk: because it takes
+    /// `&self`, any number of chunks can evaluate it concurrently.
+    pub(crate) fn forward_pure(&self, input: &Matrix) -> crate::Result<(Matrix, Matrix)> {
         let pre = input
             .matmul_transpose(&self.weights)?
             .add_row_broadcast(&self.bias)?;
         let act = self.activation;
         let out = pre.map(|v| act.apply(v));
-        self.cached_input = Some(input.clone());
-        self.cached_preact = Some(pre);
-        Ok(out)
+        Ok((pre, out))
     }
 
     /// Inference-only forward pass (no caching). Bias addition and
@@ -170,13 +179,41 @@ impl DenseLayer {
             .cached_preact
             .as_ref()
             .expect("pre-activation cached alongside input");
+        let (grad_input, grad_weights, grad_bias) =
+            self.backward_pure(input, pre, grad_output)?;
+        self.grad_weights = grad_weights;
+        self.grad_bias = grad_bias;
+        Ok(grad_input)
+    }
+
+    /// Side-effect-free backward pass for one row-chunk.
+    ///
+    /// Takes the chunk's cached `input` and `pre`-activation (as returned
+    /// by [`forward_pure`](Self::forward_pure)) and the loss gradient for
+    /// the chunk, and returns `(grad_input, grad_weights, grad_bias)`
+    /// without storing anything — the caller accumulates chunk gradients
+    /// in a fixed order.
+    pub(crate) fn backward_pure(
+        &self,
+        input: &Matrix,
+        pre: &Matrix,
+        grad_output: &Matrix,
+    ) -> crate::Result<(Matrix, Matrix, Vec<f64>)> {
         let act = self.activation;
         let dpre = grad_output.hadamard(&pre.map(|v| act.derivative(v)))?;
         // dW = dpreᵀ · x  (output_dim × input_dim)
-        self.grad_weights = dpre.transpose_matmul(input)?;
-        self.grad_bias = dpre.column_sums();
+        let grad_weights = dpre.transpose_matmul(input)?;
+        let grad_bias = dpre.column_sums();
         // dX = dpre · W
-        dpre.matmul(&self.weights)
+        let grad_input = dpre.matmul(&self.weights)?;
+        Ok((grad_input, grad_weights, grad_bias))
+    }
+
+    /// Installs externally accumulated gradients (the data-parallel
+    /// path's reduction result) so the normal optimizer hook sees them.
+    pub(crate) fn set_gradients(&mut self, grad_weights: Matrix, grad_bias: Vec<f64>) {
+        self.grad_weights = grad_weights;
+        self.grad_bias = grad_bias;
     }
 
     /// Weight gradients from the last backward pass.

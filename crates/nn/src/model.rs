@@ -1,7 +1,32 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ppdl_solver::parallel::par_map_vec;
+
 use crate::{Activation, DenseLayer, Loss, Matrix, NnError, Optimizer};
+
+/// Fixed row-chunk size for the data-parallel minibatch path.
+///
+/// Batches with at least `2 * PAR_ROW_CHUNK` rows are decomposed into
+/// chunks of this size and processed through the side-effect-free layer
+/// kernels; smaller batches take the classic whole-batch path. The
+/// decomposition depends only on the batch size — never on the thread
+/// count — and chunk gradients are reduced in ascending chunk order, so
+/// training is bitwise deterministic at any `PPDL_THREADS` setting.
+const PAR_ROW_CHUNK: usize = 256;
+
+/// Splits `rows` into `[start, end)` ranges of `PAR_ROW_CHUNK` rows
+/// (last chunk shorter).
+fn row_chunks(rows: usize) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::with_capacity(rows.div_ceil(PAR_ROW_CHUNK));
+    let mut start = 0;
+    while start < rows {
+        let end = (start + PAR_ROW_CHUNK).min(rows);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
 
 /// A sequential multilayer perceptron.
 ///
@@ -83,15 +108,43 @@ impl Mlp {
     /// Inference on a batch (`batch × input_dim`), without touching the
     /// training caches.
     ///
+    /// Large batches (≥ 512 rows) are evaluated as independent row
+    /// chunks, in parallel when [`ppdl_solver::parallel`] is configured
+    /// with more than one thread. Each row's output depends only on that
+    /// row, so the result is bitwise identical to the sequential pass at
+    /// every thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] for a wrong feature width.
     pub fn predict(&self, x: &Matrix) -> crate::Result<Matrix> {
+        if x.rows() >= 2 * PAR_ROW_CHUNK {
+            return self.predict_chunked(x);
+        }
         let mut a = x.clone();
         for layer in &self.layers {
             a = layer.forward_inference(&a)?;
         }
         Ok(a)
+    }
+
+    fn predict_chunked(&self, x: &Matrix) -> crate::Result<Matrix> {
+        let chunks = row_chunks(x.rows());
+        let parts = par_map_vec(&chunks, |_, r| -> crate::Result<Matrix> {
+            let mut a = x.slice_rows(r.start, r.end);
+            for layer in &self.layers {
+                a = layer.forward_inference(&a)?;
+            }
+            Ok(a)
+        });
+        let mut out = Matrix::zeros(x.rows(), self.output_dim());
+        for (r, part) in chunks.iter().zip(parts) {
+            let part = part?;
+            for (k, row) in (r.start..r.end).enumerate() {
+                out.row_mut(row).copy_from_slice(part.row(k));
+            }
+        }
+        Ok(out)
     }
 
     /// One optimisation step on a batch: forward, loss, backward, and
@@ -114,6 +167,15 @@ impl Mlp {
     /// `λ ‖Ω‖²` on the weights (not the biases) — the λC(Ω) term of
     /// the paper's eq. 2. The returned loss excludes the penalty.
     ///
+    /// Batches of at least 512 rows run the data-parallel path: the
+    /// batch splits into fixed 256-row chunks, each chunk's forward and
+    /// backward pass runs through the side-effect-free layer kernels
+    /// (concurrently when [`ppdl_solver::parallel`] allows), and chunk
+    /// gradients are summed in ascending chunk order. Both the split
+    /// and the reduction order are functions of the batch size alone,
+    /// so the resulting weights are bitwise identical at every thread
+    /// count.
+    ///
     /// # Errors
     ///
     /// Propagates shape errors, optimizer errors, and
@@ -131,17 +193,11 @@ impl Mlp {
                 detail: format!("weight decay {weight_decay} must be non-negative"),
             });
         }
-        // Forward with caching.
-        let mut a = x.clone();
-        for layer in &mut self.layers {
-            a = layer.forward(&a)?;
-        }
-        let value = loss.value(&a, y)?;
-        // Backward.
-        let mut grad = loss.gradient(&a, y)?;
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad)?;
-        }
+        let value = if x.rows() >= 2 * PAR_ROW_CHUNK && x.rows() == y.rows() {
+            self.train_step_chunked(x, y, loss)?
+        } else {
+            self.train_step_full(x, y, loss)?
+        };
         // Update: two parameter groups (weights, bias) per layer. The
         // weight group (even index) receives the decay gradient 2λw.
         let mut result = Ok(());
@@ -165,6 +221,82 @@ impl Mlp {
         }
         result?;
         optimizer.end_step();
+        Ok(value)
+    }
+
+    /// Classic whole-batch forward/backward, leaving gradients in the
+    /// layers' caches. Returns the batch loss.
+    fn train_step_full(&mut self, x: &Matrix, y: &Matrix, loss: Loss) -> crate::Result<f64> {
+        let mut a = x.clone();
+        for layer in &mut self.layers {
+            a = layer.forward(&a)?;
+        }
+        let value = loss.value(&a, y)?;
+        let mut grad = loss.gradient(&a, y)?;
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(value)
+    }
+
+    /// Data-parallel forward/backward over fixed row chunks; installs
+    /// the chunk-order-summed gradients into the layers and returns the
+    /// batch loss (the chunk-weighted mean).
+    fn train_step_chunked(&mut self, x: &Matrix, y: &Matrix, loss: Loss) -> crate::Result<f64> {
+        let chunks = row_chunks(x.rows());
+        let total_rows = x.rows() as f64;
+        let layers = &self.layers;
+        type ChunkResult = (f64, Vec<(Matrix, Vec<f64>)>);
+        let results = par_map_vec(&chunks, |_, r| -> crate::Result<ChunkResult> {
+            let weight = (r.end - r.start) as f64 / total_rows;
+            let xc = x.slice_rows(r.start, r.end);
+            let yc = y.slice_rows(r.start, r.end);
+            // Forward, keeping each layer's (input, pre-activation).
+            let mut caches = Vec::with_capacity(layers.len());
+            let mut a = xc;
+            for layer in layers {
+                let (pre, out) = layer.forward_pure(&a)?;
+                caches.push((a, pre));
+                a = out;
+            }
+            let value = loss.value(&a, &yc)?;
+            // The loss gradient normalises by the chunk size; rescale so
+            // the chunk contributes its share of the whole-batch mean.
+            let mut grad = loss.gradient(&a, &yc)?.scale(weight);
+            let mut grads_rev = Vec::with_capacity(layers.len());
+            for (li, layer) in layers.iter().enumerate().rev() {
+                let (input, pre) = &caches[li];
+                let (gx, gw, gb) = layer.backward_pure(input, pre, &grad)?;
+                grads_rev.push((gw, gb));
+                grad = gx;
+            }
+            grads_rev.reverse();
+            Ok((value * weight, grads_rev))
+        });
+        // Reduce in ascending chunk order — the order is fixed by the
+        // decomposition, so the sums are thread-count independent.
+        let mut value = 0.0;
+        let mut acc: Option<Vec<(Matrix, Vec<f64>)>> = None;
+        for res in results {
+            let (v, grads) = res?;
+            value += v;
+            acc = Some(match acc {
+                None => grads,
+                Some(mut a) => {
+                    for ((aw, ab), (gw, gb)) in a.iter_mut().zip(grads) {
+                        *aw = aw.add(&gw)?;
+                        for (s, g) in ab.iter_mut().zip(&gb) {
+                            *s += g;
+                        }
+                    }
+                    a
+                }
+            });
+        }
+        let acc = acc.expect("a non-empty batch yields at least one chunk");
+        for (layer, (gw, gb)) in self.layers.iter_mut().zip(acc) {
+            layer.set_gradients(gw, gb);
+        }
         Ok(value)
     }
 }
@@ -409,6 +541,88 @@ mod tests {
         assert!(m
             .train_batch_regularized(&x, &y, Loss::Mse, f64::NAN, &mut opt)
             .is_err());
+    }
+
+    #[test]
+    fn chunked_gradients_match_full_batch() {
+        // 600 rows crosses the 2 * PAR_ROW_CHUNK threshold, so the
+        // chunked step runs; its summed gradients must agree with the
+        // whole-batch step up to reassociation rounding.
+        let x = Matrix::from_fn(600, 3, |r, c| ((r * 7 + c * 3) % 17) as f64 / 17.0 - 0.4);
+        let y = Matrix::from_fn(600, 1, |r, _| {
+            x.get(r, 0) * 0.8 - x.get(r, 1) + 0.3 * x.get(r, 2)
+        });
+        let base = MlpBuilder::new(3)
+            .hidden(6, Activation::Tanh)
+            .output(1)
+            .seed(21)
+            .build()
+            .unwrap();
+        let mut full = base.clone();
+        let mut chunked = base.clone();
+        let vf = full.train_step_full(&x, &y, Loss::Mse).unwrap();
+        let vc = chunked.train_step_chunked(&x, &y, Loss::Mse).unwrap();
+        assert!((vf - vc).abs() < 1e-12 * vf.abs().max(1.0), "{vf} vs {vc}");
+        for (lf, lc) in full.layers().iter().zip(chunked.layers()) {
+            for (a, b) in lf
+                .grad_weights()
+                .as_slice()
+                .iter()
+                .zip(lc.grad_weights().as_slice())
+            {
+                assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+            }
+            for (a, b) in lf.grad_bias().iter().zip(lc.grad_bias()) {
+                assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_predict_matches_sequential() {
+        let m = MlpBuilder::new(2)
+            .hidden(5, Activation::Relu)
+            .output(2)
+            .seed(13)
+            .build()
+            .unwrap();
+        let x = Matrix::from_fn(700, 2, |r, c| ((r + 3 * c) % 23) as f64 / 23.0);
+        let par = m.predict(&x).unwrap();
+        // Row-independent inference: chunking must be invisible.
+        let mut a = x.clone();
+        for layer in m.layers() {
+            a = layer.forward_inference(&a).unwrap();
+        }
+        assert_eq!(par, a);
+    }
+
+    #[test]
+    fn training_is_bitwise_deterministic_across_thread_counts() {
+        let x = Matrix::from_fn(640, 3, |r, c| ((r * 5 + c) % 19) as f64 / 19.0);
+        let y = Matrix::from_fn(640, 1, |r, _| x.get(r, 0) - 0.5 * x.get(r, 2));
+        let run = |threads: usize| {
+            ppdl_solver::set_threads(threads);
+            let mut m = MlpBuilder::new(3)
+                .hidden(8, Activation::Tanh)
+                .output(1)
+                .seed(17)
+                .build()
+                .unwrap();
+            let mut opt = Adam::new(0.01).unwrap();
+            let mut losses = Vec::new();
+            for _ in 0..4 {
+                losses.push(m.train_batch(&x, &y, Loss::Mse, &mut opt).unwrap());
+            }
+            ppdl_solver::set_threads(0);
+            (losses, m)
+        };
+        let (l1, m1) = run(1);
+        let (l4, m4) = run(4);
+        assert_eq!(l1, l4, "loss trajectories must be bitwise identical");
+        for (a, b) in m1.layers().iter().zip(m4.layers()) {
+            assert_eq!(a.weights().as_slice(), b.weights().as_slice());
+            assert_eq!(a.bias(), b.bias());
+        }
     }
 
     #[test]

@@ -36,11 +36,11 @@ fn check_lens(group: usize, p: &[f64], g: &[f64]) -> crate::Result<()> {
     Ok(())
 }
 
-fn fetch_state<'a>(
-    states: &'a mut Vec<Vec<f64>>,
+fn fetch_state(
+    states: &mut Vec<Vec<f64>>,
     group: usize,
     len: usize,
-) -> crate::Result<&'a mut Vec<f64>> {
+) -> crate::Result<&mut Vec<f64>> {
     while states.len() <= group {
         states.push(Vec::new());
     }

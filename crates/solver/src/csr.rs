@@ -196,6 +196,11 @@ impl CsrMatrix {
     /// Matrix–vector product writing into a preallocated output buffer.
     /// This is the allocation-free kernel the CG loop uses.
     ///
+    /// Rows are computed in parallel when the matrix is at least
+    /// [`crate::parallel::par_threshold`] rows tall; each output element
+    /// is a single row's accumulation regardless of the split, so the
+    /// result is bitwise identical at every thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`SolverError::DimensionMismatch`] on shape mismatch.
@@ -211,15 +216,18 @@ impl CsrMatrix {
                 ),
             });
         }
-        for r in 0..self.nrows {
-            let lo = self.indptr[r];
-            let hi = self.indptr[r + 1];
-            let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.data[k] * x[self.indices[k]];
+        crate::parallel::par_chunks_mut(y, |row0, out| {
+            for (i, yi) in out.iter_mut().enumerate() {
+                let r = row0 + i;
+                let lo = self.indptr[r];
+                let hi = self.indptr[r + 1];
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += self.data[k] * x[self.indices[k]];
+                }
+                *yi = acc;
             }
-            y[r] = acc;
-        }
+        });
         Ok(())
     }
 

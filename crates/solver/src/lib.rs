@@ -16,6 +16,10 @@
 //!   [`JacobiPreconditioner`], and [`IncompleteCholesky`] (IC(0)).
 //! * [`vecops`] — the BLAS-1 style kernels (`dot`, `axpy`, norms) shared
 //!   by the iterative solvers.
+//! * [`parallel`] — the workspace-wide parallel execution layer: thread
+//!   count (`PPDL_THREADS`), sequential-fallback threshold, and the
+//!   deterministic chunked primitives the hot paths above (and the NN /
+//!   analysis crates) build on.
 //!
 //! # Example
 //!
@@ -46,6 +50,7 @@ mod cg;
 mod csr;
 mod dense;
 mod error;
+pub mod parallel;
 mod precond;
 mod sparse_chol;
 mod stationary;
@@ -53,6 +58,7 @@ mod triplet;
 pub mod vecops;
 
 pub use cg::{CgOptions, CgSolution, ConjugateGradient};
+pub use parallel::{parallel_config, set_par_threshold, set_threads, ParallelConfig};
 pub use csr::CsrMatrix;
 pub use dense::{DenseCholesky, DenseLu, DenseMatrix};
 pub use error::SolverError;

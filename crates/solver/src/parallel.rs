@@ -1,0 +1,352 @@
+//! Workspace-wide parallel execution layer.
+//!
+//! Every data-parallel hot path in the workspace — CSR SpMV and the
+//! BLAS-1 kernels here in `ppdl-solver`, minibatch forward/backward in
+//! `ppdl-nn`, per-scenario solves in `ppdl-analysis`, per-γ perturbation
+//! sweeps in `ppdl-core` — runs through the primitives in this module,
+//! so one configuration governs the whole stack:
+//!
+//! * **Thread count** — `PPDL_THREADS` env override, else the hardware
+//!   parallelism; [`set_threads`] overrides at runtime (`0` resets).
+//! * **Threshold** — inputs smaller than [`par_threshold`] elements stay
+//!   on the sequential code path, so small grids pay no thread-spawn
+//!   overhead ([`set_par_threshold`] tunes it).
+//!
+//! # Determinism guarantee
+//!
+//! Results are **bit-stable across thread counts**. The rules that make
+//! this hold, which every caller must preserve:
+//!
+//! 1. Work decomposition depends only on the input *size* (fixed
+//!    [`REDUCTION_CHUNK`]-element chunks, or per-element independence),
+//!    never on the thread count.
+//! 2. Reductions compute one partial per fixed chunk and fold them on
+//!    the calling thread in ascending chunk order ([`par_reduce`]).
+//! 3. Element-wise kernels write disjoint output ranges whose values do
+//!    not depend on the split ([`par_chunks_mut`], [`par_map_vec`]).
+//!
+//! Thread counts therefore change only *where* chunks execute, never
+//! what is computed — `PPDL_THREADS=1` and `PPDL_THREADS=64` produce
+//! bitwise-identical solver output and identical trained-model weights.
+//!
+//! The engine is hand-rolled on [`std::thread::scope`] rather than a
+//! `rayon` pool because the build environment vendors no external
+//! crates; the public surface is pool-agnostic so a later PR can swap
+//! the engine without touching callers.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// Default sequential-fallback threshold, in elements (rows for SpMV).
+///
+/// Below this size the cost of spawning scoped threads dominates the
+/// kernel itself; the value is conservative so the ibmpg1-scale grids
+/// keep their single-threaded performance profile.
+pub const DEFAULT_PAR_THRESHOLD: usize = 4096;
+
+/// Fixed reduction chunk size, in elements.
+///
+/// Chunk boundaries are a function of input length only — **never** of
+/// the thread count — which is what makes chunked reductions bit-stable
+/// across `PPDL_THREADS` settings.
+pub const REDUCTION_CHUNK: usize = 4096;
+
+/// Sentinel meaning "no runtime override installed".
+const UNSET: usize = usize::MAX;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(UNSET);
+static THRESHOLD: AtomicUsize = AtomicUsize::new(DEFAULT_PAR_THRESHOLD);
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn hardware_threads() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn env_or_hardware_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("PPDL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(hardware_threads)
+    })
+}
+
+/// The number of worker threads parallel kernels may use.
+///
+/// Resolution order: [`set_threads`] override → `PPDL_THREADS` env
+/// variable (read once, first use) → hardware parallelism.
+#[must_use]
+pub fn current_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        UNSET => env_or_hardware_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the worker-thread count at runtime; `0` removes the
+/// override, restoring the `PPDL_THREADS`/hardware default.
+///
+/// Takes effect for subsequent kernel invocations process-wide (the
+/// determinism guarantee means results do not change, only speed).
+pub fn set_threads(threads: usize) {
+    let v = if threads == 0 { UNSET } else { threads };
+    THREAD_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The sequential-fallback threshold in elements: inputs smaller than
+/// this run on the calling thread.
+#[must_use]
+pub fn par_threshold() -> usize {
+    THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Tunes the sequential-fallback threshold (process-wide).
+///
+/// Note that [`par_reduce`] ties its *decomposition* to
+/// [`REDUCTION_CHUNK`], not to this threshold, so changing the
+/// threshold never changes reduction results — only which sizes bother
+/// spawning threads.
+pub fn set_par_threshold(threshold: usize) {
+    THRESHOLD.store(threshold, Ordering::Relaxed);
+}
+
+/// Snapshot of the effective parallel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads kernels may use (see [`current_threads`]).
+    pub threads: usize,
+    /// Sequential-fallback threshold in elements.
+    pub threshold: usize,
+}
+
+/// Reads the effective configuration.
+#[must_use]
+pub fn parallel_config() -> ParallelConfig {
+    ParallelConfig {
+        threads: current_threads(),
+        threshold: par_threshold(),
+    }
+}
+
+/// Splits `0..len` into `parts` near-equal contiguous ranges.
+fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Runs `f(offset, chunk)` over disjoint contiguous chunks of `out`,
+/// in parallel when `out` is at least [`par_threshold`] elements and
+/// more than one worker thread is configured; otherwise `f(0, out)`
+/// runs on the calling thread.
+///
+/// Determinism: callers must compute each element identically however
+/// the slice is split (true for element-wise kernels and for row-wise
+/// SpMV, where each output element depends only on shared inputs).
+pub fn par_chunks_mut<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = current_threads();
+    if threads <= 1 || out.len() < par_threshold() {
+        f(0, out);
+        return;
+    }
+    let ranges = split_ranges(out.len(), threads);
+    thread::scope(|scope| {
+        let mut rest = out;
+        let mut consumed = 0;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let offset = consumed;
+            consumed += chunk.len();
+            let f = &f;
+            scope.spawn(move || f(offset, chunk));
+        }
+    });
+}
+
+/// Deterministic chunked map-reduce over `0..len`.
+///
+/// The index space is cut into fixed [`REDUCTION_CHUNK`]-element chunks
+/// (boundaries depend on `len` only), `map` produces one partial per
+/// chunk, and the partials are folded with `fold` on the calling thread
+/// in ascending chunk order — so the result is bitwise identical for
+/// any thread count, including one. Returns `None` when `len == 0`.
+///
+/// Below the [`par_threshold`] the single remaining chunk is mapped
+/// inline, which is exactly the sequential kernel.
+pub fn par_reduce<T, M, F>(len: usize, map: M, mut fold: F) -> Option<T>
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    F: FnMut(T, T) -> T,
+{
+    if len == 0 {
+        return None;
+    }
+    let n_chunks = len.div_ceil(REDUCTION_CHUNK);
+    let chunk_range = |c: usize| c * REDUCTION_CHUNK..((c + 1) * REDUCTION_CHUNK).min(len);
+    let threads = current_threads();
+    let partials: Vec<T> = if threads <= 1 || n_chunks <= 1 || len < par_threshold() {
+        (0..n_chunks).map(|c| map(chunk_range(c))).collect()
+    } else {
+        // Contiguous chunk-index spans per thread keep the concatenated
+        // partials in ascending chunk order.
+        let spans = split_ranges(n_chunks, threads);
+        thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .into_iter()
+                .map(|span| {
+                    let map = &map;
+                    scope.spawn(move || span.map(|c| map(chunk_range(c))).collect::<Vec<T>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("parallel reduce worker panicked"))
+                .collect()
+        })
+    };
+    partials.into_iter().reduce(&mut fold)
+}
+
+/// Index-preserving parallel map: `out[i] = f(i, &items[i])`.
+///
+/// Parallel when `items` has at least two elements, more than one
+/// worker thread is configured, and `f` is presumed expensive (this
+/// entry point is for coarse-grained work such as per-scenario solves;
+/// it ignores the element threshold). Each item is computed
+/// independently, so results never depend on the split.
+pub fn par_map_vec<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = current_threads();
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let spans = split_ranges(items.len(), threads);
+    thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|span| {
+                let f = &f;
+                scope.spawn(move || {
+                    span.map(|i| f(i, &items[i])).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that mutate the global config.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn split_ranges_cover_everything() {
+        for len in [0usize, 1, 5, 17, 4096, 4097] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = split_ranges(len, parts);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+                assert_eq!(expect, len);
+            }
+        }
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(3);
+        assert_eq!(current_threads(), 3);
+        set_threads(0);
+        assert!(current_threads() >= 1);
+        let old = par_threshold();
+        set_par_threshold(128);
+        assert_eq!(parallel_config().threshold, 128);
+        set_par_threshold(old);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_element() {
+        let _g = LOCK.lock().unwrap();
+        let old = par_threshold();
+        set_par_threshold(16);
+        set_threads(4);
+        let mut v = vec![0.0_f64; 1000];
+        par_chunks_mut(&mut v, |offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (offset + i) as f64;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as f64);
+        }
+        set_threads(0);
+        set_par_threshold(old);
+    }
+
+    #[test]
+    fn par_reduce_is_bit_stable_across_thread_counts() {
+        let _g = LOCK.lock().unwrap();
+        let old = par_threshold();
+        set_par_threshold(16);
+        let data: Vec<f64> = (0..100_000).map(|i| ((i * 37) % 101) as f64 * 0.7).collect();
+        let sum = |r: Range<usize>| data[r].iter().sum::<f64>();
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 4, 7] {
+            set_threads(threads);
+            results.push(par_reduce(data.len(), sum, |a, b| a + b).unwrap());
+        }
+        set_threads(0);
+        set_par_threshold(old);
+        for w in results.windows(2) {
+            assert_eq!(w[0].to_bits(), w[1].to_bits());
+        }
+    }
+
+    #[test]
+    fn par_reduce_empty_is_none() {
+        assert!(par_reduce(0, |_r| 0.0_f64, |a, b| a + b).is_none());
+    }
+
+    #[test]
+    fn par_map_vec_preserves_order() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        let items: Vec<usize> = (0..97).collect();
+        let out = par_map_vec(&items, |i, &v| {
+            assert_eq!(i, v);
+            v * 2
+        });
+        set_threads(0);
+        assert_eq!(out, (0..97).map(|v| v * 2).collect::<Vec<_>>());
+    }
+}

@@ -134,22 +134,22 @@ impl IncompleteCholesky {
         let mut data = Vec::new();
         let mut diag = vec![0.0; n];
         indptr.push(0);
-        for i in 0..n {
+        for (i, di) in diag.iter_mut().enumerate() {
             let mut found_diag = false;
             for (j, v) in a.row(i) {
                 if j < i {
                     indices.push(j);
                     data.push(v);
                 } else if j == i {
-                    diag[i] = v;
+                    *di = v;
                     found_diag = true;
                 }
             }
             indptr.push(indices.len());
-            if !found_diag || diag[i] <= 0.0 {
+            if !found_diag || *di <= 0.0 {
                 return Err(SolverError::NotPositiveDefinite {
                     pivot: i,
-                    value: diag[i],
+                    value: *di,
                 });
             }
         }
@@ -181,8 +181,8 @@ impl IncompleteCholesky {
                 data[idx] = s / diag[k];
             }
             let mut d = diag[i];
-            for idx in lo_i..hi_i {
-                d -= data[idx] * data[idx];
+            for &l in &data[lo_i..hi_i] {
+                d -= l * l;
             }
             if d <= 0.0 {
                 // Breakdown: boost the pivot to keep the factor SPD.

@@ -3,8 +3,20 @@
 //! All functions panic on length mismatch — callers inside this crate
 //! validate shapes at the solver boundary, so a mismatch here is a bug,
 //! not a user error.
+//!
+//! Kernels run through [`crate::parallel`]: element-wise updates split
+//! into disjoint chunks above the parallel threshold, and reductions
+//! (`dot`, `norm2`) use the fixed-chunk deterministic scheme, so every
+//! kernel returns bitwise-identical results at any thread count.
+
+use crate::parallel::{par_chunks_mut, par_reduce};
 
 /// Dot product `x · y`.
+///
+/// Computed as a fixed-chunk reduction (see
+/// [`crate::parallel::par_reduce`]): per-chunk partial sums folded in
+/// ascending chunk order, so the floating-point association — and
+/// therefore the result — is independent of the thread count.
 ///
 /// # Panics
 ///
@@ -18,7 +30,12 @@
 #[must_use]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    par_reduce(
+        x.len(),
+        |r| x[r.clone()].iter().zip(&y[r]).map(|(a, b)| a * b).sum::<f64>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
 }
 
 /// In-place `y += alpha * x`.
@@ -28,16 +45,21 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// Panics if `x` and `y` have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    par_chunks_mut(y, |off, chunk| {
+        let n = chunk.len();
+        for (yi, xi) in chunk.iter_mut().zip(&x[off..off + n]) {
+            *yi += alpha * xi;
+        }
+    });
 }
 
 /// In-place scale `x *= alpha`.
 pub fn scale(alpha: f64, x: &mut [f64]) {
-    for xi in x {
-        *xi *= alpha;
-    }
+    par_chunks_mut(x, |_off, chunk| {
+        for xi in chunk {
+            *xi *= alpha;
+        }
+    });
 }
 
 /// In-place `y = x + beta * y` (the "xpby" update used by CG for the
@@ -48,26 +70,52 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
 /// Panics if `x` and `y` have different lengths.
 pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpby: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = xi + beta * *yi;
-    }
+    par_chunks_mut(y, |off, chunk| {
+        let n = chunk.len();
+        for (yi, xi) in chunk.iter_mut().zip(&x[off..off + n]) {
+            *yi = xi + beta * *yi;
+        }
+    });
 }
 
 /// Euclidean norm `||x||_2`, computed with scaling to avoid overflow.
+///
+/// Both passes (max-abs and the scaled sum of squares) are fixed-chunk
+/// reductions; `max` is exact under reassociation and the sum folds in
+/// chunk order, so the norm is bit-stable across thread counts.
 #[must_use]
 pub fn norm2(x: &[f64]) -> f64 {
-    let maxabs = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    let maxabs = par_reduce(
+        x.len(),
+        |r| x[r].iter().fold(0.0_f64, |m, v| m.max(v.abs())),
+        f64::max,
+    )
+    .unwrap_or(0.0);
     if maxabs == 0.0 || !maxabs.is_finite() {
         return if maxabs.is_finite() { 0.0 } else { f64::INFINITY };
     }
-    let sum: f64 = x.iter().map(|v| (v / maxabs) * (v / maxabs)).sum();
+    let sum: f64 = par_reduce(
+        x.len(),
+        |r| {
+            x[r].iter()
+                .map(|v| (v / maxabs) * (v / maxabs))
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0);
     maxabs * sum.sqrt()
 }
 
 /// Infinity norm `||x||_inf`.
 #[must_use]
 pub fn norm_inf(x: &[f64]) -> f64 {
-    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    par_reduce(
+        x.len(),
+        |r| x[r].iter().fold(0.0_f64, |m, v| m.max(v.abs())),
+        f64::max,
+    )
+    .unwrap_or(0.0)
 }
 
 /// Elementwise copy of `src` into `dst`.

@@ -22,6 +22,18 @@
 //!   prediction (Problem 2), the perturbation engine, and the
 //!   conventional iterative baseline.
 //!
+//! # Parallel execution
+//!
+//! Every hot path — sparse matrix–vector products, the CG vector
+//! kernels, minibatch training, per-scenario vectored solves, and γ
+//! perturbation sweeps — runs on the workspace-wide thread pool
+//! configured through [`parallel`] (re-exported from the solver crate).
+//! The thread count defaults to the machine's parallelism, can be
+//! pinned with the `PPDL_THREADS` environment variable or
+//! [`parallel::set_threads`], and results are **bitwise identical at
+//! every thread count**: work decomposition depends only on problem
+//! size, and reductions fold fixed-size chunks in a fixed order.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -45,3 +57,6 @@ pub use ppdl_floorplan as floorplan;
 pub use ppdl_netlist as netlist;
 pub use ppdl_nn as nn;
 pub use ppdl_solver as solver;
+
+pub use ppdl_solver::parallel;
+pub use ppdl_solver::{parallel_config, set_par_threshold, set_threads, ParallelConfig};

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a small property-testing engine that speaks the subset of the
+//! `proptest` API the test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`, doc
+//!   comments, and `#[test]` attributes on each property),
+//! * [`Strategy`] with `prop_map` / `prop_flat_map` / `boxed`,
+//! * numeric [`core::ops::Range`] strategies, tuples, [`Just`],
+//!   [`collection::vec`], and [`prop_oneof!`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] returning
+//!   [`TestCaseError`] from the property body,
+//! * `*.proptest-regressions` seed files: every `cc` entry is re-run
+//!   before the fresh random cases, so checked-in regressions are
+//!   exercised on each `cargo test`.
+//!
+//! Differences from upstream: failing inputs are reported but not
+//! shrunk, and case generation is deterministic per test (seeded from
+//! the test's name, overridable with `PROPTEST_RNG_SEED`). Case counts
+//! honour `PROPTEST_CASES` exactly like upstream.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+
+/// Result type property bodies evaluate to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Defines property tests.
+///
+/// Supported grammar (a strict subset of upstream `proptest!`):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     /// Optional docs.
+///     #[test]
+///     fn my_property(x in 0.0_f64..1.0, v in proptest::collection::vec(0u32..9, 1..20)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With a leading config attribute.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    // Without one: use the default config.
+    (
+        $(#[$meta:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(
+            @fns ($crate::ProptestConfig::default())
+            $(#[$meta])*
+            fn $($rest)*
+        );
+    };
+    // Expand each test fn in turn.
+    (
+        @fns ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::test_runner::run_property(
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                &config,
+                |__ppdl_rng: &mut $crate::TestRng, __ppdl_seed: u64| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __ppdl_rng);)+
+                    let __ppdl_desc =
+                        [$(format!("  {} = {:?}\n", stringify!($arg), $arg)),+].concat();
+                    let __ppdl_case = move || -> $crate::TestCaseResult {
+                        $body
+                        Ok(())
+                    };
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        __ppdl_case,
+                    )) {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) if e.is_rejection() => {}
+                        Ok(Err(e)) => panic!(
+                            "proptest property `{}` failed: {}\n  rng seed: {:#x}\n{}",
+                            stringify!($name),
+                            e,
+                            __ppdl_seed,
+                            __ppdl_desc,
+                        ),
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest property `{}` panicked (rng seed {:#x}) with inputs:\n{}",
+                                stringify!($name),
+                                __ppdl_seed,
+                                __ppdl_desc,
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                },
+            );
+        }
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (@fns ($config:expr)) => {};
+}
+
+/// Fails the property with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the property unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fails the property unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Rejects the current case (counts as a discard, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+///
+/// Weights (`w => strategy`) are accepted and honoured.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,42 @@
+//! The usual `use proptest::prelude::*;` import surface.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+pub use crate::TestCaseResult;
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+};
+
+/// Strategy for "any value" of a few basic types, selected by the type
+/// parameter. Only the types the workspace needs are implemented.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = core::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = core::ops::RangeFull;
+    fn arbitrary() -> Self::Strategy {
+        ..
+    }
+}

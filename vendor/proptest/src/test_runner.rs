@@ -1,0 +1,245 @@
+//! Case execution: RNG, config, error type, and the per-property runner
+//! (including `*.proptest-regressions` seed replay).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Per-property configuration; mirrors the fields of upstream
+/// `ProptestConfig` that the workspace sets.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of fresh random cases to run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Config { cases }
+    }
+}
+
+/// Why a property body bailed out of a case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is falsified.
+    Fail(String),
+    /// A `prop_assume!` failed: discard the case, try another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Failure with a message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Discarded case.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// True for discards (assumption failures), false for real failures.
+    #[must_use]
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) | TestCaseError::Reject(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The runner's RNG (xoshiro256++ seeded via SplitMix64). Deterministic
+/// per seed; independent of the vendored `rand` crate.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed through SplitMix64 expansion.
+    #[must_use]
+    pub fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below: zero bound");
+        self.next_u64() % bound
+    }
+
+    /// Uniform integer in `[0, bound)` for wide bounds.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "TestRng::below_u128: zero bound");
+        if bound <= u128::from(u64::MAX) {
+            u128::from(self.below(bound as u64))
+        } else {
+            let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            wide % bound
+        }
+    }
+}
+
+/// FNV-1a, used to derive per-property base seeds from test names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Locate `<source file stem>.proptest-regressions` next to the test's
+/// source file. `file!()` paths are workspace-root-relative, while tests
+/// run from the package root, so both interpretations are tried.
+fn regression_file(manifest_dir: &str, source_file: &str) -> Option<PathBuf> {
+    let with_ext = Path::new(source_file).with_extension("proptest-regressions");
+    if with_ext.is_file() {
+        return Some(with_ext);
+    }
+    // Keep only the path from the last `tests/` (or `src/`) component on
+    // and resolve it against the package manifest dir.
+    let s = with_ext.to_string_lossy();
+    for anchor in ["tests/", "src/"] {
+        if let Some(pos) = s.rfind(anchor) {
+            let candidate = Path::new(manifest_dir).join(&s[pos..]);
+            if candidate.is_file() {
+                return Some(candidate);
+            }
+        }
+    }
+    None
+}
+
+/// Parse `cc <hex>` seed lines from a regression file into u64 seeds.
+fn regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_hexdigit())
+                .take(16)
+                .collect();
+            if hex.is_empty() {
+                return None;
+            }
+            u64::from_str_radix(&hex, 16).ok()
+        })
+        .collect()
+}
+
+/// Run one property: first replay every checked-in regression seed for
+/// the property's source file, then run `config.cases` fresh cases.
+///
+/// Case seeds are deterministic per property name so failures are
+/// reproducible run-to-run; set `PROPTEST_RNG_SEED` to explore a
+/// different part of the space (or to replay a printed seed, which
+/// runs that exact seed first).
+pub fn run_property(
+    manifest_dir: &str,
+    source_file: &str,
+    name: &str,
+    config: &Config,
+    mut case: impl FnMut(&mut TestRng, u64),
+) {
+    let mut seeds: Vec<u64> = Vec::new();
+    if let Some(path) = regression_file(manifest_dir, source_file) {
+        seeds.extend(regression_seeds(&path));
+    }
+    if let Ok(v) = std::env::var("PROPTEST_RNG_SEED") {
+        if let Ok(s) = v.parse::<u64>() {
+            seeds.push(s);
+        }
+    }
+    let base = fnv1a(format!("{source_file}::{name}").as_bytes());
+    seeds.extend((0..config.cases).map(|i| base ^ (u64::from(i)).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+
+    for seed in seeds {
+        let mut rng = TestRng::seed_from_u64(seed);
+        case(&mut rng, seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_parse_from_cc_lines() {
+        let dir = std::env::temp_dir().join("ppdl-proptest-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# comment\ncc cdddec471069d28d26ca9b86e02d6b1b4ac43121d432ab6ce0b2f70ade2simply # shrinks to x = 1\n",
+        )
+        .unwrap();
+        let seeds = regression_seeds(&path);
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0], 0xcdddec471069d28d);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed_from_u64(5);
+        let mut b = TestRng::seed_from_u64(5);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
