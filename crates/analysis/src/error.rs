@@ -31,7 +31,10 @@ impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::NoSupply => {
-                write!(f, "netlist has no voltage source; node voltages are undefined")
+                write!(
+                    f,
+                    "netlist has no voltage source; node voltages are undefined"
+                )
             }
             AnalysisError::FloatingNodes { count, example } => write!(
                 f,

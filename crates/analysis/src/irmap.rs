@@ -92,10 +92,10 @@ impl IrDropMap {
             let Some((x, y)) = name.coordinates() else {
                 continue;
             };
-            let cx = (((x - min_x) as f64 / w) * resolution as f64)
-                .min(resolution as f64 - 1.0) as usize;
-            let cy = (((y - min_y) as f64 / h) * resolution as f64)
-                .min(resolution as f64 - 1.0) as usize;
+            let cx = (((x - min_x) as f64 / w) * resolution as f64).min(resolution as f64 - 1.0)
+                as usize;
+            let cy = (((y - min_y) as f64 / h) * resolution as f64).min(resolution as f64 - 1.0)
+                as usize;
             sums[cy * resolution + cx] += drops[i] * 1000.0;
             counts[cy * resolution + cx] += 1;
         }
@@ -122,7 +122,10 @@ impl IrDropMap {
     /// Panics if the cell is out of range.
     #[must_use]
     pub fn get_mv(&self, x: usize, y: usize) -> f64 {
-        assert!(x < self.resolution && y < self.resolution, "cell out of range");
+        assert!(
+            x < self.resolution && y < self.resolution,
+            "cell out of range"
+        );
         self.cells[y * self.resolution + x]
     }
 

@@ -1,7 +1,7 @@
 use ppdl_netlist::{NodeId, PowerGridNetwork, UnionFind};
 use ppdl_solver::{
-    CgOptions, ConjugateGradient, IdentityPreconditioner, IncompleteCholesky,
-    JacobiPreconditioner, TripletMatrix,
+    CgOptions, ConjugateGradient, IdentityPreconditioner, IncompleteCholesky, JacobiPreconditioner,
+    TripletMatrix,
 };
 
 use crate::AnalysisError;
@@ -189,8 +189,7 @@ impl StaticAnalysis {
                     (Some(s.x), it)
                 }
                 PreconditionerKind::Ic0 => {
-                    let s =
-                        cg.solve(&matrix, &rhs, &IncompleteCholesky::from_matrix(&matrix)?)?;
+                    let s = cg.solve(&matrix, &rhs, &IncompleteCholesky::from_matrix(&matrix)?)?;
                     let it = s.iterations;
                     (Some(s.x), it)
                 }
@@ -243,10 +242,49 @@ pub struct IrDropReport {
 }
 
 impl IrDropReport {
+    /// Reassembles a report from its parts — the artifact-cache decode
+    /// path, where a previously computed solve is restored from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Undefined`] when the voltage and
+    /// ground-mask vectors disagree in length.
+    pub fn from_parts(
+        vdd: f64,
+        voltages: Vec<f64>,
+        is_ground: Vec<bool>,
+        unknowns: usize,
+        iterations: usize,
+    ) -> crate::Result<Self> {
+        if voltages.len() != is_ground.len() {
+            return Err(AnalysisError::Undefined {
+                detail: format!(
+                    "report with {} voltages but {} ground flags",
+                    voltages.len(),
+                    is_ground.len()
+                ),
+            });
+        }
+        Ok(Self {
+            vdd,
+            voltages,
+            is_ground,
+            unknowns,
+            iterations,
+        })
+    }
+
     /// The supply voltage used as the drop reference.
     #[must_use]
     pub fn vdd(&self) -> f64 {
         self.vdd
+    }
+
+    /// Which nodes belong to the return (ground) net, indexed like
+    /// [`voltages`](Self::voltages).
+    #[must_use]
+    pub fn ground_mask(&self) -> &[bool] {
+        &self.is_ground
     }
 
     /// Number of free unknowns the solver handled.
@@ -401,10 +439,7 @@ mod tests {
 
     #[test]
     fn branch_current_direction() {
-        let net = parse_spice(
-            "R1 n1_0_0 n1_0_1 2.0\nV0 n1_0_0 0 1.8\ni0 n1_0_1 0 0.05\n",
-        )
-        .unwrap();
+        let net = parse_spice("R1 n1_0_0 n1_0_1 2.0\nV0 n1_0_0 0 1.8\ni0 n1_0_1 0 0.05\n").unwrap();
         let rep = StaticAnalysis::default().solve(&net).unwrap();
         // Current flows from the supply (a) toward the load (b): positive.
         let i = rep.branch_current(&net, 0).unwrap();
@@ -437,10 +472,8 @@ mod tests {
 
     #[test]
     fn floating_nodes_detected() {
-        let net = parse_spice(
-            "R1 n1_0_0 n1_0_1 1.0\nR2 n1_5_5 n1_5_6 1.0\nV0 n1_0_0 0 1.8\n",
-        )
-        .unwrap();
+        let net =
+            parse_spice("R1 n1_0_0 n1_0_1 1.0\nR2 n1_5_5 n1_5_6 1.0\nV0 n1_0_0 0 1.8\n").unwrap();
         match StaticAnalysis::default().solve(&net) {
             Err(AnalysisError::FloatingNodes { count, .. }) => assert_eq!(count, 2),
             other => panic!("expected floating nodes, got {other:?}"),
@@ -530,8 +563,15 @@ mod tests {
     fn ppdl_floorplan_fixture(die: f64) -> ppdl_floorplan::Floorplan {
         let mut fp = ppdl_floorplan::Floorplan::new(die, die).unwrap();
         fp.add_block(
-            ppdl_floorplan::FunctionalBlock::new("b", die * 0.1, die * 0.1, die * 0.8, die * 0.8, 0.2)
-                .unwrap(),
+            ppdl_floorplan::FunctionalBlock::new(
+                "b",
+                die * 0.1,
+                die * 0.1,
+                die * 0.8,
+                die * 0.8,
+                0.2,
+            )
+            .unwrap(),
         )
         .unwrap();
         fp

@@ -235,11 +235,8 @@ mod tests {
     #[test]
     fn peak_step_identified() {
         let n = net();
-        let trace = CurrentTrace::new(
-            vec![vec![0.1, 0.1], vec![2.0, 2.0], vec![1.0, 1.0]],
-            2,
-        )
-        .unwrap();
+        let trace =
+            CurrentTrace::new(vec![vec![0.1, 0.1], vec![2.0, 2.0], vec![1.0, 1.0]], 2).unwrap();
         let rep = VectoredAnalysis::default().run(&n, &trace).unwrap();
         assert_eq!(rep.worst_step, 1);
         assert!(rep.step_worst[1] > rep.step_worst[0]);

@@ -5,15 +5,18 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppdl_analysis::StaticAnalysis;
 use ppdl_core::{
-    experiment, ConventionalConfig, ConventionalFlow, IrPredictor, PredictorConfig,
-    WidthPredictor,
+    experiment, ConventionalConfig, ConventionalFlow, IrPredictor, PredictorConfig, WidthPredictor,
 };
 use ppdl_netlist::IbmPgPreset;
 
 fn bench_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("convergence_time");
     group.sample_size(10);
-    for preset in [IbmPgPreset::Ibmpg1, IbmPgPreset::Ibmpg2, IbmPgPreset::Ibmpg5] {
+    for preset in [
+        IbmPgPreset::Ibmpg1,
+        IbmPgPreset::Ibmpg2,
+        IbmPgPreset::Ibmpg5,
+    ] {
         let prepared = experiment::prepare(preset, 0.01, 7, 2.5).expect("prepare");
         let (sized, golden) = ConventionalFlow::new(ConventionalConfig {
             ir_margin_fraction: prepared.margin_fraction,
@@ -22,8 +25,7 @@ fn bench_convergence(c: &mut Criterion) {
         .run(&prepared.bench)
         .expect("sizing");
         let (predictor, _) =
-            WidthPredictor::train(&sized, &golden.widths, PredictorConfig::fast())
-                .expect("train");
+            WidthPredictor::train(&sized, &golden.widths, PredictorConfig::fast()).expect("train");
         let analyzer = StaticAnalysis::default();
 
         group.bench_with_input(

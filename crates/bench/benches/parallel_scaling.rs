@@ -11,8 +11,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ppdl_nn::{Activation, Adam, Loss, Matrix, MlpBuilder};
 use ppdl_solver::{
-    parallel_config, set_threads, CgOptions, ConjugateGradient, CsrMatrix,
-    JacobiPreconditioner, TripletMatrix,
+    parallel_config, set_threads, CgOptions, ConjugateGradient, CsrMatrix, JacobiPreconditioner,
+    TripletMatrix,
 };
 
 /// 2-D grid Laplacian with grounded corner — the structure of a

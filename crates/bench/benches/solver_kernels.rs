@@ -72,18 +72,14 @@ fn bench_direct(c: &mut Criterion) {
     group.sample_size(10);
     for side in [16usize, 32] {
         let a = grid(side);
-        group.bench_with_input(
-            BenchmarkId::new("factor", side * side),
-            &a,
-            |bn, a| bn.iter(|| SparseCholesky::factor(a).expect("spd")),
-        );
+        group.bench_with_input(BenchmarkId::new("factor", side * side), &a, |bn, a| {
+            bn.iter(|| SparseCholesky::factor(a).expect("spd"))
+        });
         let chol = SparseCholesky::factor(&a).expect("spd");
         let b_vec = vec![0.5; a.nrows()];
-        group.bench_with_input(
-            BenchmarkId::new("solve", side * side),
-            &chol,
-            |bn, chol| bn.iter(|| chol.solve(&b_vec).expect("solve")),
-        );
+        group.bench_with_input(BenchmarkId::new("solve", side * side), &chol, |bn, chol| {
+            bn.iter(|| chol.solve(&b_vec).expect("solve"))
+        });
     }
     group.finish();
 }

@@ -1,59 +1,12 @@
-//! Ablation: how many hidden layers does the width model need?
-//!
-//! The paper fixes 10 hidden layers "obtained by hyperparameter
-//! optimization". This ablation sweeps the depth on an ibmpg2-style
-//! benchmark and reports accuracy and training cost.
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin ablation_depth --
-//! [--scale 0.015]`
+//! Alias binary for `ppdl-bench run ablation_depth` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin ablation_depth`) keep working.
+//! The experiment body lives in the registry.
 
-use std::time::Instant;
-
-use ppdl_bench::harness::{format_table, write_csv, Options};
 use ppdl_bench::memtrack::TrackingAllocator;
-use ppdl_core::{
-    experiment, ConventionalConfig, ConventionalFlow, PredictorConfig, WidthPredictor,
-};
-use ppdl_netlist::IbmPgPreset;
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
 fn main() {
-    let opts = Options::from_args(0.015);
-    println!(
-        "Depth ablation on ibmpg2 (scale {}, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let prepared =
-        experiment::prepare(IbmPgPreset::Ibmpg2, opts.scale, opts.seed, 2.5).expect("prepare");
-    let (sized, golden) = ConventionalFlow::new(ConventionalConfig {
-        ir_margin_fraction: prepared.margin_fraction,
-        ..ConventionalConfig::default()
-    })
-    .run(&prepared.bench)
-    .expect("sizing");
-
-    let mut rows = Vec::new();
-    for depth in [1usize, 2, 4, 6, 10, 14] {
-        let config = PredictorConfig {
-            hidden_layers: depth,
-            ..PredictorConfig::default()
-        };
-        let t0 = Instant::now();
-        let (p, summary) = WidthPredictor::train(&sized, &golden.widths, config).expect("train");
-        let train_time = t0.elapsed();
-        let m = p.evaluate(&sized, &golden.widths).expect("evaluate");
-        rows.push(vec![
-            depth.to_string(),
-            format!("{:.3}", m.r2),
-            format!("{:.4}", m.mse_scaled),
-            format!("{:.2}", train_time.as_secs_f64()),
-            summary.total_epochs().to_string(),
-        ]);
-    }
-    let header = ["hidden layers", "r2", "MSE", "train (s)", "epochs"];
-    println!("{}", format_table(&header, &rows));
-    let _ = write_csv(&opts.out_dir, "ablation_depth.csv", &header, &rows);
-    println!("wrote {}/ablation_depth.csv", opts.out_dir.display());
+    ppdl_bench::experiments::run_cli("ablation_depth");
 }

@@ -1,129 +1,12 @@
-//! Ablation: Adam (the paper's optimizer, ref. 13) vs SGD, momentum, and
-//! RMSProp on the width-regression task.
-//!
-//! Uses the raw `ppdl-nn` training loop on the standardised ibmpg2
-//! dataset so every optimizer sees identical batches.
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin ablation_optimizer --
-//! [--scale 0.015]`
+//! Alias binary for `ppdl-bench run ablation_optimizer` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin ablation_optimizer`) keep working.
+//! The experiment body lives in the registry.
 
-use std::time::Instant;
-
-use ppdl_bench::harness::{format_table, write_csv, Options};
 use ppdl_bench::memtrack::TrackingAllocator;
-use ppdl_core::{
-    experiment, segment_dataset, ConventionalConfig, ConventionalFlow, FeatureSet,
-};
-use ppdl_netlist::IbmPgPreset;
-use ppdl_nn::{
-    metrics, Activation, Adam, Dataset, Loss, MlpBuilder, Momentum, Optimizer, RmsProp, Sgd,
-    StandardScaler,
-};
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
-fn train_with<O: Optimizer>(
-    data: &Dataset,
-    mut opt: O,
-    epochs: usize,
-) -> (f64, f64) {
-    let mut model = MlpBuilder::new(3)
-        .hidden_stack(4, 24, Activation::Relu)
-        .output(1)
-        .seed(3)
-        .build()
-        .expect("model");
-    let t0 = Instant::now();
-    for epoch in 0..epochs {
-        for (xb, yb) in data.shuffled(epoch as u64).batches(64) {
-            model
-                .train_batch(&xb, &yb, Loss::Mse, &mut opt)
-                .expect("train batch");
-        }
-    }
-    let secs = t0.elapsed().as_secs_f64();
-    let pred = model.predict(data.x()).expect("predict");
-    let r2 = metrics::r2_score(&pred, data.y()).expect("r2");
-    (r2, secs)
-}
-
 fn main() {
-    let opts = Options::from_args(0.015);
-    println!(
-        "Optimizer ablation on ibmpg2 (scale {}, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let prepared =
-        experiment::prepare(IbmPgPreset::Ibmpg2, opts.scale, opts.seed, 2.5).expect("prepare");
-    let (sized, golden) = ConventionalFlow::new(ConventionalConfig {
-        ir_margin_fraction: prepared.margin_fraction,
-        ..ConventionalConfig::default()
-    })
-    .run(&prepared.bench)
-    .expect("sizing");
-    let raw = segment_dataset(&sized, &golden.widths, FeatureSet::Combined).expect("dataset");
-    // Restrict to one strap direction: a combined-direction regression
-    // has two conflicting targets per (X, Y) location, which would cap
-    // every optimizer identically and mask their differences. Pick the
-    // direction whose golden widths actually vary.
-    let variance = |orient: ppdl_netlist::Orientation| -> f64 {
-        let w: Vec<f64> = sized
-            .straps()
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.orientation == orient)
-            .map(|(i, _)| golden.widths[i])
-            .collect();
-        let mean = w.iter().sum::<f64>() / w.len() as f64;
-        w.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / w.len() as f64
-    };
-    let chosen = if variance(ppdl_netlist::Orientation::Vertical)
-        >= variance(ppdl_netlist::Orientation::Horizontal)
-    {
-        ppdl_netlist::Orientation::Vertical
-    } else {
-        ppdl_netlist::Orientation::Horizontal
-    };
-    println!("training on {chosen:?} straps (higher width variance)\n");
-    let rows: Vec<usize> = sized
-        .segments()
-        .iter()
-        .enumerate()
-        .filter(|(_, seg)| sized.straps()[seg.strap].orientation == chosen)
-        .map(|(i, _)| i)
-        .collect();
-    let raw_x = raw.x().gather_rows(&rows);
-    let raw_y = raw.y().gather_rows(&rows);
-    let xs = StandardScaler::fit(&raw_x).expect("x scaler");
-    let ys = StandardScaler::fit(&raw_y).expect("y scaler");
-    let data = Dataset::new(
-        xs.transform(&raw_x).expect("scale x"),
-        ys.transform(&raw_y).expect("scale y"),
-    )
-    .expect("dataset");
-
-    let epochs = 120;
-    let mut rows = Vec::new();
-    let (r2, secs) = train_with(&data, Adam::new(2e-3).expect("adam"), epochs);
-    rows.push(vec!["adam".into(), format!("{r2:.3}"), format!("{secs:.2}")]);
-    let (r2, secs) = train_with(&data, Sgd::new(2e-2).expect("sgd"), epochs);
-    rows.push(vec!["sgd".into(), format!("{r2:.3}"), format!("{secs:.2}")]);
-    let (r2, secs) = train_with(&data, Momentum::new(5e-3, 0.9).expect("momentum"), epochs);
-    rows.push(vec![
-        "momentum".into(),
-        format!("{r2:.3}"),
-        format!("{secs:.2}"),
-    ]);
-    let (r2, secs) = train_with(&data, RmsProp::new(2e-3).expect("rmsprop"), epochs);
-    rows.push(vec![
-        "rmsprop".into(),
-        format!("{r2:.3}"),
-        format!("{secs:.2}"),
-    ]);
-
-    let header = ["optimizer", "r2 (train)", "time (s)"];
-    println!("{}", format_table(&header, &rows));
-    let _ = write_csv(&opts.out_dir, "ablation_optimizer.csv", &header, &rows);
-    println!("wrote {}/ablation_optimizer.csv", opts.out_dir.display());
+    ppdl_bench::experiments::run_cli("ablation_optimizer");
 }

@@ -1,49 +1,12 @@
-//! Fig. 10: memory-vs-time profile of the PowerPlanningDL flow for
-//! ibmpg2 and ibmpg6, sampled from the tracking allocator (the paper
-//! used `mprof`).
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin fig10_memory_profile --
-//! [--scale 0.02] [--fast]`
+//! Alias binary for `ppdl-bench run fig10_memory_profile` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin fig10_memory_profile`) keep working.
+//! The experiment body lives in the registry.
 
-use std::time::Duration;
-
-use ppdl_bench::harness::{format_table, run_preset, write_csv, Options};
-use ppdl_bench::memtrack::{peak_bytes, reset_peak, to_mib, Sampler, TrackingAllocator};
-use ppdl_netlist::IbmPgPreset;
+use ppdl_bench::memtrack::TrackingAllocator;
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
 fn main() {
-    let opts = Options::from_args(0.02);
-    println!(
-        "Fig. 10 reproduction (memory profile, scale {}, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let mut rows = Vec::new();
-    for preset in [IbmPgPreset::Ibmpg2, IbmPgPreset::Ibmpg6] {
-        reset_peak();
-        let sampler = Sampler::start(Duration::from_millis(5));
-        let outcome = run_preset(preset, &opts);
-        let profile = sampler.stop();
-        if let Err(e) = outcome {
-            eprintln!("{preset}: {e}");
-            continue;
-        }
-        let csv_rows: Vec<Vec<String>> = profile
-            .iter()
-            .map(|s| vec![format!("{:.4}", s.elapsed), format!("{:.3}", to_mib(s.bytes))])
-            .collect();
-        let name = format!("fig10_{preset}_memory.csv");
-        let _ = write_csv(&opts.out_dir, &name, &["seconds", "mib"], &csv_rows);
-        rows.push(vec![
-            preset.name().to_string(),
-            profile.len().to_string(),
-            format!("{:.1}", profile.last().map_or(0.0, |s| s.elapsed)),
-            format!("{:.1}", to_mib(peak_bytes())),
-        ]);
-        println!("wrote {}/{name}", opts.out_dir.display());
-    }
-    let header = ["PG circuit", "samples", "duration (s)", "peak MiB"];
-    println!("\n{}", format_table(&header, &rows));
+    ppdl_bench::experiments::run_cli("fig10_memory_profile");
 }

@@ -1,91 +1,12 @@
-//! Table I and Fig. 4(b): r² of single input features vs the combined
-//! `(X, Y, Id)` feature set, plus the per-interconnect windowed-r²
-//! trace over the first 1000 interconnects of ibmpg1.
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin fig4b_table1 --
-//! [--scale 0.02] [--fast]`
+//! Alias binary for `ppdl-bench run fig4b_table1` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin fig4b_table1`) keep working.
+//! The experiment body lives in the registry.
 
-use ppdl_bench::harness::{format_table, windowed_r2, write_csv, Options};
 use ppdl_bench::memtrack::TrackingAllocator;
-use ppdl_core::{
-    experiment, ConventionalConfig, ConventionalFlow, FeatureSet, PredictorConfig,
-    WidthPredictor,
-};
-use ppdl_netlist::IbmPgPreset;
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
 fn main() {
-    let opts = Options::from_args(0.02);
-    println!(
-        "Table I / Fig. 4(b) reproduction on ibmpg1 (scale {}, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let prepared =
-        experiment::prepare(IbmPgPreset::Ibmpg1, opts.scale, opts.seed, 2.5).expect("prepare");
-    let (sized, golden) = ConventionalFlow::new(ConventionalConfig {
-        ir_margin_fraction: prepared.margin_fraction,
-        ..ConventionalConfig::default()
-    })
-    .run(&prepared.bench)
-    .expect("conventional sizing");
-
-    // Table I: one model per feature set.
-    let paper = [0.34, 0.39, 0.61, 0.89];
-    let mut rows = Vec::new();
-    let mut combined_pairs = Vec::new();
-    for (fs, paper_r2) in FeatureSet::ALL.into_iter().zip(paper) {
-        let config = PredictorConfig {
-            feature_set: fs,
-            ..if opts.fast {
-                PredictorConfig::fast()
-            } else {
-                PredictorConfig::default()
-            }
-        };
-        let (p, _) = WidthPredictor::train(&sized, &golden.widths, config).expect("train");
-        let m = p.evaluate(&sized, &golden.widths).expect("evaluate");
-        if fs == FeatureSet::Combined {
-            combined_pairs = p.scatter_data(&sized, &golden.widths).expect("scatter");
-        }
-        rows.push(vec![
-            fs.label().to_string(),
-            format!("{:.2}", m.r2),
-            format!("{paper_r2:.2}"),
-        ]);
-    }
-    let header = ["Input features", "r2 score", "paper r2"];
-    println!("{}", format_table(&header, &rows));
-    let _ = write_csv(&opts.out_dir, "table1_feature_r2.csv", &header, &rows);
-
-    // Fig. 4(b): windowed r² over 1000 interconnects. Segments are
-    // stored strap by strap, so a raw window would often see a single
-    // strap (constant golden width, degenerate r²); a deterministic
-    // shuffle mixes straps within each window like the benchmark's
-    // file order does in the paper.
-    {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
-        combined_pairs.shuffle(&mut rng);
-    }
-    let n = combined_pairs.len().min(1000);
-    let series = windowed_r2(&combined_pairs[..n], 50);
-    let fig_rows: Vec<Vec<String>> = series
-        .iter()
-        .map(|(idx, r2)| vec![idx.to_string(), format!("{r2:.4}")])
-        .collect();
-    match write_csv(
-        &opts.out_dir,
-        "fig4b_windowed_r2.csv",
-        &["interconnect", "r2"],
-        &fig_rows,
-    ) {
-        Ok(p) => println!("wrote {} ({} windows over {n} interconnects)", p.display(), series.len()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
-    let mean_r2: f64 =
-        series.iter().map(|(_, r)| r).sum::<f64>() / series.len().max(1) as f64;
-    println!("mean windowed r2 (combined features): {mean_r2:.3}");
+    ppdl_bench::experiments::run_cli("fig4b_table1");
 }

@@ -1,96 +1,12 @@
-//! Fig. 7: width-prediction quality on ibmpg2 — (a) predicted vs
-//! golden scatter, (b) signed error histogram.
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin fig7_width_prediction --
-//! [--scale 0.02] [--fast]`
+//! Alias binary for `ppdl-bench run fig7_width_prediction` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin fig7_width_prediction`) keep working.
+//! The experiment body lives in the registry.
 
-use ppdl_bench::harness::{format_table, histogram, run_preset, write_csv, Options};
 use ppdl_bench::memtrack::TrackingAllocator;
-use ppdl_core::WidthPredictor;
-use ppdl_netlist::IbmPgPreset;
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
 fn main() {
-    let opts = Options::from_args(0.02);
-    println!(
-        "Fig. 7 reproduction on ibmpg2 (scale {}, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let outcome = run_preset(IbmPgPreset::Ibmpg2, &opts).expect("flow");
-
-    // Re-derive the (golden, predicted) pairs on the test design.
-    let prepared =
-        ppdl_core::experiment::prepare(IbmPgPreset::Ibmpg2, opts.scale, opts.seed, 2.5)
-            .expect("prepare");
-    let config = ppdl_core::experiment::flow_config(&prepared, opts.fast);
-    let (predictor, _) = WidthPredictor::train(
-        &outcome.sized_bench,
-        &outcome.golden_widths,
-        config.predictor,
-    )
-    .expect("train");
-    let pairs = predictor
-        .scatter_data(&outcome.test_bench, &outcome.golden_widths)
-        .expect("scatter");
-
-    // (a) scatter: write all pairs; print summary statistics.
-    let scatter_rows: Vec<Vec<String>> = pairs
-        .iter()
-        .map(|(g, p)| vec![format!("{g:.4}"), format!("{p:.4}")])
-        .collect();
-    let _ = write_csv(
-        &opts.out_dir,
-        "fig7a_scatter.csv",
-        &["golden_um", "predicted_um"],
-        &scatter_rows,
-    );
-    println!(
-        "scatter: {} interconnects, correlation {:.3}, r2 {:.3}",
-        pairs.len(),
-        outcome.width_metrics.correlation,
-        outcome.width_metrics.r2
-    );
-
-    // (b) error histogram over golden - predicted.
-    let errors: Vec<f64> = pairs.iter().map(|(g, p)| g - p).collect();
-    let lo = errors.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = errors.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let span = (hi - lo).max(1e-9);
-    let bins = histogram(&errors, lo - 0.05 * span, hi + 0.05 * span, 41);
-    let hist_rows: Vec<Vec<String>> = bins
-        .iter()
-        .map(|(c, n)| vec![format!("{c:.4}"), n.to_string()])
-        .collect();
-    let _ = write_csv(
-        &opts.out_dir,
-        "fig7b_error_histogram.csv",
-        &["error_um", "count"],
-        &hist_rows,
-    );
-
-    // Shape check the paper emphasises: mass concentrated near zero.
-    let near_zero = errors.iter().filter(|e| e.abs() <= 0.1 * span).count();
-    let mut rows = vec![
-        vec![
-            "fraction within 10% of error span of 0".into(),
-            format!("{:.1}%", 100.0 * near_zero as f64 / errors.len() as f64),
-        ],
-        vec![
-            "overpredicted (error < 0)".into(),
-            errors.iter().filter(|e| **e < 0.0).count().to_string(),
-        ],
-        vec![
-            "underpredicted (error > 0)".into(),
-            errors.iter().filter(|e| **e > 0.0).count().to_string(),
-        ],
-        vec!["max |error| (um)".into(), format!("{:.3}", lo.abs().max(hi.abs()))],
-    ];
-    rows.push(vec![
-        "mse (um^2)".into(),
-        format!("{:.4}", outcome.width_metrics.mse_um2),
-    ]);
-    println!("{}", format_table(&["statistic", "value"], &rows));
-    println!("wrote fig7a_scatter.csv and fig7b_error_histogram.csv to {}", opts.out_dir.display());
+    ppdl_bench::experiments::run_cli("fig7_width_prediction");
 }

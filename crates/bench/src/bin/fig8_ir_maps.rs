@@ -1,71 +1,12 @@
-//! Fig. 8: 100x100 IR-drop maps of ibmpg2 and ibmpg6, conventional
-//! analysis vs the PowerPlanningDL prediction.
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin fig8_ir_maps --
-//! [--scale 0.02] [--fast]`
+//! Alias binary for `ppdl-bench run fig8_ir_maps` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin fig8_ir_maps`) keep working.
+//! The experiment body lives in the registry.
 
-use ppdl_analysis::IrDropMap;
-use ppdl_bench::harness::{format_table, run_preset, Options};
 use ppdl_bench::memtrack::TrackingAllocator;
-use ppdl_netlist::IbmPgPreset;
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
-const RESOLUTION: usize = 100;
-
 fn main() {
-    let opts = Options::from_args(0.02);
-    println!(
-        "Fig. 8 reproduction (100x100 IR maps, scale {}, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let mut rows = Vec::new();
-    for preset in [IbmPgPreset::Ibmpg2, IbmPgPreset::Ibmpg6] {
-        let outcome = match run_preset(preset, &opts) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("{preset}: {e}");
-                continue;
-            }
-        };
-        let conventional =
-            IrDropMap::from_report(outcome.test_bench.network(), &outcome.test_report, RESOLUTION)
-                .expect("conventional map");
-        let predicted = outcome
-            .predicted_ir
-            .to_map(&outcome.test_bench, RESOLUTION)
-            .expect("predicted map");
-
-        std::fs::create_dir_all(&opts.out_dir).expect("output dir");
-        let conv_path = opts.out_dir.join(format!("fig8_{preset}_conventional.csv"));
-        let pred_path = opts.out_dir.join(format!("fig8_{preset}_predicted.csv"));
-        std::fs::write(&conv_path, conventional.to_csv()).expect("write conventional map");
-        std::fs::write(&pred_path, predicted.to_csv()).expect("write predicted map");
-
-        rows.push(vec![
-            preset.name().to_string(),
-            format!(
-                "{:.1} / {:.1} / {:.1}",
-                conventional.min_mv(),
-                conventional.mean_mv(),
-                conventional.max_mv()
-            ),
-            format!(
-                "{:.1} / {:.1} / {:.1}",
-                predicted.min_mv(),
-                predicted.mean_mv(),
-                predicted.max_mv()
-            ),
-            format!("{:.2}", conventional.mean_abs_diff_mv(&predicted)),
-        ]);
-        println!("wrote {} and {}", conv_path.display(), pred_path.display());
-    }
-    let header = [
-        "PG circuit",
-        "conventional min/mean/max (mV)",
-        "predicted min/mean/max (mV)",
-        "mean |diff| (mV)",
-    ];
-    println!("\n{}", format_table(&header, &rows));
+    ppdl_bench::experiments::run_cli("fig8_ir_maps");
 }

@@ -1,109 +1,12 @@
-//! Fig. 9: prediction MSE vs perturbation size γ ∈ {10..30 %} for the
-//! three perturbation kinds, on ibmpg2 and ibmpg6.
-//!
-//! The model is trained once per benchmark on the sized design; for
-//! each (γ, kind) the *initial* design is re-perturbed, re-sized by the
-//! conventional flow (its widths are the golden answer for the
-//! perturbed spec), and the model's standardised MSE against those
-//! golden widths is reported as MSE(%).
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin fig9_perturbation --
-//! [--scale 0.015] [--fast]`
+//! Alias binary for `ppdl-bench run fig9_perturbation` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin fig9_perturbation`) keep working.
+//! The experiment body lives in the registry.
 
-use ppdl_bench::harness::{format_table, write_csv, Options};
 use ppdl_bench::memtrack::TrackingAllocator;
-use ppdl_core::{
-    experiment, run_perturbation_sweep, ConventionalConfig, ConventionalFlow, PerturbationKind,
-    PredictorConfig, WidthPredictor,
-};
-use ppdl_netlist::IbmPgPreset;
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
 fn main() {
-    let opts = Options::from_args(0.015);
-    println!(
-        "Fig. 9 reproduction (MSE vs perturbation size, scale {}, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let gammas = [0.10, 0.15, 0.20, 0.25, 0.30];
-
-    for preset in [IbmPgPreset::Ibmpg2, IbmPgPreset::Ibmpg6] {
-        let prepared =
-            experiment::prepare(preset, opts.scale, opts.seed, 2.5).expect("prepare");
-        // A finer widening step than the default keeps the golden
-        // widths from jumping in coarse quanta between gamma points.
-        let conventional = ConventionalFlow::new(ConventionalConfig {
-            ir_margin_fraction: prepared.margin_fraction,
-            widen_factor: 1.15,
-            ..ConventionalConfig::default()
-        });
-        let (sized, golden) = conventional.run(&prepared.bench).expect("sizing");
-        let predictor_config = if opts.fast {
-            PredictorConfig::fast()
-        } else {
-            PredictorConfig::default()
-        };
-        let (predictor, _) =
-            WidthPredictor::train(&sized, &golden.widths, predictor_config).expect("train");
-
-        let mut rows = Vec::new();
-        let mut csv_rows = Vec::new();
-        let repeats = 3u64;
-        // Kind-major grid with `repeats` seeded draws per (kind, γ)
-        // point — the random signs make any single draw noisy. Every
-        // point re-sizes the perturbed spec independently, so the whole
-        // grid evaluates in parallel across PPDL_THREADS.
-        let points =
-            experiment::perturbation_grid(&gammas, &PerturbationKind::ALL, opts.seed, repeats)
-                .expect("gammas in range");
-        let results = run_perturbation_sweep(&prepared.bench, &points, |perturbed, _| {
-            // Golden answer for the perturbed spec.
-            let (sized_p, golden_p) = conventional.run(perturbed)?;
-            let m = predictor.evaluate(&sized_p, &golden_p.widths)?;
-            // MSE(%): squared error relative to the mean golden width —
-            // a scale-free percentage that does not blow up when the
-            // golden widths are tightly clustered.
-            let mean_w = golden_p.widths.iter().sum::<f64>() / golden_p.widths.len() as f64;
-            Ok(100.0 * m.mse_um2 / (mean_w * mean_w))
-        });
-        let mut point = results.iter().zip(&points);
-        for kind in PerturbationKind::ALL {
-            let mut cells = vec![kind.label().to_string()];
-            for &gamma in &gammas {
-                let mut sum = 0.0;
-                let mut count = 0usize;
-                for _ in 0..repeats {
-                    let (res, p) = point.next().expect("grid covers kind x gamma x repeats");
-                    match res {
-                        Ok(mse_pct) => {
-                            sum += mse_pct;
-                            count += 1;
-                        }
-                        Err(e) => {
-                            eprintln!("{preset} gamma={gamma} {kind:?} seed={}: {e}", p.seed());
-                        }
-                    }
-                }
-                let mse_pct = if count > 0 { sum / count as f64 } else { f64::NAN };
-                cells.push(format!("{mse_pct:.1}"));
-                csv_rows.push(vec![
-                    kind.label().to_string(),
-                    format!("{gamma:.2}"),
-                    format!("{mse_pct:.3}"),
-                ]);
-            }
-            rows.push(cells);
-        }
-        let header = ["perturbation", "10%", "15%", "20%", "25%", "30%"];
-        println!("{}:\n{}", preset.name(), format_table(&header, &rows));
-        let _ = write_csv(
-            &opts.out_dir,
-            &format!("fig9_{preset}_mse_vs_gamma.csv"),
-            &["kind", "gamma", "mse_pct"],
-            &csv_rows,
-        );
-    }
-    println!("wrote fig9_*_mse_vs_gamma.csv to {}", opts.out_dir.display());
+    ppdl_bench::experiments::run_cli("fig9_perturbation");
 }

@@ -1,74 +1,12 @@
-//! Table II: the benchmark suite itself — published node / resistor /
-//! source / load counts vs what the synthetic generator produces at
-//! the requested scale.
-//!
-//! The generator targets the scaled node count and the per-net source
-//! density (half the published `#v`, which counts both supply nets);
-//! resistor and load counts follow from the two-layer crossbar
-//! topology, so their ratios are structural rather than fitted.
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin table2_benchmarks --
-//! [--scale 0.02]`
+//! Alias binary for `ppdl-bench run table2_benchmarks` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin table2_benchmarks`) keep working.
+//! The experiment body lives in the registry.
 
-use ppdl_bench::harness::{format_table, write_csv, Options};
 use ppdl_bench::memtrack::TrackingAllocator;
-use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
 fn main() {
-    let opts = Options::from_args(0.02);
-    println!(
-        "Table II reproduction (scale {} of published sizes, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let mut rows = Vec::new();
-    for preset in IbmPgPreset::ALL {
-        let bench = match SyntheticBenchmark::from_preset(preset, opts.scale, opts.seed) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("{preset}: {e}");
-                continue;
-            }
-        };
-        let got = bench.network().stats();
-        let pub_stats = preset.published_stats();
-        let scale_pub = |v: usize| -> String {
-            format!("{:.0}", v as f64 * opts.scale)
-        };
-        rows.push(vec![
-            preset.name().to_string(),
-            got.nodes.to_string(),
-            scale_pub(pub_stats.nodes),
-            got.resistors.to_string(),
-            scale_pub(pub_stats.resistors),
-            got.sources.to_string(),
-            // One of the two symmetric nets is modelled.
-            scale_pub(pub_stats.sources / 2),
-            got.loads.to_string(),
-            scale_pub(pub_stats.loads),
-        ]);
-    }
-    let header = [
-        "PG circuit",
-        "#n",
-        "scaled paper #n",
-        "#r",
-        "scaled paper #r",
-        "#v",
-        "scaled paper #v/2",
-        "#i",
-        "scaled paper #i",
-    ];
-    println!("{}", format_table(&header, &rows));
-    match write_csv(&opts.out_dir, "table2_benchmarks.csv", &header, &rows) {
-        Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
-    println!(
-        "\nnote: the generator fits #n and the per-net #v density; #r and #i\n\
-         follow from the two-layer crossbar topology (ratios differ from the\n\
-         multi-layer IBM extractions; see DESIGN.md section 2)."
-    );
+    ppdl_bench::experiments::run_cli("table2_benchmarks");
 }

@@ -1,55 +1,12 @@
-//! Table III: worst-case IR drop, conventional vs PowerPlanningDL.
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin table3_worst_ir --
-//! [--scale 0.02] [--seed 7] [--fast] [--out bench_results]`
+//! Alias binary for `ppdl-bench run table3_worst_ir` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin table3_worst_ir`) keep working.
+//! The experiment body lives in the registry.
 
-use ppdl_bench::harness::{format_table, run_preset, write_csv, Options};
 use ppdl_bench::memtrack::TrackingAllocator;
-use ppdl_netlist::IbmPgPreset;
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
 fn main() {
-    let opts = Options::from_args(0.02);
-    println!(
-        "Table III reproduction (scale {} of Table II sizes, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let mut rows = Vec::new();
-    for preset in IbmPgPreset::TABLE3 {
-        let outcome = match run_preset(preset, &opts) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("{preset}: {e}");
-                continue;
-            }
-        };
-        let paper = preset
-            .table3_worst_ir_mv()
-            .expect("TABLE3 presets all have published values");
-        rows.push(vec![
-            preset.name().to_string(),
-            format!("{:.1}", outcome.conventional_worst_ir_mv),
-            format!("{:.1}", outcome.predicted_worst_ir_mv),
-            format!(
-                "{:+.1}%",
-                100.0 * (outcome.predicted_worst_ir_mv - outcome.conventional_worst_ir_mv)
-                    / outcome.conventional_worst_ir_mv
-            ),
-            format!("{paper:.1}"),
-        ]);
-    }
-    let header = [
-        "PG circuit",
-        "Conventional (mV)",
-        "PowerPlanningDL (mV)",
-        "delta",
-        "paper conv. (mV)",
-    ];
-    println!("{}", format_table(&header, &rows));
-    match write_csv(&opts.out_dir, "table3_worst_ir.csv", &header, &rows) {
-        Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    ppdl_bench::experiments::run_cli("table3_worst_ir");
 }

@@ -1,67 +1,12 @@
-//! Table IV: convergence time of the conventional flow vs
-//! PowerPlanningDL, and the resulting speedup, for all 8 benchmarks.
-//!
-//! Conventional time = one full power-grid analysis of the test design
-//! (the paper's best-case, single-design-iteration cost); DL time =
-//! width inference + Kirchhoff IR-drop prediction.
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin table4_speedup --
-//! [--scale 0.02] [--fast]`
+//! Alias binary for `ppdl-bench run table4_speedup` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin table4_speedup`) keep working.
+//! The experiment body lives in the registry.
 
-use ppdl_bench::harness::{format_table, run_preset, write_csv, Options};
 use ppdl_bench::memtrack::TrackingAllocator;
-use ppdl_netlist::IbmPgPreset;
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
-/// The paper's Table IV, for side-by-side comparison.
-fn paper_speedup(preset: IbmPgPreset) -> f64 {
-    match preset {
-        IbmPgPreset::Ibmpg1 => 1.92,
-        IbmPgPreset::Ibmpg2 => 1.97,
-        IbmPgPreset::Ibmpg3 => 3.59,
-        IbmPgPreset::Ibmpg4 => 4.42,
-        IbmPgPreset::Ibmpg5 => 5.87,
-        IbmPgPreset::Ibmpg6 => 5.60,
-        IbmPgPreset::IbmpgNew1 => 4.77,
-        IbmPgPreset::IbmpgNew2 => 4.47,
-    }
-}
-
 fn main() {
-    let opts = Options::from_args(0.02);
-    println!(
-        "Table IV reproduction (scale {} of Table II sizes, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let mut rows = Vec::new();
-    for preset in IbmPgPreset::ALL {
-        let outcome = match run_preset(preset, &opts) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("{preset}: {e}");
-                continue;
-            }
-        };
-        rows.push(vec![
-            preset.name().to_string(),
-            format!("{:.4}", outcome.timing.conventional.as_secs_f64()),
-            format!("{:.4}", outcome.timing.dl.as_secs_f64()),
-            format!("{:.2}x", outcome.timing.speedup),
-            format!("{:.2}x", paper_speedup(preset)),
-        ]);
-    }
-    let header = [
-        "PG circuit",
-        "Conventional (s)",
-        "PowerPlanningDL (s)",
-        "Speedup",
-        "paper speedup",
-    ];
-    println!("{}", format_table(&header, &rows));
-    match write_csv(&opts.out_dir, "table4_speedup.csv", &header, &rows) {
-        Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    ppdl_bench::experiments::run_cli("table4_speedup");
 }

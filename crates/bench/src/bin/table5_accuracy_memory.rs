@@ -1,75 +1,12 @@
-//! Table V: r² score, MSE, and peak memory per benchmark.
-//!
-//! Peak memory is measured by the tracking global allocator (the
-//! paper used `mprof`), reset right before each benchmark's flow.
-//!
-//! Usage: `cargo run -p ppdl-bench --release --bin table5_accuracy_memory --
-//! [--scale 0.02] [--fast]`
+//! Alias binary for `ppdl-bench run table5_accuracy_memory` — kept so existing
+//! invocations (`cargo run -p ppdl-bench --bin table5_accuracy_memory`) keep working.
+//! The experiment body lives in the registry.
 
-use ppdl_bench::harness::{format_table, run_preset, write_csv, Options};
-use ppdl_bench::memtrack::{peak_bytes, reset_peak, to_mib, TrackingAllocator};
-use ppdl_netlist::IbmPgPreset;
+use ppdl_bench::memtrack::TrackingAllocator;
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
-/// The paper's Table V (r², MSE, peak MiB) for side-by-side reference.
-fn paper_row(preset: IbmPgPreset) -> (f64, f64, u32) {
-    match preset {
-        IbmPgPreset::Ibmpg1 => (0.933, 0.0231, 66),
-        IbmPgPreset::Ibmpg2 => (0.937, 0.0230, 318),
-        IbmPgPreset::Ibmpg3 => (0.932, 0.0212, 730),
-        IbmPgPreset::Ibmpg4 => (0.941, 0.0210, 749),
-        IbmPgPreset::Ibmpg5 => (0.944, 0.0225, 511),
-        IbmPgPreset::Ibmpg6 => (0.945, 0.0208, 841),
-        IbmPgPreset::IbmpgNew1 => (0.943, 0.0201, 1025),
-        IbmPgPreset::IbmpgNew2 => (0.945, 0.0209, 745),
-    }
-}
-
 fn main() {
-    let opts = Options::from_args(0.02);
-    println!(
-        "Table V reproduction (scale {} of Table II sizes, seed {})\n",
-        opts.scale, opts.seed
-    );
-    let mut rows = Vec::new();
-    for preset in IbmPgPreset::ALL {
-        reset_peak();
-        let outcome = match run_preset(preset, &opts) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("{preset}: {e}");
-                continue;
-            }
-        };
-        let peak = to_mib(peak_bytes());
-        let (paper_r2, paper_mse, paper_mib) = paper_row(preset);
-        rows.push(vec![
-            preset.name().to_string(),
-            outcome.test_bench.segments().len().to_string(),
-            format!("{:.3}", outcome.width_metrics.r2),
-            format!("{:.4}", outcome.width_metrics.mse_scaled),
-            format!("{peak:.0}"),
-            format!("{paper_r2:.3}"),
-            format!("{paper_mse:.4}"),
-            paper_mib.to_string(),
-        ]);
-        drop(outcome);
-    }
-    let header = [
-        "PG circuit",
-        "#interconnects",
-        "r2",
-        "MSE",
-        "Peak MiB",
-        "paper r2",
-        "paper MSE",
-        "paper MiB",
-    ];
-    println!("{}", format_table(&header, &rows));
-    match write_csv(&opts.out_dir, "table5_accuracy_memory.csv", &header, &rows) {
-        Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    ppdl_bench::experiments::run_cli("table5_accuracy_memory");
 }

@@ -1,0 +1,61 @@
+//! Table III: worst-case IR drop, conventional vs PowerPlanningDL.
+
+use std::fmt::Write as _;
+
+use ppdl_core::pipeline::ArtifactCache;
+use ppdl_netlist::IbmPgPreset;
+
+use super::{manifest_for, DynError, RunOutput};
+use crate::harness::{format_table, run_preset_cached, write_primary_csv, Options};
+
+pub(super) fn run(opts: &Options, cache: Option<&ArtifactCache>) -> Result<RunOutput, DynError> {
+    let mut manifest = manifest_for("table3_worst_ir", opts);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Table III reproduction (scale {} of Table II sizes, seed {})\n",
+        opts.scale, opts.seed
+    );
+    let mut rows = Vec::new();
+    for preset in IbmPgPreset::TABLE3 {
+        let (outcome, records) = match run_preset_cached(preset, opts, cache) {
+            Ok(o) => o,
+            Err(e) => {
+                let _ = writeln!(report, "{preset}: {e}");
+                continue;
+            }
+        };
+        manifest.record_stages(preset.name(), &records);
+        manifest.add_metric(
+            &format!("{preset}_conv_mv"),
+            outcome.conventional_worst_ir_mv,
+        );
+        manifest.add_metric(&format!("{preset}_dl_mv"), outcome.predicted_worst_ir_mv);
+        let paper = preset
+            .table3_worst_ir_mv()
+            .expect("TABLE3 presets all have published values");
+        rows.push(vec![
+            preset.name().to_string(),
+            format!("{:.1}", outcome.conventional_worst_ir_mv),
+            format!("{:.1}", outcome.predicted_worst_ir_mv),
+            format!(
+                "{:+.1}%",
+                100.0 * (outcome.predicted_worst_ir_mv - outcome.conventional_worst_ir_mv)
+                    / outcome.conventional_worst_ir_mv
+            ),
+            format!("{paper:.1}"),
+        ]);
+    }
+    let header = [
+        "PG circuit",
+        "Conventional (mV)",
+        "PowerPlanningDL (mV)",
+        "delta",
+        "paper conv. (mV)",
+    ];
+    let _ = writeln!(report, "{}", format_table(&header, &rows));
+    let path = write_primary_csv(opts, "table3_worst_ir.csv", &header, &rows)?;
+    manifest.add_output(&path);
+    let _ = writeln!(report, "wrote {}", path.display());
+    Ok(RunOutput { manifest, report })
+}

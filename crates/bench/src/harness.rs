@@ -1,17 +1,27 @@
-//! Shared plumbing for the table/figure binaries.
+//! Shared plumbing for the experiment registry and its binaries.
+//!
+//! Every experiment — whether invoked as `ppdl-bench run <name>` or
+//! through one of the legacy per-table binaries — parses the same
+//! [`Options`] with the same flags and the same `--help` text, runs
+//! against the same artifact cache layout, and writes the same
+//! [`RunManifest`](ppdl_core::pipeline::RunManifest) JSON.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use ppdl_core::{experiment, DlOutcome, PowerPlanningDl};
+use ppdl_core::pipeline::{ArtifactCache, StageRecord};
+use ppdl_core::{experiment, DlOutcome};
 use ppdl_netlist::IbmPgPreset;
 
-/// Command-line options shared by every experiment binary.
+/// Command-line options shared by every experiment.
 ///
-/// Supported arguments: `--scale <f>` (fraction of the published
-/// benchmark size, default per binary), `--seed <n>`, `--fast`
-/// (reduced model + training for smoke runs), and `--out <dir>`
-/// (CSV output directory, default `bench_results`).
+/// One parser, one help text: `--scale <f>` (fraction of the published
+/// benchmark size, default per experiment), `--seed <n>`, `--fast`
+/// (reduced model + training for smoke runs), `--out <dir>` (output
+/// directory, default `bench_results`), `--json` (print the run
+/// manifest to stdout, tables to stderr), `--csv <path>` (redirect the
+/// experiment's primary CSV), `--threads <n>` (worker pool size), and
+/// `--no-cache` (bypass the artifact cache).
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Grid scale relative to Table II sizes.
@@ -20,57 +30,162 @@ pub struct Options {
     pub seed: u64,
     /// Use the reduced ("fast") model configuration.
     pub fast: bool,
-    /// Output directory for CSV artefacts.
+    /// Output directory for CSV artefacts and manifests.
     pub out_dir: PathBuf,
+    /// Print the run manifest JSON to stdout (tables go to stderr).
+    pub json: bool,
+    /// Redirect the experiment's primary CSV to this exact path.
+    pub csv: Option<PathBuf>,
+    /// Worker thread count for the solver/NN pool.
+    pub threads: Option<usize>,
+    /// Disable the artifact cache (every stage recomputes).
+    pub no_cache: bool,
+}
+
+/// Why [`Options::parse`] did not produce options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// `--help`/`-h` was requested; print [`help_text`] and exit 0.
+    Help,
+    /// A malformed or unknown argument, with a message for stderr.
+    Bad(String),
+}
+
+/// The shared `--help` text, parameterised on the experiment's default
+/// scale.
+#[must_use]
+pub fn help_text(default_scale: f64) -> String {
+    format!(
+        "\
+Options (shared by every ppdl experiment):
+  --scale <f>     grid scale relative to Table II sizes (default {default_scale})
+  --seed <n>      base seed for generation/perturbation (default 7)
+  --fast          reduced model + training, for smoke runs
+  --out <dir>     output directory for CSVs and manifests (default bench_results)
+  --json          print the run manifest JSON to stdout; tables go to stderr
+  --csv <path>    redirect the experiment's primary CSV to this path
+  --threads <n>   worker threads for the solver/NN pool (default: all cores)
+  --no-cache      bypass the artifact cache; recompute every stage
+  --help          show this message
+"
+    )
 }
 
 impl Options {
-    /// Parses `std::env::args`, with a per-binary default scale.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments — these are
-    /// developer-facing binaries, so failing loudly is the right UX.
+    /// Default options for an experiment with the given default scale.
     #[must_use]
-    pub fn from_args(default_scale: f64) -> Self {
-        let mut opts = Self {
+    pub fn defaults(default_scale: f64) -> Self {
+        Self {
             scale: default_scale,
             seed: 7,
             fast: false,
             out_dir: PathBuf::from("bench_results"),
-        };
-        let args: Vec<String> = std::env::args().skip(1).collect();
+            json: false,
+            csv: None,
+            threads: None,
+            no_cache: false,
+        }
+    }
+
+    /// Parses an argument slice (already stripped of the program name).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::Help`] when help was requested, [`ParseError::Bad`]
+    /// for malformed or unknown arguments.
+    pub fn parse(args: &[String], default_scale: f64) -> Result<Self, ParseError> {
+        let mut opts = Self::defaults(default_scale);
         let mut i = 0;
+        let value = |args: &[String], i: usize, flag: &str| -> Result<String, ParseError> {
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| ParseError::Bad(format!("{flag} needs a value")))
+        };
         while i < args.len() {
             match args[i].as_str() {
                 "--scale" => {
                     i += 1;
-                    opts.scale = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| panic!("--scale needs a number"));
+                    opts.scale = value(args, i, "--scale")?
+                        .parse()
+                        .map_err(|_| ParseError::Bad("--scale needs a number".into()))?;
                 }
                 "--seed" => {
                     i += 1;
-                    opts.seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| panic!("--seed needs an integer"));
+                    opts.seed = value(args, i, "--seed")?
+                        .parse()
+                        .map_err(|_| ParseError::Bad("--seed needs an integer".into()))?;
                 }
                 "--fast" => opts.fast = true,
                 "--out" => {
                     i += 1;
-                    opts.out_dir = PathBuf::from(
-                        args.get(i).unwrap_or_else(|| panic!("--out needs a path")),
+                    opts.out_dir = PathBuf::from(value(args, i, "--out")?);
+                }
+                "--json" => opts.json = true,
+                "--csv" => {
+                    i += 1;
+                    opts.csv = Some(PathBuf::from(value(args, i, "--csv")?));
+                }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = Some(
+                        value(args, i, "--threads")?
+                            .parse()
+                            .map_err(|_| ParseError::Bad("--threads needs an integer".into()))?,
                     );
                 }
-                other => panic!(
-                    "unknown argument '{other}' (expected --scale, --seed, --fast, --out)"
-                ),
+                "--no-cache" => opts.no_cache = true,
+                "--help" | "-h" => return Err(ParseError::Help),
+                other => {
+                    return Err(ParseError::Bad(format!(
+                        "unknown argument '{other}' (try --help)"
+                    )))
+                }
             }
             i += 1;
         }
-        opts
+        Ok(opts)
+    }
+
+    /// Parses `std::env::args`, with a per-experiment default scale.
+    /// Prints help or a usage error and exits when parsing stops.
+    #[must_use]
+    pub fn from_args(default_scale: f64) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&args, default_scale) {
+            Ok(opts) => opts,
+            Err(ParseError::Help) => {
+                print!("{}", help_text(default_scale));
+                std::process::exit(0);
+            }
+            Err(ParseError::Bad(msg)) => {
+                eprintln!("error: {msg}\n{}", help_text(default_scale));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Where this run's artifact cache lives.
+    #[must_use]
+    pub fn cache_dir(&self) -> PathBuf {
+        self.out_dir.join("cache")
+    }
+
+    /// Opens the artifact cache, unless `--no-cache` disabled it.
+    #[must_use]
+    pub fn open_cache(&self) -> Option<ArtifactCache> {
+        if self.no_cache {
+            None
+        } else {
+            Some(ArtifactCache::new(self.cache_dir()))
+        }
+    }
+
+    /// Applies `--threads` to the worker pool (first call wins
+    /// process-wide, matching the pool's initialisation semantics).
+    pub fn apply_threads(&self) {
+        if let Some(t) = self.threads {
+            ppdl_solver::parallel::set_threads(t);
+        }
     }
 }
 
@@ -80,13 +195,22 @@ impl Options {
 /// # Errors
 ///
 /// Propagates framework errors.
-pub fn run_preset(
+pub fn run_preset(preset: IbmPgPreset, opts: &Options) -> ppdl_core::Result<DlOutcome> {
+    run_preset_cached(preset, opts, None).map(|(outcome, _)| outcome)
+}
+
+/// [`run_preset`] through the pipeline engine, with stage records for
+/// the run manifest and an optional artifact cache.
+///
+/// # Errors
+///
+/// Propagates framework errors.
+pub fn run_preset_cached(
     preset: IbmPgPreset,
     opts: &Options,
-) -> ppdl_core::Result<DlOutcome> {
-    let prepared = experiment::prepare(preset, opts.scale, opts.seed, 2.5)?;
-    let config = experiment::flow_config(&prepared, opts.fast);
-    PowerPlanningDl::new(config).run(&prepared.bench)
+    cache: Option<&ArtifactCache>,
+) -> ppdl_core::Result<(DlOutcome, Vec<StageRecord>)> {
+    experiment::run_preset_cached(preset, opts.scale, opts.seed, opts.fast, cache)
 }
 
 /// Formats an aligned text table.
@@ -131,15 +255,41 @@ pub fn write_csv(
     rows: &[Vec<String>],
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
-    let path = dir.join(name);
+    write_csv_file(&dir.join(name), header, rows)
+}
+
+/// Writes the experiment's *primary* CSV: to `--csv <path>` when given,
+/// otherwise to `<out_dir>/<default_name>`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or file.
+pub fn write_primary_csv(
+    opts: &Options,
+    default_name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    match &opts.csv {
+        Some(path) => {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)?;
+            }
+            write_csv_file(path, header, rows)
+        }
+        None => write_csv(&opts.out_dir, default_name, header, rows),
+    }
+}
+
+fn write_csv_file(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let mut content = header.join(",");
     content.push('\n');
     for row in rows {
         content.push_str(&row.join(","));
         content.push('\n');
     }
-    std::fs::write(&path, content)?;
-    Ok(path)
+    std::fs::write(path, content)?;
+    Ok(path.to_path_buf())
 }
 
 /// Bins `values` into `bins` equal-width buckets over `[lo, hi]`,
@@ -207,6 +357,73 @@ mod tests {
         assert!(lines[2].starts_with("a   "));
     }
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parser_accepts_every_shared_flag() {
+        let opts = Options::parse(
+            &argv(&[
+                "--scale",
+                "0.01",
+                "--seed",
+                "3",
+                "--fast",
+                "--out",
+                "o",
+                "--json",
+                "--csv",
+                "x.csv",
+                "--threads",
+                "2",
+                "--no-cache",
+            ]),
+            0.02,
+        )
+        .unwrap();
+        assert!((opts.scale - 0.01).abs() < 1e-12);
+        assert_eq!(opts.seed, 3);
+        assert!(opts.fast && opts.json && opts.no_cache);
+        assert_eq!(opts.out_dir, PathBuf::from("o"));
+        assert_eq!(opts.csv.as_deref(), Some(Path::new("x.csv")));
+        assert_eq!(opts.threads, Some(2));
+        assert_eq!(opts.cache_dir(), PathBuf::from("o").join("cache"));
+    }
+
+    #[test]
+    fn parser_defaults_and_help_and_errors() {
+        let opts = Options::parse(&[], 0.015).unwrap();
+        assert!((opts.scale - 0.015).abs() < 1e-12);
+        assert_eq!(opts.seed, 7);
+        assert!(!opts.no_cache && opts.csv.is_none() && opts.threads.is_none());
+        assert!(matches!(
+            Options::parse(&argv(&["--help"]), 0.02),
+            Err(ParseError::Help)
+        ));
+        assert!(matches!(
+            Options::parse(&argv(&["--bogus"]), 0.02),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            Options::parse(&argv(&["--scale", "abc"]), 0.02),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            Options::parse(&argv(&["--seed"]), 0.02),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(help_text(0.02).contains("--no-cache"));
+    }
+
+    #[test]
+    fn no_cache_disables_the_cache() {
+        let mut opts = Options::defaults(0.02);
+        assert!(opts.open_cache().is_some());
+        opts.no_cache = true;
+        assert!(opts.open_cache().is_none());
+    }
+
     #[test]
     fn histogram_bins_and_clips() {
         let h = histogram(&[0.1, 0.1, 0.9, 5.0, -3.0], 0.0, 1.0, 2);
@@ -243,14 +460,22 @@ mod tests {
     #[test]
     fn csv_round_trip() {
         let dir = std::env::temp_dir().join("ppdl_csv_test");
-        let p = write_csv(
-            &dir,
-            "t.csv",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        )
-        .unwrap();
+        let p = write_csv(&dir, "t.csv", &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
         let content = std::fs::read_to_string(p).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn primary_csv_honours_override() {
+        let dir = std::env::temp_dir().join("ppdl_primary_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = Options::defaults(0.02);
+        opts.out_dir = dir.join("out");
+        let p = write_primary_csv(&opts, "d.csv", &["a"], &[vec!["1".into()]]).unwrap();
+        assert_eq!(p, opts.out_dir.join("d.csv"));
+        opts.csv = Some(dir.join("custom").join("c.csv"));
+        let p = write_primary_csv(&opts, "d.csv", &["a"], &[vec!["1".into()]]).unwrap();
+        assert_eq!(p, dir.join("custom").join("c.csv"));
+        assert!(p.exists());
     }
 }

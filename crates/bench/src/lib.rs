@@ -5,20 +5,27 @@
 //! * [`memtrack`] — a tracking global allocator (live/peak byte
 //!   counters) plus a background sampler, standing in for the paper's
 //!   `mprof` memory profiles (Table V peak memory, Fig. 10).
-//! * [`harness`] — shared experiment plumbing: per-preset runs, table
-//!   formatting, CSV emission.
+//! * [`harness`] — shared experiment plumbing: the unified [`Options`]
+//!   parser every experiment accepts, table formatting, CSV emission.
+//! * [`experiments`] — the experiment registry: each paper table and
+//!   figure as a named entry over the cached pipeline engine, producing
+//!   a [`RunManifest`](ppdl_core::pipeline::RunManifest) per run.
 //!
-//! One binary per table/figure lives in `src/bin/` (run with
-//! `cargo run -p ppdl-bench --release --bin <name>`), and the Criterion
-//! benches in `benches/` time the kernels and the end-to-end
-//! convergence comparison.
+//! The `ppdl-bench` binary dispatches them (`ppdl-bench run <name>
+//! [--json] [--no-cache]`, `ppdl-bench list`); the per-table binaries
+//! in `src/bin/` remain as thin aliases. The Criterion benches in
+//! `benches/` time the kernels and the end-to-end convergence
+//! comparison.
 //!
 //! This crate contains the only `unsafe` in the workspace: the
 //! [`GlobalAlloc`](std::alloc::GlobalAlloc) implementation of the
 //! tracking allocator, which simply delegates to the system allocator
 //! around counter updates.
+//!
+//! [`Options`]: harness::Options
 
 #![warn(missing_docs)]
 
+pub mod experiments;
 pub mod harness;
 pub mod memtrack;

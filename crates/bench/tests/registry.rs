@@ -1,0 +1,58 @@
+//! Registry-level smoke tests: experiments run end to end through
+//! `execute`, write manifests, and hit the artifact cache on repeat
+//! runs with identical configuration.
+
+use ppdl_bench::experiments::{execute, find};
+use ppdl_bench::harness::Options;
+
+fn opts_for(tag: &str, scale: f64) -> Options {
+    let dir = std::env::temp_dir().join(format!("ppdl_registry_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = Options::defaults(scale);
+    opts.out_dir = dir;
+    opts.fast = true;
+    opts.seed = 3;
+    opts
+}
+
+#[test]
+fn fig7_warm_run_is_full_cache_hit() {
+    let def = find("fig7").expect("registered");
+    let opts = opts_for("fig7", 0.006);
+    let cold = execute(def, &opts).expect("cold run");
+    assert_eq!(cold.manifest.stages.len(), 5, "full five-stage pipeline");
+    assert_eq!(
+        cold.manifest.cache_hits(),
+        0,
+        "first run executes everything"
+    );
+
+    let warm = execute(def, &opts).expect("warm run");
+    assert!(
+        warm.manifest.full_cache_hit(),
+        "identical config must serve every stage from the cache"
+    );
+    // Bitwise-identical headline metrics, cold vs warm.
+    assert_eq!(cold.manifest.metrics, warm.manifest.metrics);
+
+    let manifest_path = opts.out_dir.join("fig7_width_prediction_manifest.json");
+    let json = std::fs::read_to_string(manifest_path).expect("manifest written");
+    assert!(json.contains("\"full_cache_hit\": true"));
+    assert!(json.contains("\"experiment\": \"fig7_width_prediction\""));
+}
+
+#[test]
+fn table2_caches_generation_and_honours_no_cache() {
+    let def = find("table2").expect("registered");
+    let mut opts = opts_for("table2", 0.01);
+    let cold = execute(def, &opts).expect("cold run");
+    assert!(!cold.manifest.stages.is_empty());
+    let warm = execute(def, &opts).expect("warm run");
+    assert!(warm.manifest.full_cache_hit());
+    assert_eq!(cold.manifest.metrics, warm.manifest.metrics);
+
+    opts.no_cache = true;
+    let uncached = execute(def, &opts).expect("uncached run");
+    assert_eq!(uncached.manifest.cache_hits(), 0, "--no-cache must bypass");
+    assert_eq!(cold.manifest.metrics, uncached.manifest.metrics);
+}

@@ -9,6 +9,10 @@
 //! therefore rescales and re-verifies until the drop reported by a
 //! default-accuracy analysis lands on the target, and returns a typed
 //! [`CoreError::CalibrationDidNotConverge`] when it cannot.
+//!
+//! Calibration runs inside the pipeline's `benchmark-source` stage
+//! ([`crate::pipeline::BenchmarkSourceStage`]); its artifact stores the
+//! applied load scale, so cached runs skip the rescale/verify loop.
 
 use ppdl_analysis::{AnalysisOptions, StaticAnalysis};
 use ppdl_netlist::SyntheticBenchmark;
@@ -55,9 +59,7 @@ pub fn calibrate_to_worst_ir(
             detail: format!("calibration target {target_volts} must be positive"),
         });
     }
-    if bench.network().current_loads().is_empty()
-        || bench.network().total_load_current() <= 0.0
-    {
+    if bench.network().current_loads().is_empty() || bench.network().total_load_current() <= 0.0 {
         return Err(CoreError::InvalidConfig {
             detail: "grid draws no current; cannot calibrate".into(),
         });

@@ -6,6 +6,11 @@
 //! margins hold. The resulting widths are the *golden* labels the deep
 //! learning model trains on, and the loop's analysis time is the
 //! "conventional convergence time" of Table IV.
+//!
+//! In the staged experiment pipeline ([`crate::pipeline`]) this loop
+//! runs inside the `feature-extract` stage, whose cached artifact
+//! carries the golden widths and the loop's wall time so warm runs
+//! reproduce Table IV without re-sizing.
 
 use std::time::{Duration, Instant};
 
@@ -113,10 +118,7 @@ impl ConventionalFlow {
         let c = &self.config;
         if !(c.ir_margin_fraction > 0.0 && c.ir_margin_fraction < 1.0) {
             return Err(CoreError::InvalidConfig {
-                detail: format!(
-                    "IR margin fraction {} outside (0, 1)",
-                    c.ir_margin_fraction
-                ),
+                detail: format!("IR margin fraction {} outside (0, 1)", c.ir_margin_fraction),
             });
         }
         let mut sized = bench.clone();

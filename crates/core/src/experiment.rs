@@ -12,10 +12,17 @@
 
 use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
 
+use crate::pipeline::{ArtifactCache, BenchmarkSourceStage, StageRecord};
 use crate::{
-    calibrate_to_worst_ir, ConventionalConfig, CoreError, DlFlowConfig, Perturbation,
-    PerturbationKind,
+    calibrate_to_worst_ir, ConventionalConfig, CoreError, DlFlowConfig, DlOutcome, Perturbation,
+    PerturbationKind, PowerPlanningDl,
 };
+
+/// The overdrive factor of the standard experiment recipe: how far the
+/// initial design violates its margin before sizing (2.5 gives the
+/// conventional loop a few rounds of real work, like the paper's
+/// "multiple iterative steps").
+pub const STANDARD_OVERDRIVE: f64 = 2.5;
 
 /// A benchmark prepared for a paper experiment.
 #[derive(Debug, Clone)]
@@ -33,13 +40,10 @@ pub struct PreparedBenchmark {
 /// two `new` benchmarks Table III omits get interpolated targets.
 #[must_use]
 pub fn target_worst_ir(preset: IbmPgPreset) -> f64 {
-    preset
-        .table3_worst_ir_mv()
-        .unwrap_or(match preset {
-            IbmPgPreset::IbmpgNew1 => 10.0,
-            _ => 9.0,
-        })
-        / 1e3
+    preset.table3_worst_ir_mv().unwrap_or(match preset {
+        IbmPgPreset::IbmpgNew1 => 10.0,
+        _ => 9.0,
+    }) / 1e3
 }
 
 /// Prepares a preset benchmark at `scale` for an experiment run.
@@ -117,6 +121,38 @@ pub fn perturbation_grid(
         }
     }
     Ok(out)
+}
+
+/// The cacheable pipeline source for the standard experiment recipe:
+/// generate at `scale`/`seed`, calibrate to
+/// [`STANDARD_OVERDRIVE`] × the preset's Table III target.
+#[must_use]
+pub fn preset_source(preset: IbmPgPreset, scale: f64, seed: u64) -> BenchmarkSourceStage {
+    BenchmarkSourceStage::preset(preset, scale, seed, STANDARD_OVERDRIVE)
+}
+
+/// Runs the full five-stage flow for one preset through the pipeline
+/// engine, optionally against an artifact cache. This is the
+/// pipeline-native equivalent of [`prepare`] + [`flow_config`] +
+/// [`PowerPlanningDl::run`], and what the experiment registry calls.
+///
+/// # Errors
+///
+/// Propagates generation, calibration, sizing, training, and analysis
+/// errors.
+pub fn run_preset_cached(
+    preset: IbmPgPreset,
+    scale: f64,
+    seed: u64,
+    fast: bool,
+    cache: Option<&ArtifactCache>,
+) -> crate::Result<(DlOutcome, Vec<StageRecord>)> {
+    let config = if fast {
+        DlFlowConfig::fast()
+    } else {
+        DlFlowConfig::default()
+    };
+    PowerPlanningDl::new(config).run_source_cached(preset_source(preset, scale, seed), cache)
 }
 
 /// A [`DlFlowConfig`] matched to a prepared benchmark: the

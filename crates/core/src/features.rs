@@ -28,8 +28,12 @@ pub enum FeatureSet {
 
 impl FeatureSet {
     /// All variants, in Table I column order.
-    pub const ALL: [FeatureSet; 4] =
-        [FeatureSet::X, FeatureSet::Y, FeatureSet::Id, FeatureSet::Combined];
+    pub const ALL: [FeatureSet; 4] = [
+        FeatureSet::X,
+        FeatureSet::Y,
+        FeatureSet::Id,
+        FeatureSet::Combined,
+    ];
 
     /// Number of feature columns.
     #[must_use]
@@ -261,10 +265,8 @@ mod tests {
             ..GridSpec::default()
         };
         let mut fp = ppdl_floorplan::Floorplan::new(400.0, 400.0).unwrap();
-        fp.add_block(
-            ppdl_floorplan::FunctionalBlock::new("b", 0.0, 0.0, 60.0, 60.0, 0.7).unwrap(),
-        )
-        .unwrap();
+        fp.add_block(ppdl_floorplan::FunctionalBlock::new("b", 0.0, 0.0, 60.0, 60.0, 0.7).unwrap())
+            .unwrap();
         let b = SyntheticBenchmark::generate("t", spec, fp).unwrap();
         let id = FeatureExtractor::new(FeatureSet::Id).raw_features(&b);
         let nonzero = id.as_slice().iter().filter(|v| **v > 0.0).count();
@@ -280,7 +282,9 @@ mod tests {
     fn targets_follow_strap_ids() {
         let b = bench();
         let widths: Vec<f64> = (0..b.straps().len()).map(|i| 1.0 + i as f64).collect();
-        let t = FeatureExtractor::default().raw_targets(&b, &widths).unwrap();
+        let t = FeatureExtractor::default()
+            .raw_targets(&b, &widths)
+            .unwrap();
         for (r, seg) in b.segments().iter().enumerate() {
             assert_eq!(t.get(r, 0), widths[seg.strap]);
         }
@@ -304,10 +308,7 @@ mod tests {
         // Standardised features: overall mean near zero.
         assert!(ds.data.x().mean().abs() < 1e-9);
         // Scalers invert.
-        let back = ds
-            .target_scaler
-            .inverse_transform(ds.data.y())
-            .unwrap();
+        let back = ds.target_scaler.inverse_transform(ds.data.y()).unwrap();
         for (v, seg) in back.as_slice().iter().zip(b.segments()) {
             assert!((v - widths[seg.strap]).abs() < 1e-9);
         }

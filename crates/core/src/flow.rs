@@ -6,16 +6,24 @@
 //! the model, predict IR drop with Kirchhoff accumulation, and compare
 //! quality and wall-clock time against a conventional analysis of the
 //! same perturbed design — the Table III/IV/V measurements.
+//!
+//! Since the pipeline refactor this module is a facade over the stage
+//! engine in [`crate::pipeline`]: [`PowerPlanningDl::run`] is exactly
+//! the five-stage standard pipeline, and the `*_cached` variants thread
+//! an [`ArtifactCache`] through so repeated runs skip sizing, training,
+//! and ground-truth solves.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use ppdl_analysis::{IrDropReport, StaticAnalysis};
+use ppdl_analysis::IrDropReport;
 use ppdl_netlist::SyntheticBenchmark;
 
-
+use crate::pipeline::{
+    run_stage, ArtifactCache, BenchmarkSourceStage, FeatureExtractStage, Pipeline, PipelineCtx,
+    PredictStage, StageRecord, TrainStage, ValidateStage,
+};
 use crate::{
-    ConventionalConfig, ConventionalFlow, IrPredictor, Perturbation, PerturbationKind,
-    PredictedIr, PredictorConfig, WidthMetrics, WidthPredictor,
+    ConventionalConfig, Perturbation, PerturbationKind, PredictedIr, PredictorConfig, WidthMetrics,
 };
 
 /// Configuration of the full flow.
@@ -145,10 +153,41 @@ impl PowerPlanningDl {
     /// Propagates conventional-sizing, training, prediction, and
     /// analysis errors.
     pub fn run(&self, bench: &SyntheticBenchmark) -> crate::Result<DlOutcome> {
-        let c = &self.config;
-        let trained = self.train_phase(bench)?;
-        let perturbation = Perturbation::new(c.perturbation_gamma, c.perturbation_kind, c.seed)?;
-        self.validate_phase(&trained, &perturbation)
+        Ok(self.run_cached(bench, None)?.0)
+    }
+
+    /// [`run`](Self::run) with an artifact cache: stages whose inputs
+    /// are unchanged decode their artifacts from disk instead of
+    /// recomputing, and the returned [`StageRecord`]s say which did.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage execution errors. Cache decode errors never
+    /// fail a run — the stage recomputes.
+    pub fn run_cached(
+        &self,
+        bench: &SyntheticBenchmark,
+        cache: Option<&ArtifactCache>,
+    ) -> crate::Result<(DlOutcome, Vec<StageRecord>)> {
+        self.run_source_cached(BenchmarkSourceStage::provided(bench.clone()), cache)
+    }
+
+    /// Runs the standard five-stage pipeline from an arbitrary
+    /// benchmark source (e.g. a cacheable preset source that also
+    /// skips generation + calibration on warm runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage execution errors.
+    pub fn run_source_cached(
+        &self,
+        source: BenchmarkSourceStage,
+        cache: Option<&ArtifactCache>,
+    ) -> crate::Result<(DlOutcome, Vec<StageRecord>)> {
+        let mut ctx = PipelineCtx::new(self.config.clone(), cache);
+        Pipeline::standard(source).run(&mut ctx)?;
+        let outcome = Self::outcome_from_ctx(&ctx)?;
+        Ok((outcome, ctx.records))
     }
 
     /// Trains once, then validates against every perturbation in
@@ -171,101 +210,112 @@ impl PowerPlanningDl {
         bench: &SyntheticBenchmark,
         perturbations: &[Perturbation],
     ) -> crate::Result<Vec<crate::Result<DlOutcome>>> {
-        let trained = self.train_phase(bench)?;
-        Ok(ppdl_solver::parallel::par_map_vec(
+        let sweep = self.run_sweep_cached(
+            BenchmarkSourceStage::provided(bench.clone()),
             perturbations,
-            |_, p| self.validate_phase(&trained, p),
-        ))
+            None,
+        )?;
+        Ok(sweep.points.into_iter().map(|p| p.outcome).collect())
     }
 
-    /// The γ-independent phase: conventional sizing plus model training.
-    fn train_phase(&self, bench: &SyntheticBenchmark) -> crate::Result<TrainedFlow> {
-        let c = &self.config;
+    /// [`run_sweep`](Self::run_sweep) on the stage engine, with an
+    /// optional artifact cache.
+    ///
+    /// The γ-independent prefix (source → feature-extract → train) runs
+    /// — or cache-decodes — exactly once; it can never re-train per
+    /// point, because each point's context is a clone taken *after* the
+    /// train stage completed. With a cache, [`CacheStats::executions`]
+    /// (`"train"`) counts actual trainings across sweeps, which is what
+    /// the train-once regression test asserts.
+    ///
+    /// [`CacheStats::executions`]: crate::pipeline::CacheStats::executions
+    ///
+    /// # Errors
+    ///
+    /// Prefix stage errors fail the whole sweep; per-point errors land
+    /// in that point's slot.
+    pub fn run_sweep_cached(
+        &self,
+        source: BenchmarkSourceStage,
+        perturbations: &[Perturbation],
+        cache: Option<&ArtifactCache>,
+    ) -> crate::Result<SweepRun> {
+        let mut ctx = PipelineCtx::new(self.config.clone(), cache);
+        run_stage(&source, &mut ctx)?;
+        run_stage(&FeatureExtractStage, &mut ctx)?;
+        run_stage(&TrainStage, &mut ctx)?;
+        let shared_records = std::mem::take(&mut ctx.records);
 
-        // 1. Conventional design: golden widths + training substrate.
-        let (sized, conventional) = ConventionalFlow::new(c.conventional.clone()).run(bench)?;
-
-        // 2. Train the width model on the sized design.
-        let (predictor, train_report) =
-            WidthPredictor::train(&sized, &conventional.widths, c.predictor.clone())?;
-
-        Ok(TrainedFlow {
-            sized,
-            conventional,
-            predictor,
-            train_report,
+        let points = ppdl_solver::parallel::par_map_vec(perturbations, |_, p| {
+            let mut point_ctx = ctx.clone();
+            let outcome = (|| {
+                run_stage(&PredictStage::with_perturbation(*p), &mut point_ctx)?;
+                run_stage(&ValidateStage, &mut point_ctx)?;
+                Self::outcome_from_ctx(&point_ctx)
+            })();
+            SweepPoint {
+                outcome,
+                records: point_ctx.records,
+            }
+        });
+        Ok(SweepRun {
+            shared_records,
+            points,
         })
     }
 
-    /// The per-perturbation phase: perturb, predict, and compare
-    /// against the conventional analysis. Takes `&self` and a shared
-    /// [`TrainedFlow`], so sweep points can run concurrently.
-    fn validate_phase(
-        &self,
-        trained: &TrainedFlow,
-        perturbation: &Perturbation,
-    ) -> crate::Result<DlOutcome> {
-        let c = &self.config;
-        let TrainedFlow {
-            sized,
-            conventional,
-            predictor,
-            train_report,
-        } = trained;
+    /// Assembles the legacy outcome struct from a completed context.
+    fn outcome_from_ctx(ctx: &PipelineCtx) -> crate::Result<DlOutcome> {
+        let sizing = ctx.sizing()?;
+        let trained = ctx.trained()?;
+        let predicted = ctx.predicted()?;
+        let validated = ctx.validated()?;
 
-        // 3. Build the perturbed test design (§IV-D).
-        let test_bench = perturbation.apply(sized)?;
-
-        // 4. PowerPlanningDL path: width inference + Kirchhoff IR drop.
-        let t0 = Instant::now();
-        let predicted_widths =
-            predictor.predict_strap_widths_sampled(&test_bench, c.inference_stride)?;
-        let predicted_ir = IrPredictor::new().predict(&test_bench, &predicted_widths)?;
-        let dl_time = t0.elapsed();
-
-        // 5. Conventional path on the same test design: one full
-        //    analysis (the paper's best-case conventional cost).
-        let analyzer = StaticAnalysis::new(c.conventional.analysis.clone());
-        let t1 = Instant::now();
-        let test_report = analyzer.solve(test_bench.network())?;
-        let conventional_time = t1.elapsed();
-
-        // 6. Quality metrics.
-        let width_metrics = predictor.evaluate(&test_bench, &conventional.widths)?;
-        let conventional_worst_ir_mv =
-            test_report.worst_drop().map_or(0.0, |(_, d)| d) * 1e3;
-        let speedup =
-            conventional_time.as_secs_f64() / dl_time.as_secs_f64().max(f64::EPSILON);
+        let conventional_time = Duration::from_secs_f64(validated.conv_secs);
+        let dl_time = Duration::from_secs_f64(predicted.dl_secs);
+        let speedup = validated.conv_secs / predicted.dl_secs.max(f64::EPSILON);
+        let conventional_worst_ir_mv = validated.report.worst_drop().map_or(0.0, |(_, d)| d) * 1e3;
 
         Ok(DlOutcome {
-            golden_widths: conventional.widths.clone(),
-            predicted_widths,
-            width_metrics,
+            golden_widths: sizing.golden_widths.clone(),
+            predicted_widths: predicted.predicted_widths.clone(),
+            width_metrics: validated.metrics,
             conventional_worst_ir_mv,
-            predicted_worst_ir_mv: predicted_ir.worst_mv(),
+            predicted_worst_ir_mv: predicted.predicted_ir.worst_mv(),
             timing: Timing {
                 conventional: conventional_time,
                 dl: dl_time,
                 speedup,
             },
-            train_report: train_report.clone(),
-            sized_bench: sized.clone(),
-            test_bench,
-            test_report,
-            predicted_ir,
-            conventional_iterations: conventional.iterations,
+            train_report: trained.summary.clone(),
+            sized_bench: sizing.sized.clone(),
+            test_bench: predicted.test_bench.clone(),
+            test_report: validated.report.clone(),
+            predicted_ir: predicted.predicted_ir.clone(),
+            conventional_iterations: sizing.iterations,
         })
     }
 }
 
-/// Output of the γ-independent training phase, shared (immutably) by
-/// every validation point of a sweep.
-#[derive(Debug, Clone)]
-struct TrainedFlow {
-    sized: SyntheticBenchmark,
-    conventional: crate::ConventionalResult,
-    predictor: WidthPredictor,
-    train_report: crate::TrainSummary,
+/// What one sweep point produced: the outcome plus its predict/validate
+/// stage records (for manifests).
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// The point's flow outcome (or its error).
+    pub outcome: crate::Result<DlOutcome>,
+    /// Stage records of the point's predict + validate stages.
+    pub records: Vec<StageRecord>,
+}
+
+/// A full sweep: the shared train-phase records plus one
+/// [`SweepPoint`] per perturbation, in input order.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// Records of the γ-independent prefix (source, feature-extract,
+    /// train) — exactly one set per sweep, however many points follow.
+    pub shared_records: Vec<StageRecord>,
+    /// Per-perturbation results.
+    pub points: Vec<SweepPoint>,
 }
 
 #[cfg(test)]
@@ -321,13 +371,9 @@ mod tests {
         let prepared = crate::experiment::prepare(IbmPgPreset::Ibmpg2, 0.008, 13, 2.5).unwrap();
         let config = crate::experiment::flow_config(&prepared, true);
         let flow = PowerPlanningDl::new(config);
-        let points = crate::experiment::perturbation_grid(
-            &[0.1, 0.3],
-            &[PerturbationKind::Both],
-            5,
-            1,
-        )
-        .unwrap();
+        let points =
+            crate::experiment::perturbation_grid(&[0.1, 0.3], &[PerturbationKind::Both], 5, 1)
+                .unwrap();
         let outcomes = flow.run_sweep(&prepared.bench, &points).unwrap();
         assert_eq!(outcomes.len(), points.len());
         for (res, p) in outcomes.iter().zip(&points) {

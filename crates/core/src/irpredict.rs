@@ -275,10 +275,8 @@ impl IrPredictor {
         let mut coarse_drop = vec![0.0; m];
         if u > 0 {
             let reduced_csr = reduced.to_csr();
-            let map_err =
-                |e: ppdl_solver::SolverError| CoreError::Analysis(e.into());
-            let pc = ppdl_solver::IncompleteCholesky::from_matrix(&reduced_csr)
-                .map_err(map_err)?;
+            let map_err = |e: ppdl_solver::SolverError| CoreError::Analysis(e.into());
+            let pc = ppdl_solver::IncompleteCholesky::from_matrix(&reduced_csr).map_err(map_err)?;
             // Prediction-grade tolerance: well below the millivolt
             // resolution the estimate targets, far looser than the
             // conventional sign-off solve.
@@ -443,10 +441,7 @@ impl IrPredictor {
         nodes.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite positions"));
         let m = nodes.len();
         if m < 2 {
-            return Ok(nodes
-                .into_iter()
-                .map(|(id, _)| (NodeId(id), 0.0))
-                .collect());
+            return Ok(nodes.into_iter().map(|(id, _)| (NodeId(id), 0.0)).collect());
         }
         let loads: Vec<f64> = nodes
             .iter()
@@ -504,8 +499,7 @@ impl IrPredictor {
                 .fold(0.1_f64, f64::max);
             let p = coord(NodeId(nodes[j].0)).expect("grid node");
             let base = total
-                * (bench.spec().via_resistance
-                    + rho_other * nearest_source_dist(p) / other_width);
+                * (bench.spec().via_resistance + rho_other * nearest_source_dist(p) / other_width);
             feeds.push((j, base));
         }
 

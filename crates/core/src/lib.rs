@@ -48,6 +48,7 @@ mod flow;
 mod irpredict;
 mod pad_placement;
 mod perturb;
+pub mod pipeline;
 mod predictor;
 mod predictor_persist;
 
@@ -55,7 +56,7 @@ pub use calibrate::{calibrate_to_worst_ir, calibration_tolerance};
 pub use conventional::{ConventionalConfig, ConventionalFlow, ConventionalResult};
 pub use error::CoreError;
 pub use features::{FeatureExtractor, FeatureSet, WidthDataset};
-pub use flow::{DlFlowConfig, DlOutcome, PowerPlanningDl, Timing};
+pub use flow::{DlFlowConfig, DlOutcome, PowerPlanningDl, SweepPoint, SweepRun, Timing};
 pub use irpredict::{IrPredictor, PredictedIr};
 pub use pad_placement::{PadPlacementResult, PadPlacer};
 pub use perturb::{run_perturbation_sweep, Perturbation, PerturbationKind};

@@ -227,7 +227,10 @@ mod tests {
         let p = Perturbation::new(0.2, PerturbationKind::Both, 7).unwrap();
         let a = p.apply(&b).unwrap();
         let c = p.apply(&b).unwrap();
-        assert_eq!(a.network().total_load_current(), c.network().total_load_current());
+        assert_eq!(
+            a.network().total_load_current(),
+            c.network().total_load_current()
+        );
         let other = Perturbation::new(0.2, PerturbationKind::Both, 8)
             .unwrap()
             .apply(&b)
@@ -254,7 +257,10 @@ mod tests {
             // outside the band, so allow the same 1e-12 slack as the
             // `perturbation_moves_by_exactly_gamma` property.
             let f = new.amps / old.amps;
-            assert!(f >= 1.0 - gamma - 1e-12 && f <= 1.0 + gamma + 1e-12, "factor {f}");
+            assert!(
+                f >= 1.0 - gamma - 1e-12 && f <= 1.0 + gamma + 1e-12,
+                "factor {f}"
+            );
         }
         for (new, old) in out
             .network()

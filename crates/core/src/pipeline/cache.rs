@@ -1,0 +1,271 @@
+//! Content-addressed artifact cache for pipeline stages.
+//!
+//! Every stage output that is expensive to recompute — calibrated load
+//! currents, golden strap widths, trained predictor weights, solver
+//! ground-truth voltages — is stored under a [`CacheKey`]: a stable
+//! 64-bit hash of everything that went into producing it (preset,
+//! scale, seed, every hyperparameter, and the key of the upstream
+//! stage). Identical configuration therefore maps to identical keys
+//! across processes and sessions, and any field change maps to a new
+//! key, so stale artifacts can never be served.
+//!
+//! The hash is FNV-1a over tagged field encodings (floats contribute
+//! their IEEE-754 bit patterns), *not* Rust's `DefaultHasher`, whose
+//! output is explicitly unstable across releases. Artifacts are
+//! versioned text files — the same philosophy as [`ppdl_nn`]'s model
+//! persistence — so a corrupt or stale-format file fails decoding and
+//! the stage transparently recomputes.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A stable content-address for one stage artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// The key as a fixed-width hex string (the artifact's file stem).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// The raw 64-bit value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// FNV-1a hasher over tagged field encodings.
+///
+/// Each write mixes the field tag before the value, so two configs
+/// that happen to serialise the same bytes in different fields still
+/// hash apart, and reordering fields changes the key.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// Starts a hash for the given domain (usually the stage name).
+    #[must_use]
+    pub fn new(domain: &str) -> Self {
+        let mut h = Self { state: FNV_OFFSET };
+        h.write_bytes(domain.as_bytes());
+        h
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Mixes a tagged string field.
+    pub fn write_str(&mut self, tag: &str, value: &str) {
+        self.write_bytes(tag.as_bytes());
+        self.write_bytes(&[0x1f]);
+        self.write_bytes(value.as_bytes());
+        self.write_bytes(&[0x1e]);
+    }
+
+    /// Mixes a tagged integer field.
+    pub fn write_u64(&mut self, tag: &str, value: u64) {
+        self.write_bytes(tag.as_bytes());
+        self.write_bytes(&[0x1f]);
+        self.write_bytes(&value.to_le_bytes());
+        self.write_bytes(&[0x1e]);
+    }
+
+    /// Mixes a tagged float field through its IEEE-754 bit pattern, so
+    /// `0.1 + 0.2` and `0.3` hash apart just as they compare apart.
+    pub fn write_f64(&mut self, tag: &str, value: f64) {
+        self.write_u64(tag, value.to_bits());
+    }
+
+    /// Mixes a whole float slice (e.g. a width vector fingerprint).
+    pub fn write_f64_slice(&mut self, tag: &str, values: &[f64]) {
+        self.write_u64(tag, values.len() as u64);
+        for v in values {
+            self.write_bytes(&v.to_bits().to_le_bytes());
+        }
+        self.write_bytes(&[0x1e]);
+    }
+
+    /// Chains an upstream stage's key into this one.
+    pub fn write_key(&mut self, tag: &str, key: CacheKey) {
+        self.write_u64(tag, key.0);
+    }
+
+    /// Finalises the key.
+    #[must_use]
+    pub fn finish(self) -> CacheKey {
+        CacheKey(self.state)
+    }
+}
+
+/// Hit/miss/store counters, total and per stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Artifacts served from disk.
+    pub hits: usize,
+    /// Lookups that found nothing (or an undecodable artifact).
+    pub misses: usize,
+    /// Artifacts written after a stage executed.
+    pub stores: usize,
+    /// The same counters broken down by stage name.
+    pub per_stage: BTreeMap<String, (usize, usize, usize)>,
+}
+
+impl CacheStats {
+    /// How many times the named stage actually *executed* (stored a
+    /// fresh artifact) — the counter the train-once sweep assertion
+    /// checks.
+    #[must_use]
+    pub fn executions(&self, stage: &str) -> usize {
+        self.per_stage.get(stage).map_or(0, |&(_, _, s)| s)
+    }
+
+    /// Hits recorded for the named stage.
+    #[must_use]
+    pub fn hits_for(&self, stage: &str) -> usize {
+        self.per_stage.get(stage).map_or(0, |&(h, _, _)| h)
+    }
+}
+
+/// A directory of content-addressed stage artifacts.
+///
+/// Layout: `<root>/<stage>-<key>.art`, one versioned text file per
+/// artifact. The cache never invalidates by time — a key embeds every
+/// input, so an artifact is valid for exactly as long as its key is
+/// asked for.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    root: PathBuf,
+    stats: Mutex<CacheStats>,
+}
+
+impl ArtifactCache {
+    /// Opens (lazily creating) a cache rooted at `root`.
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, stage: &str, key: CacheKey) -> PathBuf {
+        self.root.join(format!("{stage}-{}.art", key.hex()))
+    }
+
+    /// Loads the artifact text for `(stage, key)`, if present.
+    ///
+    /// A missing file counts as a miss; the caller records a hit via
+    /// [`note_hit`](Self::note_hit) only after the text also decodes,
+    /// so corrupt artifacts are counted as misses and recomputed.
+    #[must_use]
+    pub fn load(&self, stage: &str, key: CacheKey) -> Option<String> {
+        std::fs::read_to_string(self.path_for(stage, key)).ok()
+    }
+
+    /// Records a successful artifact decode.
+    pub fn note_hit(&self, stage: &str) {
+        let mut s = self.stats.lock().expect("cache stats lock");
+        s.hits += 1;
+        s.per_stage.entry(stage.to_string()).or_default().0 += 1;
+    }
+
+    /// Records a lookup that found nothing usable.
+    pub fn note_miss(&self, stage: &str) {
+        let mut s = self.stats.lock().expect("cache stats lock");
+        s.misses += 1;
+        s.per_stage.entry(stage.to_string()).or_default().1 += 1;
+    }
+
+    /// Stores an artifact, creating the cache directory on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn store(&self, stage: &str, key: CacheKey, text: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.root)?;
+        let path = self.path_for(stage, key);
+        std::fs::write(&path, text)?;
+        let mut s = self.stats.lock().expect("cache stats lock");
+        s.stores += 1;
+        s.per_stage.entry(stage.to_string()).or_default().2 += 1;
+        Ok(path)
+    }
+
+    /// A snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats.lock().expect("cache stats lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_sensitive() {
+        let key = |scale: f64, seed: u64| {
+            let mut h = StableHasher::new("bench");
+            h.write_str("preset", "ibmpg2");
+            h.write_f64("scale", scale);
+            h.write_u64("seed", seed);
+            h.finish()
+        };
+        assert_eq!(key(0.02, 7), key(0.02, 7));
+        assert_ne!(key(0.02, 7), key(0.02, 8));
+        assert_ne!(key(0.02, 7), key(0.021, 7));
+    }
+
+    #[test]
+    fn tag_separation_prevents_field_bleed() {
+        let mut a = StableHasher::new("d");
+        a.write_str("x", "ab");
+        a.write_str("y", "c");
+        let mut b = StableHasher::new("d");
+        b.write_str("x", "a");
+        b.write_str("y", "bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn store_load_round_trip_and_stats() {
+        let dir = std::env::temp_dir().join("ppdl_cache_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::new(&dir);
+        let key = StableHasher::new("t").finish();
+        assert!(cache.load("train", key).is_none());
+        cache.note_miss("train");
+        cache.store("train", key, "payload v1\n").unwrap();
+        assert_eq!(cache.load("train", key).unwrap(), "payload v1\n");
+        cache.note_hit("train");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+        assert_eq!(s.executions("train"), 1);
+        assert_eq!(s.hits_for("train"), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Structured run manifests.
+//!
+//! Every experiment run writes a `RunManifest` JSON file next to its
+//! CSV artefacts: which stages ran, which were served from the artifact
+//! cache, how long each took, the headline metrics, and enough
+//! environment (git describe, thread count) to reproduce the run. The
+//! JSON is hand-rolled — the workspace is dependency-free by design —
+//! and uses only scalars, strings, and flat arrays, so any consumer
+//! can parse it.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use super::cache::CacheKey;
+
+/// What happened to one pipeline stage during a run.
+#[derive(Debug, Clone)]
+pub struct StageRecord {
+    /// Stage name (`bench-source`, `feature-extract`, `train`,
+    /// `predict`, `validate`).
+    pub name: String,
+    /// The content-address of the stage's artifact, if cacheable.
+    pub key: Option<CacheKey>,
+    /// Whether the artifact was served from the cache.
+    pub cache_hit: bool,
+    /// Wall-clock time the stage took (decode time on a hit).
+    pub wall: Duration,
+}
+
+/// A structured record of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Registry name of the experiment (e.g. `table4_speedup`).
+    pub experiment: String,
+    /// Configuration echoes (`scale`, `seed`, …), in insertion order.
+    pub config: Vec<(String, String)>,
+    /// Per-stage outcomes, in execution order.
+    pub stages: Vec<StageRecord>,
+    /// Headline numeric metrics, in insertion order.
+    pub metrics: Vec<(String, f64)>,
+    /// Output files the run produced (CSV paths etc.).
+    pub outputs: Vec<String>,
+    /// `git describe --always --dirty` at run time, or `unknown`.
+    pub git_describe: String,
+    /// Worker threads the solver/NN pool was configured with.
+    pub threads: usize,
+    /// Seconds since the Unix epoch when the run started.
+    pub started_unix: u64,
+    /// Total wall-clock time of the run.
+    pub wall: Duration,
+}
+
+impl RunManifest {
+    /// Starts a manifest for the named experiment, capturing the
+    /// environment (git describe, thread count, start time).
+    #[must_use]
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            config: Vec::new(),
+            stages: Vec::new(),
+            metrics: Vec::new(),
+            outputs: Vec::new(),
+            git_describe: git_describe(),
+            threads: ppdl_solver::parallel::current_threads(),
+            started_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Echoes a configuration value.
+    pub fn set_config(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.config.push((key.to_string(), value.to_string()));
+    }
+
+    /// Records a headline metric.
+    pub fn add_metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Records an output file path.
+    pub fn add_output(&mut self, path: impl AsRef<Path>) {
+        self.outputs.push(path.as_ref().display().to_string());
+    }
+
+    /// Appends stage records, namespacing them (`prefix/stage`) so an
+    /// experiment that runs the pipeline per preset keeps them apart.
+    pub fn record_stages(&mut self, prefix: &str, records: &[StageRecord]) {
+        for r in records {
+            let mut r = r.clone();
+            if !prefix.is_empty() {
+                r.name = format!("{prefix}/{}", r.name);
+            }
+            self.stages.push(r);
+        }
+    }
+
+    /// Number of stages served from the artifact cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.stages.iter().filter(|s| s.cache_hit).count()
+    }
+
+    /// `true` when every recorded stage was a cache hit — the warm-run
+    /// condition the CI smoke job asserts.
+    #[must_use]
+    pub fn full_cache_hit(&self) -> bool {
+        !self.stages.is_empty() && self.cache_hits() == self.stages.len()
+    }
+
+    /// Serialises the manifest to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        push_field(&mut out, "experiment", &json_string(&self.experiment));
+        push_field(&mut out, "git_describe", &json_string(&self.git_describe));
+        push_field(&mut out, "threads", &self.threads.to_string());
+        push_field(&mut out, "started_unix", &self.started_unix.to_string());
+        push_field(
+            &mut out,
+            "wall_ms",
+            &format!("{:.3}", self.wall.as_secs_f64() * 1e3),
+        );
+        push_field(&mut out, "stage_count", &self.stages.len().to_string());
+        push_field(&mut out, "cache_hits", &self.cache_hits().to_string());
+        push_field(
+            &mut out,
+            "full_cache_hit",
+            if self.full_cache_hit() {
+                "true"
+            } else {
+                "false"
+            },
+        );
+
+        out.push_str("  \"config\": {\n");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            let comma = if i + 1 < self.config.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {}: {}{comma}\n",
+                json_string(k),
+                json_string(v)
+            ));
+        }
+        out.push_str("  },\n");
+
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            let comma = if i + 1 < self.stages.len() { "," } else { "" };
+            let key = s
+                .key
+                .map_or_else(|| "null".to_string(), |k| json_string(&k.hex()));
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"key\": {key}, \"cache_hit\": {}, \"wall_ms\": {:.3}}}{comma}\n",
+                json_string(&s.name),
+                s.cache_hit,
+                s.wall.as_secs_f64() * 1e3,
+            ));
+        }
+        out.push_str("  ],\n");
+
+        out.push_str("  \"metrics\": {\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {}: {}{comma}\n",
+                json_string(k),
+                json_number(*v)
+            ));
+        }
+        out.push_str("  },\n");
+
+        out.push_str("  \"outputs\": [\n");
+        for (i, o) in self.outputs.iter().enumerate() {
+            let comma = if i + 1 < self.outputs.len() { "," } else { "" };
+            out.push_str(&format!("    {}{comma}\n", json_string(o)));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `<experiment>_manifest.json` into `dir`, returning the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}_manifest.json", self.experiment));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn push_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!("  {}: {value},\n", json_string(key)));
+}
+
+/// JSON-escapes a string (quotes, backslashes, control characters).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (`null` for non-finite values,
+/// which JSON cannot represent).
+#[must_use]
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(1.5), "1.5");
+    }
+
+    #[test]
+    fn manifest_counts_hits_and_serialises() {
+        let mut m = RunManifest::new("unit_test");
+        m.set_config("scale", 0.02);
+        m.add_metric("r2", 0.93);
+        m.record_stages(
+            "ibmpg1",
+            &[
+                StageRecord {
+                    name: "train".into(),
+                    key: None,
+                    cache_hit: true,
+                    wall: Duration::from_millis(5),
+                },
+                StageRecord {
+                    name: "validate".into(),
+                    key: None,
+                    cache_hit: false,
+                    wall: Duration::from_millis(7),
+                },
+            ],
+        );
+        assert_eq!(m.cache_hits(), 1);
+        assert!(!m.full_cache_hit());
+        let json = m.to_json();
+        assert!(json.contains("\"experiment\": \"unit_test\""));
+        assert!(json.contains("\"ibmpg1/train\""));
+        assert!(json.contains("\"full_cache_hit\": false"));
+        assert!(json.contains("\"r2\": 0.93"));
+    }
+
+    #[test]
+    fn empty_manifest_is_not_full_hit() {
+        let m = RunManifest::new("empty");
+        assert!(!m.full_cache_hit());
+    }
+
+    #[test]
+    fn manifest_write_creates_file() {
+        let dir = std::env::temp_dir().join("ppdl_manifest_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = RunManifest::new("unit_write");
+        let p = m.write(&dir).unwrap();
+        assert!(p.ends_with("unit_write_manifest.json"));
+        assert!(std::fs::read_to_string(p).unwrap().starts_with('{'));
+    }
+}

@@ -222,12 +222,8 @@ impl WidthPredictor {
                 detail: "benchmark must have segments in both directions".into(),
             });
         }
-        let (vertical, vrep) = DirectionModel::train(
-            &raw_x.gather_rows(&vi),
-            &raw_y.gather_rows(&vi),
-            &config,
-            0,
-        )?;
+        let (vertical, vrep) =
+            DirectionModel::train(&raw_x.gather_rows(&vi), &raw_y.gather_rows(&vi), &config, 0)?;
         let (horizontal, hrep) = DirectionModel::train(
             &raw_x.gather_rows(&hi),
             &raw_y.gather_rows(&hi),
@@ -431,8 +427,7 @@ impl WidthPredictor {
             for id in [r.a.0, r.b.0] {
                 if counted.insert((seg.strap, id)) {
                     if let Some(xy) = net.node_names()[id].coordinates() {
-                        strap_current[seg.strap] +=
-                            coord_load.get(&xy).copied().unwrap_or(0.0);
+                        strap_current[seg.strap] += coord_load.get(&xy).copied().unwrap_or(0.0);
                     }
                 }
             }
@@ -555,8 +550,7 @@ mod tests {
     #[test]
     fn trains_and_fits_golden_widths() {
         let (bench, golden) = sized();
-        let (p, summary) =
-            WidthPredictor::train(&bench, &golden, PredictorConfig::fast()).unwrap();
+        let (p, summary) = WidthPredictor::train(&bench, &golden, PredictorConfig::fast()).unwrap();
         assert!(summary.total_epochs() > 0);
         let m = p.evaluate(&bench, &golden).unwrap();
         assert!(m.r2 > 0.7, "r2 = {}", m.r2);

@@ -41,9 +41,10 @@ impl WidthPredictor {
     pub fn from_text(text: &str) -> crate::Result<Self> {
         let mut lines = text.lines().peekable();
         let expect = |line: Option<&str>, what: &str| -> crate::Result<String> {
-            line.map(str::to_string).ok_or_else(|| CoreError::InvalidConfig {
-                detail: format!("unexpected end of predictor file, wanted {what}"),
-            })
+            line.map(str::to_string)
+                .ok_or_else(|| CoreError::InvalidConfig {
+                    detail: format!("unexpected end of predictor file, wanted {what}"),
+                })
         };
         let header = expect(lines.next(), "header")?;
         if header.trim() != "ppdl-width-predictor v1" {
@@ -52,14 +53,12 @@ impl WidthPredictor {
             });
         }
         let fs_line = expect(lines.next(), "feature_set")?;
-        let feature_set = parse_feature_tag(
-            fs_line
-                .trim()
-                .strip_prefix("feature_set ")
-                .ok_or_else(|| CoreError::InvalidConfig {
+        let feature_set =
+            parse_feature_tag(fs_line.trim().strip_prefix("feature_set ").ok_or_else(|| {
+                CoreError::InvalidConfig {
                     detail: format!("bad feature_set line '{fs_line}'"),
-                })?,
-        )?;
+                }
+            })?)?;
         let mw_line = expect(lines.next(), "min_width")?;
         let min_width: f64 = mw_line
             .trim()
@@ -197,7 +196,9 @@ fn read_scaler<'a>(
 
 #[cfg(test)]
 mod tests {
-    use crate::{experiment, ConventionalConfig, ConventionalFlow, PredictorConfig, WidthPredictor};
+    use crate::{
+        experiment, ConventionalConfig, ConventionalFlow, PredictorConfig, WidthPredictor,
+    };
     use ppdl_netlist::IbmPgPreset;
 
     fn trained() -> (ppdl_netlist::SyntheticBenchmark, Vec<f64>, WidthPredictor) {

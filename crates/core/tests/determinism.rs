@@ -13,7 +13,7 @@
 use ppdl_analysis::StaticAnalysis;
 use ppdl_core::FeatureExtractor;
 use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
-use ppdl_nn::{Activation, Adam, Loss, Matrix, MlpBuilder, Mlp};
+use ppdl_nn::{Activation, Adam, Loss, Matrix, Mlp, MlpBuilder};
 use ppdl_solver::parallel::DEFAULT_PAR_THRESHOLD;
 use ppdl_solver::{set_par_threshold, set_threads};
 

@@ -1,7 +1,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{FloorplanError, Floorplan, FunctionalBlock, PadPlacement, PowerNet, PowerPad};
+use crate::{Floorplan, FloorplanError, FunctionalBlock, PadPlacement, PowerNet, PowerPad};
 
 /// Configuration for the seeded random floorplan generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,15 +91,15 @@ impl FloorplanGenerator {
         }
         if !(c.cell_utilization > 0.0 && c.cell_utilization <= 1.0) {
             return Err(FloorplanError::InfeasibleConfig {
-                detail: format!(
-                    "cell utilization {} outside (0, 1]",
-                    c.cell_utilization
-                ),
+                detail: format!("cell utilization {} outside (0, 1]", c.cell_utilization),
             });
         }
         if !(c.mean_block_current.is_finite() && c.mean_block_current > 0.0) {
             return Err(FloorplanError::InfeasibleConfig {
-                detail: format!("mean block current {} must be positive", c.mean_block_current),
+                detail: format!(
+                    "mean block current {} must be positive",
+                    c.mean_block_current
+                ),
             });
         }
         let mut rng = StdRng::seed_from_u64(seed);
@@ -155,12 +155,7 @@ impl FloorplanGenerator {
                         }
                         let x = (col as f64 + 0.5) * c.die_width / side as f64;
                         let y = (r as f64 + 0.5) * c.die_height / side as f64;
-                        fp.add_pad(PowerPad::new(
-                            format!("vdd_{placed}"),
-                            x,
-                            y,
-                            PowerNet::Vdd,
-                        ))?;
+                        fp.add_pad(PowerPad::new(format!("vdd_{placed}"), x, y, PowerNet::Vdd))?;
                         fp.add_pad(PowerPad::new(
                             format!("gnd_{placed}"),
                             (x + 1.0).min(c.die_width),

@@ -152,7 +152,10 @@ impl Floorplan {
     /// Sum of all block switching currents (A).
     #[must_use]
     pub fn total_switching_current(&self) -> f64 {
-        self.blocks.iter().map(FunctionalBlock::switching_current).sum()
+        self.blocks
+            .iter()
+            .map(FunctionalBlock::switching_current)
+            .sum()
     }
 
     /// Pads belonging to one net.
@@ -194,8 +197,10 @@ mod tests {
             .unwrap();
         fp.add_block(FunctionalBlock::new("b", 50.0, 50.0, 20.0, 20.0, 0.2).unwrap())
             .unwrap();
-        fp.add_pad(PowerPad::new("v0", 0.0, 50.0, PowerNet::Vdd)).unwrap();
-        fp.add_pad(PowerPad::new("g0", 100.0, 50.0, PowerNet::Gnd)).unwrap();
+        fp.add_pad(PowerPad::new("v0", 0.0, 50.0, PowerNet::Vdd))
+            .unwrap();
+        fp.add_pad(PowerPad::new("g0", 100.0, 50.0, PowerNet::Gnd))
+            .unwrap();
         fp
     }
 
@@ -240,7 +245,8 @@ mod tests {
     #[test]
     fn pad_on_boundary_allowed_outside_rejected() {
         let mut fp = Floorplan::new(10.0, 10.0).unwrap();
-        fp.add_pad(PowerPad::new("p", 10.0, 10.0, PowerNet::Vdd)).unwrap();
+        fp.add_pad(PowerPad::new("p", 10.0, 10.0, PowerNet::Vdd))
+            .unwrap();
         assert!(fp
             .add_pad(PowerPad::new("q", 10.1, 0.0, PowerNet::Vdd))
             .is_err());

@@ -123,7 +123,9 @@ impl Floorplan {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -135,8 +137,10 @@ mod tests {
         let mut fp = Floorplan::new(100.0, 50.0).unwrap();
         fp.add_block(FunctionalBlock::new("alu<&>", 10.0, 10.0, 30.0, 20.0, 0.2).unwrap())
             .unwrap();
-        fp.add_pad(PowerPad::new("v0", 0.0, 25.0, PowerNet::Vdd)).unwrap();
-        fp.add_pad(PowerPad::new("g0", 100.0, 25.0, PowerNet::Gnd)).unwrap();
+        fp.add_pad(PowerPad::new("v0", 0.0, 25.0, PowerNet::Vdd))
+            .unwrap();
+        fp.add_pad(PowerPad::new("g0", 100.0, 25.0, PowerNet::Gnd))
+            .unwrap();
         fp
     }
 

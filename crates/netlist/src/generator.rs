@@ -162,10 +162,7 @@ impl GridSpec {
         }
         if !(self.source_fraction > 0.0 && self.source_fraction <= 1.0) {
             return Err(NetlistError::InfeasibleGrid {
-                detail: format!(
-                    "source fraction {} outside (0, 1]",
-                    self.source_fraction
-                ),
+                detail: format!("source fraction {} outside (0, 1]", self.source_fraction),
             });
         }
         Ok(())
@@ -196,11 +193,7 @@ impl SyntheticBenchmark {
     ///
     /// Propagates [`NetlistError::InfeasibleGrid`] for degenerate scales
     /// (so small that fewer than 2 straps remain).
-    pub fn from_preset(
-        preset: crate::IbmPgPreset,
-        scale: f64,
-        seed: u64,
-    ) -> crate::Result<Self> {
+    pub fn from_preset(preset: crate::IbmPgPreset, scale: f64, seed: u64) -> crate::Result<Self> {
         let spec = preset.grid_spec(scale)?;
         let fp_config = preset.floorplan_config(scale);
         let floorplan = FloorplanGenerator::new(fp_config).generate(seed)?;
@@ -247,14 +240,12 @@ impl SyntheticBenchmark {
         let mut upper = vec![vec![crate::NodeId(0); nh]; nv];
         for (i, &x) in xs.iter().enumerate() {
             for (j, &y) in ys.iter().enumerate() {
-                lower[i][j] =
-                    network.intern(NodeName::grid(spec.lower_layer, dbu(x), dbu(y)));
+                lower[i][j] = network.intern(NodeName::grid(spec.lower_layer, dbu(x), dbu(y)));
             }
         }
         for (i, &x) in xs.iter().enumerate() {
             for (j, &y) in ys.iter().enumerate() {
-                upper[i][j] =
-                    network.intern(NodeName::grid(spec.upper_layer, dbu(x), dbu(y)));
+                upper[i][j] = network.intern(NodeName::grid(spec.upper_layer, dbu(x), dbu(y)));
             }
         }
 
@@ -275,12 +266,7 @@ impl SyntheticBenchmark {
                 let length = ys[j + 1] - ys[j];
                 let ohms = spec.sheet_res_lower * length / spec.initial_width_lower;
                 let ridx = network.resistors().len();
-                network.add_resistor(
-                    format!("Rv{i}_{j}"),
-                    lower[i][j],
-                    lower[i][j + 1],
-                    ohms,
-                )?;
+                network.add_resistor(format!("Rv{i}_{j}"), lower[i][j], lower[i][j + 1], ohms)?;
                 segments.push(SegmentInfo {
                     resistor: ridx,
                     strap: strap_id,
@@ -305,12 +291,7 @@ impl SyntheticBenchmark {
                 let length = xs[i + 1] - xs[i];
                 let ohms = spec.sheet_res_upper * length / spec.initial_width_upper;
                 let ridx = network.resistors().len();
-                network.add_resistor(
-                    format!("Rh{j}_{i}"),
-                    upper[i][j],
-                    upper[i + 1][j],
-                    ohms,
-                )?;
+                network.add_resistor(format!("Rh{j}_{i}"), upper[i][j], upper[i + 1][j], ohms)?;
                 segments.push(SegmentInfo {
                     resistor: ridx,
                     strap: strap_id,
@@ -354,8 +335,7 @@ impl SyntheticBenchmark {
 
         // Supply pins on upper-layer nodes.
         let total_nodes = 2 * nv * nh;
-        let want_sources =
-            ((spec.source_fraction * total_nodes as f64).round() as usize).max(1);
+        let want_sources = ((spec.source_fraction * total_nodes as f64).round() as usize).max(1);
         match spec.pad_placement {
             PadPlacement::Perimeter => {
                 // Wirebond: pins spread evenly over the boundary ring,
@@ -480,10 +460,7 @@ impl SyntheticBenchmark {
     /// sizing.
     ///
     /// [`FloorplanError::RingWidthViolation`]: ppdl_floorplan::FloorplanError::RingWidthViolation
-    pub fn strap_plan(
-        &self,
-        orientation: Orientation,
-    ) -> crate::Result<ppdl_floorplan::StrapPlan> {
+    pub fn strap_plan(&self, orientation: Orientation) -> crate::Result<ppdl_floorplan::StrapPlan> {
         let core_width = match orientation {
             Orientation::Vertical => self.spec.die_width,
             Orientation::Horizontal => self.spec.die_height,
@@ -580,6 +557,31 @@ impl SyntheticBenchmark {
         }
         Ok(())
     }
+
+    /// Applies a full load-current vector (one entry per current load,
+    /// in [`PowerGridNetwork::current_loads`] order) — the bulk form of
+    /// [`PowerGridNetwork::set_load_current`], used to restore cached
+    /// calibration results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InfeasibleGrid`] on length mismatch and
+    /// propagates per-load errors for invalid values.
+    pub fn set_load_currents(&mut self, amps: &[f64]) -> crate::Result<()> {
+        if amps.len() != self.network.current_loads().len() {
+            return Err(NetlistError::InfeasibleGrid {
+                detail: format!(
+                    "{} load currents provided for {} loads",
+                    amps.len(),
+                    self.network.current_loads().len()
+                ),
+            });
+        }
+        for (i, &a) in amps.iter().enumerate() {
+            self.network.set_load_current(i, a)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -636,11 +638,7 @@ mod tests {
     fn sources_at_least_one_and_at_vdd() {
         let b = SyntheticBenchmark::generate("t", small_spec(), small_floorplan()).unwrap();
         assert!(!b.network().voltage_sources().is_empty());
-        assert!(b
-            .network()
-            .voltage_sources()
-            .iter()
-            .all(|s| s.volts == 1.8));
+        assert!(b.network().voltage_sources().iter().all(|s| s.volts == 1.8));
     }
 
     #[test]
@@ -663,12 +661,7 @@ mod tests {
         assert!((after - before / 2.0).abs() < 1e-12);
         assert_eq!(b.straps()[0].width, 2.0);
         // Other straps untouched.
-        let other = b
-            .segments()
-            .iter()
-            .find(|s| s.strap == 1)
-            .unwrap()
-            .resistor;
+        let other = b.segments().iter().find(|s| s.strap == 1).unwrap().resistor;
         assert!((b.network().resistors()[other].ohms - before).abs() < 1e-12);
     }
 

@@ -259,11 +259,7 @@ impl PowerGridNetwork {
     /// Table II-style statistics (`#n` excludes the ground entry).
     #[must_use]
     pub fn stats(&self) -> BenchmarkStats {
-        let ground = self
-            .names
-            .iter()
-            .filter(|n| n.is_ground())
-            .count();
+        let ground = self.names.iter().filter(|n| n.is_ground()).count();
         BenchmarkStats {
             nodes: self.names.len() - ground,
             resistors: self.resistors.len(),
@@ -297,9 +293,7 @@ impl PowerGridNetwork {
             if let Some((x, y)) = n.coordinates() {
                 bb = Some(match bb {
                     None => ((x, y), (x, y)),
-                    Some(((x0, y0), (x1, y1))) => {
-                        ((x0.min(x), y0.min(y)), (x1.max(x), y1.max(y)))
-                    }
+                    Some(((x0, y0), (x1, y1))) => ((x0.min(x), y0.min(y)), (x1.max(x), y1.max(y))),
                 });
             }
         }

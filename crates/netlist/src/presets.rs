@@ -139,8 +139,7 @@ impl IbmPgPreset {
         // The published #v counts the supply pins of BOTH nets (VDD and
         // GND); this generator models the VDD net alone, so its pin
         // density is half the published ratio.
-        let source_fraction =
-            (stats.sources as f64 / 2.0 / stats.nodes as f64).clamp(1e-4, 1.0);
+        let source_fraction = (stats.sources as f64 / 2.0 / stats.nodes as f64).clamp(1e-4, 1.0);
         Ok(GridSpec {
             die_width: die,
             die_height: die,
@@ -163,16 +162,12 @@ impl IbmPgPreset {
     #[must_use]
     pub fn floorplan_config(self, scale: f64) -> GeneratorConfig {
         let stats = self.published_stats();
-        let straps = ((scale.max(1e-9) * stats.nodes as f64 / 2.0)
-            .sqrt()
-            .round() as usize)
-            .max(2);
+        let straps = ((scale.max(1e-9) * stats.nodes as f64 / 2.0).sqrt().round() as usize).max(2);
         let die = straps as f64 * 50.0;
         // Loads sit on lower-layer nodes (half of all nodes), so the
         // covered fraction of the die should be 2 * #i / #n.
         let utilization = (2.0 * stats.loads as f64 / stats.nodes as f64).clamp(0.2, 0.85);
-        let blocks = (((scale * stats.nodes as f64).sqrt() / 4.0).round() as usize)
-            .clamp(4, 64);
+        let blocks = (((scale * stats.nodes as f64).sqrt() / 4.0).round() as usize).clamp(4, 64);
         GeneratorConfig {
             die_width: die,
             die_height: die,

@@ -100,13 +100,15 @@ where
                     'r' => {
                         let a = net.intern(node_a);
                         let b = net.intern(node_b);
-                        net.add_resistor(name, a, b, value).map_err(|e| at(lineno, e))?;
+                        net.add_resistor(name, a, b, value)
+                            .map_err(|e| at(lineno, e))?;
                     }
                     'l' => {
                         // Inductor: DC short.
                         let a = net.intern(node_a);
                         let b = net.intern(node_b);
-                        net.add_resistor(name, a, b, 0.0).map_err(|e| at(lineno, e))?;
+                        net.add_resistor(name, a, b, 0.0)
+                            .map_err(|e| at(lineno, e))?;
                     }
                     'c' => {
                         // Capacitor: DC open; contributes nothing to the
@@ -176,7 +178,8 @@ mod tests {
 
     #[test]
     fn parses_comments_blanks_and_case() {
-        let deck = "\n* header\n\nr1 n1_0_0 n1_10_0 1.5\nV1 n1_0_0 0 1.8\nI1 0 n1_10_0 5m\n.OP\n.end\n";
+        let deck =
+            "\n* header\n\nr1 n1_0_0 n1_10_0 1.5\nV1 n1_0_0 0 1.8\nI1 0 n1_10_0 5m\n.OP\n.end\n";
         let net = parse_spice(deck).unwrap();
         let s = net.stats();
         assert_eq!((s.nodes, s.resistors, s.sources, s.loads), (2, 1, 1, 1));
@@ -258,7 +261,8 @@ mod tests {
 
     #[test]
     fn inductor_becomes_short_capacitor_skipped() {
-        let net = parse_spice("L1 n1_0_0 n2_0_0 1n\nC1 n1_0_0 0 2p\nR1 n1_0_0 n2_0_0 1.0\n").unwrap();
+        let net =
+            parse_spice("L1 n1_0_0 n2_0_0 1n\nC1 n1_0_0 0 2p\nR1 n1_0_0 n2_0_0 1.0\n").unwrap();
         assert_eq!(net.resistors().len(), 2);
         assert!(net.resistors()[0].is_short());
         let (merged, _) = net.merged_shorts();
@@ -275,7 +279,8 @@ mod tests {
 
     #[test]
     fn engineering_suffixes_in_all_positions() {
-        let net = parse_spice("R1 n1_0_0 n1_1_0 1.5k\nV1 n1_0_0 0 1800m\ni1 n1_1_0 0 10u\n").unwrap();
+        let net =
+            parse_spice("R1 n1_0_0 n1_1_0 1.5k\nV1 n1_0_0 0 1800m\ni1 n1_1_0 0 10u\n").unwrap();
         assert_eq!(net.resistors()[0].ohms, 1500.0);
         assert!((net.voltage_sources()[0].volts - 1.8).abs() < 1e-12);
         assert!((net.current_loads()[0].amps - 1e-5).abs() < 1e-18);

@@ -49,10 +49,7 @@ pub fn parse_value(token: &str) -> crate::Result<f64> {
                 match next {
                     Some('0'..='9') => end += 2,
                     Some('+') | Some('-')
-                        if matches!(
-                            bytes.get(end + 2).map(|&b| b as char),
-                            Some('0'..='9')
-                        ) =>
+                        if matches!(bytes.get(end + 2).map(|&b| b as char), Some('0'..='9')) =>
                     {
                         end += 3
                     }

@@ -1,8 +1,8 @@
 //! Property-based tests for netlist parsing, writing, and generation.
 
 use ppdl_netlist::{
-    format_si, parse_spice, parse_value, GridSpec, NodeName, PowerGridNetwork,
-    SyntheticBenchmark, UnionFind,
+    format_si, parse_spice, parse_value, GridSpec, NodeName, PowerGridNetwork, SyntheticBenchmark,
+    UnionFind,
 };
 use proptest::prelude::*;
 

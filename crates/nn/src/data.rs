@@ -335,8 +335,8 @@ mod tests {
         for c in 0..t.cols() {
             let col: Vec<f64> = (0..t.rows()).map(|r| t.get(r, c)).collect();
             let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
-            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
             assert!(mean.abs() < 1e-12);
             assert!((var - 1.0).abs() < 1e-12);
         }

@@ -41,9 +41,7 @@ impl DenseLayer {
             });
         }
         let bound = (6.0 / input_dim as f64).sqrt();
-        let weights = Matrix::from_fn(output_dim, input_dim, |_, _| {
-            rng.gen_range(-bound..bound)
-        });
+        let weights = Matrix::from_fn(output_dim, input_dim, |_, _| rng.gen_range(-bound..bound));
         Ok(Self {
             weights,
             bias: vec![0.0; output_dim],
@@ -179,8 +177,7 @@ impl DenseLayer {
             .cached_preact
             .as_ref()
             .expect("pre-activation cached alongside input");
-        let (grad_input, grad_weights, grad_bias) =
-            self.backward_pure(input, pre, grad_output)?;
+        let (grad_input, grad_weights, grad_bias) = self.backward_pure(input, pre, grad_output)?;
         self.grad_weights = grad_weights;
         self.grad_bias = grad_bias;
         Ok(grad_input)

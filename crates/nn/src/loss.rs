@@ -101,11 +101,7 @@ impl Loss {
 fn check(p: &Matrix, t: &Matrix) -> crate::Result<()> {
     if p.shape() != t.shape() {
         return Err(NnError::ShapeMismatch {
-            detail: format!(
-                "loss: prediction {:?} vs target {:?}",
-                p.shape(),
-                t.shape()
-            ),
+            detail: format!("loss: prediction {:?} vs target {:?}", p.shape(), t.shape()),
         });
     }
     if p.rows() == 0 || p.cols() == 0 {

@@ -79,9 +79,7 @@ pub fn r2_score(prediction: &Matrix, target: &Matrix) -> crate::Result<f64> {
     let mut total = 0.0;
     for c in 0..target.cols() {
         let mean: f64 = (0..rows).map(|r| target.get(r, c)).sum::<f64>() / rows as f64;
-        let ss_tot: f64 = (0..rows)
-            .map(|r| (target.get(r, c) - mean).powi(2))
-            .sum();
+        let ss_tot: f64 = (0..rows).map(|r| (target.get(r, c) - mean).powi(2)).sum();
         let ss_res: f64 = (0..rows)
             .map(|r| (target.get(r, c) - prediction.get(r, c)).powi(2))
             .sum();

@@ -408,10 +408,7 @@ mod tests {
         assert_eq!(m.layer_count(), 3);
         assert_eq!(m.input_dim(), 3);
         assert_eq!(m.output_dim(), 2);
-        assert_eq!(
-            m.parameter_count(),
-            (3 * 8 + 8) + (8 * 4 + 4) + (4 * 2 + 2)
-        );
+        assert_eq!(m.parameter_count(), (3 * 8 + 8) + (8 * 4 + 4) + (4 * 2 + 2));
     }
 
     #[test]
@@ -437,11 +434,23 @@ mod tests {
 
     #[test]
     fn seeded_builds_are_identical() {
-        let a = MlpBuilder::new(2).hidden(4, Activation::Relu).seed(9).build().unwrap();
-        let b = MlpBuilder::new(2).hidden(4, Activation::Relu).seed(9).build().unwrap();
+        let a = MlpBuilder::new(2)
+            .hidden(4, Activation::Relu)
+            .seed(9)
+            .build()
+            .unwrap();
+        let b = MlpBuilder::new(2)
+            .hidden(4, Activation::Relu)
+            .seed(9)
+            .build()
+            .unwrap();
         let x = Matrix::from_fn(3, 2, |r, c| (r + c) as f64);
         assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
-        let c = MlpBuilder::new(2).hidden(4, Activation::Relu).seed(10).build().unwrap();
+        let c = MlpBuilder::new(2)
+            .hidden(4, Activation::Relu)
+            .seed(10)
+            .build()
+            .unwrap();
         assert_ne!(a.predict(&x).unwrap(), c.predict(&x).unwrap());
     }
 
@@ -518,13 +527,18 @@ mod tests {
     fn zero_decay_matches_plain_training() {
         let x = Matrix::from_fn(8, 2, |r, c| (r + c) as f64 * 0.1);
         let y = Matrix::from_fn(8, 1, |r, _| r as f64 * 0.05);
-        let mut a = MlpBuilder::new(2).hidden(4, Activation::Tanh).seed(6).build().unwrap();
+        let mut a = MlpBuilder::new(2)
+            .hidden(4, Activation::Tanh)
+            .seed(6)
+            .build()
+            .unwrap();
         let mut b = a.clone();
         let mut oa = Sgd::new(0.1).unwrap();
         let mut ob = Sgd::new(0.1).unwrap();
         for _ in 0..10 {
             a.train_batch(&x, &y, Loss::Mse, &mut oa).unwrap();
-            b.train_batch_regularized(&x, &y, Loss::Mse, 0.0, &mut ob).unwrap();
+            b.train_batch_regularized(&x, &y, Loss::Mse, 0.0, &mut ob)
+                .unwrap();
         }
         assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
     }

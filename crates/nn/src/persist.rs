@@ -116,12 +116,12 @@ impl Mlp {
                 "tanh" => Activation::Tanh,
                 "sigmoid" => Activation::Sigmoid,
                 "leaky_relu" => {
-                    let alpha: f64 = fields
-                        .get(4)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| NnError::Decode {
-                            line: ln,
-                            detail: "leaky_relu requires an alpha".into(),
+                    let alpha: f64 =
+                        fields.get(4).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                            NnError::Decode {
+                                line: ln,
+                                detail: "leaky_relu requires an alpha".into(),
+                            }
                         })?;
                     Activation::LeakyRelu(alpha)
                 }
@@ -254,5 +254,43 @@ mod tests {
     fn unknown_activation_rejected() {
         let text = "ppdl-mlp v1\nlayers 1\nlayer 1 1 swish extra\n0.5\n0.0\nend\n";
         assert!(Mlp::from_text(text).is_err());
+    }
+
+    #[test]
+    fn trained_model_round_trips_bitwise() {
+        // Adam-updated weights exercise the full float range (tiny
+        // mantissa tails the builder's init never produces), which is
+        // exactly what the artifact cache persists between runs.
+        use crate::{Dataset, TrainConfig, Trainer};
+        let mut m = MlpBuilder::new(2)
+            .hidden(8, Activation::Tanh)
+            .output(1)
+            .seed(3)
+            .build()
+            .unwrap();
+        let x = Matrix::from_fn(64, 2, |r, c| ((r * 7 + c * 3) % 13) as f64 / 13.0 - 0.5);
+        let y = Matrix::from_fn(64, 1, |r, _| {
+            let a = x.get(r, 0);
+            let b = x.get(r, 1);
+            (a * b + 0.3 * a).sin()
+        });
+        let data = Dataset::new(x.clone(), y).unwrap();
+        let report = Trainer::new(TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        })
+        .fit(&mut m, &data)
+        .unwrap();
+        assert_eq!(report.epochs_run, 20);
+
+        let back = Mlp::from_text(&m.to_text()).unwrap();
+        assert_eq!(
+            back.predict(&x).unwrap(),
+            m.predict(&x).unwrap(),
+            "trained weights must survive save → load bit for bit"
+        );
+        // And the text itself is a fixed point: re-encoding the loaded
+        // model reproduces the artifact byte for byte.
+        assert_eq!(back.to_text(), m.to_text());
     }
 }

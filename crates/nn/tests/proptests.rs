@@ -1,8 +1,7 @@
 //! Property-based tests for the neural-network library.
 
 use ppdl_nn::{
-    metrics, Activation, Adam, Dataset, Loss, Matrix, Mlp, MlpBuilder, Optimizer,
-    StandardScaler,
+    metrics, Activation, Adam, Dataset, Loss, Matrix, Mlp, MlpBuilder, Optimizer, StandardScaler,
 };
 use proptest::prelude::*;
 

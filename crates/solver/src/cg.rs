@@ -225,9 +225,7 @@ impl ConjugateGradient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        IdentityPreconditioner, IncompleteCholesky, JacobiPreconditioner, TripletMatrix,
-    };
+    use crate::{IdentityPreconditioner, IncompleteCholesky, JacobiPreconditioner, TripletMatrix};
 
     fn chain(n: usize) -> CsrMatrix {
         let mut t = TripletMatrix::new(n, n);
@@ -307,9 +305,7 @@ mod tests {
             tolerance: 1e-10,
             ..CgOptions::default()
         });
-        let plain = cg
-            .solve(&a, &b, &IdentityPreconditioner::new(n))
-            .unwrap();
+        let plain = cg.solve(&a, &b, &IdentityPreconditioner::new(n)).unwrap();
         let ic = IncompleteCholesky::from_matrix(&a).unwrap();
         let pre = cg.solve(&a, &b, &ic).unwrap();
         assert!(

@@ -373,41 +373,27 @@ mod tests {
 
     #[test]
     fn decreasing_indptr_rejected() {
-        let err =
-            CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).unwrap_err();
+        let err = CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).unwrap_err();
         assert!(matches!(err, SolverError::DimensionMismatch { .. }));
     }
 
     #[test]
     fn unsorted_columns_rejected() {
-        let err = CsrMatrix::from_raw_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![2, 0],
-            vec![1.0, 2.0],
-        )
-        .unwrap_err();
+        let err =
+            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SolverError::DimensionMismatch { .. }));
     }
 
     #[test]
     fn duplicate_columns_rejected() {
-        let err = CsrMatrix::from_raw_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![1, 1],
-            vec![1.0, 2.0],
-        )
-        .unwrap_err();
+        let err =
+            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SolverError::DimensionMismatch { .. }));
     }
 
     #[test]
     fn column_out_of_range_rejected() {
-        let err =
-            CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        let err = CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
         assert!(matches!(err, SolverError::IndexOutOfBounds { col: 5, .. }));
     }
 

@@ -56,19 +56,12 @@ impl DenseMatrix {
         for (i, row) in rows.iter().enumerate() {
             if row.len() != ncols {
                 return Err(SolverError::DimensionMismatch {
-                    detail: format!(
-                        "row {i} has length {}, expected {ncols}",
-                        row.len()
-                    ),
+                    detail: format!("row {i} has length {}, expected {ncols}", row.len()),
                 });
             }
             data.extend_from_slice(row);
         }
-        Ok(Self {
-            nrows,
-            ncols,
-            data,
-        })
+        Ok(Self { nrows, ncols, data })
     }
 
     /// Number of rows.

@@ -58,10 +58,10 @@ mod triplet;
 pub mod vecops;
 
 pub use cg::{CgOptions, CgSolution, ConjugateGradient};
-pub use parallel::{parallel_config, set_par_threshold, set_threads, ParallelConfig};
 pub use csr::CsrMatrix;
 pub use dense::{DenseCholesky, DenseLu, DenseMatrix};
 pub use error::SolverError;
+pub use parallel::{parallel_config, set_par_threshold, set_threads, ParallelConfig};
 pub use precond::{
     IdentityPreconditioner, IncompleteCholesky, JacobiPreconditioner, Preconditioner,
 };

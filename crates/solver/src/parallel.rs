@@ -247,9 +247,7 @@ where
             .into_iter()
             .map(|span| {
                 let f = &f;
-                scope.spawn(move || {
-                    span.map(|i| f(i, &items[i])).collect::<Vec<R>>()
-                })
+                scope.spawn(move || span.map(|i| f(i, &items[i])).collect::<Vec<R>>())
             })
             .collect();
         handles
@@ -318,7 +316,9 @@ mod tests {
         let _g = LOCK.lock().unwrap();
         let old = par_threshold();
         set_par_threshold(16);
-        let data: Vec<f64> = (0..100_000).map(|i| ((i * 37) % 101) as f64 * 0.7).collect();
+        let data: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.7)
+            .collect();
         let sum = |r: Range<usize>| data[r].iter().sum::<f64>();
         let mut results = Vec::new();
         for threads in [1usize, 2, 4, 7] {

@@ -231,7 +231,9 @@ mod tests {
         let a = grid2d(7);
         let chol = SparseCholesky::factor(&a).unwrap();
         let dense = a.to_dense().cholesky().unwrap();
-        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i * 13 + 5) % 17) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i * 13 + 5) % 17) as f64 * 0.1)
+            .collect();
         let xs = chol.solve(&b).unwrap();
         let xd = dense.solve(&b).unwrap();
         for (s, d) in xs.iter().zip(&xd) {

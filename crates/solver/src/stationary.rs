@@ -200,7 +200,12 @@ mod tests {
         })
         .solve(&a, &b)
         .unwrap();
-        assert!(sor.sweeps < plain.sweeps, "{} vs {}", sor.sweeps, plain.sweeps);
+        assert!(
+            sor.sweeps < plain.sweeps,
+            "{} vs {}",
+            sor.sweeps,
+            plain.sweeps
+        );
     }
 
     #[test]
@@ -208,7 +213,9 @@ mod tests {
         let mut t = TripletMatrix::new(2, 2);
         t.push(0, 1, 1.0);
         t.push(1, 0, 1.0);
-        let err = GaussSeidel::default().solve(&t.to_csr(), &[1.0, 1.0]).unwrap_err();
+        let err = GaussSeidel::default()
+            .solve(&t.to_csr(), &[1.0, 1.0])
+            .unwrap_err();
         assert!(matches!(err, SolverError::SingularMatrix { .. }));
     }
 

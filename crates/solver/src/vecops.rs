@@ -32,7 +32,13 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     par_reduce(
         x.len(),
-        |r| x[r.clone()].iter().zip(&y[r]).map(|(a, b)| a * b).sum::<f64>(),
+        |r| {
+            x[r.clone()]
+                .iter()
+                .zip(&y[r])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        },
         |a, b| a + b,
     )
     .unwrap_or(0.0)
@@ -92,7 +98,11 @@ pub fn norm2(x: &[f64]) -> f64 {
     )
     .unwrap_or(0.0);
     if maxabs == 0.0 || !maxabs.is_finite() {
-        return if maxabs.is_finite() { 0.0 } else { f64::INFINITY };
+        return if maxabs.is_finite() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     let sum: f64 = par_reduce(
         x.len(),

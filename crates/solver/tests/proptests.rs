@@ -12,10 +12,7 @@ use proptest::prelude::*;
 fn spd_network(max_nodes: usize) -> impl Strategy<Value = CsrMatrix> {
     (2..max_nodes)
         .prop_flat_map(|n| {
-            let extra = proptest::collection::vec(
-                (0..n, 0..n, 0.1_f64..10.0),
-                0..(3 * n),
-            );
+            let extra = proptest::collection::vec((0..n, 0..n, 0.1_f64..10.0), 0..(3 * n));
             let chain_g = proptest::collection::vec(0.1_f64..10.0, n - 1);
             let ground = (0..n, 0.1_f64..10.0);
             (Just(n), chain_g, extra, ground)

@@ -13,15 +13,14 @@
 use std::time::Instant;
 
 use powerplanningdl::core::{
-    experiment, ConventionalConfig, ConventionalFlow, IrPredictor, Perturbation,
-    PerturbationKind, PredictorConfig, WidthPredictor,
+    experiment, ConventionalConfig, ConventionalFlow, IrPredictor, Perturbation, PerturbationKind,
+    PredictorConfig, WidthPredictor,
 };
 use powerplanningdl::netlist::IbmPgPreset;
 
 fn main() {
     let scale = 0.01;
-    let prepared =
-        experiment::prepare(IbmPgPreset::Ibmpg2, scale, 11, 2.5).expect("benchmark");
+    let prepared = experiment::prepare(IbmPgPreset::Ibmpg2, scale, 11, 2.5).expect("benchmark");
     let conventional = ConventionalFlow::new(ConventionalConfig {
         ir_margin_fraction: prepared.margin_fraction,
         ..ConventionalConfig::default()
@@ -30,9 +29,8 @@ fn main() {
     // One-time investment: sign off the base design, train the model.
     let (sized, golden) = conventional.run(&prepared.bench).expect("base sizing");
     let t_train = Instant::now();
-    let (predictor, _) =
-        WidthPredictor::train(&sized, &golden.widths, PredictorConfig::default())
-            .expect("training");
+    let (predictor, _) = WidthPredictor::train(&sized, &golden.widths, PredictorConfig::default())
+        .expect("training");
     println!(
         "trained on the signed-off design ({} interconnects) in {:.2} s",
         sized.segments().len(),
@@ -40,8 +38,12 @@ fn main() {
     );
 
     // A stream of ECO revisions: growing workload perturbations.
-    println!("\n gamma | DL widths+IR (ms) | conventional (ms) | speedup | DL worst IR | conv worst IR");
-    println!(" ------+-------------------+-------------------+---------+-------------+--------------");
+    println!(
+        "\n gamma | DL widths+IR (ms) | conventional (ms) | speedup | DL worst IR | conv worst IR"
+    );
+    println!(
+        " ------+-------------------+-------------------+---------+-------------+--------------"
+    );
     for (i, gamma) in [0.05, 0.10, 0.15, 0.20].into_iter().enumerate() {
         let eco = Perturbation::new(gamma, PerturbationKind::CurrentWorkloads, 100 + i as u64)
             .expect("gamma")

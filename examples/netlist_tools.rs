@@ -17,8 +17,8 @@ fn main() {
         }
         None => {
             println!("no deck given; generating an ibmpg1-style one");
-            let bench = SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg1, 0.02, 3)
-                .expect("generation");
+            let bench =
+                SyntheticBenchmark::from_preset(IbmPgPreset::Ibmpg1, 0.02, 3).expect("generation");
             bench.network().to_spice()
         }
     };

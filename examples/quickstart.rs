@@ -20,8 +20,8 @@ fn main() {
     // Scale 0.01 keeps this example under a few seconds; raise it (up
     // to 1.0 = the published benchmark size) for a realistic run.
     let scale = 0.01;
-    let prepared = experiment::prepare(IbmPgPreset::Ibmpg2, scale, 7, 2.5)
-        .expect("benchmark generation");
+    let prepared =
+        experiment::prepare(IbmPgPreset::Ibmpg2, scale, 7, 2.5).expect("benchmark generation");
     let stats = prepared.bench.network().stats();
     println!(
         "generated {}-style grid: {} nodes, {} resistors, {} sources, {} loads",

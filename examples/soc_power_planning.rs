@@ -6,7 +6,9 @@
 //! Run with: `cargo run --release --example soc_power_planning`
 
 use powerplanningdl::analysis::{EmChecker, IrDropMap, StaticAnalysis};
-use powerplanningdl::core::{ConventionalConfig, ConventionalFlow, PredictorConfig, WidthPredictor};
+use powerplanningdl::core::{
+    ConventionalConfig, ConventionalFlow, PredictorConfig, WidthPredictor,
+};
 use powerplanningdl::floorplan::{Floorplan, FunctionalBlock, PowerNet, PowerPad};
 use powerplanningdl::netlist::{GridSpec, SyntheticBenchmark};
 
@@ -112,10 +114,8 @@ fn main() {
     for y in (0..map.resolution()).rev() {
         let mut line = String::new();
         for x in 0..map.resolution() {
-            let norm = (map.get_mv(x, y) - map.min_mv())
-                / (map.max_mv() - map.min_mv()).max(1e-9);
-            let idx = ((norm * (shades.len() - 1) as f64).round() as usize)
-                .min(shades.len() - 1);
+            let norm = (map.get_mv(x, y) - map.min_mv()) / (map.max_mv() - map.min_mv()).max(1e-9);
+            let idx = ((norm * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
             line.push(shades[idx]);
             line.push(shades[idx]);
         }
@@ -137,10 +137,7 @@ fn main() {
         "\nwrote the sized floorplan (blocks + grid straps) to {}",
         out.display()
     );
-    println!(
-        "total grid metal area: {:.0} µm²",
-        sized.total_metal_area()
-    );
+    println!("total grid metal area: {:.0} µm²", sized.total_metal_area());
 
     // Sanity: the analysis engine agrees with itself on a re-solve.
     let recheck = StaticAnalysis::default()

@@ -67,7 +67,9 @@ impl Flags {
                     f.switches.push(name.to_string());
                 } else {
                     i += 1;
-                    let v = args.get(i).ok_or_else(|| format!("--{name} needs a value"))?;
+                    let v = args
+                        .get(i)
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
                     f.pairs.push((name.to_string(), v.clone()));
                 }
             } else {
@@ -89,7 +91,9 @@ impl Flags {
     fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value '{v}' for --{key}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value '{v}' for --{key}")),
         }
     }
 
@@ -111,8 +115,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let seed: u64 = flags.get_parse("seed", 7)?;
     let out = PathBuf::from(flags.get("out").ok_or("--out is required")?);
 
-    let bench =
-        SyntheticBenchmark::from_preset(preset, scale, seed).map_err(|e| e.to_string())?;
+    let bench = SyntheticBenchmark::from_preset(preset, scale, seed).map_err(|e| e.to_string())?;
     let stats = bench.network().stats();
     std::fs::write(&out, bench.network().to_spice()).map_err(|e| e.to_string())?;
     println!(
@@ -163,8 +166,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         report.iterations()
     );
     if let Some(map_path) = flags.get("map") {
-        let map = IrDropMap::from_report(&network, &report, resolution)
-            .map_err(|e| e.to_string())?;
+        let map =
+            IrDropMap::from_report(&network, &report, resolution).map_err(|e| e.to_string())?;
         std::fs::write(map_path, map.to_csv()).map_err(|e| e.to_string())?;
         println!(
             "wrote {map_path} ({resolution}x{resolution} cells, {:.1}..{:.1} mV)",
@@ -182,8 +185,7 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
     let seed: u64 = flags.get_parse("seed", 7)?;
     let gamma: f64 = flags.get_parse("gamma", 0.10)?;
 
-    let prepared =
-        experiment::prepare(preset, scale, seed, 2.5).map_err(|e| e.to_string())?;
+    let prepared = experiment::prepare(preset, scale, seed, 2.5).map_err(|e| e.to_string())?;
     let mut config = experiment::flow_config(&prepared, flags.has("fast"));
     config.perturbation_gamma = gamma;
     let outcome = PowerPlanningDl::new(config.clone())

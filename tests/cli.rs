@@ -103,15 +103,18 @@ fn flow_fast_runs_and_saves_model() {
     assert!(text.contains("width model"));
     assert!(text.contains("predicted IR"));
     // The saved model reloads.
-    let loaded = powerplanningdl::core::WidthPredictor::from_text(
-        &std::fs::read_to_string(&model).unwrap(),
-    );
+    let loaded =
+        powerplanningdl::core::WidthPredictor::from_text(&std::fs::read_to_string(&model).unwrap());
     assert!(loaded.is_ok());
 }
 
 #[test]
 fn generate_requires_preset_and_out() {
-    assert!(!ppdl(&["generate", "--out", "/tmp/x.spice"]).status.success());
+    assert!(!ppdl(&["generate", "--out", "/tmp/x.spice"])
+        .status
+        .success());
     assert!(!ppdl(&["generate", "--preset", "ibmpg1"]).status.success());
-    assert!(!ppdl(&["generate", "--preset", "bogus", "--out", "/tmp/x"]).status.success());
+    assert!(!ppdl(&["generate", "--preset", "bogus", "--out", "/tmp/x"])
+        .status
+        .success());
 }

@@ -136,9 +136,7 @@ fn sized_design_meets_margins_and_roundtrips() {
     let reparsed = parse_spice(&deck).unwrap();
     let report2 = StaticAnalysis::default().solve(&reparsed).unwrap();
     let report1 = StaticAnalysis::default().solve(sized.network()).unwrap();
-    assert!(
-        (report1.worst_drop().unwrap().1 - report2.worst_drop().unwrap().1).abs() < 1e-9
-    );
+    assert!((report1.worst_drop().unwrap().1 - report2.worst_drop().unwrap().1).abs() < 1e-9);
 }
 
 /// Vectored analysis over a synthetic activity trace agrees with
@@ -149,11 +147,11 @@ fn vectored_trace_peak_consistent() {
     let b = bench();
     let loads = b.network().current_loads().len();
     // Ramp activity 40% -> 160%.
-    let steps: Vec<Vec<f64>> = (0..4)
-        .map(|t| vec![0.4 + 0.4 * t as f64; loads])
-        .collect();
+    let steps: Vec<Vec<f64>> = (0..4).map(|t| vec![0.4 + 0.4 * t as f64; loads]).collect();
     let trace = CurrentTrace::new(steps, loads).unwrap();
-    let rep = VectoredAnalysis::default().run(b.network(), &trace).unwrap();
+    let rep = VectoredAnalysis::default()
+        .run(b.network(), &trace)
+        .unwrap();
     assert_eq!(rep.worst_step, 3);
     // Linearity: each step's worst scales with its activity factor.
     let base = rep.step_worst[0] / 0.4;

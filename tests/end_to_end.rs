@@ -18,8 +18,8 @@ fn perimeter_benchmark_full_flow() {
     assert!(o.width_metrics.r2 > 0.6, "r2 = {}", o.width_metrics.r2);
     assert!(o.conventional_iterations > 1);
     // Predicted IR tracks the conventional analysis.
-    let rel = (o.predicted_worst_ir_mv - o.conventional_worst_ir_mv).abs()
-        / o.conventional_worst_ir_mv;
+    let rel =
+        (o.predicted_worst_ir_mv - o.conventional_worst_ir_mv).abs() / o.conventional_worst_ir_mv;
     assert!(
         rel < 0.25,
         "IR mismatch: {} vs {} mV",
@@ -83,12 +83,15 @@ fn calibration_reproduces_table3_targets() {
 fn widths_sized_up_only_where_needed() {
     let o = run(IbmPgPreset::Ibmpg2, 0.008, 3);
     let initial = 1.2_f64.max(1.0);
-    let max = o
+    let max = o.golden_widths.iter().cloned().fold(0.0_f64, f64::max);
+    let min = o
         .golden_widths
         .iter()
         .cloned()
-        .fold(0.0_f64, f64::max);
-    let min = o.golden_widths.iter().cloned().fold(f64::INFINITY, f64::min);
+        .fold(f64::INFINITY, f64::min);
     assert!(max > initial, "sizing must widen something");
-    assert!(max / min > 1.1, "width variation expected, got {min}..{max}");
+    assert!(
+        max / min > 1.1,
+        "width variation expected, got {min}..{max}"
+    );
 }

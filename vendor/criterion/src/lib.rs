@@ -182,7 +182,8 @@ where
     };
     f(&mut warm);
     let per_iter = warm.elapsed.max(Duration::from_nanos(1));
-    let iters = (Duration::from_millis(20).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+    let iters =
+        (Duration::from_millis(20).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
 
     let mut best = Duration::MAX;
     let mut total = Duration::ZERO;
@@ -205,7 +206,10 @@ where
             )
         }
         Some(Throughput::Bytes(n)) => {
-            format!("  thrpt: {:.3} MiB/s", n as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+            format!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+            )
         }
         None => String::new(),
     };

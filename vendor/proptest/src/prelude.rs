@@ -3,9 +3,7 @@
 pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
 pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
 pub use crate::TestCaseResult;
-pub use crate::{
-    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 
 /// Strategy for "any value" of a few basic types, selected by the type
 /// parameter. Only the types the workspace needs are implemented.

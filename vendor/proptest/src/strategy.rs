@@ -145,7 +145,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter `{}` rejected 1000 consecutive draws", self.whence);
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive draws",
+            self.whence
+        );
     }
 }
 

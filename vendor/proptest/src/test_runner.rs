@@ -207,7 +207,9 @@ pub fn run_property(
         }
     }
     let base = fnv1a(format!("{source_file}::{name}").as_bytes());
-    seeds.extend((0..config.cases).map(|i| base ^ (u64::from(i)).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+    seeds.extend(
+        (0..config.cases).map(|i| base ^ (u64::from(i)).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+    );
 
     for seed in seeds {
         let mut rng = TestRng::seed_from_u64(seed);

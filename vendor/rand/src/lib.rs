@@ -132,10 +132,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -182,7 +179,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..100 {
-            assert_eq!(a.gen_range(0.0..1.0).to_bits(), b.gen_range(0.0..1.0).to_bits());
+            assert_eq!(
+                a.gen_range(0.0..1.0).to_bits(),
+                b.gen_range(0.0..1.0).to_bits()
+            );
         }
         let mut c = StdRng::seed_from_u64(43);
         assert_ne!(a.gen_range(0u64..1 << 60), c.gen_range(0u64..1 << 60));
