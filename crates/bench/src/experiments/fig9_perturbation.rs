@@ -12,10 +12,12 @@
 use std::fmt::Write as _;
 
 use ppdl_core::pipeline::{run_stage, ArtifactCache, FeatureExtractStage, PipelineCtx, TrainStage};
-use ppdl_core::{experiment, run_perturbation_sweep, ConventionalFlow, PerturbationKind};
+use ppdl_core::{
+    experiment, run_perturbation_sweep, ConventionalConfig, ConventionalFlow, PerturbationKind,
+};
 use ppdl_netlist::IbmPgPreset;
 
-use super::{base_config, manifest_for, DynError, RunOutput};
+use super::{base_builder, manifest_for, DynError, RunOutput};
 use crate::harness::{format_table, write_csv, write_primary_csv, Options};
 
 pub(super) fn run(opts: &Options, cache: Option<&ArtifactCache>) -> Result<RunOutput, DynError> {
@@ -34,8 +36,12 @@ pub(super) fn run(opts: &Options, cache: Option<&ArtifactCache>) -> Result<RunOu
         // widths from jumping in coarse quanta between gamma points;
         // it feeds the feature-extract cache key, so these sizings
         // never collide with the default-widen artifacts.
-        let mut config = base_config(opts);
-        config.conventional.widen_factor = 1.15;
+        let config = base_builder(opts)
+            .conventional(ConventionalConfig {
+                widen_factor: 1.15,
+                ..ConventionalConfig::default()
+            })
+            .build();
         let mut ctx = PipelineCtx::new(config, cache);
         run_stage(
             &experiment::preset_source(preset, opts.scale, opts.seed),

@@ -21,6 +21,7 @@ mod fig4b_table1;
 mod fig7_width_prediction;
 mod fig8_ir_maps;
 mod fig9_perturbation;
+mod serve_throughput;
 mod table2_benchmarks;
 mod table3_worst_ir;
 mod table4_speedup;
@@ -121,6 +122,13 @@ pub const REGISTRY: &[ExperimentDef] = &[
         run: fig10_memory_profile::run,
     },
     ExperimentDef {
+        name: "serve_throughput",
+        aliases: &["serve"],
+        title: "Service: ECO batch throughput vs batch size, warm-cache replay",
+        default_scale: 0.015,
+        run: serve_throughput::run,
+    },
+    ExperimentDef {
         name: "ablation_depth",
         aliases: &["depth"],
         title: "Ablation: hidden-layer depth of the width model",
@@ -144,13 +152,23 @@ pub fn find(name: &str) -> Option<&'static ExperimentDef> {
         .find(|d| d.name == name || d.aliases.contains(&name))
 }
 
-/// The base flow configuration every experiment derives from `--fast`.
+/// The base flow configuration every experiment derives from `--fast`
+/// ([`base_builder`] with no extra knobs).
 #[must_use]
 pub fn base_config(opts: &Options) -> DlFlowConfig {
+    base_builder(opts).build()
+}
+
+/// A flow-configuration builder seeded from the shared options; chain
+/// experiment-specific knobs before `build()` instead of mutating
+/// [`DlFlowConfig`] fields.
+#[must_use]
+pub fn base_builder(opts: &Options) -> ppdl_core::DlFlowConfigBuilder {
+    let builder = DlFlowConfig::builder();
     if opts.fast {
-        DlFlowConfig::fast()
+        builder.fast()
     } else {
-        DlFlowConfig::default()
+        builder
     }
 }
 
@@ -233,7 +251,7 @@ mod tests {
 
     #[test]
     fn registry_names_and_aliases_resolve_uniquely() {
-        assert_eq!(REGISTRY.len(), 11);
+        assert_eq!(REGISTRY.len(), 12);
         let mut seen = std::collections::BTreeSet::new();
         for def in REGISTRY {
             assert!(seen.insert(def.name), "duplicate name {}", def.name);

@@ -38,6 +38,106 @@ pub enum CoreError {
         /// Description of what is invalid.
         detail: String,
     },
+    /// A persisted model bundle does not match the shapes its own
+    /// metadata promises (wrong version, feature-dimension mismatch,
+    /// scaler length inconsistent with the model's input layer, …).
+    BundleMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// An I/O failure while reading or writing a persisted artifact.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The operating-system error text.
+        detail: String,
+    },
+}
+
+impl CoreError {
+    /// A stable, machine-readable error code.
+    ///
+    /// The code is part of the service wire protocol: a
+    /// `PredictResponse` error carries it verbatim, so clients can
+    /// branch on failures without parsing display strings. Codes are
+    /// `layer/kind` pairs; the layer prefix identifies which crate the
+    /// error originated in, the kind names the variant. Codes are
+    /// append-only — existing values never change meaning.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            CoreError::Netlist(e) => netlist_code(e),
+            CoreError::Analysis(e) => analysis_code(e),
+            CoreError::Nn(e) => nn_code(e),
+            CoreError::Floorplan(e) => floorplan_code(e),
+            CoreError::SizingDidNotConverge { .. } => "core/sizing_did_not_converge",
+            CoreError::CalibrationDidNotConverge { .. } => "core/calibration_did_not_converge",
+            CoreError::InvalidConfig { .. } => "core/invalid_config",
+            CoreError::BundleMismatch { .. } => "core/bundle_mismatch",
+            CoreError::Io { .. } => "core/io",
+        }
+    }
+}
+
+fn netlist_code(e: &ppdl_netlist::NetlistError) -> &'static str {
+    use ppdl_netlist::NetlistError as E;
+    match e {
+        E::Parse { .. } => "netlist/parse",
+        E::InvalidValue { .. } => "netlist/invalid_value",
+        E::InvalidElement { .. } => "netlist/invalid_element",
+        E::UnknownNode { .. } => "netlist/unknown_node",
+        E::InfeasibleGrid { .. } => "netlist/infeasible_grid",
+        E::Floorplan(f) => floorplan_code(f),
+        _ => "netlist/other",
+    }
+}
+
+fn analysis_code(e: &ppdl_analysis::AnalysisError) -> &'static str {
+    use ppdl_analysis::AnalysisError as E;
+    match e {
+        E::NoSupply => "analysis/no_supply",
+        E::FloatingNodes { .. } => "analysis/floating_nodes",
+        E::Solver(s) => solver_code(s),
+        E::Netlist(n) => netlist_code(n),
+        E::Undefined { .. } => "analysis/undefined",
+        _ => "analysis/other",
+    }
+}
+
+fn solver_code(e: &ppdl_solver::SolverError) -> &'static str {
+    use ppdl_solver::SolverError as E;
+    match e {
+        E::DimensionMismatch { .. } => "solver/dimension_mismatch",
+        E::IndexOutOfBounds { .. } => "solver/index_out_of_bounds",
+        E::NotPositiveDefinite { .. } => "solver/not_positive_definite",
+        E::SingularMatrix { .. } => "solver/singular_matrix",
+        E::DidNotConverge { .. } => "solver/did_not_converge",
+        _ => "solver/other",
+    }
+}
+
+fn nn_code(e: &ppdl_nn::NnError) -> &'static str {
+    use ppdl_nn::NnError as E;
+    match e {
+        E::ShapeMismatch { .. } => "nn/shape_mismatch",
+        E::InvalidConfig { .. } => "nn/invalid_config",
+        E::EmptyDataset => "nn/empty_dataset",
+        E::Decode { .. } => "nn/decode",
+        E::Diverged { .. } => "nn/diverged",
+        _ => "nn/other",
+    }
+}
+
+fn floorplan_code(e: &ppdl_floorplan::FloorplanError) -> &'static str {
+    use ppdl_floorplan::FloorplanError as E;
+    match e {
+        E::InvalidDimension { .. } => "floorplan/invalid_dimension",
+        E::OutsideDie { .. } => "floorplan/outside_die",
+        E::BlockOverlap { .. } => "floorplan/block_overlap",
+        E::DuplicateName { .. } => "floorplan/duplicate_name",
+        E::RingWidthViolation { .. } => "floorplan/ring_width_violation",
+        _ => "floorplan/other",
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -70,6 +170,8 @@ impl fmt::Display for CoreError {
                 target_volts * 1e3
             ),
             CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            CoreError::BundleMismatch { detail } => write!(f, "bundle mismatch: {detail}"),
+            CoreError::Io { path, detail } => write!(f, "i/o error on {path}: {detail}"),
         }
     }
 }
@@ -110,6 +212,12 @@ impl From<ppdl_floorplan::FloorplanError> for CoreError {
     }
 }
 
+impl From<ppdl_solver::SolverError> for CoreError {
+    fn from(e: ppdl_solver::SolverError) -> Self {
+        CoreError::Analysis(e.into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +245,35 @@ mod tests {
     fn is_std_error() {
         fn check<T: std::error::Error + Send + Sync + 'static>() {}
         check::<CoreError>();
+    }
+
+    #[test]
+    fn codes_are_stable_and_nested() {
+        assert_eq!(
+            CoreError::InvalidConfig { detail: "x".into() }.code(),
+            "core/invalid_config"
+        );
+        assert_eq!(
+            CoreError::BundleMismatch { detail: "x".into() }.code(),
+            "core/bundle_mismatch"
+        );
+        assert_eq!(
+            CoreError::from(ppdl_nn::NnError::EmptyDataset).code(),
+            "nn/empty_dataset"
+        );
+        // Nested errors surface the innermost layer's code, not a
+        // stringified wrapper.
+        assert_eq!(
+            CoreError::from(ppdl_analysis::AnalysisError::NoSupply).code(),
+            "analysis/no_supply"
+        );
+        assert_eq!(
+            CoreError::from(ppdl_solver::SolverError::SingularMatrix { pivot: 0 }).code(),
+            "solver/singular_matrix"
+        );
+        assert_eq!(
+            CoreError::from(ppdl_netlist::NetlistError::InvalidValue { token: "z".into() }).code(),
+            "netlist/invalid_value"
+        );
     }
 }

@@ -14,7 +14,7 @@ use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
 
 use crate::pipeline::{ArtifactCache, BenchmarkSourceStage, StageRecord};
 use crate::{
-    calibrate_to_worst_ir, ConventionalConfig, CoreError, DlFlowConfig, DlOutcome, Perturbation,
+    calibrate_to_worst_ir, CoreError, DlFlowConfig, DlFlowConfigBuilder, DlOutcome, Perturbation,
     PerturbationKind, PowerPlanningDl,
 };
 
@@ -147,28 +147,31 @@ pub fn run_preset_cached(
     fast: bool,
     cache: Option<&ArtifactCache>,
 ) -> crate::Result<(DlOutcome, Vec<StageRecord>)> {
-    let config = if fast {
-        DlFlowConfig::fast()
-    } else {
-        DlFlowConfig::default()
-    };
-    PowerPlanningDl::new(config).run_source_cached(preset_source(preset, scale, seed), cache)
+    let mut builder = DlFlowConfig::builder();
+    if fast {
+        builder = builder.fast();
+    }
+    PowerPlanningDl::new(builder.build())
+        .run_source_cached(preset_source(preset, scale, seed), cache)
 }
 
-/// A [`DlFlowConfig`] matched to a prepared benchmark: the
-/// conventional margin targets the preset's Table III drop.
+/// A [`DlFlowConfig`] builder matched to a prepared benchmark: the
+/// conventional margin targets the preset's Table III drop. Chain
+/// further knobs before `build()`.
+#[must_use]
+pub fn flow_builder(prepared: &PreparedBenchmark, fast: bool) -> DlFlowConfigBuilder {
+    let mut builder = DlFlowConfig::builder().ir_margin_fraction(prepared.margin_fraction);
+    if fast {
+        builder = builder.fast();
+    }
+    builder
+}
+
+/// A [`DlFlowConfig`] matched to a prepared benchmark
+/// ([`flow_builder`] with no extra knobs).
 #[must_use]
 pub fn flow_config(prepared: &PreparedBenchmark, fast: bool) -> DlFlowConfig {
-    let mut config = if fast {
-        DlFlowConfig::fast()
-    } else {
-        DlFlowConfig::default()
-    };
-    config.conventional = ConventionalConfig {
-        ir_margin_fraction: prepared.margin_fraction,
-        ..config.conventional
-    };
-    config
+    flow_builder(prepared, fast).build()
 }
 
 #[cfg(test)]

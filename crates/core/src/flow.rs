@@ -64,10 +64,125 @@ impl DlFlowConfig {
     /// A reduced configuration for tests and doc examples.
     #[must_use]
     pub fn fast() -> Self {
-        Self {
-            predictor: PredictorConfig::fast(),
-            ..Self::default()
+        Self::builder().fast().build()
+    }
+
+    /// A builder starting from the paper's configuration. Prefer this
+    /// over struct-literal construction: new knobs get sensible
+    /// defaults instead of breaking call sites, and the perturbation
+    /// size is range-checked at build time.
+    #[must_use]
+    pub fn builder() -> DlFlowConfigBuilder {
+        DlFlowConfigBuilder::default()
+    }
+}
+
+/// Builder for [`DlFlowConfig`]; defaults are the paper configuration,
+/// [`fast`](DlFlowConfigBuilder::fast) switches to the reduced preset.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_core::DlFlowConfig;
+///
+/// let config = DlFlowConfig::builder()
+///     .fast()
+///     .perturbation_gamma(0.2)
+///     .seed(7)
+///     .build();
+/// assert_eq!(config.perturbation_gamma, 0.2);
+/// assert_eq!(config.predictor.hidden_layers, 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DlFlowConfigBuilder {
+    config: DlFlowConfig,
+}
+
+impl DlFlowConfigBuilder {
+    /// Switches every model/training knob to the reduced preset used
+    /// by tests and doc examples.
+    #[must_use]
+    pub fn fast(mut self) -> Self {
+        self.config.predictor = PredictorConfig::fast();
+        self
+    }
+
+    /// Replaces the conventional-baseline configuration.
+    #[must_use]
+    pub fn conventional(mut self, conventional: ConventionalConfig) -> Self {
+        self.config.conventional = conventional;
+        self
+    }
+
+    /// Sets the IR margin the conventional sizing targets, as a
+    /// fraction of Vdd (shorthand for the common case of
+    /// [`conventional`](Self::conventional)).
+    #[must_use]
+    pub fn ir_margin_fraction(mut self, fraction: f64) -> Self {
+        self.config.conventional.ir_margin_fraction = fraction;
+        self
+    }
+
+    /// Replaces the width-prediction model configuration.
+    #[must_use]
+    pub fn predictor(mut self, predictor: PredictorConfig) -> Self {
+        self.config.predictor = predictor;
+        self
+    }
+
+    /// Sets the perturbation size γ.
+    #[must_use]
+    pub fn perturbation_gamma(mut self, gamma: f64) -> Self {
+        self.config.perturbation_gamma = gamma;
+        self
+    }
+
+    /// Sets what the perturbation touches.
+    #[must_use]
+    pub fn perturbation_kind(mut self, kind: PerturbationKind) -> Self {
+        self.config.perturbation_kind = kind;
+        self
+    }
+
+    /// Sets the perturbation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the segment-sampling stride of the timed inference path.
+    #[must_use]
+    pub fn inference_stride(mut self, stride: usize) -> Self {
+        self.config.inference_stride = stride;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> DlFlowConfig {
+        self.config
+    }
+
+    /// Finishes the builder, rejecting out-of-range knobs (γ outside
+    /// `(0, 1)`, zero stride) instead of failing later inside the flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidConfig`].
+    pub fn try_build(self) -> crate::Result<DlFlowConfig> {
+        let c = self.config;
+        if !(c.perturbation_gamma > 0.0 && c.perturbation_gamma < 1.0) {
+            return Err(crate::CoreError::InvalidConfig {
+                detail: format!("perturbation size {} outside (0, 1)", c.perturbation_gamma),
+            });
         }
+        if c.inference_stride == 0 {
+            return Err(crate::CoreError::InvalidConfig {
+                detail: "inference stride must be at least 1".into(),
+            });
+        }
+        Ok(c)
     }
 }
 

@@ -49,6 +49,7 @@ mod irpredict;
 mod pad_placement;
 mod perturb;
 pub mod pipeline;
+pub mod predict;
 mod predictor;
 mod predictor_persist;
 
@@ -56,10 +57,13 @@ pub use calibrate::{calibrate_to_worst_ir, calibration_tolerance};
 pub use conventional::{ConventionalConfig, ConventionalFlow, ConventionalResult};
 pub use error::CoreError;
 pub use features::{FeatureExtractor, FeatureSet, WidthDataset};
-pub use flow::{DlFlowConfig, DlOutcome, PowerPlanningDl, SweepPoint, SweepRun, Timing};
+pub use flow::{
+    DlFlowConfig, DlFlowConfigBuilder, DlOutcome, PowerPlanningDl, SweepPoint, SweepRun, Timing,
+};
 pub use irpredict::{IrPredictor, PredictedIr};
 pub use pad_placement::{PadPlacementResult, PadPlacer};
 pub use perturb::{run_perturbation_sweep, Perturbation, PerturbationKind};
+pub use predict::{BundleMeta, PredictRequest, PredictResponse, Prediction, TrainedBundle};
 pub use predictor::{segment_dataset, PredictorConfig, TrainSummary, WidthMetrics, WidthPredictor};
 
 /// Convenience result alias for this crate.

@@ -14,8 +14,8 @@ use ppdl_nn::TrainReport;
 use super::cache::{CacheKey, StableHasher};
 use super::{BenchSlot, PipelineCtx, PredictSlot, SizingSlot, Stage, TrainSlot, ValidateSlot};
 use crate::{
-    calibrate_to_worst_ir, ConventionalFlow, CoreError, IrPredictor, Perturbation, PredictedIr,
-    PredictorConfig, TrainSummary, WidthPredictor,
+    calibrate_to_worst_ir, ConventionalFlow, CoreError, Perturbation, PredictedIr, PredictorConfig,
+    TrainSummary, WidthPredictor,
 };
 
 // ---------------------------------------------------------------------
@@ -642,18 +642,22 @@ impl Stage for PredictStage {
     }
 
     fn execute(&self, ctx: &mut PipelineCtx) -> crate::Result<()> {
-        let test_bench = self.perturbation(ctx)?.apply(&ctx.sizing()?.sized)?;
-        let predictor = &ctx.trained()?.predictor;
-        let t0 = Instant::now();
-        let predicted_widths =
-            predictor.predict_strap_widths_sampled(&test_bench, ctx.config.inference_stride)?;
-        let predicted_ir = IrPredictor::new().predict(&test_bench, &predicted_widths)?;
-        let dl_secs = t0.elapsed().as_secs_f64();
+        // The stage is a thin adapter over the shared inference entry
+        // point, so the pipeline, the CLI, and the batched service all
+        // answer queries through exactly the same code path.
+        let request = crate::predict::PredictRequest::new("pipeline")
+            .with_perturbation(self.perturbation(ctx)?);
+        let prediction = crate::predict::predict(
+            &ctx.trained()?.predictor,
+            &ctx.sizing()?.sized,
+            &request,
+            ctx.config.inference_stride,
+        )?;
         ctx.predicted = Some(PredictSlot {
-            test_bench,
-            predicted_widths,
-            predicted_ir,
-            dl_secs,
+            test_bench: prediction.test_bench,
+            predicted_widths: prediction.response.widths,
+            predicted_ir: prediction.ir,
+            dl_secs: prediction.dl_secs,
         });
         Ok(())
     }

@@ -1,0 +1,704 @@
+//! The redesigned prediction API: train once, predict many.
+//!
+//! The paper's economics only work if a trained model is an *asset*:
+//! the conventional sizing loop and MLP training run once, and every
+//! subsequent ECO question ("what widths / worst IR drop if these loads
+//! change?") is answered by inference alone. This module is the single
+//! inference entry point behind that idea:
+//!
+//! * [`TrainedBundle`] — the persisted asset: the [`WidthPredictor`]
+//!   (models + fitted scalers), the calibrated base design recipe, and
+//!   the golden widths, serialised as one versioned text artifact.
+//! * [`PredictRequest`] / [`PredictResponse`] — the typed query pair
+//!   shared by the pipeline's Predict stage, the `ppdl serve` CLI, and
+//!   the batched [`PredictionService`](../../ppdl_service) engine.
+//! * [`predict`] — the one function that turns a request into a
+//!   response; everything else routes through it.
+
+use std::path::Path;
+use std::time::Instant;
+
+use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
+
+use crate::pipeline::{
+    run_stage, ArtifactCache, FeatureExtractStage, PipelineCtx, StableHasher, TrainStage,
+};
+use crate::{
+    CoreError, DlFlowConfig, IrPredictor, Perturbation, PerturbationKind, PredictedIr,
+    WidthPredictor,
+};
+
+// ---------------------------------------------------------------------
+// Wire tags
+// ---------------------------------------------------------------------
+
+/// The wire tag of a perturbation kind (`voltages` / `loads` / `both`),
+/// used by the bundle format and the service's NDJSON protocol.
+#[must_use]
+pub fn kind_tag(kind: PerturbationKind) -> &'static str {
+    match kind {
+        PerturbationKind::NodeVoltages => "voltages",
+        PerturbationKind::CurrentWorkloads => "loads",
+        PerturbationKind::Both => "both",
+    }
+}
+
+/// Parses a [`kind_tag`] back into a [`PerturbationKind`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an unknown tag.
+pub fn parse_kind(tag: &str) -> crate::Result<PerturbationKind> {
+    match tag {
+        "voltages" => Ok(PerturbationKind::NodeVoltages),
+        "loads" => Ok(PerturbationKind::CurrentWorkloads),
+        "both" => Ok(PerturbationKind::Both),
+        other => Err(CoreError::InvalidConfig {
+            detail: format!("unknown perturbation kind '{other}' (voltages|loads|both)"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request / response
+// ---------------------------------------------------------------------
+
+/// One ECO query against a bundle's base design: an optional §IV-D
+/// perturbation plus explicit per-load current overrides, answered by
+/// width inference and Kirchhoff IR estimation — never a grid solve.
+#[derive(Debug, Clone)]
+pub struct PredictRequest {
+    /// Caller-chosen identifier, echoed verbatim in the response so
+    /// batched replies can be matched to their queries.
+    pub id: String,
+    /// Optional perturbation of the base design.
+    pub perturbation: Option<Perturbation>,
+    /// `(load index, amps)` overrides applied after the perturbation.
+    pub load_overrides: Vec<(usize, f64)>,
+    /// Segment-sampling stride override; `None` uses the bundle's
+    /// configured stride.
+    pub stride: Option<usize>,
+}
+
+impl PredictRequest {
+    /// An identity request: predict on the unmodified base design.
+    #[must_use]
+    pub fn new(id: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            perturbation: None,
+            load_overrides: Vec::new(),
+            stride: None,
+        }
+    }
+
+    /// Adds a perturbation.
+    #[must_use]
+    pub fn with_perturbation(mut self, perturbation: Perturbation) -> Self {
+        self.perturbation = Some(perturbation);
+        self
+    }
+
+    /// Adds one `(load index, amps)` override.
+    #[must_use]
+    pub fn with_load_override(mut self, index: usize, amps: f64) -> Self {
+        self.load_overrides.push((index, amps));
+        self
+    }
+
+    /// Overrides the inference stride.
+    #[must_use]
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = Some(stride);
+        self
+    }
+
+    /// Validates the request's own fields (overrides finite and
+    /// non-negative, stride non-zero when given).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] describing the bad field.
+    pub fn validate(&self) -> crate::Result<()> {
+        for &(index, amps) in &self.load_overrides {
+            if !(amps.is_finite() && amps >= 0.0) {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("load override ({index}, {amps}) must be finite and >= 0"),
+                });
+            }
+        }
+        if self.stride == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                detail: "inference stride must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Materialises the test design this request describes: perturb a
+    /// copy of `base`, then apply the explicit load overrides.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range override indices with
+    /// [`CoreError::InvalidConfig`] and propagates netlist errors.
+    pub fn apply(&self, base: &SyntheticBenchmark) -> crate::Result<SyntheticBenchmark> {
+        let mut bench = match &self.perturbation {
+            Some(p) => p.apply(base)?,
+            None => base.clone(),
+        };
+        let n_loads = bench.network().current_loads().len();
+        for &(index, amps) in &self.load_overrides {
+            if index >= n_loads {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("load override index {index} out of range ({n_loads} loads)"),
+                });
+            }
+            bench.network_mut().set_load_current(index, amps)?;
+        }
+        Ok(bench)
+    }
+
+    /// A stable content fingerprint of the request *payload* (the `id`
+    /// is excluded: two requests asking the same question share a
+    /// fingerprint, which is what a response cache wants).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new("predict-request");
+        match &self.perturbation {
+            Some(p) => {
+                h.write_f64("gamma", p.gamma());
+                h.write_str("kind", kind_tag(p.kind()));
+                h.write_u64("perturbation_seed", p.seed());
+            }
+            None => h.write_str("perturbation", "none"),
+        }
+        h.write_u64("overrides", self.load_overrides.len() as u64);
+        for &(index, amps) in &self.load_overrides {
+            h.write_u64("index", index as u64);
+            h.write_f64("amps", amps);
+        }
+        match self.stride {
+            Some(s) => h.write_u64("stride", s as u64),
+            None => h.write_str("stride", "default"),
+        }
+        h.finish().value()
+    }
+}
+
+/// What a prediction query returns over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictResponse {
+    /// The request's `id`, echoed.
+    pub id: String,
+    /// DL-predicted per-strap widths, in µm.
+    pub widths: Vec<f64>,
+    /// Kirchhoff-estimated worst-case IR drop, in mV.
+    pub worst_ir_mv: f64,
+    /// Milliseconds the inference path took.
+    pub dl_ms: f64,
+}
+
+/// A full prediction: the wire response plus the in-process artifacts
+/// (test design, per-node IR estimate) the pipeline stages consume.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The wire-friendly summary.
+    pub response: PredictResponse,
+    /// The materialised test design the request described.
+    pub test_bench: SyntheticBenchmark,
+    /// The full Kirchhoff IR estimate (Algorithm 2).
+    pub ir: PredictedIr,
+    /// Seconds the inference path took (the response carries the same
+    /// figure in milliseconds).
+    pub dl_secs: f64,
+}
+
+/// The one inference entry point: answers `request` against `base`
+/// with `predictor` — perturb/override, infer strap widths, estimate
+/// IR drop by Kirchhoff accumulation. The pipeline's Predict stage,
+/// the `ppdl serve` CLI, and the batched service all call this.
+///
+/// `default_stride` is used when the request does not override the
+/// segment-sampling stride.
+///
+/// # Errors
+///
+/// Propagates request validation, netlist, and inference errors.
+pub fn predict(
+    predictor: &WidthPredictor,
+    base: &SyntheticBenchmark,
+    request: &PredictRequest,
+    default_stride: usize,
+) -> crate::Result<Prediction> {
+    request.validate()?;
+    let test_bench = request.apply(base)?;
+    let stride = request.stride.unwrap_or(default_stride).max(1);
+    let t0 = Instant::now();
+    let widths = predictor.predict_strap_widths_sampled(&test_bench, stride)?;
+    let ir = IrPredictor::new().predict(&test_bench, &widths)?;
+    let dl_secs = t0.elapsed().as_secs_f64();
+    Ok(Prediction {
+        response: PredictResponse {
+            id: request.id.clone(),
+            widths,
+            worst_ir_mv: ir.worst_mv(),
+            dl_ms: dl_secs * 1e3,
+        },
+        test_bench,
+        ir,
+        dl_secs,
+    })
+}
+
+// ---------------------------------------------------------------------
+// TrainedBundle
+// ---------------------------------------------------------------------
+
+/// Provenance of a trained bundle: everything needed to regenerate the
+/// calibrated base design deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleMeta {
+    /// The IBM PG preset the model was trained on.
+    pub preset: IbmPgPreset,
+    /// Fraction of the published Table II size.
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+    /// IR margin (fraction of Vdd) the conventional sizing targeted.
+    pub margin_fraction: f64,
+    /// Default segment-sampling stride for inference.
+    pub inference_stride: usize,
+}
+
+/// The persisted prediction asset: a trained [`WidthPredictor`] (with
+/// its fitted feature/target scalers), the provenance [`BundleMeta`],
+/// the calibrated load currents, and the golden (conventionally sized)
+/// strap widths of the base design.
+///
+/// A bundle is self-contained: [`instantiate_base`] regenerates the
+/// exact sized benchmark the model was trained on — bit for bit,
+/// because generation is deterministic in `(preset, scale, seed)` and
+/// loads/widths round-trip through shortest-representation floats — so
+/// a service process answers ECO queries without ever re-running the
+/// conventional flow.
+///
+/// [`instantiate_base`]: TrainedBundle::instantiate_base
+#[derive(Debug, Clone)]
+pub struct TrainedBundle {
+    /// The trained predictor (both direction MLPs and all scalers).
+    pub predictor: WidthPredictor,
+    /// Provenance: how to regenerate the base design.
+    pub meta: BundleMeta,
+    /// Calibrated load currents of the base design, in amps.
+    pub loads: Vec<f64>,
+    /// Golden per-strap widths from the conventional sizing, in µm.
+    pub golden_widths: Vec<f64>,
+}
+
+impl TrainedBundle {
+    /// The version header of the bundle text format.
+    pub const HEADER: &'static str = "ppdl-bundle v1";
+
+    /// Trains a bundle by running the pipeline's train prefix
+    /// (benchmark source → conventional sizing → MLP training) for the
+    /// standard experiment recipe, optionally against an artifact cache
+    /// so a repeated training run decodes everything from disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, calibration, sizing, and training errors.
+    pub fn train(
+        preset: IbmPgPreset,
+        scale: f64,
+        seed: u64,
+        config: DlFlowConfig,
+        cache: Option<&ArtifactCache>,
+    ) -> crate::Result<Self> {
+        let mut ctx = PipelineCtx::new(config, cache);
+        run_stage(
+            &crate::experiment::preset_source(preset, scale, seed),
+            &mut ctx,
+        )?;
+        run_stage(&FeatureExtractStage, &mut ctx)?;
+        run_stage(&TrainStage, &mut ctx)?;
+        let loads: Vec<f64> = ctx
+            .bench()?
+            .bench
+            .network()
+            .current_loads()
+            .iter()
+            .map(|l| l.amps)
+            .collect();
+        let bundle = Self {
+            predictor: ctx.trained()?.predictor.clone(),
+            meta: BundleMeta {
+                preset,
+                scale,
+                seed,
+                margin_fraction: ctx.bench()?.margin_fraction,
+                inference_stride: ctx.config.inference_stride,
+            },
+            loads,
+            golden_widths: ctx.sizing()?.golden_widths.clone(),
+        };
+        bundle.validate()?;
+        Ok(bundle)
+    }
+
+    /// Validates internal consistency: model shapes against scalers and
+    /// feature set, plus sane metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BundleMismatch`].
+    pub fn validate(&self) -> crate::Result<()> {
+        self.predictor.validate_shapes()?;
+        if !(self.meta.scale > 0.0 && self.meta.scale.is_finite()) {
+            return Err(CoreError::BundleMismatch {
+                detail: format!("scale {} must be positive and finite", self.meta.scale),
+            });
+        }
+        if self.meta.inference_stride == 0 {
+            return Err(CoreError::BundleMismatch {
+                detail: "inference stride must be at least 1".into(),
+            });
+        }
+        if self.golden_widths.is_empty() {
+            return Err(CoreError::BundleMismatch {
+                detail: "bundle carries no golden widths".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Regenerates the sized base design the bundle was trained on:
+    /// deterministic grid generation, then the calibrated loads and
+    /// golden widths are restored — the same recipe the pipeline's
+    /// warm-cache path uses, so the result is bit-identical to the
+    /// original sized benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BundleMismatch`] when the stored vectors do
+    /// not fit the regenerated grid (e.g. a bundle from a different
+    /// build of the generator).
+    pub fn instantiate_base(&self) -> crate::Result<SyntheticBenchmark> {
+        let mut bench =
+            SyntheticBenchmark::from_preset(self.meta.preset, self.meta.scale, self.meta.seed)?;
+        let n_loads = bench.network().current_loads().len();
+        if n_loads != self.loads.len() {
+            return Err(CoreError::BundleMismatch {
+                detail: format!(
+                    "bundle stores {} load currents for a grid with {n_loads}",
+                    self.loads.len()
+                ),
+            });
+        }
+        if bench.straps().len() != self.golden_widths.len() {
+            return Err(CoreError::BundleMismatch {
+                detail: format!(
+                    "bundle stores {} golden widths for a grid with {} straps",
+                    self.golden_widths.len(),
+                    bench.straps().len()
+                ),
+            });
+        }
+        bench.set_load_currents(&self.loads)?;
+        bench.set_strap_widths(&self.golden_widths)?;
+        Ok(bench)
+    }
+
+    /// Answers one request against the bundle's base design, using the
+    /// bundle's configured stride as the default.
+    ///
+    /// For a stream of requests, instantiate the base once and call
+    /// [`predict`] directly (or use `ppdl_service::PredictionService`,
+    /// which also batches) — this convenience regenerates the base per
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`instantiate_base`](Self::instantiate_base) and
+    /// [`predict`] errors.
+    pub fn predict(&self, request: &PredictRequest) -> crate::Result<Prediction> {
+        let base = self.instantiate_base()?;
+        predict(&self.predictor, &base, request, self.meta.inference_stride)
+    }
+
+    /// Serialises the bundle as one versioned text artifact.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let join = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", Self::HEADER);
+        let _ = writeln!(out, "preset {}", self.meta.preset.name());
+        let _ = writeln!(out, "scale {}", self.meta.scale);
+        let _ = writeln!(out, "seed {}", self.meta.seed);
+        let _ = writeln!(out, "margin_fraction {}", self.meta.margin_fraction);
+        let _ = writeln!(out, "inference_stride {}", self.meta.inference_stride);
+        let _ = writeln!(out, "loads {}", self.loads.len());
+        let _ = writeln!(out, "{}", join(&self.loads));
+        let _ = writeln!(out, "golden_widths {}", self.golden_widths.len());
+        let _ = writeln!(out, "{}", join(&self.golden_widths));
+        out.push_str(&self.predictor.to_text());
+        out.push_str("end-bundle\n");
+        out
+    }
+
+    /// Reconstructs a bundle from [`to_text`](Self::to_text) output,
+    /// validating the version header and every shape invariant before
+    /// returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BundleMismatch`] for a wrong version or
+    /// inconsistent shapes, and [`CoreError::InvalidConfig`] (via the
+    /// predictor codec) for malformed bodies.
+    pub fn from_text(text: &str) -> crate::Result<Self> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| mismatch("empty bundle file"))?;
+        if header.trim() != Self::HEADER {
+            return Err(mismatch(format!(
+                "bad bundle header '{header}' (wanted '{}')",
+                Self::HEADER
+            )));
+        }
+        let preset: IbmPgPreset = tagged(&mut lines, "preset")?
+            .parse()
+            .map_err(|e| mismatch(format!("bad preset: {e}")))?;
+        let scale: f64 = tagged(&mut lines, "scale")?
+            .parse()
+            .map_err(|_| mismatch("bad scale"))?;
+        let seed: u64 = tagged(&mut lines, "seed")?
+            .parse()
+            .map_err(|_| mismatch("bad seed"))?;
+        let margin_fraction: f64 = tagged(&mut lines, "margin_fraction")?
+            .parse()
+            .map_err(|_| mismatch("bad margin_fraction"))?;
+        let inference_stride: usize = tagged(&mut lines, "inference_stride")?
+            .parse()
+            .map_err(|_| mismatch("bad inference_stride"))?;
+        let loads = vec_field(&mut lines, "loads")?;
+        let golden_widths = vec_field(&mut lines, "golden_widths")?;
+        let body_start = text
+            .find("ppdl-width-predictor v1")
+            .ok_or_else(|| mismatch("bundle missing predictor body"))?;
+        if !text.trim_end().ends_with("end-bundle") {
+            return Err(mismatch("bundle missing end-bundle trailer"));
+        }
+        let predictor = WidthPredictor::from_text(&text[body_start..])?;
+        let bundle = Self {
+            predictor,
+            meta: BundleMeta {
+                preset,
+                scale,
+                seed,
+                margin_fraction,
+                inference_stride,
+            },
+            loads,
+            golden_widths,
+        };
+        bundle.validate()?;
+        Ok(bundle)
+    }
+
+    /// Writes the bundle to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> crate::Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_text()).map_err(|e| CoreError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Reads and validates a bundle from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] on filesystem failure and
+    /// [`from_text`](Self::from_text) errors on bad content.
+    pub fn load(path: impl AsRef<Path>) -> crate::Result<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| CoreError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Self::from_text(&text)
+    }
+}
+
+fn mismatch(detail: impl Into<String>) -> CoreError {
+    CoreError::BundleMismatch {
+        detail: detail.into(),
+    }
+}
+
+fn tagged<'a>(lines: &mut std::str::Lines<'a>, tag: &str) -> crate::Result<&'a str> {
+    let line = lines
+        .next()
+        .ok_or_else(|| mismatch(format!("truncated bundle, wanted {tag}")))?;
+    line.trim_end()
+        .strip_prefix(tag)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .ok_or_else(|| mismatch(format!("expected '{tag} <value>', found '{line}'")))
+}
+
+fn vec_field(lines: &mut std::str::Lines<'_>, tag: &str) -> crate::Result<Vec<f64>> {
+    let n: usize = tagged(lines, tag)?
+        .parse()
+        .map_err(|_| mismatch(format!("bad {tag} count")))?;
+    let row = lines
+        .next()
+        .ok_or_else(|| mismatch(format!("truncated bundle, wanted {tag} values")))?;
+    let values: Vec<f64> = row
+        .split_whitespace()
+        .map(|t| {
+            t.parse()
+                .map_err(|_| mismatch(format!("bad float '{t}' in {tag}")))
+        })
+        .collect::<crate::Result<_>>()?;
+    if values.len() != n {
+        return Err(mismatch(format!(
+            "{tag} declared {n} values, found {}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_bundle() -> TrainedBundle {
+        TrainedBundle::train(IbmPgPreset::Ibmpg2, 0.006, 7, DlFlowConfig::fast(), None).unwrap()
+    }
+
+    #[test]
+    fn bundle_round_trips_bitwise() {
+        let bundle = fast_bundle();
+        let text = bundle.to_text();
+        let back = TrainedBundle::from_text(&text).unwrap();
+        assert_eq!(back.to_text(), text, "re-encode must be bit-identical");
+        assert_eq!(back.meta, bundle.meta);
+        assert_eq!(back.loads, bundle.loads);
+        assert_eq!(back.golden_widths, bundle.golden_widths);
+    }
+
+    #[test]
+    fn base_instantiation_matches_training_substrate() {
+        let bundle = fast_bundle();
+        let base = bundle.instantiate_base().unwrap();
+        assert_eq!(base.strap_widths(), bundle.golden_widths);
+        let loads: Vec<f64> = base
+            .network()
+            .current_loads()
+            .iter()
+            .map(|l| l.amps)
+            .collect();
+        assert_eq!(loads, bundle.loads);
+    }
+
+    #[test]
+    fn load_rejects_version_and_shape_mismatch() {
+        let bundle = fast_bundle();
+        let text = bundle.to_text();
+        assert!(matches!(
+            TrainedBundle::from_text(&text.replace("ppdl-bundle v1", "ppdl-bundle v9")),
+            Err(CoreError::BundleMismatch { .. })
+        ));
+        // Shrinking the declared feature set makes the 3-input models
+        // inconsistent with it: a typed mismatch, not a panic.
+        let narrowed = text.replace("feature_set combined", "feature_set x");
+        let err = TrainedBundle::from_text(&narrowed).unwrap_err();
+        assert_eq!(err.code(), "core/bundle_mismatch");
+        // Truncation fails typed too.
+        assert!(TrainedBundle::from_text(&text[..text.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn bundle_predict_matches_direct_inference() {
+        let bundle = fast_bundle();
+        let base = bundle.instantiate_base().unwrap();
+        let p = Perturbation::new(0.1, PerturbationKind::Both, 5).unwrap();
+        let request = PredictRequest::new("q").with_perturbation(p);
+        let via_bundle = bundle.predict(&request).unwrap();
+        let direct = predict(
+            &bundle.predictor,
+            &base,
+            &request,
+            bundle.meta.inference_stride,
+        )
+        .unwrap();
+        assert_eq!(via_bundle.response.widths, direct.response.widths);
+        assert_eq!(via_bundle.response.worst_ir_mv, direct.response.worst_ir_mv);
+        assert_eq!(via_bundle.ir.node_drops, direct.ir.node_drops);
+    }
+
+    #[test]
+    fn request_apply_and_validation() {
+        let bundle = fast_bundle();
+        let base = bundle.instantiate_base().unwrap();
+        let n_loads = base.network().current_loads().len();
+        let modified = PredictRequest::new("eco")
+            .with_load_override(0, 123e-6)
+            .apply(&base)
+            .unwrap();
+        assert_eq!(modified.network().current_loads()[0].amps, 123e-6);
+        assert_eq!(
+            modified.network().current_loads()[1].amps,
+            base.network().current_loads()[1].amps
+        );
+        assert!(PredictRequest::new("x")
+            .with_load_override(n_loads, 1e-6)
+            .apply(&base)
+            .is_err());
+        assert!(PredictRequest::new("x")
+            .with_load_override(0, f64::NAN)
+            .validate()
+            .is_err());
+        assert!(PredictRequest::new("x").with_stride(0).validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_id_and_tracks_payload() {
+        let p = Perturbation::new(0.1, PerturbationKind::Both, 5).unwrap();
+        let a = PredictRequest::new("a").with_perturbation(p);
+        let b = PredictRequest::new("b").with_perturbation(p);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let other = Perturbation::new(0.2, PerturbationKind::Both, 5).unwrap();
+        assert_ne!(
+            a.fingerprint(),
+            PredictRequest::new("a")
+                .with_perturbation(other)
+                .fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            PredictRequest::new("a")
+                .with_perturbation(p)
+                .with_stride(2)
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in PerturbationKind::ALL {
+            assert_eq!(parse_kind(kind_tag(kind)).unwrap(), kind);
+        }
+        assert!(parse_kind("sideways").is_err());
+    }
+}

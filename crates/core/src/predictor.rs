@@ -284,6 +284,56 @@ impl WidthPredictor {
         self.feature_set
     }
 
+    /// Checks that both direction models agree with the feature set and
+    /// their scalers: each MLP's input layer must be as wide as the
+    /// feature set, each feature scaler as long as that input layer, and
+    /// each target scaler as long as the (single-width) output layer.
+    ///
+    /// Persistence calls this on load so a corrupted or mismatched model
+    /// file fails with a typed error instead of panicking mid-inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BundleMismatch`] naming the offending
+    /// direction and dimensions.
+    pub fn validate_shapes(&self) -> crate::Result<()> {
+        let want = self.feature_set.width();
+        for (tag, m) in [
+            ("vertical", &self.vertical),
+            ("horizontal", &self.horizontal),
+        ] {
+            let input = m.model.input_dim();
+            if input != want {
+                return Err(CoreError::BundleMismatch {
+                    detail: format!(
+                        "{tag} model expects {input} inputs but feature set {:?} is {want} wide",
+                        self.feature_set
+                    ),
+                });
+            }
+            let scaler_len = m.feature_scaler.means().len();
+            if scaler_len != input {
+                return Err(CoreError::BundleMismatch {
+                    detail: format!(
+                        "{tag} feature scaler covers {scaler_len} columns for a \
+                         {input}-input model"
+                    ),
+                });
+            }
+            let output = m.model.output_dim();
+            let target_len = m.target_scaler.means().len();
+            if output != 1 || target_len != output {
+                return Err(CoreError::BundleMismatch {
+                    detail: format!(
+                        "{tag} model emits {output} outputs with a {target_len}-column \
+                         target scaler; widths need exactly 1 of each"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Predicts a width for every segment of `bench`, in µm, clamped
     /// to the configured minimum.
     ///

@@ -121,12 +121,11 @@ impl WidthPredictor {
                 detail: "predictor file must contain both directions".into(),
             });
         };
-        Ok(WidthPredictor::from_parts(
-            vertical,
-            horizontal,
-            feature_set,
-            min_width,
-        ))
+        let predictor = WidthPredictor::from_parts(vertical, horizontal, feature_set, min_width);
+        // Loading is the trust boundary: a hand-edited or mixed-version
+        // file must fail typed here, not panic rows-vs-cols later.
+        predictor.validate_shapes()?;
+        Ok(predictor)
     }
 }
 

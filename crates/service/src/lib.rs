@@ -1,0 +1,543 @@
+//! The batched prediction service: load a trained bundle once, answer
+//! many ECO queries.
+//!
+//! The paper's speedup (Table IV) pays off operationally when the
+//! trained model is a long-lived asset: a [`PredictionService`] loads a
+//! [`TrainedBundle`] (predictor + fitted scalers + base-design recipe)
+//! once, keeps the regenerated base benchmark resident, and serves
+//! batches of [`PredictRequest`]s through the same
+//! [`ppdl_core::predict`] entry point the experiment pipeline uses —
+//! batched across requests via [`ppdl_solver::parallel`], with a
+//! bounded queue for backpressure, a FIFO response cache keyed by
+//! request fingerprint, and per-batch latency/throughput counters
+//! exposed as a JSON stats snapshot.
+//!
+//! Transport lives in [`proto`]: newline-delimited JSON over any
+//! `BufRead`/`Write` pair (the `ppdl serve` subcommand wires it to
+//! stdin/stdout; socket transport stays future work). Malformed
+//! request lines yield typed error responses — the process never dies
+//! on bad input.
+//!
+//! ```text
+//!                 ┌──────────────── PredictionService ───────────────┐
+//!  NDJSON in ──▶ parse ──▶ bounded queue ──▶ flush: cache probe      │
+//!                 │            │ (backpressure)   ├─ hit  → response │
+//!  NDJSON out ◀─ render ◀─ replies ◀── par_map ◀──┴─ miss → predict()│
+//!                 └──────────────────────────────────────────────────┘
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+pub mod proto;
+
+pub use json::Json;
+pub use proto::{parse_line, render_reply, serve_ndjson, Command};
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Instant;
+
+use ppdl_core::predict::{predict, PredictRequest, PredictResponse, TrainedBundle};
+use ppdl_core::CoreError;
+use ppdl_netlist::SyntheticBenchmark;
+
+/// Tuning knobs of a [`PredictionService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum requests the inbound queue holds before
+    /// [`enqueue`](PredictionService::enqueue) reports backpressure.
+    pub queue_capacity: usize,
+    /// Maximum requests one parallel batch executes; a flush of a
+    /// longer queue runs several batches back to back.
+    pub max_batch: usize,
+    /// Entries the FIFO response cache retains (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            max_batch: 64,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Errors a service interaction can produce. `code()` values extend the
+/// stable `layer/kind` registry of [`CoreError::code`].
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The inbound queue is at capacity; flush before enqueueing more.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// A protocol line could not be understood.
+    Malformed {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A framework error from the inference path.
+    Core(CoreError),
+}
+
+impl ServiceError {
+    /// The stable machine-readable error code carried by wire
+    /// responses.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::QueueFull { .. } => "service/queue_full",
+            ServiceError::Malformed { .. } => "service/malformed",
+            ServiceError::Core(e) => e.code(),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "request queue full ({capacity} pending); flush first")
+            }
+            ServiceError::Malformed { detail } => write!(f, "malformed request: {detail}"),
+            ServiceError::Core(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+/// One answered request: the echoed `id`, whether the response came
+/// from the cache, and the response or its typed error.
+#[derive(Debug)]
+pub struct ServiceReply {
+    /// The request's `id`.
+    pub id: String,
+    /// `true` when served from the response cache without inference.
+    pub cached: bool,
+    /// The response, or the typed error this request produced.
+    pub result: Result<PredictResponse, ServiceError>,
+}
+
+/// Monotonic service counters; serialised by
+/// [`PredictionService::stats_json`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub requests: u64,
+    /// Successful responses emitted (cache hits included).
+    pub ok: u64,
+    /// Error responses emitted.
+    pub errors: u64,
+    /// Responses served from the cache.
+    pub cache_hits: u64,
+    /// Parallel batches executed.
+    pub batches: u64,
+    /// Total seconds spent flushing batches.
+    pub busy_secs: f64,
+    /// Size of the most recent batch.
+    pub last_batch_size: usize,
+    /// Wall seconds of the most recent batch.
+    pub last_batch_secs: f64,
+}
+
+impl ServiceStats {
+    /// Replies per busy second across the service lifetime (0 before
+    /// the first flush).
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        if self.busy_secs > 0.0 {
+            (self.ok + self.errors) as f64 / self.busy_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// FIFO response cache keyed by request fingerprint.
+#[derive(Debug, Default)]
+struct ResponseCache {
+    capacity: usize,
+    map: HashMap<u64, PredictResponse>,
+    order: VecDeque<u64>,
+}
+
+impl ResponseCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, fingerprint: u64) -> Option<&PredictResponse> {
+        self.map.get(&fingerprint)
+    }
+
+    fn insert(&mut self, fingerprint: u64, response: PredictResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(fingerprint, response).is_none() {
+            self.order.push_back(fingerprint);
+            if self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+/// The long-lived batched prediction engine.
+///
+/// # Example
+///
+/// ```
+/// use ppdl_core::{DlFlowConfig, PredictRequest, TrainedBundle};
+/// use ppdl_netlist::IbmPgPreset;
+/// use ppdl_service::{PredictionService, ServiceConfig};
+///
+/// let bundle = TrainedBundle::train(
+///     IbmPgPreset::Ibmpg1,
+///     0.01,
+///     3,
+///     DlFlowConfig::fast(),
+///     None,
+/// )
+/// .unwrap();
+/// let mut service = PredictionService::new(bundle, ServiceConfig::default()).unwrap();
+/// service.enqueue(PredictRequest::new("q1")).unwrap();
+/// let replies = service.flush();
+/// assert_eq!(replies.len(), 1);
+/// assert!(replies[0].result.is_ok());
+/// ```
+#[derive(Debug)]
+pub struct PredictionService {
+    bundle: TrainedBundle,
+    base: SyntheticBenchmark,
+    config: ServiceConfig,
+    queue: Vec<PredictRequest>,
+    cache: ResponseCache,
+    stats: ServiceStats,
+}
+
+impl PredictionService {
+    /// Builds a service from a validated bundle: the base design is
+    /// regenerated once here and kept resident, so serving never
+    /// re-runs generation, calibration, sizing, or training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bundle validation and base-instantiation errors.
+    pub fn new(bundle: TrainedBundle, config: ServiceConfig) -> Result<Self, ServiceError> {
+        bundle.validate()?;
+        let base = bundle.instantiate_base()?;
+        let cache = ResponseCache::new(config.cache_capacity);
+        Ok(Self {
+            bundle,
+            base,
+            config,
+            queue: Vec::new(),
+            cache,
+            stats: ServiceStats::default(),
+        })
+    }
+
+    /// The loaded bundle.
+    #[must_use]
+    pub fn bundle(&self) -> &TrainedBundle {
+        &self.bundle
+    }
+
+    /// The resident base design queries are answered against.
+    #[must_use]
+    pub fn base(&self) -> &SyntheticBenchmark {
+        &self.base
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Requests currently queued.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Accepts a request into the bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::QueueFull`] when the queue is at
+    /// capacity — the backpressure signal; [`flush`](Self::flush) and
+    /// retry.
+    pub fn enqueue(&mut self, request: PredictRequest) -> Result<(), ServiceError> {
+        if self.queue.len() >= self.config.queue_capacity {
+            return Err(ServiceError::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        self.queue.push(request);
+        self.stats.requests += 1;
+        Ok(())
+    }
+
+    /// Drains the queue: consults the response cache, executes the
+    /// misses in parallel batches of at most `max_batch` through the
+    /// shared [`ppdl_core::predict`] entry point, and returns one reply
+    /// per request in enqueue order. Per-request failures become typed
+    /// error replies; flush itself never fails.
+    pub fn flush(&mut self) -> Vec<ServiceReply> {
+        let mut replies = Vec::with_capacity(self.queue.len());
+        while !self.queue.is_empty() {
+            let n = self.queue.len().min(self.config.max_batch.max(1));
+            let batch: Vec<PredictRequest> = self.queue.drain(..n).collect();
+            let t0 = Instant::now();
+            let mut slots: Vec<Option<ServiceReply>> = (0..batch.len()).map(|_| None).collect();
+            let mut miss_indices = Vec::new();
+            for (i, request) in batch.iter().enumerate() {
+                if let Some(hit) = self.cache.get(request.fingerprint()) {
+                    let mut response = hit.clone();
+                    response.id.clone_from(&request.id);
+                    self.stats.cache_hits += 1;
+                    slots[i] = Some(ServiceReply {
+                        id: request.id.clone(),
+                        cached: true,
+                        result: Ok(response),
+                    });
+                } else {
+                    miss_indices.push(i);
+                }
+            }
+            let misses: Vec<&PredictRequest> = miss_indices.iter().map(|&i| &batch[i]).collect();
+            let predictor = &self.bundle.predictor;
+            let base = &self.base;
+            let stride = self.bundle.meta.inference_stride;
+            let computed = ppdl_solver::parallel::par_map_vec(&misses, |_, request| {
+                predict(predictor, base, request, stride)
+            });
+            for (&i, outcome) in miss_indices.iter().zip(computed) {
+                let request = &batch[i];
+                let result = match outcome {
+                    Ok(prediction) => {
+                        self.cache
+                            .insert(request.fingerprint(), prediction.response.clone());
+                        Ok(prediction.response)
+                    }
+                    Err(e) => Err(ServiceError::Core(e)),
+                };
+                slots[i] = Some(ServiceReply {
+                    id: request.id.clone(),
+                    cached: false,
+                    result,
+                });
+            }
+            let batch_secs = t0.elapsed().as_secs_f64();
+            self.stats.batches += 1;
+            self.stats.busy_secs += batch_secs;
+            self.stats.last_batch_size = batch.len();
+            self.stats.last_batch_secs = batch_secs;
+            for reply in slots.into_iter().flatten() {
+                match reply.result {
+                    Ok(_) => self.stats.ok += 1,
+                    Err(_) => self.stats.errors += 1,
+                }
+                replies.push(reply);
+            }
+        }
+        replies
+    }
+
+    /// The JSON stats snapshot the wire protocol's `{"cmd":"stats"}`
+    /// command returns: per-batch latency, lifetime throughput, cache
+    /// hits, and queue depth.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        use ppdl_core::pipeline::{json_number, json_string};
+        let s = &self.stats;
+        format!(
+            concat!(
+                "{{\"status\":\"stats\",\"preset\":{},\"requests\":{},\"ok\":{},",
+                "\"errors\":{},\"cache_hits\":{},\"batches\":{},\"queue_depth\":{},",
+                "\"busy_ms\":{},\"last_batch_size\":{},\"last_batch_ms\":{},",
+                "\"throughput_rps\":{}}}"
+            ),
+            json_string(self.bundle.meta.preset.name()),
+            s.requests,
+            s.ok,
+            s.errors,
+            s.cache_hits,
+            s.batches,
+            self.queue.len(),
+            json_number(s.busy_secs * 1e3),
+            s.last_batch_size,
+            json_number(s.last_batch_secs * 1e3),
+            json_number(s.throughput_rps()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdl_core::{DlFlowConfig, Perturbation, PerturbationKind};
+    use ppdl_netlist::IbmPgPreset;
+
+    fn service() -> PredictionService {
+        let bundle =
+            TrainedBundle::train(IbmPgPreset::Ibmpg1, 0.01, 3, DlFlowConfig::fast(), None).unwrap();
+        PredictionService::new(bundle, ServiceConfig::default()).unwrap()
+    }
+
+    fn request(id: &str, seed: u64) -> PredictRequest {
+        PredictRequest::new(id)
+            .with_perturbation(Perturbation::new(0.1, PerturbationKind::Both, seed).unwrap())
+    }
+
+    #[test]
+    fn batch_replies_in_order_and_counted() {
+        let mut s = service();
+        for i in 0..5 {
+            s.enqueue(request(&format!("q{i}"), i)).unwrap();
+        }
+        let replies = s.flush();
+        assert_eq!(replies.len(), 5);
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.id, format!("q{i}"));
+            let resp = r.result.as_ref().unwrap();
+            assert!(resp.worst_ir_mv > 0.0);
+            assert!(!resp.widths.is_empty());
+        }
+        let st = s.stats();
+        assert_eq!(st.requests, 5);
+        assert_eq!(st.ok, 5);
+        assert_eq!(st.errors, 0);
+        assert!(st.busy_secs > 0.0);
+        assert!(st.throughput_rps() > 0.0);
+        assert_eq!(st.last_batch_size, 5);
+    }
+
+    #[test]
+    fn batch_matches_sequential_inference() {
+        let mut s = service();
+        let reqs: Vec<PredictRequest> =
+            (0..4).map(|i| request(&format!("q{i}"), 100 + i)).collect();
+        for r in &reqs {
+            s.enqueue(r.clone()).unwrap();
+        }
+        let replies = s.flush();
+        for (reply, req) in replies.iter().zip(&reqs) {
+            let direct = predict(
+                &s.bundle().predictor,
+                s.base(),
+                req,
+                s.bundle().meta.inference_stride,
+            )
+            .unwrap();
+            let got = reply.result.as_ref().unwrap();
+            assert_eq!(got.widths, direct.response.widths);
+            assert_eq!(got.worst_ir_mv, direct.response.worst_ir_mv);
+        }
+    }
+
+    #[test]
+    fn cache_hits_repeat_payloads() {
+        let mut s = service();
+        s.enqueue(request("first", 9)).unwrap();
+        let a = s.flush();
+        // Same payload, different id: must be a cache hit with the new id.
+        s.enqueue(request("second", 9)).unwrap();
+        let b = s.flush();
+        assert!(!a[0].cached);
+        assert!(b[0].cached);
+        assert_eq!(b[0].result.as_ref().unwrap().id, "second");
+        assert_eq!(
+            a[0].result.as_ref().unwrap().widths,
+            b[0].result.as_ref().unwrap().widths
+        );
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn backpressure_and_recovery() {
+        let bundle =
+            TrainedBundle::train(IbmPgPreset::Ibmpg1, 0.01, 3, DlFlowConfig::fast(), None).unwrap();
+        let mut s = PredictionService::new(
+            bundle,
+            ServiceConfig {
+                queue_capacity: 2,
+                max_batch: 1,
+                cache_capacity: 0,
+            },
+        )
+        .unwrap();
+        s.enqueue(request("a", 1)).unwrap();
+        s.enqueue(request("b", 2)).unwrap();
+        let err = s.enqueue(request("c", 3)).unwrap_err();
+        assert_eq!(err.code(), "service/queue_full");
+        // max_batch=1 still drains the whole queue across two batches.
+        let replies = s.flush();
+        assert_eq!(replies.len(), 2);
+        assert_eq!(s.stats().batches, 2);
+        // After flushing there is room again.
+        s.enqueue(request("c", 3)).unwrap();
+        assert_eq!(s.queue_depth(), 1);
+    }
+
+    #[test]
+    fn per_request_errors_are_typed_not_fatal() {
+        let mut s = service();
+        let n_loads = s.base().network().current_loads().len();
+        s.enqueue(PredictRequest::new("bad").with_load_override(n_loads + 7, 1e-6))
+            .unwrap();
+        s.enqueue(request("good", 4)).unwrap();
+        let replies = s.flush();
+        assert_eq!(replies.len(), 2);
+        let bad = replies[0].result.as_ref().unwrap_err();
+        assert_eq!(bad.code(), "core/invalid_config");
+        assert!(replies[1].result.is_ok());
+        assert_eq!(s.stats().errors, 1);
+        assert_eq!(s.stats().ok, 1);
+    }
+
+    #[test]
+    fn stats_json_is_parseable() {
+        let mut s = service();
+        s.enqueue(request("q", 5)).unwrap();
+        let _ = s.flush();
+        let v = Json::parse(&s.stats_json()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("stats"));
+        assert_eq!(v.get("ok").unwrap().as_u64(), Some(1));
+        assert!(v.get("throughput_rps").unwrap().as_f64().unwrap() > 0.0);
+        assert!(v.get("last_batch_ms").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

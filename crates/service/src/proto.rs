@@ -1,0 +1,375 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One JSON object per line, one line per reply. Request lines:
+//!
+//! ```json
+//! {"id":"q1","gamma":0.1,"kind":"both","seed":5}
+//! {"id":"q2","loads":[[0,0.0012],[17,0.0009]],"stride":2}
+//! {"cmd":"flush"}
+//! {"cmd":"stats"}
+//! {"cmd":"quit"}
+//! ```
+//!
+//! * `id` (required, string) — echoed in the reply.
+//! * `gamma` (optional, number in `(0,1)`) — §IV-D perturbation size;
+//!   `kind` (`voltages`|`loads`|`both`, default `both`) and `seed`
+//!   (integer, default 1) refine it.
+//! * `loads` (optional, array of `[index, amps]` pairs) — explicit ECO
+//!   current overrides applied after the perturbation.
+//! * `stride` (optional, integer ≥ 1) — inference stride override.
+//!
+//! Replies are `{"id":…,"status":"ok","worst_ir_mv":…,"dl_ms":…,
+//! "cached":…,"widths":[…]}` or `{"id":…,"status":"error","code":…,
+//! "detail":…}`; `{"cmd":"stats"}` answers with the service's
+//! [`stats_json`](crate::PredictionService::stats_json) snapshot
+//! (`"status":"stats"`). Requests accumulate in the bounded queue and
+//! execute as one parallel batch on `flush`, on `quit`, at end of
+//! input, or when the queue reaches capacity (backpressure flushes
+//! rather than drops). Malformed lines produce an error reply and the
+//! loop keeps serving.
+
+use std::io::{self, BufRead, Write};
+
+use ppdl_core::pipeline::{json_number, json_string};
+use ppdl_core::predict::{parse_kind, PredictRequest};
+use ppdl_core::Perturbation;
+
+use crate::json::Json;
+use crate::{PredictionService, ServiceError, ServiceReply};
+
+/// One parsed protocol line.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// A prediction request to enqueue.
+    Request(PredictRequest),
+    /// Execute everything queued and emit the replies.
+    Flush,
+    /// Emit the stats snapshot.
+    Stats,
+    /// Flush, then stop serving.
+    Quit,
+}
+
+fn malformed(detail: impl Into<String>) -> ServiceError {
+    ServiceError::Malformed {
+        detail: detail.into(),
+    }
+}
+
+/// Parses one protocol line into a [`Command`].
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Malformed`] for JSON/shape problems and
+/// [`ServiceError::Core`] for semantically invalid values (e.g. γ out
+/// of range), so wire replies carry the precise error code.
+pub fn parse_line(line: &str) -> Result<Command, ServiceError> {
+    let value = Json::parse(line).map_err(malformed)?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(malformed("request line must be a JSON object"));
+    }
+    if let Some(cmd) = value.get("cmd") {
+        let cmd = cmd
+            .as_str()
+            .ok_or_else(|| malformed("\"cmd\" must be a string"))?;
+        return match cmd {
+            "flush" => Ok(Command::Flush),
+            "stats" => Ok(Command::Stats),
+            "quit" => Ok(Command::Quit),
+            other => Err(malformed(format!(
+                "unknown command '{other}' (flush|stats|quit)"
+            ))),
+        };
+    }
+    let id = value
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed("request needs a string \"id\""))?;
+    let mut request = PredictRequest::new(id);
+    if let Some(gamma) = value.get("gamma") {
+        let gamma = gamma
+            .as_f64()
+            .ok_or_else(|| malformed("\"gamma\" must be a number"))?;
+        let kind = match value.get("kind") {
+            Some(k) => parse_kind(
+                k.as_str()
+                    .ok_or_else(|| malformed("\"kind\" must be a string"))?,
+            )
+            .map_err(ServiceError::Core)?,
+            None => ppdl_core::PerturbationKind::Both,
+        };
+        let seed = match value.get("seed") {
+            Some(s) => s
+                .as_u64()
+                .ok_or_else(|| malformed("\"seed\" must be a non-negative integer"))?,
+            None => 1,
+        };
+        request = request
+            .with_perturbation(Perturbation::new(gamma, kind, seed).map_err(ServiceError::Core)?);
+    } else if value.get("kind").is_some() || value.get("seed").is_some() {
+        return Err(malformed("\"kind\"/\"seed\" need a \"gamma\""));
+    }
+    if let Some(loads) = value.get("loads") {
+        let loads = loads
+            .as_array()
+            .ok_or_else(|| malformed("\"loads\" must be an array of [index, amps] pairs"))?;
+        for pair in loads {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| malformed("each load override must be an [index, amps] pair"))?;
+            let index = pair[0]
+                .as_u64()
+                .ok_or_else(|| malformed("load override index must be a non-negative integer"))?;
+            let amps = pair[1]
+                .as_f64()
+                .ok_or_else(|| malformed("load override amps must be a number"))?;
+            request = request.with_load_override(index as usize, amps);
+        }
+    }
+    if let Some(stride) = value.get("stride") {
+        let stride = stride
+            .as_u64()
+            .ok_or_else(|| malformed("\"stride\" must be a non-negative integer"))?;
+        request = request.with_stride(stride as usize);
+    }
+    request.validate().map_err(ServiceError::Core)?;
+    Ok(Command::Request(request))
+}
+
+/// Renders one reply as a protocol line (no trailing newline).
+#[must_use]
+pub fn render_reply(reply: &ServiceReply) -> String {
+    match &reply.result {
+        Ok(response) => {
+            let widths: Vec<String> = response.widths.iter().map(|w| json_number(*w)).collect();
+            format!(
+                "{{\"id\":{},\"status\":\"ok\",\"worst_ir_mv\":{},\"dl_ms\":{},\"cached\":{},\"widths\":[{}]}}",
+                json_string(&response.id),
+                json_number(response.worst_ir_mv),
+                json_number(response.dl_ms),
+                reply.cached,
+                widths.join(",")
+            )
+        }
+        Err(e) => render_error(&reply.id, e),
+    }
+}
+
+/// Renders an error reply line for `id` (no trailing newline).
+#[must_use]
+pub fn render_error(id: &str, error: &ServiceError) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"error\",\"code\":{},\"detail\":{}}}",
+        json_string(id),
+        json_string(error.code()),
+        json_string(&error.to_string())
+    )
+}
+
+fn emit_replies(replies: &[ServiceReply], output: &mut impl Write) -> io::Result<()> {
+    for reply in replies {
+        writeln!(output, "{}", render_reply(reply))?;
+    }
+    output.flush()
+}
+
+/// Serves the NDJSON protocol over any reader/writer pair until
+/// `{"cmd":"quit"}` or end of input; pending requests are flushed at
+/// both. Malformed or failing requests yield `"status":"error"` lines —
+/// this loop itself only fails on transport I/O errors.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `input`/`output`.
+pub fn serve_ndjson(
+    service: &mut PredictionService,
+    input: impl BufRead,
+    output: &mut impl Write,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(Command::Request(request)) => {
+                // Backpressure: a full queue flushes (emitting replies
+                // in arrival order) instead of dropping the request.
+                if service.queue_depth() >= service.config().queue_capacity {
+                    let replies = service.flush();
+                    emit_replies(&replies, output)?;
+                }
+                if let Err(e) = service.enqueue(request) {
+                    // Unreachable after the pre-flush, but a typed
+                    // reply beats a panic if capacities change.
+                    writeln!(output, "{}", render_error("", &e))?;
+                    output.flush()?;
+                }
+            }
+            Ok(Command::Flush) => {
+                let replies = service.flush();
+                emit_replies(&replies, output)?;
+            }
+            Ok(Command::Stats) => {
+                writeln!(output, "{}", service.stats_json())?;
+                output.flush()?;
+            }
+            Ok(Command::Quit) => break,
+            Err(e) => {
+                let id = Json::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_string))
+                    .unwrap_or_default();
+                writeln!(output, "{}", render_error(&id, &e))?;
+                output.flush()?;
+            }
+        }
+    }
+    let replies = service.flush();
+    emit_replies(&replies, output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+    use ppdl_core::predict::TrainedBundle;
+    use ppdl_core::DlFlowConfig;
+    use ppdl_netlist::IbmPgPreset;
+
+    fn service() -> PredictionService {
+        let bundle =
+            TrainedBundle::train(IbmPgPreset::Ibmpg1, 0.01, 3, DlFlowConfig::fast(), None).unwrap();
+        PredictionService::new(bundle, ServiceConfig::default()).unwrap()
+    }
+
+    fn serve(input: &str) -> Vec<Json> {
+        let mut s = service();
+        let mut out = Vec::new();
+        serve_ndjson(&mut s, input.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn parse_line_shapes() {
+        assert!(matches!(
+            parse_line("{\"cmd\":\"flush\"}"),
+            Ok(Command::Flush)
+        ));
+        assert!(matches!(
+            parse_line("{\"cmd\":\"stats\"}"),
+            Ok(Command::Stats)
+        ));
+        assert!(matches!(
+            parse_line("{\"cmd\":\"quit\"}"),
+            Ok(Command::Quit)
+        ));
+        let Ok(Command::Request(r)) = parse_line(
+            r#"{"id":"a","gamma":0.1,"kind":"loads","seed":9,"stride":2,"loads":[[3,1e-4]]}"#,
+        ) else {
+            panic!("expected request");
+        };
+        assert_eq!(r.id, "a");
+        let p = r.perturbation.unwrap();
+        assert_eq!(p.gamma(), 0.1);
+        assert_eq!(p.seed(), 9);
+        assert_eq!(r.load_overrides, vec![(3, 1e-4)]);
+        assert_eq!(r.stride, Some(2));
+    }
+
+    #[test]
+    fn parse_line_rejections_carry_codes() {
+        assert_eq!(
+            parse_line("not json").unwrap_err().code(),
+            "service/malformed"
+        );
+        assert_eq!(
+            parse_line("{\"gamma\":0.1}").unwrap_err().code(),
+            "service/malformed"
+        );
+        assert_eq!(
+            parse_line("{\"cmd\":\"dance\"}").unwrap_err().code(),
+            "service/malformed"
+        );
+        assert_eq!(
+            parse_line("{\"id\":\"a\",\"gamma\":7}").unwrap_err().code(),
+            "core/invalid_config"
+        );
+        assert_eq!(
+            parse_line("{\"id\":\"a\",\"kind\":\"both\"}")
+                .unwrap_err()
+                .code(),
+            "service/malformed"
+        );
+    }
+
+    #[test]
+    fn serves_batch_and_stats() {
+        let replies = serve(concat!(
+            "{\"id\":\"q1\",\"gamma\":0.1,\"seed\":5}\n",
+            "{\"id\":\"q2\",\"gamma\":0.1,\"seed\":6}\n",
+            "{\"cmd\":\"flush\"}\n",
+            "{\"cmd\":\"stats\"}\n",
+        ));
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[0].get("id").unwrap().as_str(), Some("q1"));
+        assert_eq!(replies[0].get("status").unwrap().as_str(), Some("ok"));
+        assert!(replies[0].get("worst_ir_mv").unwrap().as_f64().unwrap() > 0.0);
+        assert!(!replies[0]
+            .get("widths")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        assert_eq!(replies[1].get("id").unwrap().as_str(), Some("q2"));
+        let stats = &replies[2];
+        assert_eq!(stats.get("status").unwrap().as_str(), Some("stats"));
+        assert_eq!(stats.get("ok").unwrap().as_u64(), Some(2));
+        assert!(stats.get("throughput_rps").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn malformed_lines_do_not_kill_the_loop() {
+        let replies = serve(concat!(
+            "this is not json\n",
+            "{\"id\":\"bad\",\"gamma\":42}\n",
+            "{\"id\":\"ok\",\"gamma\":0.1,\"seed\":2}\n",
+        ));
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[0].get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(
+            replies[0].get("code").unwrap().as_str(),
+            Some("service/malformed")
+        );
+        assert_eq!(replies[1].get("id").unwrap().as_str(), Some("bad"));
+        assert_eq!(
+            replies[1].get("code").unwrap().as_str(),
+            Some("core/invalid_config")
+        );
+        // The surviving request is answered by the end-of-input flush.
+        assert_eq!(replies[2].get("id").unwrap().as_str(), Some("ok"));
+        assert_eq!(replies[2].get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn eof_flushes_and_quit_stops() {
+        // No explicit flush: EOF answers the pending request.
+        let replies = serve("{\"id\":\"pending\",\"gamma\":0.1,\"seed\":3}\n");
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].get("status").unwrap().as_str(), Some("ok"));
+        // Lines after quit are not served.
+        let replies = serve(concat!(
+            "{\"id\":\"before\",\"gamma\":0.1,\"seed\":3}\n",
+            "{\"cmd\":\"quit\"}\n",
+            "{\"id\":\"after\",\"gamma\":0.1,\"seed\":4}\n",
+        ));
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].get("id").unwrap().as_str(), Some("before"));
+    }
+}

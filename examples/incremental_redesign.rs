@@ -13,24 +13,22 @@
 use std::time::Instant;
 
 use powerplanningdl::core::{
-    experiment, ConventionalConfig, ConventionalFlow, IrPredictor, Perturbation, PerturbationKind,
-    PredictorConfig, WidthPredictor,
+    experiment, ConventionalFlow, IrPredictor, Perturbation, PerturbationKind, WidthPredictor,
 };
 use powerplanningdl::netlist::IbmPgPreset;
 
 fn main() {
     let scale = 0.01;
     let prepared = experiment::prepare(IbmPgPreset::Ibmpg2, scale, 11, 2.5).expect("benchmark");
-    let conventional = ConventionalFlow::new(ConventionalConfig {
-        ir_margin_fraction: prepared.margin_fraction,
-        ..ConventionalConfig::default()
-    });
+    // One config source for both flows, via the builder.
+    let config = experiment::flow_builder(&prepared, false).build();
+    let conventional = ConventionalFlow::new(config.conventional.clone());
 
     // One-time investment: sign off the base design, train the model.
     let (sized, golden) = conventional.run(&prepared.bench).expect("base sizing");
     let t_train = Instant::now();
-    let (predictor, _) = WidthPredictor::train(&sized, &golden.widths, PredictorConfig::default())
-        .expect("training");
+    let (predictor, _) =
+        WidthPredictor::train(&sized, &golden.widths, config.predictor).expect("training");
     println!(
         "trained on the signed-off design ({} interconnects) in {:.2} s",
         sized.segments().len(),

@@ -4,15 +4,19 @@
 //! ppdl generate --preset ibmpg2 --scale 0.01 --seed 7 --out grid.spice [--svg fp.svg]
 //! ppdl analyze <deck.spice> [--map map.csv] [--resolution 100]
 //! ppdl flow --preset ibmpg2 --scale 0.01 [--fast] [--gamma 0.1] [--model model.ppdl]
+//! ppdl train --preset ibmpg2 --scale 0.006 --out model.bundle [--fast]
+//! ppdl serve --bundle model.bundle [--queue 256] [--batch 64] [--cache 1024]
 //! ```
 
+use std::io::BufReader;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use powerplanningdl::analysis::{IrDropMap, StaticAnalysis};
-use powerplanningdl::core::{experiment, PowerPlanningDl, WidthPredictor};
+use powerplanningdl::core::{experiment, PowerPlanningDl, TrainedBundle, WidthPredictor};
 use powerplanningdl::floorplan::SvgOptions;
 use powerplanningdl::netlist::{parse_spice, IbmPgPreset, Orientation, SyntheticBenchmark};
+use powerplanningdl::service::{serve_ndjson, PredictionService, ServiceConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +24,8 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("flow") => cmd_flow(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -42,6 +48,13 @@ USAGE:
   ppdl generate --preset <name> [--scale <f>] [--seed <n>] --out <deck.spice> [--svg <fp.svg>]
   ppdl analyze <deck.spice> [--map <map.csv>] [--resolution <n>]
   ppdl flow --preset <name> [--scale <f>] [--seed <n>] [--fast] [--gamma <f>] [--model <out.ppdl>]
+  ppdl train --preset <name> [--scale <f>] [--seed <n>] [--fast] --out <model.bundle>
+  ppdl serve --bundle <model.bundle> [--queue <n>] [--batch <n>] [--cache <n>]
+
+serve reads NDJSON requests from stdin and answers on stdout, e.g.
+  {\"id\":\"q1\",\"gamma\":0.1,\"kind\":\"both\",\"seed\":5}
+  {\"id\":\"q2\",\"loads\":[[0,0.0012]],\"stride\":2}
+  {\"cmd\":\"flush\"} | {\"cmd\":\"stats\"} | {\"cmd\":\"quit\"}
 
 PRESETS: ibmpg1..ibmpg6, ibmpgnew1, ibmpgnew2 (Table II of the paper)";
 
@@ -186,8 +199,10 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
     let gamma: f64 = flags.get_parse("gamma", 0.10)?;
 
     let prepared = experiment::prepare(preset, scale, seed, 2.5).map_err(|e| e.to_string())?;
-    let mut config = experiment::flow_config(&prepared, flags.has("fast"));
-    config.perturbation_gamma = gamma;
+    let config = experiment::flow_builder(&prepared, flags.has("fast"))
+        .perturbation_gamma(gamma)
+        .try_build()
+        .map_err(|e| e.to_string())?;
     let outcome = PowerPlanningDl::new(config.clone())
         .run(&prepared.bench)
         .map_err(|e| e.to_string())?;
@@ -228,5 +243,56 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
         std::fs::write(model_path, predictor.to_text()).map_err(|e| e.to_string())?;
         println!("wrote trained model to {model_path}");
     }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["fast"])?;
+    let preset = preset_from(&flags)?;
+    let scale: f64 = flags.get_parse("scale", 0.01)?;
+    let seed: u64 = flags.get_parse("seed", 7)?;
+    let out = PathBuf::from(flags.get("out").ok_or("--out is required")?);
+
+    let mut builder = powerplanningdl::core::DlFlowConfig::builder().seed(seed);
+    if flags.has("fast") {
+        builder = builder.fast();
+    }
+    let config = builder.try_build().map_err(|e| e.to_string())?;
+    let bundle =
+        TrainedBundle::train(preset, scale, seed, config, None).map_err(|e| e.to_string())?;
+    bundle.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} at scale {scale}, seed {seed}, {} golden widths, stride {})",
+        out.display(),
+        preset.name(),
+        bundle.golden_widths.len(),
+        bundle.meta.inference_stride
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let bundle_path = PathBuf::from(flags.get("bundle").ok_or("--bundle is required")?);
+    let config = ServiceConfig {
+        queue_capacity: flags.get_parse("queue", ServiceConfig::default().queue_capacity)?,
+        max_batch: flags.get_parse("batch", ServiceConfig::default().max_batch)?,
+        cache_capacity: flags.get_parse("cache", ServiceConfig::default().cache_capacity)?,
+    };
+
+    let bundle = TrainedBundle::load(&bundle_path).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} ({} at scale {}, {} straps)",
+        bundle_path.display(),
+        bundle.meta.preset.name(),
+        bundle.meta.scale,
+        bundle.golden_widths.len()
+    );
+    let mut service = PredictionService::new(bundle, config).map_err(|e| e.to_string())?;
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    serve_ndjson(&mut service, BufReader::new(stdin.lock()), &mut stdout)
+        .map_err(|e| e.to_string())?;
+    eprintln!("{}", service.stats_json());
     Ok(())
 }

@@ -21,6 +21,10 @@
 //!   extraction, width prediction (Problem 1), Kirchhoff-based IR-drop
 //!   prediction (Problem 2), the perturbation engine, and the
 //!   conventional iterative baseline.
+//! * [`service`] — the batched prediction service: loads a persisted
+//!   [`TrainedBundle`](core::TrainedBundle) once and answers streams of
+//!   ECO width/IR queries over an NDJSON request/response protocol
+//!   (`ppdl serve`).
 //!
 //! # Parallel execution
 //!
@@ -56,6 +60,7 @@ pub use ppdl_core as core;
 pub use ppdl_floorplan as floorplan;
 pub use ppdl_netlist as netlist;
 pub use ppdl_nn as nn;
+pub use ppdl_service as service;
 pub use ppdl_solver as solver;
 
 pub use ppdl_solver::parallel;
