@@ -7,6 +7,12 @@
 //! wall-clock scaling. The small-grid cases double as a regression
 //! guard: below the parallel threshold the kernels must not pay for
 //! threads they don't use.
+//!
+//! The `telemetry_overhead` group guards the `ppdl-obs` promise that
+//! disabled instrumentation costs nothing measurable: the same SpMV and
+//! CG workloads with collection off vs on. The disabled numbers must
+//! stay within noise (<2%) of the pre-telemetry baselines; DESIGN.md
+//! §11 records the measured figures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ppdl_nn::{Activation, Adam, Loss, Matrix, MlpBuilder};
@@ -126,10 +132,50 @@ fn bench_training_epoch_threads(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    set_threads(0);
+    // SpMV is the most instrumentation-sensitive kernel: two counter
+    // bumps per call when enabled, one relaxed load when disabled.
+    for side in [150usize, 400] {
+        let a = grid(side);
+        let x = vec![1.0; a.ncols()];
+        let mut y = vec![0.0; a.nrows()];
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        for (label, on) in [("disabled", false), ("enabled", true)] {
+            ppdl_obs::set_enabled(on);
+            group.bench_function(
+                BenchmarkId::new(format!("spmv_{label}"), side * side),
+                |b| b.iter(|| a.mul_vec_into(&x, &mut y).expect("spmv")),
+            );
+        }
+        ppdl_obs::set_enabled(false);
+    }
+    // A full CG solve: per-iteration SpMV counters plus the
+    // convergence histogram records at the end.
+    group.sample_size(10);
+    let a = grid(150);
+    let b_vec: Vec<f64> = (0..a.nrows()).map(|i| (i % 7) as f64 * 0.1).collect();
+    let cg = ConjugateGradient::new(CgOptions {
+        tolerance: 1e-8,
+        ..CgOptions::default()
+    });
+    let pc = JacobiPreconditioner::from_matrix(&a).expect("jacobi");
+    for (label, on) in [("disabled", false), ("enabled", true)] {
+        ppdl_obs::set_enabled(on);
+        group.bench_function(BenchmarkId::new(format!("cg_{label}"), 150 * 150), |b| {
+            b.iter(|| cg.solve(&a, &b_vec, &pc).expect("cg"))
+        });
+    }
+    ppdl_obs::set_enabled(false);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_spmv_threads,
     bench_cg_threads,
-    bench_training_epoch_threads
+    bench_training_epoch_threads,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

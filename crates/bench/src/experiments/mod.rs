@@ -186,19 +186,36 @@ pub fn manifest_for(name: &str, opts: &Options) -> RunManifest {
 
 /// Runs one registered experiment end to end: applies `--threads`,
 /// opens the cache, times the run, and writes the manifest JSON next to
-/// the experiment's CSVs.
+/// the experiment's CSVs. With `--telemetry <out.json>`, process-wide
+/// span/counter collection is enabled for the run, the snapshot is
+/// written to the path, and a copy is embedded in the manifest.
 ///
 /// # Errors
 ///
-/// Propagates experiment and manifest-write errors.
+/// Propagates experiment, manifest-write, and snapshot-write errors.
 pub fn execute(def: &ExperimentDef, opts: &Options) -> Result<RunOutput, DynError> {
     opts.apply_threads();
+    if opts.telemetry.is_some() {
+        ppdl_obs::set_enabled(true);
+    }
     let cache = opts.open_cache();
     let t0 = Instant::now();
     let mut out = (def.run)(opts, cache.as_ref())?;
     out.manifest.wall = t0.elapsed();
-    let path = out.manifest.write(&opts.out_dir)?;
     use std::fmt::Write as _;
+    if let Some(telemetry_path) = &opts.telemetry {
+        let snapshot = ppdl_obs::global().snapshot_json();
+        if let Some(parent) = telemetry_path
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(telemetry_path, format!("{snapshot}\n"))?;
+        out.manifest.telemetry = Some(snapshot);
+        let _ = writeln!(out.report, "telemetry: {}", telemetry_path.display());
+    }
+    let path = out.manifest.write(&opts.out_dir)?;
     let _ = writeln!(out.report, "manifest: {}", path.display());
     Ok(out)
 }

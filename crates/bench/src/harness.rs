@@ -20,8 +20,10 @@ use ppdl_netlist::IbmPgPreset;
 /// (reduced model + training for smoke runs), `--out <dir>` (output
 /// directory, default `bench_results`), `--json` (print the run
 /// manifest to stdout, tables to stderr), `--csv <path>` (redirect the
-/// experiment's primary CSV), `--threads <n>` (worker pool size), and
-/// `--no-cache` (bypass the artifact cache).
+/// experiment's primary CSV), `--threads <n>` (worker pool size),
+/// `--no-cache` (bypass the artifact cache), and `--telemetry
+/// <out.json>` (collect process-wide spans/counters and write the
+/// snapshot there).
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Grid scale relative to Table II sizes.
@@ -40,6 +42,9 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Disable the artifact cache (every stage recomputes).
     pub no_cache: bool,
+    /// Enable telemetry collection and write the
+    /// [`ppdl_obs`] snapshot to this path after the run.
+    pub telemetry: Option<PathBuf>,
 }
 
 /// Why [`Options::parse`] did not produce options.
@@ -66,6 +71,10 @@ Options (shared by every ppdl experiment):
   --csv <path>    redirect the experiment's primary CSV to this path
   --threads <n>   worker threads for the solver/NN pool (default: all cores)
   --no-cache      bypass the artifact cache; recompute every stage
+  --telemetry <out.json>
+                  collect solver/NN/pipeline telemetry during the run and
+                  write the snapshot to <out.json> (also embedded in the
+                  run manifest)
   --help          show this message
 "
     )
@@ -84,6 +93,7 @@ impl Options {
             csv: None,
             threads: None,
             no_cache: false,
+            telemetry: None,
         }
     }
 
@@ -134,6 +144,10 @@ impl Options {
                     );
                 }
                 "--no-cache" => opts.no_cache = true,
+                "--telemetry" => {
+                    i += 1;
+                    opts.telemetry = Some(PathBuf::from(value(args, i, "--telemetry")?));
+                }
                 "--help" | "-h" => return Err(ParseError::Help),
                 other => {
                     return Err(ParseError::Bad(format!(
@@ -378,6 +392,8 @@ mod tests {
                 "--threads",
                 "2",
                 "--no-cache",
+                "--telemetry",
+                "t.json",
             ]),
             0.02,
         )
@@ -388,6 +404,7 @@ mod tests {
         assert_eq!(opts.out_dir, PathBuf::from("o"));
         assert_eq!(opts.csv.as_deref(), Some(Path::new("x.csv")));
         assert_eq!(opts.threads, Some(2));
+        assert_eq!(opts.telemetry.as_deref(), Some(Path::new("t.json")));
         assert_eq!(opts.cache_dir(), PathBuf::from("o").join("cache"));
     }
 
@@ -397,6 +414,7 @@ mod tests {
         assert!((opts.scale - 0.015).abs() < 1e-12);
         assert_eq!(opts.seed, 7);
         assert!(!opts.no_cache && opts.csv.is_none() && opts.threads.is_none());
+        assert!(opts.telemetry.is_none());
         assert!(matches!(
             Options::parse(&argv(&["--help"]), 0.02),
             Err(ParseError::Help)

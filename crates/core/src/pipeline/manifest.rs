@@ -48,6 +48,10 @@ pub struct RunManifest {
     pub started_unix: u64,
     /// Total wall-clock time of the run.
     pub wall: Duration,
+    /// A pre-serialised telemetry snapshot
+    /// (`ppdl_obs::Registry::snapshot_json`), embedded verbatim in the
+    /// manifest JSON when telemetry collection was on for the run.
+    pub telemetry: Option<String>,
 }
 
 impl RunManifest {
@@ -67,6 +71,7 @@ impl RunManifest {
                 .duration_since(UNIX_EPOCH)
                 .map_or(0, |d| d.as_secs()),
             wall: Duration::ZERO,
+            telemetry: None,
         }
     }
 
@@ -171,6 +176,12 @@ impl RunManifest {
             ));
         }
         out.push_str("  },\n");
+
+        if let Some(snapshot) = &self.telemetry {
+            out.push_str("  \"telemetry\": ");
+            out.push_str(snapshot);
+            out.push_str(",\n");
+        }
 
         out.push_str("  \"outputs\": [\n");
         for (i, o) in self.outputs.iter().enumerate() {
@@ -280,6 +291,15 @@ mod tests {
         assert!(json.contains("\"ibmpg1/train\""));
         assert!(json.contains("\"full_cache_hit\": false"));
         assert!(json.contains("\"r2\": 0.93"));
+    }
+
+    #[test]
+    fn telemetry_snapshot_embeds_verbatim() {
+        let mut m = RunManifest::new("telemetry_unit");
+        assert!(!m.to_json().contains("\"telemetry\""));
+        m.telemetry = Some("{\"counters\":{},\"histograms\":{},\"spans\":{}}".into());
+        let json = m.to_json();
+        assert!(json.contains("\"telemetry\": {\"counters\":{}"));
     }
 
     #[test]

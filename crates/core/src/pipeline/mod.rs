@@ -268,6 +268,10 @@ impl Pipeline {
 /// or execute → store → record. Exposed so composite flows (sweeps)
 /// can run stage subsets without duplicating the bookkeeping.
 pub fn run_stage(stage: &dyn Stage, ctx: &mut PipelineCtx) -> crate::Result<()> {
+    // The span wraps the whole probe/decode/execute/store sequence, so
+    // solver/NN spans opened inside a stage nest under
+    // `pipeline/<stage>/…` in the telemetry snapshot.
+    let _stage_span = ppdl_obs::span(&format!("pipeline/{}", stage.name()));
     let key = stage.cache_key(ctx);
     let t0 = Instant::now();
     let mut hit = false;
@@ -290,6 +294,10 @@ pub fn run_stage(stage: &dyn Stage, ctx: &mut PipelineCtx) -> crate::Result<()> 
                 let _ = cache.store(stage.name(), key, &text);
             }
         }
+    }
+    ppdl_obs::counter_add("pipeline/stages", 1);
+    if hit {
+        ppdl_obs::counter_add("pipeline/cache_hits", 1);
     }
     ctx.chain = key.or(ctx.chain);
     ctx.records.push(StageRecord {

@@ -1,4 +1,11 @@
+use std::time::Instant;
+
 use crate::{Adam, Dataset, Loss, Mlp, NnError};
+
+/// Per-epoch loss histogram edges: 1e-10 to 100, one decade per bucket.
+const LOSS_BOUNDS: [f64; 13] = [
+    1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+];
 
 /// Configuration for mini-batch training.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,6 +140,7 @@ impl Trainer {
             (data.clone(), None)
         };
 
+        let _fit_span = ppdl_obs::span("nn/fit");
         let mut optimizer = Adam::new(c.learning_rate)?;
         let mut train_losses = Vec::with_capacity(c.epochs);
         let mut val_losses = Vec::new();
@@ -141,6 +149,7 @@ impl Trainer {
         let mut early_stopped = false;
 
         for epoch in 0..c.epochs {
+            let epoch_start = Instant::now();
             let shuffled = train.shuffled(c.shuffle_seed.wrapping_add(epoch as u64));
             let mut sum = 0.0;
             let mut batches = 0usize;
@@ -158,7 +167,17 @@ impl Trainer {
                 sum += loss;
                 batches += 1;
             }
-            train_losses.push(sum / batches as f64);
+            let epoch_loss = sum / batches as f64;
+            if ppdl_obs::enabled() {
+                ppdl_obs::counter_add("nn/epochs", 1);
+                ppdl_obs::observe(
+                    "nn/epoch_ms",
+                    &ppdl_obs::latency_buckets_ms(),
+                    epoch_start.elapsed().as_secs_f64() * 1e3,
+                );
+                ppdl_obs::observe("nn/epoch_loss", &LOSS_BOUNDS, epoch_loss);
+            }
+            train_losses.push(epoch_loss);
 
             if let Some(v) = &val {
                 let pred = model.predict(v.x())?;

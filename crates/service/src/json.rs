@@ -5,6 +5,48 @@
 //! — a hand-rolled recursive-descent parser is ~150 lines and keeps the
 //! service crate self-contained. Writing JSON reuses
 //! [`ppdl_core::pipeline::json_string`] / `json_number`.
+//!
+//! The parser is recursive, so nesting depth is bounded at
+//! [`MAX_DEPTH`]: a hostile line of 100k `[` characters must produce a
+//! typed [`JsonError::TooDeep`], not a stack overflow that kills the
+//! serving process.
+
+use std::fmt;
+
+/// Maximum container nesting the reader accepts. Each level is one
+/// recursion frame; real protocol lines nest three levels deep, so 128
+/// leaves enormous headroom while keeping the stack bounded.
+pub const MAX_DEPTH: usize = 128;
+
+/// Why a line was rejected by the JSON reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// A syntax problem, with a human-readable description.
+    Syntax(String),
+    /// Arrays/objects nested beyond [`MAX_DEPTH`] — rejected before the
+    /// recursion can exhaust the stack.
+    TooDeep {
+        /// The nesting level at which parsing stopped.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Syntax(detail) => f.write_str(detail),
+            JsonError::TooDeep { depth } => {
+                write!(f, "containers nested deeper than {depth} levels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn syntax(detail: impl Into<String>) -> JsonError {
+    JsonError::Syntax(detail.into())
+}
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,17 +71,19 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first syntax error.
-    pub fn parse(text: &str) -> Result<Json, String> {
+    /// [`JsonError::Syntax`] describes the first syntax error;
+    /// [`JsonError::TooDeep`] rejects nesting beyond [`MAX_DEPTH`].
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
+            return Err(syntax(format!("trailing data at byte {}", p.pos)));
         }
         Ok(value)
     }
@@ -93,6 +137,7 @@ impl Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -106,25 +151,43 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    /// Enters one container level; errors *before* recursing when the
+    /// line nests deeper than [`MAX_DEPTH`], so the call stack stays
+    /// bounded no matter what arrives on the wire.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep { depth: self.depth });
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+            Err(syntax(format!(
+                "expected '{}' at byte {}",
+                byte as char, self.pos
+            )))
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("bad literal at byte {}", self.pos))
+            Err(syntax(format!("bad literal at byte {}", self.pos)))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -133,12 +196,15 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
-            None => Err("unexpected end of input".into()),
+            Some(c) => Err(syntax(format!(
+                "unexpected '{}' at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(syntax("unexpected end of input")),
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         while let Some(c) = self.peek() {
             if matches!(c, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
@@ -147,18 +213,19 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad utf-8")?;
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| syntax("bad utf-8"))?;
         text.parse::<f64>()
             .map(Json::Num)
-            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+            .map_err(|_| syntax(format!("bad number '{text}' at byte {start}")))
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".into()),
+                None => return Err(syntax("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -179,13 +246,13 @@ impl Parser<'_> {
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
                                 .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                                .ok_or_else(|| syntax("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| syntax("bad \\u escape"))?;
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        _ => return Err(syntax(format!("bad escape at byte {}", self.pos))),
                     }
                     self.pos += 1;
                 }
@@ -196,8 +263,11 @@ impl Parser<'_> {
                 Some(_) => {
                     // Multi-byte UTF-8: copy the whole scalar.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "bad utf-8 in string")?;
-                    let ch = rest.chars().next().ok_or("unterminated string")?;
+                        .map_err(|_| syntax("bad utf-8 in string"))?;
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| syntax("unterminated string"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -205,12 +275,14 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.leave();
             return Ok(Json::Arr(items));
         }
         loop {
@@ -221,19 +293,22 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(Json::Arr(items));
                 }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                _ => return Err(syntax(format!("expected ',' or ']' at byte {}", self.pos))),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.leave();
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -249,9 +324,10 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(Json::Obj(fields));
                 }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                _ => return Err(syntax(format!("expected ',' or '}}' at byte {}", self.pos))),
             }
         }
     }
@@ -300,5 +376,44 @@ mod tests {
         assert_eq!(Json::parse("3").unwrap().as_u64(), Some(3));
         assert_eq!(Json::parse("3.5").unwrap().as_u64(), None);
         assert_eq!(Json::parse("-3").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_fatal() {
+        // Regression: 100k unclosed brackets used to recurse once per
+        // level and overflow the stack, killing the serving process.
+        let bomb = "[".repeat(100_000);
+        assert_eq!(
+            Json::parse(&bomb),
+            Err(JsonError::TooDeep {
+                depth: MAX_DEPTH + 1
+            })
+        );
+        // Same via objects, and for *closed* but too-deep documents.
+        let obj_bomb = "{\"a\":".repeat(100_000);
+        assert_eq!(
+            Json::parse(&obj_bomb),
+            Err(JsonError::TooDeep {
+                depth: MAX_DEPTH + 1
+            })
+        );
+        let closed = format!("{}{}", "[".repeat(200), "]".repeat(200));
+        assert!(matches!(
+            Json::parse(&closed),
+            Err(JsonError::TooDeep { .. })
+        ));
+    }
+
+    #[test]
+    fn nesting_inside_the_limit_parses() {
+        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        let mut v = Json::parse(&deep).unwrap();
+        for _ in 0..MAX_DEPTH {
+            v = v.as_array().unwrap()[0].clone();
+        }
+        assert_eq!(v.as_f64(), Some(1.0));
+        // Sibling containers do not accumulate depth.
+        let wide = "[[1],[2],[3]]".to_string();
+        assert!(Json::parse(&wide).is_ok());
     }
 }

@@ -32,7 +32,7 @@
 mod json;
 pub mod proto;
 
-pub use json::Json;
+pub use json::{Json, JsonError, MAX_DEPTH};
 pub use proto::{parse_line, render_reply, serve_ndjson, Command};
 
 use std::collections::HashMap;
@@ -81,6 +81,14 @@ pub enum ServiceError {
         /// What was wrong with it.
         detail: String,
     },
+    /// The JSON reader refused a line before protocol interpretation —
+    /// currently: containers nested beyond [`MAX_DEPTH`]. Distinct from
+    /// [`Malformed`](Self::Malformed) so operators can tell hostile
+    /// input shapes from ordinary typos.
+    Json {
+        /// What the reader refused.
+        detail: String,
+    },
     /// A framework error from the inference path.
     Core(CoreError),
 }
@@ -93,6 +101,7 @@ impl ServiceError {
         match self {
             ServiceError::QueueFull { .. } => "service/queue_full",
             ServiceError::Malformed { .. } => "service/malformed",
+            ServiceError::Json { .. } => "service/json",
             ServiceError::Core(e) => e.code(),
         }
     }
@@ -105,6 +114,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "request queue full ({capacity} pending); flush first")
             }
             ServiceError::Malformed { detail } => write!(f, "malformed request: {detail}"),
+            ServiceError::Json { detail } => write!(f, "unacceptable JSON: {detail}"),
             ServiceError::Core(e) => e.fmt(f),
         }
     }
@@ -137,7 +147,9 @@ pub struct ServiceReply {
     pub result: Result<PredictResponse, ServiceError>,
 }
 
-/// Monotonic service counters; serialised by
+/// A point-in-time snapshot of the service's monotonic counters,
+/// reconstructed from the per-instance [`ppdl_obs::Registry`] by
+/// [`PredictionService::stats`] and serialised by
 /// [`PredictionService::stats_json`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServiceStats {
@@ -238,7 +250,21 @@ pub struct PredictionService {
     config: ServiceConfig,
     queue: Vec<PredictRequest>,
     cache: ResponseCache,
-    stats: ServiceStats,
+    /// Per-instance telemetry registry — always on, isolated from the
+    /// [`ppdl_obs::global`] registry. Counters and the batch-latency
+    /// histogram below are cached handles into it.
+    registry: ppdl_obs::Registry,
+    requests: ppdl_obs::Counter,
+    ok: ppdl_obs::Counter,
+    errors: ppdl_obs::Counter,
+    cache_hits: ppdl_obs::Counter,
+    batches: ppdl_obs::Counter,
+    /// One sample per executed batch (milliseconds), the source of the
+    /// `busy_ms` total and the p50/p95/p99 fields in
+    /// [`stats_json`](Self::stats_json).
+    batch_ms: ppdl_obs::HistogramHandle,
+    last_batch_size: usize,
+    last_batch_secs: f64,
 }
 
 impl PredictionService {
@@ -253,13 +279,28 @@ impl PredictionService {
         bundle.validate()?;
         let base = bundle.instantiate_base()?;
         let cache = ResponseCache::new(config.cache_capacity);
+        let registry = ppdl_obs::Registry::new();
+        let requests = registry.counter("service/requests");
+        let ok = registry.counter("service/ok");
+        let errors = registry.counter("service/errors");
+        let cache_hits = registry.counter("service/cache_hits");
+        let batches = registry.counter("service/batches");
+        let batch_ms = registry.histogram("service/batch_ms", &ppdl_obs::latency_buckets_ms());
         Ok(Self {
             bundle,
             base,
             config,
             queue: Vec::new(),
             cache,
-            stats: ServiceStats::default(),
+            registry,
+            requests,
+            ok,
+            errors,
+            cache_hits,
+            batches,
+            batch_ms,
+            last_batch_size: 0,
+            last_batch_secs: 0.0,
         })
     }
 
@@ -287,10 +328,27 @@ impl PredictionService {
         self.queue.len()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, reconstructed from the telemetry registry.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        ServiceStats {
+            requests: self.requests.get(),
+            ok: self.ok.get(),
+            errors: self.errors.get(),
+            cache_hits: self.cache_hits.get(),
+            batches: self.batches.get(),
+            busy_secs: self.batch_ms.sum() / 1e3,
+            last_batch_size: self.last_batch_size,
+            last_batch_secs: self.last_batch_secs,
+        }
+    }
+
+    /// The per-instance telemetry registry backing the stats: the
+    /// `service/…` counters, the `service/batch_ms` histogram, and the
+    /// `service/flush` span.
+    #[must_use]
+    pub fn registry(&self) -> &ppdl_obs::Registry {
+        &self.registry
     }
 
     /// Accepts a request into the bounded queue.
@@ -307,7 +365,7 @@ impl PredictionService {
             });
         }
         self.queue.push(request);
-        self.stats.requests += 1;
+        self.requests.inc();
         Ok(())
     }
 
@@ -317,6 +375,7 @@ impl PredictionService {
     /// per request in enqueue order. Per-request failures become typed
     /// error replies; flush itself never fails.
     pub fn flush(&mut self) -> Vec<ServiceReply> {
+        let flush_start = Instant::now();
         let mut replies = Vec::with_capacity(self.queue.len());
         while !self.queue.is_empty() {
             let n = self.queue.len().min(self.config.max_batch.max(1));
@@ -328,7 +387,7 @@ impl PredictionService {
                 if let Some(hit) = self.cache.get(request.fingerprint()) {
                     let mut response = hit.clone();
                     response.id.clone_from(&request.id);
-                    self.stats.cache_hits += 1;
+                    self.cache_hits.inc();
                     slots[i] = Some(ServiceReply {
                         id: request.id.clone(),
                         cached: true,
@@ -362,34 +421,49 @@ impl PredictionService {
                 });
             }
             let batch_secs = t0.elapsed().as_secs_f64();
-            self.stats.batches += 1;
-            self.stats.busy_secs += batch_secs;
-            self.stats.last_batch_size = batch.len();
-            self.stats.last_batch_secs = batch_secs;
+            self.batches.inc();
+            // One latency sample per *batch* — request-level latency is
+            // the batch's latency, so per-request samples would only
+            // skew the quantiles toward large batches.
+            self.batch_ms.record(batch_secs * 1e3);
+            self.last_batch_size = batch.len();
+            self.last_batch_secs = batch_secs;
             for reply in slots.into_iter().flatten() {
                 match reply.result {
-                    Ok(_) => self.stats.ok += 1,
-                    Err(_) => self.stats.errors += 1,
+                    Ok(_) => self.ok.inc(),
+                    Err(_) => self.errors.inc(),
                 }
                 replies.push(reply);
             }
+        }
+        if !replies.is_empty() {
+            self.registry
+                .record_span("service/flush", flush_start.elapsed().as_secs_f64());
         }
         replies
     }
 
     /// The JSON stats snapshot the wire protocol's `{"cmd":"stats"}`
     /// command returns: per-batch latency, lifetime throughput, cache
-    /// hits, and queue depth.
+    /// hits, queue depth, and batch-latency percentiles. The legacy
+    /// keys keep their order; the `p50_ms`/`p95_ms`/`p99_ms` estimates
+    /// (from the `service/batch_ms` histogram; `null` before the first
+    /// batch) extend the object at the end.
     #[must_use]
     pub fn stats_json(&self) -> String {
         use ppdl_core::pipeline::{json_number, json_string};
-        let s = &self.stats;
+        let s = self.stats();
+        let quantile = |q: f64| {
+            self.batch_ms
+                .quantile(q)
+                .map_or_else(|| "null".to_string(), json_number)
+        };
         format!(
             concat!(
                 "{{\"status\":\"stats\",\"preset\":{},\"requests\":{},\"ok\":{},",
                 "\"errors\":{},\"cache_hits\":{},\"batches\":{},\"queue_depth\":{},",
                 "\"busy_ms\":{},\"last_batch_size\":{},\"last_batch_ms\":{},",
-                "\"throughput_rps\":{}}}"
+                "\"throughput_rps\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{}}}"
             ),
             json_string(self.bundle.meta.preset.name()),
             s.requests,
@@ -402,6 +476,22 @@ impl PredictionService {
             s.last_batch_size,
             json_number(s.last_batch_secs * 1e3),
             json_number(s.throughput_rps()),
+            quantile(0.50),
+            quantile(0.95),
+            quantile(0.99),
+        )
+    }
+
+    /// The full telemetry snapshot the wire protocol's
+    /// `{"cmd":"stats","spans":true}` command returns: the service's
+    /// own registry plus the process-wide [`ppdl_obs::global`] registry
+    /// (which is empty unless `--telemetry` enabled global collection).
+    #[must_use]
+    pub fn telemetry_json(&self) -> String {
+        format!(
+            "{{\"status\":\"telemetry\",\"service\":{},\"global\":{}}}",
+            self.registry.snapshot_json(),
+            ppdl_obs::global().snapshot_json()
         )
     }
 }
@@ -530,6 +620,52 @@ mod tests {
     }
 
     #[test]
+    fn burst_flush_on_full_keeps_accounting_consistent() {
+        // Enqueue more requests than the queue holds in one loop,
+        // flushing on backpressure exactly as the serve loop does, and
+        // check every counter adds up afterwards. Seeds repeat (i % 5)
+        // so the second half of the burst is served from the cache.
+        let bundle =
+            TrainedBundle::train(IbmPgPreset::Ibmpg1, 0.01, 3, DlFlowConfig::fast(), None).unwrap();
+        let mut s = PredictionService::new(
+            bundle,
+            ServiceConfig {
+                queue_capacity: 4,
+                max_batch: 2,
+                cache_capacity: 16,
+            },
+        )
+        .unwrap();
+        let mut replies = Vec::new();
+        for i in 0..10u64 {
+            if s.queue_depth() >= s.config().queue_capacity {
+                replies.extend(s.flush());
+            }
+            s.enqueue(request(&format!("r{i}"), i % 5)).unwrap();
+        }
+        replies.extend(s.flush());
+
+        assert_eq!(replies.len(), 10);
+        assert_eq!(s.queue_depth(), 0);
+        let st = s.stats();
+        assert_eq!(st.requests, 10);
+        assert_eq!(st.ok, 10);
+        assert_eq!(st.errors, 0);
+        assert_eq!(st.cache_hits, 5);
+        // 10 requests drained in batches of ≤2 → exactly 5 batches.
+        assert_eq!(st.batches, 5);
+        // The latency histogram records one sample per *batch*, never
+        // per request.
+        let telemetry = Json::parse(&s.telemetry_json()).unwrap();
+        let batch_ms = telemetry
+            .get("service")
+            .and_then(|v| v.get("histograms"))
+            .and_then(|v| v.get("service/batch_ms"))
+            .expect("batch_ms histogram in snapshot");
+        assert_eq!(batch_ms.get("count").unwrap().as_u64(), Some(st.batches));
+    }
+
+    #[test]
     fn stats_json_is_parseable() {
         let mut s = service();
         s.enqueue(request("q", 5)).unwrap();
@@ -539,5 +675,17 @@ mod tests {
         assert_eq!(v.get("ok").unwrap().as_u64(), Some(1));
         assert!(v.get("throughput_rps").unwrap().as_f64().unwrap() > 0.0);
         assert!(v.get("last_batch_ms").unwrap().as_f64().unwrap() > 0.0);
+        // The percentile estimates ride along after the legacy keys.
+        for key in ["p50_ms", "p95_ms", "p99_ms"] {
+            assert!(v.get(key).unwrap().as_f64().unwrap() > 0.0, "{key}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_null_before_first_batch() {
+        let s = service();
+        let v = Json::parse(&s.stats_json()).unwrap();
+        assert_eq!(v.get("p50_ms"), Some(&Json::Null));
+        assert_eq!(v.get("p99_ms"), Some(&Json::Null));
     }
 }

@@ -7,6 +7,7 @@
 //! {"id":"q2","loads":[[0,0.0012],[17,0.0009]],"stride":2}
 //! {"cmd":"flush"}
 //! {"cmd":"stats"}
+//! {"cmd":"stats","spans":true}
 //! {"cmd":"quit"}
 //! ```
 //!
@@ -22,11 +23,16 @@
 //! "cached":…,"widths":[…]}` or `{"id":…,"status":"error","code":…,
 //! "detail":…}`; `{"cmd":"stats"}` answers with the service's
 //! [`stats_json`](crate::PredictionService::stats_json) snapshot
-//! (`"status":"stats"`). Requests accumulate in the bounded queue and
-//! execute as one parallel batch on `flush`, on `quit`, at end of
-//! input, or when the queue reaches capacity (backpressure flushes
-//! rather than drops). Malformed lines produce an error reply and the
-//! loop keeps serving.
+//! (`"status":"stats"`), and `{"cmd":"stats","spans":true}` with the
+//! full [`telemetry_json`](crate::PredictionService::telemetry_json)
+//! span/histogram dump (`"status":"telemetry"`). Requests accumulate
+//! in the bounded queue and execute as one parallel batch on `flush`,
+//! on `quit`, at end of input, or when the queue reaches capacity
+//! (backpressure flushes rather than drops). Malformed lines produce
+//! an error reply and the loop keeps serving; lines nesting JSON
+//! containers beyond [`MAX_DEPTH`](crate::MAX_DEPTH) levels are
+//! rejected with code `service/json` before the reader recurses into
+//! them, so a `[[[[…` bomb cannot overflow the stack.
 
 use std::io::{self, BufRead, Write};
 
@@ -34,7 +40,7 @@ use ppdl_core::pipeline::{json_number, json_string};
 use ppdl_core::predict::{parse_kind, PredictRequest};
 use ppdl_core::Perturbation;
 
-use crate::json::Json;
+use crate::json::{Json, JsonError};
 use crate::{PredictionService, ServiceError, ServiceReply};
 
 /// One parsed protocol line.
@@ -44,8 +50,12 @@ pub enum Command {
     Request(PredictRequest),
     /// Execute everything queued and emit the replies.
     Flush,
-    /// Emit the stats snapshot.
-    Stats,
+    /// Emit the stats snapshot (the full telemetry dump when `spans`).
+    Stats {
+        /// `true` requests the span/histogram telemetry snapshot
+        /// instead of the flat stats object.
+        spans: bool,
+    },
     /// Flush, then stop serving.
     Quit,
 }
@@ -60,11 +70,18 @@ fn malformed(detail: impl Into<String>) -> ServiceError {
 ///
 /// # Errors
 ///
-/// Returns [`ServiceError::Malformed`] for JSON/shape problems and
-/// [`ServiceError::Core`] for semantically invalid values (e.g. γ out
-/// of range), so wire replies carry the precise error code.
+/// Returns [`ServiceError::Malformed`] for JSON syntax/shape problems,
+/// [`ServiceError::Json`] when the reader refuses the line outright
+/// (nesting beyond the depth limit), and [`ServiceError::Core`] for
+/// semantically invalid values (e.g. γ out of range), so wire replies
+/// carry the precise error code.
 pub fn parse_line(line: &str) -> Result<Command, ServiceError> {
-    let value = Json::parse(line).map_err(malformed)?;
+    let value = Json::parse(line).map_err(|e| match e {
+        JsonError::TooDeep { .. } => ServiceError::Json {
+            detail: e.to_string(),
+        },
+        JsonError::Syntax(detail) => malformed(detail),
+    })?;
     if !matches!(value, Json::Obj(_)) {
         return Err(malformed("request line must be a JSON object"));
     }
@@ -74,7 +91,14 @@ pub fn parse_line(line: &str) -> Result<Command, ServiceError> {
             .ok_or_else(|| malformed("\"cmd\" must be a string"))?;
         return match cmd {
             "flush" => Ok(Command::Flush),
-            "stats" => Ok(Command::Stats),
+            "stats" => {
+                let spans = match value.get("spans") {
+                    None => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err(malformed("\"spans\" must be a boolean")),
+                };
+                Ok(Command::Stats { spans })
+            }
             "quit" => Ok(Command::Quit),
             other => Err(malformed(format!(
                 "unknown command '{other}' (flush|stats|quit)"
@@ -212,8 +236,13 @@ pub fn serve_ndjson(
                 let replies = service.flush();
                 emit_replies(&replies, output)?;
             }
-            Ok(Command::Stats) => {
-                writeln!(output, "{}", service.stats_json())?;
+            Ok(Command::Stats { spans }) => {
+                let snapshot = if spans {
+                    service.telemetry_json()
+                } else {
+                    service.stats_json()
+                };
+                writeln!(output, "{snapshot}")?;
                 output.flush()?;
             }
             Ok(Command::Quit) => break,
@@ -264,7 +293,15 @@ mod tests {
         ));
         assert!(matches!(
             parse_line("{\"cmd\":\"stats\"}"),
-            Ok(Command::Stats)
+            Ok(Command::Stats { spans: false })
+        ));
+        assert!(matches!(
+            parse_line("{\"cmd\":\"stats\",\"spans\":true}"),
+            Ok(Command::Stats { spans: true })
+        ));
+        assert!(matches!(
+            parse_line("{\"cmd\":\"stats\",\"spans\":1}"),
+            Err(ServiceError::Malformed { .. })
         ));
         assert!(matches!(
             parse_line("{\"cmd\":\"quit\"}"),
@@ -307,6 +344,11 @@ mod tests {
                 .code(),
             "service/malformed"
         );
+        // Depth-bomb lines get their own code, distinct from typos.
+        assert_eq!(
+            parse_line(&"[".repeat(100_000)).unwrap_err().code(),
+            "service/json"
+        );
     }
 
     #[test]
@@ -336,12 +378,19 @@ mod tests {
 
     #[test]
     fn malformed_lines_do_not_kill_the_loop() {
-        let replies = serve(concat!(
-            "this is not json\n",
-            "{\"id\":\"bad\",\"gamma\":42}\n",
-            "{\"id\":\"ok\",\"gamma\":0.1,\"seed\":2}\n",
-        ));
-        assert_eq!(replies.len(), 3);
+        // Includes the 100k-deep nesting bomb: before the depth limit
+        // it overflowed the parser's stack and killed the process.
+        let input = format!(
+            concat!(
+                "this is not json\n",
+                "{{\"id\":\"bad\",\"gamma\":42}}\n",
+                "{}\n",
+                "{{\"id\":\"ok\",\"gamma\":0.1,\"seed\":2}}\n",
+            ),
+            "[".repeat(100_000)
+        );
+        let replies = serve(&input);
+        assert_eq!(replies.len(), 4);
         assert_eq!(replies[0].get("status").unwrap().as_str(), Some("error"));
         assert_eq!(
             replies[0].get("code").unwrap().as_str(),
@@ -352,9 +401,34 @@ mod tests {
             replies[1].get("code").unwrap().as_str(),
             Some("core/invalid_config")
         );
+        assert_eq!(replies[2].get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(
+            replies[2].get("code").unwrap().as_str(),
+            Some("service/json")
+        );
         // The surviving request is answered by the end-of-input flush.
-        assert_eq!(replies[2].get("id").unwrap().as_str(), Some("ok"));
-        assert_eq!(replies[2].get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(replies[3].get("id").unwrap().as_str(), Some("ok"));
+        assert_eq!(replies[3].get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn stats_spans_returns_telemetry_snapshot() {
+        let replies = serve(concat!(
+            "{\"id\":\"q1\",\"gamma\":0.1,\"seed\":5}\n",
+            "{\"cmd\":\"flush\"}\n",
+            "{\"cmd\":\"stats\",\"spans\":true}\n",
+        ));
+        assert_eq!(replies.len(), 2);
+        let telemetry = &replies[1];
+        assert_eq!(telemetry.get("status").unwrap().as_str(), Some("telemetry"));
+        let service = telemetry.get("service").unwrap();
+        let counters = service.get("counters").unwrap();
+        assert_eq!(counters.get("service/ok").unwrap().as_u64(), Some(1));
+        let batch_ms = service.get("histograms").unwrap().get("service/batch_ms");
+        assert_eq!(batch_ms.unwrap().get("count").unwrap().as_u64(), Some(1));
+        assert!(service.get("spans").unwrap().get("service/flush").is_some());
+        // The global registry section is present even when disabled.
+        assert!(telemetry.get("global").unwrap().get("counters").is_some());
     }
 
     #[test]

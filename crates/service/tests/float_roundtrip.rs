@@ -1,0 +1,79 @@
+//! Property tests for the wire protocol's float serialisation.
+//!
+//! The NDJSON writer serialises every `f64` through
+//! [`ppdl_core::pipeline::json_number`]; whatever the inference path
+//! produces — including NaNs and infinities from pathological inputs —
+//! the emitted line must stay valid JSON and round-trip through the
+//! service's own reader.
+
+use ppdl_core::pipeline::json_number;
+use ppdl_service::Json;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every f64 bit pattern serialises to a token the reader accepts:
+    /// finite values round-trip bit-exactly (Rust's `{}` formatting is
+    /// shortest-round-trip), non-finite values become `null`.
+    #[test]
+    fn every_f64_bit_pattern_round_trips(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let token = json_number(v);
+        let line = format!("{{\"x\":{token}}}");
+        let parsed = Json::parse(&line).expect("writer output must parse");
+        let got = parsed.get("x").expect("field survives");
+        if v.is_finite() {
+            let back = got.as_f64().expect("finite values stay numbers");
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+        } else {
+            prop_assert_eq!(got, &Json::Null);
+        }
+    }
+
+    /// Arrays of widths (the `widths` reply field) survive the same
+    /// round trip element-wise.
+    #[test]
+    fn width_arrays_round_trip(widths in proptest::collection::vec(any::<u64>(), 0..32)) {
+        let tokens: Vec<String> = widths
+            .iter()
+            .map(|&bits| json_number(f64::from_bits(bits)))
+            .collect();
+        let line = format!("[{}]", tokens.join(","));
+        let parsed = Json::parse(&line).expect("writer output must parse");
+        let items = parsed.as_array().expect("array survives");
+        prop_assert_eq!(items.len(), widths.len());
+        for (item, &bits) in items.iter().zip(&widths) {
+            let v = f64::from_bits(bits);
+            if v.is_finite() {
+                prop_assert_eq!(item.as_f64().map(f64::to_bits), Some(v.to_bits()));
+            } else {
+                prop_assert_eq!(item, &Json::Null);
+            }
+        }
+    }
+}
+
+/// The named edge cases, deterministically (proptest may not draw them).
+#[test]
+fn named_edge_cases_never_emit_invalid_json() {
+    for v in [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        f64::EPSILON,
+        -0.0,
+        0.0,
+        5e-324, // smallest subnormal
+    ] {
+        let line = format!("{{\"x\":{}}}", json_number(v));
+        let parsed = Json::parse(&line).unwrap_or_else(|e| panic!("{v}: {e}"));
+        let got = parsed.get("x").unwrap();
+        if v.is_finite() {
+            assert_eq!(got.as_f64().map(f64::to_bits), Some(v.to_bits()), "{v}");
+        } else {
+            assert_eq!(got, &Json::Null, "{v}");
+        }
+    }
+}

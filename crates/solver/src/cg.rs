@@ -1,6 +1,33 @@
 use crate::vecops::{all_finite, axpy, dot, norm2, xpby};
 use crate::{CsrMatrix, Preconditioner, SolverError};
 
+/// Iteration-count histogram edges: 1 to 16k iterations, doubling.
+const ITER_BOUNDS: [f64; 15] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+    16384.0,
+];
+
+/// Final relative-residual histogram edges: 1e-14 to 1, one decade per
+/// bucket.
+const RESID_BOUNDS: [f64; 15] = [
+    1e-14, 1e-13, 1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0,
+];
+
+/// Telemetry for one converged solve (no-op unless collection is on).
+fn record_converged_solve(iterations: usize, relative_residual: f64) {
+    if !ppdl_obs::enabled() {
+        return;
+    }
+    let reg = ppdl_obs::global();
+    reg.counter("solver/cg/solves").inc();
+    reg.counter("solver/cg/iterations_total")
+        .add(iterations as u64);
+    reg.histogram("solver/cg/iterations", &ITER_BOUNDS)
+        .record(iterations as f64);
+    reg.histogram("solver/cg/rel_residual", &RESID_BOUNDS)
+        .record(relative_residual);
+}
+
 /// Options controlling a (preconditioned) conjugate-gradient solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CgOptions {
@@ -139,6 +166,7 @@ impl ConjugateGradient {
         let bnorm = norm2(b);
         if bnorm == 0.0 {
             // Homogeneous system with SPD matrix: the solution is zero.
+            record_converged_solve(0, 0.0);
             return Ok(CgSolution {
                 x: vec![0.0; n],
                 iterations: 0,
@@ -169,6 +197,7 @@ impl ConjugateGradient {
             history.push(resid);
         }
         if resid <= self.options.tolerance {
+            record_converged_solve(0, resid);
             return Ok(CgSolution {
                 x,
                 iterations: 0,
@@ -194,6 +223,7 @@ impl ConjugateGradient {
                 history.push(resid);
             }
             if resid <= self.options.tolerance {
+                record_converged_solve(iter, resid);
                 return Ok(CgSolution {
                     x,
                     iterations: iter,
@@ -214,6 +244,7 @@ impl ConjugateGradient {
             xpby(&z, beta, &mut p);
         }
 
+        ppdl_obs::counter_add("solver/cg/no_converge", 1);
         Err(SolverError::DidNotConverge {
             iterations: max_iter,
             residual: resid,

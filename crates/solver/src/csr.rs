@@ -1,5 +1,20 @@
 use crate::{SolverError, TripletMatrix};
 
+/// Cached SpMV telemetry handles (`calls`, `elements`): the kernel runs
+/// once per CG iteration, so the registry lookup happens once per
+/// process, not per call.
+fn spmv_counters() -> &'static (ppdl_obs::Counter, ppdl_obs::Counter) {
+    static COUNTERS: std::sync::OnceLock<(ppdl_obs::Counter, ppdl_obs::Counter)> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = ppdl_obs::global();
+        (
+            reg.counter("solver/spmv/calls"),
+            reg.counter("solver/spmv/elements"),
+        )
+    })
+}
+
 /// Compressed-sparse-row matrix.
 ///
 /// The workhorse storage format for the assembled MNA conductance matrix.
@@ -215,6 +230,11 @@ impl CsrMatrix {
                     y.len()
                 ),
             });
+        }
+        if ppdl_obs::enabled() {
+            let (calls, elements) = spmv_counters();
+            calls.inc();
+            elements.add(self.nnz() as u64);
         }
         crate::parallel::par_chunks_mut(y, |row0, out| {
             for (i, yi) in out.iter_mut().enumerate() {

@@ -6,7 +6,8 @@
 //! sweeps in `ppdl-core` — runs through the primitives in this module,
 //! so one configuration governs the whole stack:
 //!
-//! * **Thread count** — `PPDL_THREADS` env override, else the hardware
+//! * **Thread count** — `PPDL_THREADS` env override (sampled once, at
+//!   the first kernel use — see [`current_threads`]), else the hardware
 //!   parallelism; [`set_threads`] overrides at runtime (`0` resets).
 //! * **Threshold** — inputs smaller than [`par_threshold`] elements stay
 //!   on the sequential code path, so small grids pay no thread-spawn
@@ -78,6 +79,22 @@ fn env_or_hardware_threads() -> usize {
 ///
 /// Resolution order: [`set_threads`] override → `PPDL_THREADS` env
 /// variable (read once, first use) → hardware parallelism.
+///
+/// # Read-once semantics
+///
+/// `PPDL_THREADS` is sampled into a `OnceLock` the **first** time this
+/// function runs (every kernel entry point calls it), and that sample
+/// is final: mutating the env var afterwards — from a test, or from
+/// code that runs after the first solve — is silently ignored. Two
+/// consequences for callers:
+///
+/// * Set `PPDL_THREADS` in the *environment of the process*, before
+///   any kernel executes, never via `std::env::set_var` mid-run.
+/// * Anything that wants to change the count at runtime must go
+///   through [`set_threads`], which always wins over the cached env
+///   value. The `ppdl` CLI and `ppdl-bench` both route their
+///   `--threads` flags through [`set_threads`] before the first kernel
+///   use for exactly this reason.
 #[must_use]
 pub fn current_threads() -> usize {
     match THREAD_OVERRIDE.load(Ordering::Relaxed) {

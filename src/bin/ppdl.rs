@@ -5,8 +5,13 @@
 //! ppdl analyze <deck.spice> [--map map.csv] [--resolution 100]
 //! ppdl flow --preset ibmpg2 --scale 0.01 [--fast] [--gamma 0.1] [--model model.ppdl]
 //! ppdl train --preset ibmpg2 --scale 0.006 --out model.bundle [--fast]
-//! ppdl serve --bundle model.bundle [--queue 256] [--batch 64] [--cache 1024]
+//! ppdl serve --bundle model.bundle [--queue 256] [--batch 64] [--cache 1024] [--telemetry]
 //! ```
+//!
+//! Every subcommand accepts `--threads <n>` to pin the worker pool —
+//! applied before the first kernel runs, because the `PPDL_THREADS`
+//! environment override is sampled exactly once at first use (see
+//! `ppdl_solver::parallel::current_threads`).
 
 use std::io::BufReader;
 use std::path::PathBuf;
@@ -49,12 +54,17 @@ USAGE:
   ppdl analyze <deck.spice> [--map <map.csv>] [--resolution <n>]
   ppdl flow --preset <name> [--scale <f>] [--seed <n>] [--fast] [--gamma <f>] [--model <out.ppdl>]
   ppdl train --preset <name> [--scale <f>] [--seed <n>] [--fast] --out <model.bundle>
-  ppdl serve --bundle <model.bundle> [--queue <n>] [--batch <n>] [--cache <n>]
+  ppdl serve --bundle <model.bundle> [--queue <n>] [--batch <n>] [--cache <n>] [--telemetry]
+
+Every subcommand also accepts --threads <n> (pin the worker pool before
+the first kernel runs; overrides PPDL_THREADS).
 
 serve reads NDJSON requests from stdin and answers on stdout, e.g.
   {\"id\":\"q1\",\"gamma\":0.1,\"kind\":\"both\",\"seed\":5}
   {\"id\":\"q2\",\"loads\":[[0,0.0012]],\"stride\":2}
-  {\"cmd\":\"flush\"} | {\"cmd\":\"stats\"} | {\"cmd\":\"quit\"}
+  {\"cmd\":\"flush\"} | {\"cmd\":\"stats\"} | {\"cmd\":\"stats\",\"spans\":true} | {\"cmd\":\"quit\"}
+--telemetry additionally collects process-wide spans/counters (solver,
+NN, pipeline) and dumps the snapshot to stderr on exit.
 
 PRESETS: ibmpg1..ibmpg6, ibmpgnew1, ibmpgnew2 (Table II of the paper)";
 
@@ -115,6 +125,20 @@ impl Flags {
     }
 }
 
+/// Applies `--threads <n>` through [`powerplanningdl::set_threads`].
+/// Must run before the first kernel call of the subcommand: the
+/// `PPDL_THREADS` environment fallback is sampled exactly once, at the
+/// first `current_threads()` call.
+fn apply_threads(flags: &Flags) -> Result<(), String> {
+    if let Some(n) = flags.get("threads") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("bad value '{n}' for --threads"))?;
+        powerplanningdl::set_threads(n);
+    }
+    Ok(())
+}
+
 fn preset_from(flags: &Flags) -> Result<IbmPgPreset, String> {
     let name = flags.get("preset").ok_or("--preset is required")?;
     name.parse()
@@ -123,6 +147,7 @@ fn preset_from(flags: &Flags) -> Result<IbmPgPreset, String> {
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
+    apply_threads(&flags)?;
     let preset = preset_from(&flags)?;
     let scale: f64 = flags.get_parse("scale", 0.01)?;
     let seed: u64 = flags.get_parse("seed", 7)?;
@@ -153,6 +178,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
+    apply_threads(&flags)?;
     let deck_path = flags
         .positional
         .first()
@@ -193,6 +219,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 
 fn cmd_flow(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["fast"])?;
+    apply_threads(&flags)?;
     let preset = preset_from(&flags)?;
     let scale: f64 = flags.get_parse("scale", 0.01)?;
     let seed: u64 = flags.get_parse("seed", 7)?;
@@ -248,6 +275,7 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["fast"])?;
+    apply_threads(&flags)?;
     let preset = preset_from(&flags)?;
     let scale: f64 = flags.get_parse("scale", 0.01)?;
     let seed: u64 = flags.get_parse("seed", 7)?;
@@ -272,7 +300,12 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["telemetry"])?;
+    apply_threads(&flags)?;
+    let telemetry = flags.has("telemetry");
+    if telemetry {
+        powerplanningdl::obs::set_enabled(true);
+    }
     let bundle_path = PathBuf::from(flags.get("bundle").ok_or("--bundle is required")?);
     let config = ServiceConfig {
         queue_capacity: flags.get_parse("queue", ServiceConfig::default().queue_capacity)?,
@@ -294,5 +327,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     serve_ndjson(&mut service, BufReader::new(stdin.lock()), &mut stdout)
         .map_err(|e| e.to_string())?;
     eprintln!("{}", service.stats_json());
+    if telemetry {
+        eprintln!("{}", service.telemetry_json());
+    }
     Ok(())
 }

@@ -25,6 +25,10 @@
 //!   [`TrainedBundle`](core::TrainedBundle) once and answers streams of
 //!   ECO width/IR queries over an NDJSON request/response protocol
 //!   (`ppdl serve`).
+//! * [`obs`] — the zero-dependency telemetry layer every crate above
+//!   reports through: hierarchical spans, counters, and histograms with
+//!   a deterministic JSON snapshot (`ppdl serve --telemetry`,
+//!   `ppdl-bench run --telemetry`; see DESIGN.md §11).
 //!
 //! # Parallel execution
 //!
@@ -60,6 +64,7 @@ pub use ppdl_core as core;
 pub use ppdl_floorplan as floorplan;
 pub use ppdl_netlist as netlist;
 pub use ppdl_nn as nn;
+pub use ppdl_obs as obs;
 pub use ppdl_service as service;
 pub use ppdl_solver as solver;
 
