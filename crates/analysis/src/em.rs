@@ -118,11 +118,9 @@ impl EmChecker {
             }
             densities.push(density);
         }
-        violations.sort_by(|a, b| {
-            b.density
-                .partial_cmp(&a.density)
-                .expect("densities are finite")
-        });
+        // total_cmp keeps the sort panic-free even if a degenerate
+        // solve produced a NaN density (robustness/unwrap-in-lib).
+        violations.sort_by(|a, b| b.density.total_cmp(&a.density));
         Ok(EmReport {
             jmax: self.jmax,
             densities,

@@ -213,7 +213,10 @@ impl StaticAnalysis {
             }
         }
         let voltages: Vec<f64> = node_map.iter().map(|&mid| merged_v[mid.0]).collect();
-        let vdd = network.supply_voltage().expect("checked non-empty sources");
+        // Re-checked rather than expect()ed: `solve` is on the serve
+        // hot path, where a malformed deck must become a typed wire
+        // error, never a process abort (robustness/unwrap-in-lib).
+        let vdd = network.supply_voltage().ok_or(AnalysisError::NoSupply)?;
         let is_ground: Vec<bool> = network
             .node_names()
             .iter()
@@ -362,7 +365,9 @@ impl IrDropReport {
         if drops.is_empty() {
             return None;
         }
-        drops.sort_by(|a, b| a.partial_cmp(b).expect("finite drops"));
+        // total_cmp: a NaN from a degenerate solve sorts last instead
+        // of panicking the caller (robustness/unwrap-in-lib).
+        drops.sort_by(f64::total_cmp);
         let idx = ((drops.len() - 1) as f64 * q).round() as usize;
         Some(drops[idx])
     }

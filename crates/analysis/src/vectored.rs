@@ -157,9 +157,14 @@ impl VectoredAnalysis {
         let solved = ppdl_solver::parallel::par_map_vec(&steps, |_, &t| {
             let mut working = network.clone();
             for (i, (b, f)) in base.iter().zip(trace.step(t)).enumerate() {
+                // Factors were validated in `CurrentTrace::new`, but a
+                // typed error beats a worker-thread panic if that
+                // invariant ever slips (robustness/unwrap-in-lib).
                 working
                     .set_load_current(i, b * f)
-                    .expect("validated factors");
+                    .map_err(|e| AnalysisError::Undefined {
+                        detail: format!("trace step {t} load {i}: {e}"),
+                    })?;
             }
             let report = analyzer.solve(&working)?;
             let (node, worst) = report
@@ -181,8 +186,13 @@ impl VectoredAnalysis {
                 best = Some((t, node, worst, report));
             }
         }
+        // `CurrentTrace::new` rejects empty traces, so `best` is always
+        // populated; a typed error keeps the invariant checkable
+        // without a panic path (robustness/unwrap-in-lib).
         let (worst_step, worst_node, worst, worst_report) =
-            best.expect("trace has at least one step");
+            best.ok_or_else(|| AnalysisError::Undefined {
+                detail: "current trace has no steps".into(),
+            })?;
         Ok(VectoredReport {
             step_worst,
             worst_step,

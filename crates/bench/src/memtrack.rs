@@ -129,6 +129,7 @@ impl Sampler {
     pub fn start(interval: Duration) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        // ppdl-lint: allow(parallel/raw-spawn) -- single long-lived sampler thread with its own stop flag, not compute fan-out; the solver pool's thread budget does not apply
         let handle = std::thread::spawn(move || {
             let t0 = Instant::now();
             let mut samples = Vec::new();
@@ -157,8 +158,10 @@ impl Sampler {
         self.stop.store(true, Ordering::Relaxed);
         self.handle
             .take()
+            // ppdl-lint: allow(robustness/unwrap-in-lib) -- stop() consumes self, so the handle is present exactly once by move semantics
             .expect("sampler stopped twice")
             .join()
+            // ppdl-lint: allow(robustness/unwrap-in-lib) -- bench-only sampler; a panicked sampler thread should fail the bench run loudly
             .expect("sampler thread panicked")
     }
 }

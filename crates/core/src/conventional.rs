@@ -136,6 +136,7 @@ impl ConventionalFlow {
         let mut worst = f64::INFINITY;
 
         for iteration in 1..=c.max_iterations {
+            // ppdl-lint: allow(determinism/wall-clock) -- times the conventional-flow iteration for Table 2; convergence is iteration-count based, not time based
             let t0 = Instant::now();
             let report = analyzer.solve(sized.network())?;
             single = t0.elapsed();

@@ -70,10 +70,13 @@ pub fn prepare(
     let mut bench = SyntheticBenchmark::from_preset(preset, scale, seed)?;
     let target = target_worst_ir(preset);
     calibrate_to_worst_ir(&mut bench, overdrive * target)?;
+    // Generated benchmarks always carry supplies; keep the failure
+    // typed anyway so callers see an error, not an abort
+    // (robustness/unwrap-in-lib).
     let vdd = bench
         .network()
         .supply_voltage()
-        .expect("generated benchmarks always have supplies");
+        .ok_or(CoreError::Analysis(ppdl_analysis::AnalysisError::NoSupply))?;
     Ok(PreparedBenchmark {
         bench,
         margin_fraction: target / vdd,

@@ -19,7 +19,11 @@
 //!   cost is `O(elements)` by construction, which is where the paper's
 //!   ~6× speedup over the conventional analysis comes from.
 
-use std::collections::{HashMap, HashSet};
+// BTreeMap/BTreeSet, not HashMap: coordinate-keyed loads are summed
+// while the map is built and looked up per node, and the deterministic
+// key order keeps every float accumulation bitwise reproducible
+// (DESIGN.md §12, determinism/hashmap-iter).
+use std::collections::{BTreeMap, BTreeSet};
 
 use ppdl_analysis::IrDropMap;
 use ppdl_netlist::{NodeId, Orientation, SyntheticBenchmark};
@@ -310,7 +314,7 @@ impl IrPredictor {
         }
         let vdd = net
             .supply_voltage()
-            .expect("checked non-empty sources above");
+            .ok_or(CoreError::Analysis(ppdl_analysis::AnalysisError::NoSupply))?;
         let mut pinned = vec![false; n];
         let mut d: Vec<f64> = (0..n)
             .map(|i| cells[i].map_or(0.0, |c| coarse_drop[c]))
@@ -402,14 +406,14 @@ impl IrPredictor {
 
         // Loads indexed by coordinates so a strap sees via-injected
         // current regardless of which layer the load card names.
-        let mut coord_load: HashMap<(i64, i64), f64> = HashMap::new();
+        let mut coord_load: BTreeMap<(i64, i64), f64> = BTreeMap::new();
         for l in net.current_loads() {
             if let Some(xy) = net.node_name(l.node).coordinates() {
                 *coord_load.entry(xy).or_insert(0.0) += l.amps;
             }
         }
-        let mut source_nodes: HashSet<usize> = HashSet::new();
-        let mut source_coords: HashSet<(i64, i64)> = HashSet::new();
+        let mut source_nodes: BTreeSet<usize> = BTreeSet::new();
+        let mut source_coords: BTreeSet<(i64, i64)> = BTreeSet::new();
         let mut source_points: Vec<(f64, f64)> = Vec::new();
         for s in net.voltage_sources() {
             source_nodes.insert(s.node.0);
@@ -427,7 +431,7 @@ impl IrPredictor {
 
         // Collect the strap's nodes ordered along its axis.
         let mut nodes: Vec<(usize, f64)> = Vec::new();
-        let mut seen: HashSet<usize> = HashSet::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
         for seg in bench.segments().iter().filter(|s| s.strap == strap_id) {
             let r = &net.resistors()[seg.resistor];
             for id in [r.a, r.b] {
@@ -438,7 +442,7 @@ impl IrPredictor {
                 }
             }
         }
-        nodes.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite positions"));
+        nodes.sort_by(|a, b| a.1.total_cmp(&b.1));
         let m = nodes.len();
         if m < 2 {
             return Ok(nodes.into_iter().map(|(id, _)| (NodeId(id), 0.0)).collect());
@@ -476,16 +480,23 @@ impl IrPredictor {
         }
         if feeds.is_empty() {
             // Fallback: the node nearest a pin, with the via plus the
-            // orthogonal-layer return run.
-            let (j, _) = nodes
+            // orthogonal-layer return run. Strap nodes without grid
+            // coordinates cannot anchor the fallback, so they are
+            // skipped rather than panicking the serving process; a
+            // strap with *no* locatable node is a malformed design and
+            // surfaces as a typed wire error.
+            let (j, p) = nodes
                 .iter()
                 .enumerate()
+                .filter_map(|(j, (id, _))| coord(NodeId(*id)).map(|p| (j, p)))
                 .min_by(|(_, a), (_, b)| {
-                    let da = nearest_source_dist(coord(NodeId(a.0)).expect("grid node"));
-                    let db = nearest_source_dist(coord(NodeId(b.0)).expect("grid node"));
-                    da.partial_cmp(&db).expect("finite distances")
+                    nearest_source_dist(*a).total_cmp(&nearest_source_dist(*b))
                 })
-                .expect("strap has nodes");
+                .ok_or_else(|| CoreError::InvalidConfig {
+                    detail: format!(
+                        "strap {strap_id} has no node with grid coordinates to anchor a feed"
+                    ),
+                })?;
             let other = match strap.orientation {
                 Orientation::Vertical => Orientation::Horizontal,
                 Orientation::Horizontal => Orientation::Vertical,
@@ -497,7 +508,6 @@ impl IrPredictor {
                 .filter(|(_, s)| s.orientation == other)
                 .map(|(w, _)| *w)
                 .fold(0.1_f64, f64::max);
-            let p = coord(NodeId(nodes[j].0)).expect("grid node");
             let base = total
                 * (bench.spec().via_resistance + rho_other * nearest_source_dist(p) / other_width);
             feeds.push((j, base));

@@ -196,14 +196,17 @@ fn rebuild_with_sources(
     }
     for r in src.resistors() {
         net.add_resistor(r.name.clone(), r.a, r.b, r.ohms)
+            // ppdl-lint: allow(robustness/unwrap-in-lib) -- element copied verbatim from an already-validated network; revalidation cannot fail
             .expect("copied resistor is valid");
     }
     for l in src.current_loads() {
         net.add_current_load(l.name.clone(), l.node, l.amps)
+            // ppdl-lint: allow(robustness/unwrap-in-lib) -- element copied verbatim from an already-validated network; revalidation cannot fail
             .expect("copied load is valid");
     }
     for (k, &ci) in chosen.iter().chain(extra.iter()).enumerate() {
         net.add_voltage_source(format!("Vpad{k}"), candidates[ci], vdd)
+            // ppdl-lint: allow(robustness/unwrap-in-lib) -- pad candidates are validated node ids from the same network; insertion cannot fail
             .expect("copied source is valid");
     }
     net

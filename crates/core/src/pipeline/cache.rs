@@ -187,16 +187,25 @@ impl ArtifactCache {
         std::fs::read_to_string(self.path_for(stage, key)).ok()
     }
 
+    /// Counters stay usable even if a panicking thread poisoned the
+    /// mutex: the stats are plain counters with no invariant to
+    /// protect, so recover the guard (robustness/unwrap-in-lib).
+    fn stats_guard(&self) -> std::sync::MutexGuard<'_, CacheStats> {
+        self.stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Records a successful artifact decode.
     pub fn note_hit(&self, stage: &str) {
-        let mut s = self.stats.lock().expect("cache stats lock");
+        let mut s = self.stats_guard();
         s.hits += 1;
         s.per_stage.entry(stage.to_string()).or_default().0 += 1;
     }
 
     /// Records a lookup that found nothing usable.
     pub fn note_miss(&self, stage: &str) {
-        let mut s = self.stats.lock().expect("cache stats lock");
+        let mut s = self.stats_guard();
         s.misses += 1;
         s.per_stage.entry(stage.to_string()).or_default().1 += 1;
     }
@@ -210,7 +219,7 @@ impl ArtifactCache {
         std::fs::create_dir_all(&self.root)?;
         let path = self.path_for(stage, key);
         std::fs::write(&path, text)?;
-        let mut s = self.stats.lock().expect("cache stats lock");
+        let mut s = self.stats_guard();
         s.stores += 1;
         s.per_stage.entry(stage.to_string()).or_default().2 += 1;
         Ok(path)
@@ -219,7 +228,7 @@ impl ArtifactCache {
     /// A snapshot of the counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        self.stats.lock().expect("cache stats lock").clone()
+        self.stats_guard().clone()
     }
 }
 

@@ -67,6 +67,7 @@ impl RunManifest {
             outputs: Vec::new(),
             git_describe: git_describe(),
             threads: ppdl_solver::parallel::current_threads(),
+            // ppdl-lint: allow(determinism/wall-clock) -- manifest provenance timestamp; excluded from cache keys and result comparison
             started_unix: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .map_or(0, |d| d.as_secs()),

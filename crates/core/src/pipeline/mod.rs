@@ -273,6 +273,7 @@ pub fn run_stage(stage: &dyn Stage, ctx: &mut PipelineCtx) -> crate::Result<()> 
     // `pipeline/<stage>/…` in the telemetry snapshot.
     let _stage_span = ppdl_obs::span(&format!("pipeline/{}", stage.name()));
     let key = stage.cache_key(ctx);
+    // ppdl-lint: allow(determinism/wall-clock) -- measures pipeline wall time for the manifest; artifacts and cache keys never depend on it
     let t0 = Instant::now();
     let mut hit = false;
     if let (Some(cache), Some(key)) = (ctx.cache, key) {

@@ -746,6 +746,7 @@ impl Stage for ValidateStage {
     fn execute(&self, ctx: &mut PipelineCtx) -> crate::Result<()> {
         let analyzer = StaticAnalysis::new(ctx.config.conventional.analysis.clone());
         let test_bench = &ctx.predicted()?.test_bench;
+        // ppdl-lint: allow(determinism/wall-clock) -- stage wall-time goes to the run manifest and spans; stage outputs are pure functions of their inputs
         let t0 = Instant::now();
         let report = analyzer.solve(test_bench.network())?;
         let conv_secs = t0.elapsed().as_secs_f64();

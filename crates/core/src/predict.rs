@@ -234,6 +234,7 @@ pub fn predict(
     request.validate()?;
     let test_bench = request.apply(base)?;
     let stride = request.stride.unwrap_or(default_stride).max(1);
+    // ppdl-lint: allow(determinism/wall-clock) -- reports dl_ms latency alongside the prediction; the widths themselves are deterministic
     let t0 = Instant::now();
     let widths = predictor.predict_strap_widths_sampled(&test_bench, stride)?;
     let ir = IrPredictor::new().predict(&test_bench, &widths)?;

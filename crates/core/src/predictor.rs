@@ -462,16 +462,18 @@ impl WidthPredictor {
         // strap is charged for the current its vias inject regardless
         // of which layer the load card names.
         let net = bench.network();
-        let mut coord_load: std::collections::HashMap<(i64, i64), f64> =
-            std::collections::HashMap::new();
+        // BTreeMap/BTreeSet keep the float accumulations below in a
+        // deterministic key order (determinism/hashmap-iter).
+        let mut coord_load: std::collections::BTreeMap<(i64, i64), f64> =
+            std::collections::BTreeMap::new();
         for l in net.current_loads() {
             if let Some(xy) = net.node_name(l.node).coordinates() {
                 *coord_load.entry(xy).or_insert(0.0) += l.amps;
             }
         }
         let mut strap_current = vec![0.0; bench.straps().len()];
-        let mut counted: std::collections::HashSet<(usize, usize)> =
-            std::collections::HashSet::new();
+        let mut counted: std::collections::BTreeSet<(usize, usize)> =
+            std::collections::BTreeSet::new();
         for seg in bench.segments() {
             let r = &net.resistors()[seg.resistor];
             for id in [r.a.0, r.b.0] {

@@ -11,7 +11,7 @@
 //! `PPDL_THREADS` environment variable.
 
 use ppdl_analysis::StaticAnalysis;
-use ppdl_core::FeatureExtractor;
+use ppdl_core::{FeatureExtractor, IrPredictor, PredictorConfig, WidthPredictor};
 use ppdl_netlist::{IbmPgPreset, SyntheticBenchmark};
 use ppdl_nn::{Activation, Adam, Loss, Matrix, Mlp, MlpBuilder};
 use ppdl_solver::parallel::DEFAULT_PAR_THRESHOLD;
@@ -102,4 +102,74 @@ fn training_on_ibmpg2_features_is_bitwise_stable() {
             assert_eq!(a.to_bits(), b.to_bits(), "bias differs: {a} vs {b}");
         }
     }
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}] differs between 1 and 4 threads: {x} vs {y}"
+        );
+    }
+}
+
+/// The fast IR estimate accumulates per-coordinate load currents into a
+/// map before feeding the coarse grid. That accumulation must iterate
+/// in a deterministic key order (`BTreeMap`, not `HashMap` — see
+/// `determinism/hashmap-iter` in DESIGN.md §12), or the float sums —
+/// and every drop downstream of them — drift with the hasher.
+#[test]
+fn ir_prediction_is_bitwise_stable_across_thread_counts() {
+    let bench = ibmpg2();
+    let widths = bench.strap_widths();
+    let predict = |threads: usize| {
+        with_threads(threads, || {
+            IrPredictor::new().predict(&bench, &widths).unwrap()
+        })
+    };
+    let one = predict(1);
+    let four = predict(4);
+    assert_eq!(one.worst.to_bits(), four.worst.to_bits());
+    assert_bits_eq(&one.node_drops, &four.node_drops, "node_drops");
+    assert_bits_eq(&one.segment_drops, &four.segment_drops, "segment_drops");
+
+    // Repeated runs in one process must agree too — the old HashMap
+    // accumulation was stable per-process (fixed RandomState per map
+    // creation differs across maps, not runs), so the cross-process
+    // hazard is what the BTreeMap conversion removes; this guards the
+    // in-process half.
+    let again = predict(4);
+    assert_bits_eq(&four.node_drops, &again.node_drops, "repeat node_drops");
+}
+
+/// The EM-safe width projection charges each strap for the current its
+/// vias inject, accumulated through a coordinate-keyed map — same
+/// hazard, same fix (`determinism/hashmap-iter`).
+#[test]
+fn em_safe_widths_are_bitwise_stable_across_thread_counts() {
+    let bench = ibmpg2();
+    // A tiny model is enough: the hazard is in the post-prediction
+    // current accumulation, not the network itself.
+    let config = PredictorConfig {
+        hidden_layers: 2,
+        hidden_width: 8,
+        train: ppdl_nn::TrainConfig {
+            epochs: 3,
+            ..PredictorConfig::default().train
+        },
+        ..PredictorConfig::default()
+    };
+    let (predictor, _) = WidthPredictor::train(&bench, &bench.strap_widths(), config).unwrap();
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            predictor
+                .predict_strap_widths_em_safe(&bench, 0.05)
+                .unwrap()
+        })
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_bits_eq(&one, &four, "em_safe_widths");
 }

@@ -1,0 +1,177 @@
+//! The grandfathering baseline: `lint-baseline.txt`.
+//!
+//! The baseline is a ratchet, not a suppression list. Each line is
+//! `rule-id<TAB>path<TAB>count` — per-(rule, file) *counts*, not line
+//! numbers, so ordinary edits that move code around don't churn the
+//! file. `--deny` fails when any count grows; `--update-baseline`
+//! records shrinkage. Inline `ppdl-lint: allow` comments are for
+//! violations that are *correct and permanent*; the baseline is for
+//! pre-existing debt that must only ever shrink.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Per-(rule, path) finding counts — the unit the ratchet compares.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Aggregates findings into baseline counts.
+#[must_use]
+pub fn count_findings(findings: &[Finding]) -> Counts {
+    let mut counts = Counts::new();
+    for f in findings {
+        *counts
+            .entry((f.rule.to_string(), f.path.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Parses baseline text. Blank lines and `#` comments are skipped;
+/// malformed lines are reported as errors (a corrupt ratchet must not
+/// silently allow regressions).
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected 'rule<TAB>path<TAB>count', got '{raw}'",
+                i + 1
+            ));
+        };
+        let n: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count '{count}'", i + 1))?;
+        counts.insert((rule.to_string(), path.to_string()), n);
+    }
+    Ok(counts)
+}
+
+/// Renders counts as baseline text (sorted, reproducible).
+#[must_use]
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# ppdl-lint baseline: grandfathered findings, per (rule, file) count.\n\
+         # This file may only ever shrink. Regenerate with `ppdl-lint --update-baseline`\n\
+         # after *reducing* findings; `ppdl-lint --deny` fails if any count grows.\n",
+    );
+    for ((rule, path), n) in counts {
+        out.push_str(&format!("{rule}\t{path}\t{n}\n"));
+    }
+    out
+}
+
+/// The verdict of comparing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// (rule, path, current, baselined): counts that grew — failures.
+    pub grown: Vec<(String, String, usize, usize)>,
+    /// (rule, path, baselined, current): counts that shrank — run
+    /// `--update-baseline` to record the progress.
+    pub stale: Vec<(String, String, usize, usize)>,
+    /// Findings not covered by the baseline at all (new rule/file).
+    pub new_findings: usize,
+}
+
+impl Diff {
+    /// True when nothing grew.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.grown.is_empty() && self.new_findings == 0
+    }
+}
+
+/// Compares current findings against baseline counts.
+#[must_use]
+pub fn diff(findings: &[Finding], baseline: &Counts) -> Diff {
+    let current = count_findings(findings);
+    let mut d = Diff::default();
+    for ((rule, path), &n) in &current {
+        let base = baseline.get(&(rule.clone(), path.clone())).copied();
+        match base {
+            None => {
+                d.new_findings += n;
+                d.grown.push((rule.clone(), path.clone(), n, 0));
+            }
+            Some(b) if n > b => d.grown.push((rule.clone(), path.clone(), n, b)),
+            _ => {}
+        }
+    }
+    for ((rule, path), &b) in baseline {
+        let n = current
+            .get(&(rule.clone(), path.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n < b {
+            d.stale.push((rule.clone(), path.clone(), b, n));
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let findings = vec![
+            finding("robustness/unwrap-in-lib", "crates/a/src/lib.rs"),
+            finding("robustness/unwrap-in-lib", "crates/a/src/lib.rs"),
+            finding("determinism/wall-clock", "crates/b/src/x.rs"),
+        ];
+        let counts = count_findings(&findings);
+        let back = parse(&render(&counts)).unwrap();
+        assert_eq!(counts, back);
+    }
+
+    #[test]
+    fn growth_and_shrinkage_detected() {
+        let baseline = parse("robustness/unwrap-in-lib\tcrates/a/src/lib.rs\t2\n").unwrap();
+        // Same count: clean.
+        let same = vec![
+            finding("robustness/unwrap-in-lib", "crates/a/src/lib.rs"),
+            finding("robustness/unwrap-in-lib", "crates/a/src/lib.rs"),
+        ];
+        assert!(diff(&same, &baseline).is_clean());
+        // Grown: dirty.
+        let mut grown = same.clone();
+        grown.push(finding("robustness/unwrap-in-lib", "crates/a/src/lib.rs"));
+        let d = diff(&grown, &baseline);
+        assert!(!d.is_clean());
+        assert_eq!(d.grown.len(), 1);
+        // Shrunk: clean but stale.
+        let d = diff(&same[..1], &baseline);
+        assert!(d.is_clean());
+        assert_eq!(d.stale.len(), 1);
+        // New file not in baseline: dirty.
+        let d = diff(
+            &[finding("determinism/hashmap-iter", "crates/c/src/lib.rs")],
+            &baseline,
+        );
+        assert!(!d.is_clean());
+        assert_eq!(d.new_findings, 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse("rule only\n").is_err());
+        assert!(parse("rule\tpath\tnot-a-number\n").is_err());
+        assert!(parse("# comment\n\n").unwrap().is_empty());
+    }
+}

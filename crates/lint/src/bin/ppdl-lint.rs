@@ -1,0 +1,163 @@
+//! The `ppdl-lint` CLI: lint the workspace, compare against the
+//! baseline ratchet, and report.
+//!
+//! Exit codes: `0` clean (or baselined), `1` findings in `--deny`
+//! mode, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ppdl_lint::{baseline, findings_to_json, lint_workspace, Finding, RULES};
+
+const USAGE: &str = "\
+ppdl-lint — workspace invariant checker (DESIGN.md §12)
+
+USAGE:
+    ppdl-lint [OPTIONS]
+
+OPTIONS:
+    --root <dir>        Workspace root to lint (default: .)
+    --baseline <file>   Baseline file (default: <root>/lint-baseline.txt)
+    --deny              Exit 1 on any finding not covered by the baseline
+    --json              Emit findings as JSON instead of text
+    --update-baseline   Rewrite the baseline with current counts
+    --rules             List every rule ID and exit
+    --help              Show this help
+";
+
+struct Args {
+    root: PathBuf,
+    baseline_path: Option<PathBuf>,
+    deny: bool,
+    json: bool,
+    update_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline_path: None,
+        deny: false,
+        json: false,
+        update_baseline: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--baseline" => {
+                args.baseline_path =
+                    Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?));
+            }
+            "--deny" => args.deny = true,
+            "--json" => args.json = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for (id, summary) in RULES {
+            println!("{id:32} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = match lint_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: linting {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-baseline.txt"));
+
+    if args.update_baseline {
+        let counts = baseline::count_findings(&findings);
+        let text = baseline::render(&counts);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("error: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} entries, {} findings)",
+            baseline_path.display(),
+            counts.len(),
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_counts = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => baseline::Counts::new(), // no baseline: everything is new
+    };
+    let diff = baseline::diff(&findings, &baseline_counts);
+
+    if args.json {
+        println!("{}", findings_to_json(&findings));
+    } else {
+        report_text(&findings, &diff, &baseline_counts);
+    }
+
+    if args.deny && !diff.is_clean() {
+        eprintln!(
+            "ppdl-lint: {} finding group(s) exceed the baseline — fix them or add an \
+             inline `// ppdl-lint: allow(rule) -- reason`",
+            diff.grown.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn report_text(findings: &[Finding], diff: &baseline::Diff, baseline_counts: &baseline::Counts) {
+    let current = baseline::count_findings(findings);
+    for f in findings {
+        let key = (f.rule.to_string(), f.path.clone());
+        let grandfathered = baseline_counts.get(&key).copied().unwrap_or(0)
+            >= current.get(&key).copied().unwrap_or(0);
+        let tag = if grandfathered { " [baselined]" } else { "" };
+        println!("{}:{}: {} — {}{}", f.path, f.line, f.rule, f.detail, tag);
+    }
+    for (rule, path, n, b) in &diff.grown {
+        println!("GROWN  {rule} {path}: {n} > baseline {b}");
+    }
+    for (rule, path, b, n) in &diff.stale {
+        println!("STALE  {rule} {path}: baseline {b} > current {n} (run --update-baseline)");
+    }
+    println!(
+        "{} finding(s), {} over baseline, {} stale baseline entr(y/ies)",
+        findings.len(),
+        diff.grown.len(),
+        diff.stale.len()
+    );
+}

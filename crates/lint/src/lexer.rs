@@ -1,0 +1,500 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The linter must never report `unwrap()` inside a string literal or a
+//! doc comment, and must never lose its place inside `r#"…"#` raw
+//! strings or nested `/* /* */ */` block comments — so the lexer is a
+//! real tokenizer, not a regex scan. It deliberately stays shallow
+//! everywhere precision is not needed (number suffixes, raw
+//! identifiers): rule matching only ever compares identifier text and
+//! single punctuation tokens.
+//!
+//! Comments are emitted as ordinary tokens: the suppression collector
+//! reads `// ppdl-lint: allow(…)` markers out of them, and the rule
+//! engine drops them before pattern matching.
+
+/// What a token is, as far as the linter cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `HashMap`, …).
+    Ident,
+    /// One punctuation token. Multi-character operators are split into
+    /// single characters except `::`, which rules match as a unit.
+    Punct,
+    /// A string, raw string, byte string, char, or number literal. The
+    /// text is *not* preserved — literal contents must never trigger a
+    /// rule, so the token carries a placeholder.
+    Literal,
+    /// A `//…` line comment or `/*…*/` block comment, text preserved
+    /// verbatim (without trailing newline) for suppression parsing.
+    Comment,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (placeholder `"<lit>"` for literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    fn new(kind: TokKind, text: impl Into<String>, line: u32) -> Self {
+        Tok {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+}
+
+/// Lexes `source` into tokens, comments included.
+///
+/// The lexer is total: any byte sequence produces *some* token stream
+/// (unknown characters become `Punct`), so a syntactically broken file
+/// degrades to weaker linting instead of a crash.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Tok> {
+    let b: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Tok::new(
+                    TokKind::Comment,
+                    b[start..i].iter().collect::<String>(),
+                    line,
+                ));
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok::new(
+                    TokKind::Comment,
+                    b[start..i].iter().collect::<String>(),
+                    start_line,
+                ));
+            }
+            '"' => {
+                i = skip_plain_string(&b, i, &mut line);
+                toks.push(Tok::new(TokKind::Literal, "<lit>", line));
+            }
+            '\'' => {
+                // Lifetime/label vs char literal: a lifetime is `'`
+                // followed by an identifier char with no closing quote
+                // right after it (`'a'` is a char, `'a` a lifetime).
+                let next = b.get(i + 1).copied();
+                let is_lifetime = match next {
+                    Some(n) if n == '_' || n.is_alphabetic() => b.get(i + 2) != Some(&'\''),
+                    _ => false,
+                };
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                        i += 1;
+                    }
+                    toks.push(Tok::new(
+                        TokKind::Lifetime,
+                        b[start..i].iter().collect::<String>(),
+                        line,
+                    ));
+                } else {
+                    // Char literal: skip escapes, stop at closing quote.
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                // Unterminated char on this line; bail
+                                // so a stray quote can't eat the file.
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Tok::new(TokKind::Literal, "<lit>", line));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                i = skip_number(&b, i);
+                toks.push(Tok::new(TokKind::Literal, "<lit>", line));
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                // String-literal prefixes: r"…", r#"…"#, b"…", br#"…"#.
+                if matches!(ident.as_str(), "r" | "b" | "br") {
+                    if let Some(end) = try_raw_or_byte_string(&b, i, &ident, &mut line) {
+                        i = end;
+                        toks.push(Tok::new(TokKind::Literal, "<lit>", line));
+                        continue;
+                    }
+                }
+                toks.push(Tok::new(TokKind::Ident, ident, line));
+            }
+            ':' if b.get(i + 1) == Some(&':') => {
+                toks.push(Tok::new(TokKind::Punct, "::", line));
+                i += 2;
+            }
+            _ => {
+                toks.push(Tok::new(TokKind::Punct, c.to_string(), line));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the
+/// index one past the closing quote and counts embedded newlines.
+fn skip_plain_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// If position `i` (just past a `r`/`b`/`br` prefix ident) starts a
+/// raw/byte string, skips it and returns the end index.
+fn try_raw_or_byte_string(b: &[char], i: usize, prefix: &str, line: &mut u32) -> Option<usize> {
+    match prefix {
+        // b"…" — an ordinary escaped string with a byte prefix.
+        "b" if b.get(i) == Some(&'"') => Some(skip_plain_string(b, i, line)),
+        // r#"…"#, br##"…"## — raw: no escapes, delimited by quote plus
+        // the same number of hashes.
+        "r" | "br" => {
+            let mut hashes = 0usize;
+            while b.get(i + hashes) == Some(&'#') {
+                hashes += 1;
+            }
+            if b.get(i + hashes) != Some(&'"') {
+                return None; // raw identifier like r#type, or plain ident
+            }
+            let mut j = i + hashes + 1;
+            while j < b.len() {
+                if b[j] == '\n' {
+                    *line += 1;
+                    j += 1;
+                } else if b[j] == '"' && (1..=hashes).all(|k| b.get(j + k) == Some(&'#')) {
+                    return Some(j + 1 + hashes);
+                } else {
+                    j += 1;
+                }
+            }
+            Some(j)
+        }
+        _ => None,
+    }
+}
+
+/// Skips a number literal: digits, `0x…`, `1_000`, `0.006`, `1e999`,
+/// suffixes like `f64`. A `.` is part of the number only when followed
+/// by a digit, so `0..n` ranges lex as number, `.`, `.`, ident.
+fn skip_number(b: &[char], mut i: usize) -> usize {
+    while i < b.len() {
+        let c = b[i];
+        if c == '_' || c.is_ascii_alphanumeric() {
+            // `1e-9` / `1E+30`: a sign directly after an exponent `e`
+            // belongs to the literal.
+            if (c == 'e' || c == 'E')
+                && matches!(b.get(i + 1), Some('+') | Some('-'))
+                && matches!(b.get(i + 2), Some(d) if d.is_ascii_digit())
+            {
+                i += 2;
+            }
+            i += 1;
+        } else if c == '.' && matches!(b.get(i + 1), Some(d) if d.is_ascii_digit()) {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Removes test-only code from a token stream: items annotated
+/// `#[test]`, `#[cfg(test)]` (including `mod tests { … }` bodies) and
+/// `#[cfg(any(test, …))]` disappear along with their attributes.
+///
+/// Detection is lexical: an attribute whose tokens mention `test`
+/// outside a `not(…)` marks the *next item* as test-only; the item is
+/// skipped through its balanced `{…}` body (or trailing `;`). This is
+/// exactly the granularity the rules need — production rules must not
+/// fire on test scaffolding, and test scaffolding may not hide
+/// production code (a `#[cfg(not(test))]` item is production and is
+/// kept).
+#[must_use]
+pub fn strip_test_code(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct && toks[i].text == "#" {
+            let (end, is_test) = scan_attribute(toks, i);
+            if is_test {
+                i = skip_item(toks, end);
+                continue;
+            }
+            // Keep the attribute itself.
+            out.extend_from_slice(&toks[i..end]);
+            i = end;
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Scans an attribute starting at `#`; returns (index one past the
+/// closing `]`, whether it marks test-only code).
+fn scan_attribute(toks: &[Tok], start: usize) -> (usize, bool) {
+    let mut i = start + 1;
+    // Inner attribute `#![…]`.
+    if toks.get(i).is_some_and(|t| t.text == "!") {
+        i += 1;
+    }
+    if !toks.get(i).is_some_and(|t| t.text == "[") {
+        return (start + 1, false);
+    }
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut not_depth: Option<usize> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "[") | (TokKind::Punct, "(") => depth += 1,
+            (TokKind::Punct, "]") | (TokKind::Punct, ")") => {
+                depth -= 1;
+                if let Some(nd) = not_depth {
+                    if depth <= nd {
+                        not_depth = None;
+                    }
+                }
+                if depth == 0 {
+                    return (i + 1, is_test);
+                }
+            }
+            (TokKind::Ident, "not") => not_depth = not_depth.or(Some(depth)),
+            (TokKind::Ident, "test") if not_depth.is_none() => is_test = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, is_test)
+}
+
+/// Skips one item starting at `start`: any further attributes, then
+/// tokens up to and including a balanced `{…}` body or a `;` at
+/// nesting depth zero.
+fn skip_item(toks: &[Tok], mut start: usize) -> usize {
+    // Consume stacked attributes on the same item.
+    while toks.get(start).is_some_and(|t| t.text == "#") {
+        let (end, _) = scan_attribute(toks, start);
+        start = end;
+    }
+    let mut i = start;
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && toks[i].text == "}" {
+                    return i + 1;
+                }
+            }
+            ";" if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_containing_unwrap_is_a_literal() {
+        let src = r##"let s = r#"x.unwrap() // not code"#; s.len()"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"len".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn line_comment_marker_inside_string_is_not_a_comment() {
+        let toks = lex(r#"let url = "https://example.com"; after()"#);
+        assert!(toks.iter().all(|t| t.kind != TokKind::Comment));
+        assert!(toks.iter().any(|t| t.text == "after"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = lex("/* outer /* inner */ still comment */ visible()");
+        let comments: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("inner"));
+        assert!(toks.iter().any(|t| t.text == "visible"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_swallows_rest() {
+        let toks = lex("/* never closed\ncode()");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_distinguished() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 2); // 'x' and '\''
+    }
+
+    #[test]
+    fn escaped_quote_in_string_does_not_end_it() {
+        let toks = lex(r#"let s = "he said \"unwrap()\""; done()"#);
+        assert!(toks.iter().any(|t| t.text == "done"));
+        assert!(!toks.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let ids = idents("for i in 0..m { g(i); } let x = 1e-9 + 0.5_f64;");
+        assert!(ids.contains(&"m".to_string()));
+        assert!(ids.contains(&"g".to_string()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_skipped() {
+        let toks = lex(r###"let a = b"unwrap()"; let c = br#"panic!"#; ok()"###);
+        assert!(toks.iter().any(|t| t.text == "ok"));
+        assert!(!toks.iter().any(|t| t.text == "unwrap" || t.text == "panic"));
+    }
+
+    #[test]
+    fn lines_tracked_through_multiline_strings_and_comments() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nmarker()";
+        let toks = lex(src);
+        let marker = toks.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(marker.line, 5);
+    }
+
+    #[test]
+    fn cfg_test_module_is_stripped() {
+        let src = "fn keep() {}\n#[cfg(test)]\nmod tests {\n  fn gone() { x.unwrap(); }\n}\nfn also_kept() {}";
+        let kept = strip_test_code(&lex(src));
+        let ids: Vec<&str> = kept.iter().map(|t| t.text.as_str()).collect();
+        assert!(ids.contains(&"keep"));
+        assert!(ids.contains(&"also_kept"));
+        assert!(!ids.contains(&"gone"));
+        assert!(!ids.contains(&"unwrap"));
+    }
+
+    #[test]
+    fn test_attribute_fn_is_stripped() {
+        let src = "#[test]\nfn a_test() { v.unwrap(); }\nfn prod() {}";
+        let kept = strip_test_code(&lex(src));
+        assert!(kept.iter().any(|t| t.text == "prod"));
+        assert!(!kept.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        let src = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }";
+        let kept = strip_test_code(&lex(src));
+        assert!(kept.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn cfg_any_with_test_is_stripped() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() { x.unwrap(); }\nfn prod() {}";
+        let kept = strip_test_code(&lex(src));
+        assert!(!kept.iter().any(|t| t.text == "unwrap"));
+        assert!(kept.iter().any(|t| t.text == "prod"));
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_unbalance_item_skip() {
+        let src =
+            "#[cfg(test)]\nmod tests { fn f() { let s = \"}}}\"; s.unwrap(); } }\nfn prod() {}";
+        let kept = strip_test_code(&lex(src));
+        assert!(!kept.iter().any(|t| t.text == "unwrap"));
+        assert!(kept.iter().any(|t| t.text == "prod"));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = lex("std::thread::spawn");
+        let punct: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(punct, vec!["::", "::"]);
+    }
+}

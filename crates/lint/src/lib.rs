@@ -1,0 +1,103 @@
+//! `ppdl-lint` — the workspace invariant checker.
+//!
+//! PRs 1–4 built the reproduction's operational guarantees by hand:
+//! bitwise-deterministic parallel reductions (PR 1), cache keys that
+//! are pure functions of configuration (PR 2), a serving process that
+//! turns every malformed input into a typed `layer/kind` wire error
+//! instead of dying (PR 3), and telemetry that never perturbs compute
+//! (PR 4). None of those properties are visible to `rustc` — one stray
+//! `HashMap` iteration feeding a sum, one `std::thread::spawn` outside
+//! the fixed-order reduction layer, one `unwrap()` on the serve path,
+//! and the guarantee silently rots until a golden test flakes much
+//! later.
+//!
+//! This crate makes the invariants machine-checked. It is std-only and
+//! dependency-free (the same zero-dep discipline as the hand-rolled
+//! JSON reader in `crates/service/src/json.rs`): a real lexer
+//! ([`lexer`]) that skips strings, raw strings, char literals, and
+//! nested block comments; named rules with stable IDs ([`rules`]);
+//! explicit, auditable suppressions (inline
+//! `// ppdl-lint: allow(rule-id) -- reason` comments); and a
+//! shrink-only baseline ratchet ([`baseline`]) for grandfathered debt.
+//!
+//! The `ppdl-lint` binary drives it:
+//!
+//! ```text
+//! ppdl-lint            # report all findings (informational)
+//! ppdl-lint --deny     # CI mode: exit 1 on any non-baselined finding
+//! ppdl-lint --json     # machine-readable findings
+//! ppdl-lint --update-baseline   # record shrinkage in lint-baseline.txt
+//! ```
+//!
+//! Rule IDs, their rationale, and the suppression policy are
+//! documented in DESIGN.md §12.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::{count_findings, diff, Counts, Diff};
+pub use rules::{lint_file, FileClass, FileInput, Finding, RULES};
+pub use walk::{discover, lint_workspace};
+
+/// Renders findings as one JSON object (deterministic key order), for
+/// `--json` mode and machine consumption in CI.
+#[must_use]
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"detail\":{}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.detail),
+        ));
+    }
+    out.push_str(&format!("],\"total\":{}}}", findings.len()));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        let findings = vec![Finding {
+            rule: "robustness/unwrap-in-lib",
+            path: "a\"b".into(),
+            line: 7,
+            detail: "tab\there".into(),
+        }];
+        let j = findings_to_json(&findings);
+        assert!(j.contains("a\\\"b"));
+        assert!(j.contains("tab\\there"));
+        assert!(j.ends_with("\"total\":1}"));
+    }
+}

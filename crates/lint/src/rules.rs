@@ -1,0 +1,582 @@
+//! The named invariant rules and the engine that applies them to one
+//! file's token stream.
+//!
+//! Every rule has a stable ID (`layer/kind`, mirroring the error-code
+//! registry): CI output, suppression comments, and the baseline file
+//! all refer to rules by these IDs, so they are append-only. The
+//! rationale for each rule — which PR-1..4 invariant it guards — lives
+//! in DESIGN.md §12.
+
+use crate::lexer::{lex, strip_test_code, Tok, TokKind};
+
+/// `determinism/hashmap-iter`: no `HashMap`/`HashSet` in production
+/// code. Iteration order can silently leak into numeric accumulation
+/// or serialized output; use `BTreeMap`/`BTreeSet`, or suppress with a
+/// reason explaining why iteration order never escapes (lookup-only).
+pub const HASHMAP_ITER: &str = "determinism/hashmap-iter";
+/// `determinism/wall-clock`: no `Instant::now()`/`SystemTime::now()`
+/// outside `ppdl-obs`/`ppdl-bench`. Wall-clock reads in compute code
+/// are how timing data sneaks into deterministic outputs.
+pub const WALL_CLOCK: &str = "determinism/wall-clock";
+/// `parallel/raw-spawn`: no `std::thread::spawn`/`thread::scope`
+/// outside `ppdl_solver::parallel`. All parallelism goes through the
+/// fixed-order reduction layer or determinism is lost.
+pub const RAW_SPAWN: &str = "parallel/raw-spawn";
+/// `robustness/unwrap-in-lib`: no `unwrap()`/`expect()`/`panic!` in
+/// non-test library code — malformed inputs must surface as typed
+/// `layer/kind` wire errors, not abort the serving process.
+pub const UNWRAP_IN_LIB: &str = "robustness/unwrap-in-lib";
+/// `robustness/print-in-lib`: no `println!`/`eprintln!`/`print!`/
+/// `eprint!` in library crates (CLI binaries and the reporting crate
+/// `ppdl-bench` excepted) — libraries return data, they don't write to
+/// the service's wire.
+pub const PRINT_IN_LIB: &str = "robustness/print-in-lib";
+/// `hygiene/forbid-unsafe`: every library crate root carries
+/// `#![forbid(unsafe_code)]`, and the `unsafe` keyword appears nowhere
+/// (allowlisted: `bench/src/memtrack.rs`, whose `GlobalAlloc` impl is
+/// the one necessary exception).
+pub const FORBID_UNSAFE: &str = "hygiene/forbid-unsafe";
+/// `hygiene/unused-allow`: a `ppdl-lint: allow(…)` comment that
+/// suppresses nothing. Dead suppressions hide rot: the next violation
+/// on that line would be silently excused.
+pub const UNUSED_ALLOW: &str = "hygiene/unused-allow";
+/// `hygiene/allow-without-reason`: a suppression missing the
+/// `-- reason` clause. Suppressions are part of the audit trail; a
+/// reasonless one is rejected *and* does not suppress.
+pub const ALLOW_WITHOUT_REASON: &str = "hygiene/allow-without-reason";
+/// `hygiene/unknown-rule`: a suppression naming a rule ID that does
+/// not exist (typo, or a rule that was renamed — IDs are append-only
+/// precisely so this cannot happen silently).
+pub const UNKNOWN_RULE: &str = "hygiene/unknown-rule";
+
+/// Every rule ID with a one-line summary, in stable display order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        HASHMAP_ITER,
+        "HashMap/HashSet in production code; use BTreeMap/BTreeSet or justify lookup-only use",
+    ),
+    (
+        WALL_CLOCK,
+        "Instant::now()/SystemTime::now() outside ppdl-obs/ppdl-bench",
+    ),
+    (
+        RAW_SPAWN,
+        "std::thread::spawn/scope outside ppdl_solver::parallel",
+    ),
+    (
+        UNWRAP_IN_LIB,
+        "unwrap()/expect()/panic! in non-test library code",
+    ),
+    (
+        PRINT_IN_LIB,
+        "println!/eprintln!/print!/eprint! in library crates",
+    ),
+    (
+        FORBID_UNSAFE,
+        "crate root missing #![forbid(unsafe_code)], or unsafe keyword used",
+    ),
+    (UNUSED_ALLOW, "suppression comment that matches no finding"),
+    (
+        ALLOW_WITHOUT_REASON,
+        "suppression comment without a `-- reason` clause",
+    ),
+    (
+        UNKNOWN_RULE,
+        "suppression naming a rule ID that does not exist",
+    ),
+];
+
+/// True iff `id` is a known rule ID.
+#[must_use]
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == id)
+}
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FileClass {
+    /// Library source (`crates/*/src/**`, root `src/lib.rs`): all rules.
+    Lib,
+    /// Binary source (`src/bin/**`): CLIs may print and unwrap at the
+    /// top level, but determinism and parallelism rules still apply.
+    Bin,
+}
+
+/// One file handed to the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct FileInput<'a> {
+    /// Workspace-relative path with `/` separators (stable across
+    /// platforms; this exact string appears in the baseline).
+    pub path: &'a str,
+    /// Library or binary source.
+    pub class: FileClass,
+    /// The crate directory name (`core`, `solver`, …; `root` for the
+    /// top-level `src/`).
+    pub crate_name: &'a str,
+    /// Whether this file is a crate root (`lib.rs`) that must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+    /// File contents.
+    pub source: &'a str,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule ID.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the exact hit.
+    pub detail: String,
+}
+
+/// A parsed `// ppdl-lint: allow(rule, …) -- reason` suppression.
+#[derive(Debug)]
+struct Allow {
+    rules: Vec<String>,
+    line: u32,
+    has_reason: bool,
+    used: bool,
+}
+
+/// The marker suppression comments carry.
+pub const ALLOW_MARKER: &str = "ppdl-lint: allow(";
+
+fn parse_allows(toks: &[Tok]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        // The marker must *start* the comment (after the `//`/`/*`
+        // delimiters): a doc sentence that merely mentions the syntax,
+        // like this one, is not a suppression.
+        let body = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        if !body.starts_with(ALLOW_MARKER) {
+            continue;
+        }
+        let rest = &body[ALLOW_MARKER.len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let has_reason = rest[close + 1..]
+            .split_once("--")
+            .is_some_and(|(_, reason)| !reason.trim().is_empty());
+        allows.push(Allow {
+            rules,
+            line: t.line,
+            has_reason,
+            used: false,
+        });
+    }
+    allows
+}
+
+/// Lints one file: lexes, collects suppressions, strips test code,
+/// applies every applicable rule, then resolves suppressions (a valid
+/// allow on the finding's line or the line above removes it).
+#[must_use]
+pub fn lint_file(input: &FileInput<'_>) -> Vec<Finding> {
+    let toks = lex(input.source);
+    let mut allows = parse_allows(&toks);
+    let code = strip_test_code(&toks);
+    let sig: Vec<&Tok> = code
+        .iter()
+        .filter(|t| matches!(t.kind, TokKind::Ident | TokKind::Punct))
+        .collect();
+
+    let mut raw = Vec::new();
+    scan_token_rules(input, &sig, &mut raw);
+    if input.is_crate_root && input.crate_name != "bench" {
+        check_forbid_unsafe_root(input, &toks, &mut raw);
+    }
+
+    let mut findings = Vec::new();
+    // Hygiene findings about the suppressions themselves come first and
+    // are never suppressible.
+    for a in &allows {
+        if !a.has_reason {
+            findings.push(Finding {
+                rule: ALLOW_WITHOUT_REASON,
+                path: input.path.to_string(),
+                line: a.line,
+                detail: "suppression must carry `-- reason`; it is ignored until it does".into(),
+            });
+        }
+        for r in &a.rules {
+            if !is_known_rule(r) {
+                findings.push(Finding {
+                    rule: UNKNOWN_RULE,
+                    path: input.path.to_string(),
+                    line: a.line,
+                    detail: format!("allow names unknown rule '{r}'"),
+                });
+            }
+        }
+    }
+
+    for f in raw {
+        let suppressed = allows.iter_mut().any(|a| {
+            a.has_reason
+                && (a.line == f.line || a.line + 1 == f.line)
+                && a.rules.iter().any(|r| r == f.rule)
+                && {
+                    a.used = true;
+                    true
+                }
+        });
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+
+    for a in &allows {
+        if a.has_reason && !a.used && a.rules.iter().all(|r| is_known_rule(r)) {
+            findings.push(Finding {
+                rule: UNUSED_ALLOW,
+                path: input.path.to_string(),
+                line: a.line,
+                detail: format!("allow({}) suppresses nothing", a.rules.join(", ")),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Applies the token-pattern rules to the significant (non-comment,
+/// non-literal) token stream.
+fn scan_token_rules(input: &FileInput<'_>, sig: &[&Tok], out: &mut Vec<Finding>) {
+    let is_lib = input.class == FileClass::Lib;
+    let wall_clock_applies = !matches!(input.crate_name, "obs" | "bench");
+    let raw_spawn_applies = !input.path.ends_with("solver/src/parallel.rs");
+    let print_applies = is_lib && input.crate_name != "bench";
+    let unsafe_applies = !input.path.ends_with("bench/src/memtrack.rs");
+    let push = |out: &mut Vec<Finding>, rule: &'static str, line: u32, detail: String| {
+        out.push(Finding {
+            rule,
+            path: input.path.to_string(),
+            line,
+            detail,
+        });
+    };
+
+    for (i, t) in sig.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = |k: usize| sig.get(i + k).map(|t| t.text.as_str());
+        let prev_is_dot = i > 0 && sig[i - 1].text == ".";
+        match t.text.as_str() {
+            // Every mention counts (the `use` import is where the fix
+            // happens), deduplicated to one finding per line.
+            "HashMap" | "HashSet"
+                if out
+                    .last()
+                    .map_or(true, |f| !(f.rule == HASHMAP_ITER && f.line == t.line)) =>
+            {
+                push(
+                    out,
+                    HASHMAP_ITER,
+                    t.line,
+                    format!("{} in production code", t.text),
+                );
+            }
+            "Instant" | "SystemTime"
+                if wall_clock_applies && next(1) == Some("::") && next(2) == Some("now") =>
+            {
+                push(out, WALL_CLOCK, t.line, format!("{}::now()", t.text));
+            }
+            "thread"
+                if raw_spawn_applies
+                    && next(1) == Some("::")
+                    && matches!(next(2), Some("spawn") | Some("scope")) =>
+            {
+                push(
+                    out,
+                    RAW_SPAWN,
+                    t.line,
+                    format!("thread::{}", next(2).unwrap_or_default()),
+                );
+            }
+            "unwrap" | "expect" if is_lib && prev_is_dot && next(1) == Some("(") => {
+                push(out, UNWRAP_IN_LIB, t.line, format!(".{}()", t.text));
+            }
+            "panic" if is_lib && next(1) == Some("!") => {
+                push(out, UNWRAP_IN_LIB, t.line, "panic!".into());
+            }
+            "println" | "eprintln" | "print" | "eprint"
+                if print_applies && next(1) == Some("!") =>
+            {
+                push(out, PRINT_IN_LIB, t.line, format!("{}!", t.text));
+            }
+            "unsafe" if unsafe_applies => {
+                push(out, FORBID_UNSAFE, t.line, "unsafe code".into());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Checks that a crate root opens with `#![forbid(unsafe_code)]`.
+fn check_forbid_unsafe_root(input: &FileInput<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    let sig: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| matches!(t.kind, TokKind::Ident | TokKind::Punct))
+        .collect();
+    let found = sig.windows(8).any(|w| {
+        let texts: Vec<&str> = w.iter().map(|t| t.text.as_str()).collect();
+        texts == ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"]
+    });
+    if !found {
+        out.push(Finding {
+            rule: FORBID_UNSAFE,
+            path: input.path.to_string(),
+            line: 1,
+            detail: "crate root missing #![forbid(unsafe_code)]".into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file<'a>(source: &'a str) -> FileInput<'a> {
+        FileInput {
+            path: "crates/fake/src/lib.rs",
+            class: FileClass::Lib,
+            crate_name: "fake",
+            is_crate_root: false,
+            source,
+        }
+    }
+
+    fn rules_hit(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hashmap_iter_positive_and_negative() {
+        let bad = lint_file(&lib_file(
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, f64> = HashMap::new(); }",
+        ));
+        assert_eq!(rules_hit(&bad), vec![HASHMAP_ITER, HASHMAP_ITER]);
+        let good = lint_file(&lib_file(
+            "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, f64> = BTreeMap::new(); }",
+        ));
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn hashmap_in_test_module_is_fine() {
+        let f = lint_file(&lib_file(
+            "#[cfg(test)]\nmod tests { use std::collections::HashMap; fn f() { HashMap::<u8, u8>::new(); } }",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wall_clock_positive_and_negative() {
+        let bad = lint_file(&lib_file("fn f() { let t = Instant::now(); }"));
+        assert_eq!(rules_hit(&bad), vec![WALL_CLOCK]);
+        let bad2 = lint_file(&lib_file(
+            "fn f() { let t = std::time::SystemTime::now(); }",
+        ));
+        assert_eq!(rules_hit(&bad2), vec![WALL_CLOCK]);
+        // Naming the type without reading the clock is fine.
+        let good = lint_file(&lib_file("fn f(t: std::time::Instant) -> Instant { t }"));
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn wall_clock_exempt_in_obs_and_bench() {
+        for name in ["obs", "bench"] {
+            let f = lint_file(&FileInput {
+                path: "crates/x/src/lib.rs",
+                class: FileClass::Lib,
+                crate_name: name,
+                is_crate_root: false,
+                source: "fn f() { Instant::now(); }",
+            });
+            assert!(!rules_hit(&f).contains(&WALL_CLOCK), "{name}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn raw_spawn_positive_and_negative() {
+        let bad = lint_file(&lib_file("fn f() { std::thread::spawn(|| {}); }"));
+        assert_eq!(rules_hit(&bad), vec![RAW_SPAWN]);
+        let bad2 = lint_file(&lib_file("fn f() { thread::scope(|s| {}); }"));
+        assert_eq!(rules_hit(&bad2), vec![RAW_SPAWN]);
+        let good = lint_file(&lib_file(
+            "fn f() { ppdl_solver::parallel::par_map_vec(&v, |_, x| x); }",
+        ));
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn raw_spawn_exempt_in_parallel_layer() {
+        let f = lint_file(&FileInput {
+            path: "crates/solver/src/parallel.rs",
+            class: FileClass::Lib,
+            crate_name: "solver",
+            is_crate_root: false,
+            source: "fn f() { std::thread::scope(|s| {}); }",
+        });
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_in_lib_positive_and_negative() {
+        let bad = lint_file(&lib_file(
+            "fn f(v: Option<u8>) { v.unwrap(); v.expect(\"x\"); panic!(\"boom\"); }",
+        ));
+        assert_eq!(
+            rules_hit(&bad),
+            vec![UNWRAP_IN_LIB, UNWRAP_IN_LIB, UNWRAP_IN_LIB]
+        );
+        // unwrap_or and friends are fine; so is test code; so are bins.
+        let good = lint_file(&lib_file("fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) }"));
+        assert!(good.is_empty(), "{good:?}");
+        let in_bin = lint_file(&FileInput {
+            path: "src/bin/ppdl.rs",
+            class: FileClass::Bin,
+            crate_name: "root",
+            is_crate_root: false,
+            source: "fn main() { run().unwrap(); }",
+        });
+        assert!(in_bin.is_empty(), "{in_bin:?}");
+    }
+
+    #[test]
+    fn unwrap_in_doc_comment_or_string_is_fine() {
+        let good = lint_file(&lib_file(
+            "/// call `x.unwrap()` at your peril\nfn f() { let s = \"don't panic!\"; let _ = s; }",
+        ));
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn print_in_lib_positive_and_negative() {
+        let bad = lint_file(&lib_file("fn f() { println!(\"x\"); eprint!(\"y\"); }"));
+        assert_eq!(rules_hit(&bad), vec![PRINT_IN_LIB, PRINT_IN_LIB]);
+        let in_bench = lint_file(&FileInput {
+            path: "crates/bench/src/harness.rs",
+            class: FileClass::Lib,
+            crate_name: "bench",
+            is_crate_root: false,
+            source: "fn f() { println!(\"report\"); }",
+        });
+        assert!(in_bench.is_empty(), "{in_bench:?}");
+        let in_bin = lint_file(&FileInput {
+            path: "src/bin/ppdl.rs",
+            class: FileClass::Bin,
+            crate_name: "root",
+            is_crate_root: false,
+            source: "fn main() { println!(\"usage\"); }",
+        });
+        assert!(in_bin.is_empty(), "{in_bin:?}");
+    }
+
+    #[test]
+    fn forbid_unsafe_positive_and_negative() {
+        let missing = lint_file(&FileInput {
+            path: "crates/fake/src/lib.rs",
+            class: FileClass::Lib,
+            crate_name: "fake",
+            is_crate_root: true,
+            source: "//! docs\npub fn f() {}",
+        });
+        assert_eq!(rules_hit(&missing), vec![FORBID_UNSAFE]);
+        let present = lint_file(&FileInput {
+            path: "crates/fake/src/lib.rs",
+            class: FileClass::Lib,
+            crate_name: "fake",
+            is_crate_root: true,
+            source: "#![forbid(unsafe_code)]\npub fn f() {}",
+        });
+        assert!(present.is_empty(), "{present:?}");
+        let usage = lint_file(&lib_file(
+            "fn f() { unsafe { core::hint::unreachable_unchecked() } }",
+        ));
+        assert_eq!(rules_hit(&usage), vec![FORBID_UNSAFE]);
+        let memtrack = lint_file(&FileInput {
+            path: "crates/bench/src/memtrack.rs",
+            class: FileClass::Lib,
+            crate_name: "bench",
+            is_crate_root: false,
+            source: "unsafe impl Sync for X {}",
+        });
+        assert!(memtrack.is_empty(), "{memtrack:?}");
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let f = lint_file(&lib_file(
+            "fn f(v: Option<u8>) { v.unwrap(); } // ppdl-lint: allow(robustness/unwrap-in-lib) -- fixture",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn line_above_allow_suppresses() {
+        let f = lint_file(&lib_file(
+            "// ppdl-lint: allow(determinism/wall-clock) -- fixture reason\nfn f() { Instant::now(); }",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected_and_does_not_suppress() {
+        let f = lint_file(&lib_file(
+            "fn f(v: Option<u8>) { v.unwrap(); } // ppdl-lint: allow(robustness/unwrap-in-lib)",
+        ));
+        assert_eq!(rules_hit(&f), vec![ALLOW_WITHOUT_REASON, UNWRAP_IN_LIB]);
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let f = lint_file(&lib_file(
+            "// ppdl-lint: allow(determinism/wall-clock) -- nothing here uses the clock\nfn f() {}",
+        ));
+        assert_eq!(rules_hit(&f), vec![UNUSED_ALLOW]);
+    }
+
+    #[test]
+    fn doc_prose_mentioning_the_marker_is_not_a_suppression() {
+        let f = lint_file(&lib_file(
+            "//! Suppress with `ppdl-lint: allow(rule-id) -- reason` comments.\nfn f() {}",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let f = lint_file(&lib_file(
+            "// ppdl-lint: allow(determinism/hashmp-iter) -- typo'd\nfn f() {}",
+        ));
+        assert_eq!(rules_hit(&f), vec![UNKNOWN_RULE]);
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_unrelated_rule_or_line() {
+        let f = lint_file(&lib_file(
+            "// ppdl-lint: allow(robustness/unwrap-in-lib) -- wrong rule\nfn f() { Instant::now(); }",
+        ));
+        assert_eq!(rules_hit(&f), vec![UNUSED_ALLOW, WALL_CLOCK]);
+        let far = lint_file(&lib_file(
+            "// ppdl-lint: allow(determinism/wall-clock) -- too far away\n\n\nfn f() { Instant::now(); }",
+        ));
+        assert_eq!(rules_hit(&far), vec![UNUSED_ALLOW, WALL_CLOCK]);
+    }
+}

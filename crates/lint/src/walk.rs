@@ -1,0 +1,170 @@
+//! Workspace file discovery: which `.rs` files are linted, and as what.
+//!
+//! Scope is deliberate, not incidental:
+//!
+//! * `crates/*/src/**` and the root `src/**` are production code — all
+//!   rules apply (`src/bin/**` files are [`FileClass::Bin`], which
+//!   relaxes the library-only rules).
+//! * `tests/`, `benches/`, and `examples/` trees are test/demo
+//!   scaffolding — excluded entirely, same as `#[cfg(test)]` modules.
+//! * `vendor/` holds third-party stand-ins we do not own — excluded.
+//! * `target/` and hidden directories — excluded.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{FileClass, FileInput, Finding};
+
+/// One discovered source file.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Library or binary source.
+    pub class: FileClass,
+    /// Crate directory name (`core`, `solver`, …; `root` for `src/`).
+    pub crate_name: String,
+    /// Whether the file is a crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+    /// Absolute path for reading.
+    pub abs_path: PathBuf,
+}
+
+/// Enumerates every linted source file under `root`, sorted by path so
+/// output and baselines are reproducible.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    // Root crate: src/.
+    collect_src_tree(&root.join("src"), "root", "src", &mut files)?;
+    // Member crates: crates/*/src/.
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<String> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        for name in names {
+            collect_src_tree(
+                &crates_dir.join(&name).join("src"),
+                &name,
+                &format!("crates/{name}/src"),
+                &mut files,
+            )?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_src_tree(
+    src: &Path,
+    crate_name: &str,
+    rel_prefix: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !src.is_dir() {
+        return Ok(());
+    }
+    collect_dir(src, crate_name, rel_prefix, false, out)
+}
+
+fn collect_dir(
+    dir: &Path,
+    crate_name: &str,
+    rel_prefix: &str,
+    in_bin: bool,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel = format!("{rel_prefix}/{name}");
+        if path.is_dir() {
+            collect_dir(&path, crate_name, &rel, in_bin || name == "bin", out)?;
+        } else if name.ends_with(".rs") {
+            let is_bin = in_bin || name == "main.rs";
+            out.push(SourceFile {
+                rel_path: rel,
+                class: if is_bin {
+                    FileClass::Bin
+                } else {
+                    FileClass::Lib
+                },
+                crate_name: crate_name.to_string(),
+                is_crate_root: !is_bin && name == "lib.rs" && !rel_prefix.contains("/src/"),
+                abs_path: path,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Discovers and lints the whole workspace under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in discover(root)? {
+        let source = fs::read_to_string(&file.abs_path)?;
+        findings.extend(crate::rules::lint_file(&FileInput {
+            path: &file.rel_path,
+            class: file.class,
+            crate_name: &file.crate_name,
+            is_crate_root: file.is_crate_root,
+            source: &source,
+        }));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The linter applied to its own workspace must at minimum find the
+    /// real crates and classify bins as bins.
+    #[test]
+    fn discovers_own_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = discover(&root).unwrap();
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "crates/lint/src/lib.rs" && f.is_crate_root));
+        assert!(
+            files
+                .iter()
+                .any(|f| f.rel_path == "crates/lint/src/bin/ppdl-lint.rs"
+                    && f.class == FileClass::Bin)
+        );
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "src/lib.rs" && f.crate_name == "root"));
+        // Exclusions hold.
+        assert!(files.iter().all(|f| !f.rel_path.starts_with("vendor/")));
+        assert!(files.iter().all(|f| !f.rel_path.contains("/tests/")));
+        assert!(files.iter().all(|f| !f.rel_path.contains("/benches/")));
+    }
+
+    /// Nested module files under src/ are Lib, not crate roots.
+    #[test]
+    fn nested_files_are_not_crate_roots() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = discover(&root).unwrap();
+        let nested = files
+            .iter()
+            .find(|f| f.rel_path == "crates/core/src/pipeline/mod.rs")
+            .expect("pipeline module present");
+        assert_eq!(nested.class, FileClass::Lib);
+        assert!(!nested.is_crate_root);
+    }
+}

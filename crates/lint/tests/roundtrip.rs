@@ -1,0 +1,149 @@
+//! End-to-end CLI round trip over a throwaway fixture workspace:
+//! `--deny` fails on fresh violations, `--update-baseline` grandfathers
+//! them, `--deny` is green afterwards, and the ratchet still catches
+//! *new* growth while merely warning about stale (shrunk) entries.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A unique-per-test fixture workspace under the target tmpdir, removed
+/// on drop so reruns start clean.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Self {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("lint-rt-{tag}"));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/demo/src")).unwrap();
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, source: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, source).unwrap();
+    }
+
+    fn lint(&self, extra: &[&str]) -> Output {
+        Command::new(env!("CARGO_BIN_EXE_ppdl-lint"))
+            .arg("--root")
+            .arg(&self.root)
+            .args(extra)
+            .output()
+            .expect("spawn ppdl-lint")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const VIOLATING_LIB: &str = r#"
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> u32 {
+    *m.get(&k).unwrap()
+}
+"#;
+
+#[test]
+fn update_baseline_then_deny_is_green() {
+    let fx = Fixture::new("green");
+    fx.write("crates/demo/src/lib.rs", VIOLATING_LIB);
+
+    // Fresh violations with no baseline: --deny fails.
+    let denied = fx.lint(&["--deny"]);
+    assert_eq!(denied.status.code(), Some(1), "expected deny failure");
+    let text = String::from_utf8_lossy(&denied.stdout);
+    assert!(text.contains("determinism/hashmap-iter"), "{text}");
+    assert!(text.contains("robustness/unwrap-in-lib"), "{text}");
+
+    // Grandfather them.
+    let updated = fx.lint(&["--update-baseline"]);
+    assert_eq!(updated.status.code(), Some(0));
+    let baseline = fs::read_to_string(fx.root.join("lint-baseline.txt")).unwrap();
+    assert!(baseline.contains("determinism/hashmap-iter"), "{baseline}");
+
+    // Same workspace, same baseline: --deny is green.
+    let green = fx.lint(&["--deny"]);
+    assert_eq!(
+        green.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&green.stdout),
+        String::from_utf8_lossy(&green.stderr)
+    );
+    let text = String::from_utf8_lossy(&green.stdout);
+    assert!(text.contains("[baselined]"), "{text}");
+}
+
+#[test]
+fn baseline_catches_growth_and_tolerates_shrink() {
+    let fx = Fixture::new("ratchet");
+    fx.write("crates/demo/src/lib.rs", VIOLATING_LIB);
+    assert_eq!(fx.lint(&["--update-baseline"]).status.code(), Some(0));
+
+    // A new violation in the same file GROWs past the baseline.
+    fx.write(
+        "crates/demo/src/lib.rs",
+        &format!("{VIOLATING_LIB}\npub fn second(v: &[u32]) -> u32 {{ *v.first().unwrap() }}\n"),
+    );
+    let grown = fx.lint(&["--deny"]);
+    assert_eq!(grown.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&grown.stdout).contains("GROWN"));
+
+    // Shrinking below the baseline only warns (STALE), never fails.
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn fine(v: &[u32]) -> Option<u32> { v.first().copied() }\n",
+    );
+    let shrunk = fx.lint(&["--deny"]);
+    assert_eq!(shrunk.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&shrunk.stdout).contains("STALE"));
+}
+
+#[test]
+fn inline_allow_with_reason_suppresses_in_deny_mode() {
+    let fx = Fixture::new("allow");
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         // ppdl-lint: allow(determinism/hashmap-iter) -- lookup only, never iterated\n\
+         use std::collections::HashMap;\n\
+         \n\
+         // ppdl-lint: allow(determinism/hashmap-iter) -- lookup only, never iterated\n\
+         pub fn get(m: &HashMap<u32, u32>, k: u32) -> Option<u32> { m.get(&k).copied() }\n",
+    );
+    let out = fx.lint(&["--deny"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn json_output_is_parseable_shape() {
+    let fx = Fixture::new("json");
+    fx.write("crates/demo/src/lib.rs", VIOLATING_LIB);
+    let out = fx.lint(&["--json"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text.lines().next().unwrap_or("");
+    assert!(line.starts_with("{\"findings\":["), "{text}");
+    assert!(line.trim_end().ends_with('}'), "{text}");
+    assert!(
+        line.contains("\"rule\":\"determinism/hashmap-iter\""),
+        "{text}"
+    );
+    assert!(
+        line.contains("\"path\":\"crates/demo/src/lib.rs\""),
+        "{text}"
+    );
+    assert!(line.contains("\"line\":"), "{text}");
+}

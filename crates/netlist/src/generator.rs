@@ -500,9 +500,10 @@ impl SyntheticBenchmark {
         for seg in &self.segments {
             if seg.strap == strap {
                 let ohms = rho * seg.length / width;
-                self.network
-                    .set_resistance(seg.resistor, ohms)
-                    .expect("segment indices are valid by construction");
+                // Segment indices are valid by construction; propagate
+                // a typed error rather than aborting if that ever
+                // breaks (robustness/unwrap-in-lib).
+                self.network.set_resistance(seg.resistor, ohms)?;
             }
         }
         // A wider strap hosts a larger via array at each crossing.
@@ -510,9 +511,9 @@ impl SyntheticBenchmark {
             let via_ohms = self.via_resistance_for_width(width);
             for via in &self.vias {
                 if via.lower_strap == strap {
-                    self.network
-                        .set_resistance(via.resistor, via_ohms)
-                        .expect("via indices are valid by construction");
+                    // Same as above: via indices are valid by
+                    // construction (robustness/unwrap-in-lib).
+                    self.network.set_resistance(via.resistor, via_ohms)?;
                 }
             }
         }

@@ -1,3 +1,4 @@
+// ppdl-lint: allow(determinism/hashmap-iter) -- name->id lookup table below; see field comment
 use std::collections::HashMap;
 use std::fmt;
 
@@ -51,6 +52,10 @@ pub struct BenchmarkStats {
 #[derive(Debug, Clone, Default)]
 pub struct PowerGridNetwork {
     names: Vec<NodeName>,
+    // Lookup-only (`get`/`insert`, never iterated): iteration order
+    // cannot leak into results, and O(1) interning is on the deck-parse
+    // hot path, so HashMap stays.
+    // ppdl-lint: allow(determinism/hashmap-iter) -- get/insert only, never iterated; O(1) interning on the parse hot path
     index: HashMap<NodeName, NodeId>,
     resistors: Vec<Resistor>,
     sources: Vec<VoltageSource>,

@@ -72,11 +72,20 @@ where
             }
         }
         let mut fields = line.split_whitespace();
-        let name = fields.next().expect("non-empty line has a first token");
+        // The line survived the blank-line filter above, so both are
+        // always `Some`; keep the failure typed regardless
+        // (robustness/unwrap-in-lib).
+        let name = fields.next().ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            detail: "empty element line".into(),
+        })?;
         let kind = name
             .chars()
             .next()
-            .expect("token is non-empty")
+            .ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                detail: "empty element name".into(),
+            })?
             .to_ascii_lowercase();
         let rest: Vec<&str> = fields.collect();
         match kind {
@@ -94,8 +103,11 @@ where
                     line: lineno,
                     detail: format!("bad value '{}' for element '{name}'", rest[2]),
                 })?;
-                let node_a: NodeName = rest[0].parse().expect("node parsing is infallible");
-                let node_b: NodeName = rest[1].parse().expect("node parsing is infallible");
+                // `NodeName: FromStr<Err = Infallible>` — the empty
+                // match proves no panic path exists
+                // (robustness/unwrap-in-lib).
+                let node_a: NodeName = rest[0].parse().unwrap_or_else(|e| match e {});
+                let node_b: NodeName = rest[1].parse().unwrap_or_else(|e| match e {});
                 match kind {
                     'r' => {
                         let a = net.intern(node_a);

@@ -173,10 +173,12 @@ impl DenseLayer {
         let input = self.cached_input.as_ref().ok_or(NnError::InvalidConfig {
             detail: "backward called before forward".into(),
         })?;
-        let pre = self
-            .cached_preact
-            .as_ref()
-            .expect("pre-activation cached alongside input");
+        // Cached alongside `cached_input` in `forward`, so present
+        // whenever that check passed; typed error keeps the invariant
+        // panic-free anyway (robustness/unwrap-in-lib).
+        let pre = self.cached_preact.as_ref().ok_or(NnError::InvalidConfig {
+            detail: "backward called before forward".into(),
+        })?;
         let (grad_input, grad_weights, grad_bias) = self.backward_pure(input, pre, grad_output)?;
         self.grad_weights = grad_weights;
         self.grad_bias = grad_bias;

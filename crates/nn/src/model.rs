@@ -293,7 +293,12 @@ impl Mlp {
                 }
             });
         }
-        let acc = acc.expect("a non-empty batch yields at least one chunk");
+        // A non-empty batch always yields at least one chunk; surface
+        // a typed error instead of panicking if the chunking ever
+        // changes (robustness/unwrap-in-lib).
+        let acc = acc.ok_or(NnError::InvalidConfig {
+            detail: "backward_batch called with an empty batch".into(),
+        })?;
         for (layer, (gw, gb)) in self.layers.iter_mut().zip(acc) {
             layer.set_gradients(gw, gb);
         }

@@ -149,6 +149,7 @@ impl Trainer {
         let mut early_stopped = false;
 
         for epoch in 0..c.epochs {
+            // ppdl-lint: allow(determinism/wall-clock) -- feeds the per-epoch telemetry span only; losses and weights never read it
             let epoch_start = Instant::now();
             let shuffled = train.shuffled(c.shuffle_seed.wrapping_add(epoch as u64));
             let mut sum = 0.0;

@@ -342,6 +342,20 @@ pub struct Registry {
     spans: RwLock<BTreeMap<String, Arc<SpanStat>>>,
 }
 
+// Telemetry must never take the process down: the registry maps hold
+// only monotonic counters with no cross-entry invariant, so if a
+// panicking thread poisoned a lock we recover the guard and keep
+// serving (robustness/unwrap-in-lib).
+fn read_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl Registry {
     /// An empty registry.
     #[must_use]
@@ -355,14 +369,9 @@ impl Registry {
     pub fn counter(&self, name: &str) -> Counter {
         // Probe under the read lock and *drop the guard* before taking
         // the write lock — upgrading in place would self-deadlock.
-        let existing = self
-            .counters
-            .read()
-            .expect("counters lock")
-            .get(name)
-            .map(Arc::clone);
+        let existing = read_recover(&self.counters).get(name).map(Arc::clone);
         let cell = existing.unwrap_or_else(|| {
-            let mut map = self.counters.write().expect("counters lock");
+            let mut map = write_recover(&self.counters);
             Arc::clone(
                 map.entry(name.to_string())
                     .or_insert_with(|| Arc::new(AtomicU64::new(0))),
@@ -376,14 +385,9 @@ impl Registry {
     /// handle is cheap to clone and cache.
     #[must_use]
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> HistogramHandle {
-        let existing = self
-            .histograms
-            .read()
-            .expect("histograms lock")
-            .get(name)
-            .map(Arc::clone);
+        let existing = read_recover(&self.histograms).get(name).map(Arc::clone);
         let hist = existing.unwrap_or_else(|| {
-            let mut map = self.histograms.write().expect("histograms lock");
+            let mut map = write_recover(&self.histograms);
             Arc::clone(
                 map.entry(name.to_string())
                     .or_insert_with(|| Arc::new(Histogram::new(bounds))),
@@ -394,14 +398,9 @@ impl Registry {
 
     /// Accumulates `secs` of wall time (one invocation) at span `path`.
     pub fn record_span(&self, path: &str, secs: f64) {
-        let existing = self
-            .spans
-            .read()
-            .expect("spans lock")
-            .get(path)
-            .map(Arc::clone);
+        let existing = read_recover(&self.spans).get(path).map(Arc::clone);
         let stat = existing.unwrap_or_else(|| {
-            let mut map = self.spans.write().expect("spans lock");
+            let mut map = write_recover(&self.spans);
             Arc::clone(map.entry(path.to_string()).or_default())
         });
         stat.count.fetch_add(1, Ordering::Relaxed);
@@ -416,7 +415,7 @@ impl Registry {
     /// Accumulated (count, wall seconds) for span `path`, if recorded.
     #[must_use]
     pub fn span_stats(&self, path: &str) -> Option<(u64, f64)> {
-        let spans = self.spans.read().expect("spans lock");
+        let spans = read_recover(&self.spans);
         spans.get(path).map(|s| {
             (
                 s.count.load(Ordering::Relaxed),
@@ -434,7 +433,7 @@ impl Registry {
     pub fn snapshot_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         {
-            let counters = self.counters.read().expect("counters lock");
+            let counters = read_recover(&self.counters);
             for (i, (name, cell)) in counters.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -449,7 +448,7 @@ impl Registry {
         }
         out.push_str("},\"histograms\":{");
         {
-            let histograms = self.histograms.read().expect("histograms lock");
+            let histograms = read_recover(&self.histograms);
             for (i, (name, hist)) in histograms.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -484,7 +483,7 @@ impl Registry {
         }
         out.push_str("},\"spans\":{");
         {
-            let spans = self.spans.read().expect("spans lock");
+            let spans = read_recover(&self.spans);
             for (i, (path, stat)) in spans.iter().enumerate() {
                 if i > 0 {
                     out.push(',');

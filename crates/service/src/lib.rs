@@ -35,7 +35,7 @@ pub mod proto;
 pub use json::{Json, JsonError, MAX_DEPTH};
 pub use proto::{parse_line, render_reply, serve_ndjson, Command};
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
 use std::time::Instant;
@@ -185,10 +185,15 @@ impl ServiceStats {
 }
 
 /// FIFO response cache keyed by request fingerprint.
+///
+/// Eviction order is carried entirely by the `order` queue — insertion
+/// order, never map iteration order — and the map itself is a
+/// `BTreeMap` so no code path (present or future drain/debug-dump) can
+/// observe hash-seeded ordering (determinism/hashmap-iter).
 #[derive(Debug, Default)]
 struct ResponseCache {
     capacity: usize,
-    map: HashMap<u64, PredictResponse>,
+    map: BTreeMap<u64, PredictResponse>,
     order: VecDeque<u64>,
 }
 
@@ -196,7 +201,7 @@ impl ResponseCache {
     fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
         }
     }
@@ -375,11 +380,13 @@ impl PredictionService {
     /// per request in enqueue order. Per-request failures become typed
     /// error replies; flush itself never fails.
     pub fn flush(&mut self) -> Vec<ServiceReply> {
+        // ppdl-lint: allow(determinism/wall-clock) -- feeds only the latency histogram/span; never touches prediction values
         let flush_start = Instant::now();
         let mut replies = Vec::with_capacity(self.queue.len());
         while !self.queue.is_empty() {
             let n = self.queue.len().min(self.config.max_batch.max(1));
             let batch: Vec<PredictRequest> = self.queue.drain(..n).collect();
+            // ppdl-lint: allow(determinism/wall-clock) -- per-batch latency telemetry only
             let t0 = Instant::now();
             let mut slots: Vec<Option<ServiceReply>> = (0..batch.len()).map(|_| None).collect();
             let mut miss_indices = Vec::new();
@@ -663,6 +670,34 @@ mod tests {
             .and_then(|v| v.get("service/batch_ms"))
             .expect("batch_ms histogram in snapshot");
         assert_eq!(batch_ms.get("count").unwrap().as_u64(), Some(st.batches));
+    }
+
+    #[test]
+    fn cache_eviction_is_insertion_ordered() {
+        // The FIFO cache must evict in *insertion* order under
+        // capacity pressure — never in map-iteration order. With the
+        // old HashMap backing this held only because eviction reads the
+        // VecDeque; this pins the behaviour against the BTreeMap
+        // rewrite and any future drain-based implementation. The
+        // fingerprints are chosen out of numeric order so
+        // insertion-order and key-order eviction disagree.
+        let mut cache = ResponseCache::new(2);
+        let resp = |id: &str| PredictResponse {
+            id: id.to_string(),
+            widths: vec![1.0],
+            worst_ir_mv: 1.0,
+            dl_ms: 0.0,
+        };
+        cache.insert(9, resp("a"));
+        cache.insert(1, resp("b"));
+        cache.insert(5, resp("c")); // evicts fingerprint 9 (oldest), not 1 (smallest)
+        assert!(cache.get(9).is_none(), "oldest entry must be evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(5).is_some());
+        // Re-inserting an existing key does not grow the queue or evict.
+        cache.insert(1, resp("b2"));
+        assert!(cache.get(5).is_some());
+        assert_eq!(cache.order.len(), 2);
     }
 
     #[test]

@@ -234,7 +234,13 @@ where
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("parallel reduce worker panicked"))
+                // Re-raise a worker panic on the calling thread instead
+                // of replacing it with a second panic message
+                // (robustness/unwrap-in-lib).
+                .flat_map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .collect()
         })
     };
@@ -269,7 +275,12 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("parallel map worker panicked"))
+            // Same: propagate the original worker panic payload
+            // (robustness/unwrap-in-lib).
+            .flat_map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     })
 }

@@ -1,0 +1,43 @@
+//! Tier-1 guard: the workspace must stay `ppdl-lint`-clean.
+//!
+//! Equivalent to `ppdl-lint --deny` in CI, but wired into `cargo test`
+//! so a violation fails locally before a push. The committed
+//! `lint-baseline.txt` may only shrink (DESIGN.md §12).
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean_against_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = ppdl_lint::lint_workspace(root).expect("lint workspace");
+
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint-baseline.txt")).expect("read lint-baseline.txt");
+    let baseline = ppdl_lint::baseline::parse(&baseline_text).expect("parse baseline");
+    let diff = ppdl_lint::baseline::diff(&findings, &baseline);
+
+    assert!(
+        diff.is_clean(),
+        "lint findings exceed lint-baseline.txt — fix them or add a reasoned \
+         `// ppdl-lint: allow(rule) -- reason`:\n{:#?}",
+        diff.grown
+    );
+}
+
+#[test]
+fn baseline_contains_no_determinism_entries() {
+    // The determinism rules guard the paper's bitwise-reproducibility
+    // claim (DESIGN.md §4); they are never allowed to be grandfathered.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint-baseline.txt")).expect("read lint-baseline.txt");
+    let baseline = ppdl_lint::baseline::parse(&baseline_text).expect("parse baseline");
+    let determinism: Vec<_> = baseline
+        .keys()
+        .filter(|(rule, _)| rule.starts_with("determinism/"))
+        .collect();
+    assert!(
+        determinism.is_empty(),
+        "determinism/* findings must be fixed or inline-annotated, never baselined: {determinism:?}"
+    );
+}
