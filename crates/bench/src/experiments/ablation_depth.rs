@@ -39,7 +39,10 @@ pub(super) fn run(opts: &Options, cache: Option<&ArtifactCache>) -> Result<RunOu
         run_stage(&TrainStage, &mut depth_ctx)?;
         let prefix = format!("depth{depth}");
         manifest.record_stages(&prefix, &depth_ctx.records);
-        let record = depth_ctx.records.last().expect("train just ran");
+        let record = depth_ctx
+            .records
+            .last()
+            .ok_or("TrainStage recorded no stage")?;
         let train_secs = record.wall.as_secs_f64();
         let sizing = depth_ctx.sizing()?;
         let trained = depth_ctx.trained()?;

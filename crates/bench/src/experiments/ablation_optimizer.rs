@@ -20,25 +20,26 @@ use ppdl_nn::{
 use super::{base_config, manifest_for, DynError, RunOutput};
 use crate::harness::{format_table, write_primary_csv, Options};
 
-fn train_with<O: Optimizer>(data: &Dataset, mut opt: O, epochs: usize) -> (f64, f64) {
+fn train_with<O: Optimizer>(
+    data: &Dataset,
+    mut opt: O,
+    epochs: usize,
+) -> Result<(f64, f64), DynError> {
     let mut model = MlpBuilder::new(3)
         .hidden_stack(4, 24, Activation::Relu)
         .output(1)
         .seed(3)
-        .build()
-        .expect("model");
+        .build()?;
     let t0 = Instant::now();
     for epoch in 0..epochs {
         for (xb, yb) in data.shuffled(epoch as u64).batches(64) {
-            model
-                .train_batch(&xb, &yb, Loss::Mse, &mut opt)
-                .expect("train batch");
+            model.train_batch(&xb, &yb, Loss::Mse, &mut opt)?;
         }
     }
     let secs = t0.elapsed().as_secs_f64();
-    let pred = model.predict(data.x()).expect("predict");
-    let r2 = metrics::r2_score(&pred, data.y()).expect("r2");
-    (r2, secs)
+    let pred = model.predict(data.x())?;
+    let r2 = metrics::r2_score(&pred, data.y())?;
+    Ok((r2, secs))
 }
 
 pub(super) fn run(opts: &Options, cache: Option<&ArtifactCache>) -> Result<RunOutput, DynError> {
@@ -106,13 +107,13 @@ pub(super) fn run(opts: &Options, cache: Option<&ArtifactCache>) -> Result<RunOu
         manifest.add_metric(&format!("{name}_r2"), r2);
         rows.push(vec![name.into(), format!("{r2:.3}"), format!("{secs:.2}")]);
     };
-    let (r2, secs) = train_with(&data, Adam::new(2e-3).expect("adam"), epochs);
+    let (r2, secs) = train_with(&data, Adam::new(2e-3)?, epochs)?;
     push("adam", r2, secs, &mut rows);
-    let (r2, secs) = train_with(&data, Sgd::new(2e-2).expect("sgd"), epochs);
+    let (r2, secs) = train_with(&data, Sgd::new(2e-2)?, epochs)?;
     push("sgd", r2, secs, &mut rows);
-    let (r2, secs) = train_with(&data, Momentum::new(5e-3, 0.9).expect("momentum"), epochs);
+    let (r2, secs) = train_with(&data, Momentum::new(5e-3, 0.9)?, epochs)?;
     push("momentum", r2, secs, &mut rows);
-    let (r2, secs) = train_with(&data, RmsProp::new(2e-3).expect("rmsprop"), epochs);
+    let (r2, secs) = train_with(&data, RmsProp::new(2e-3)?, epochs)?;
     push("rmsprop", r2, secs, &mut rows);
 
     let header = ["optimizer", "r2 (train)", "time (s)"];

@@ -91,7 +91,11 @@ pub(super) fn run(opts: &Options, cache: Option<&ArtifactCache>) -> Result<RunOu
                 let mut sum = 0.0;
                 let mut count = 0usize;
                 for _ in 0..repeats {
-                    let (res, p) = point.next().expect("grid covers kind x gamma x repeats");
+                    let Some((res, p)) = point.next() else {
+                        return Err(
+                            "perturbation grid exhausted early (kind x gamma x repeats)".into()
+                        );
+                    };
                     match res {
                         Ok(mse_pct) => {
                             sum += mse_pct;

@@ -21,6 +21,7 @@ mod fig4b_table1;
 mod fig7_width_prediction;
 mod fig8_ir_maps;
 mod fig9_perturbation;
+mod serve_saturation;
 mod serve_throughput;
 mod table2_benchmarks;
 mod table3_worst_ir;
@@ -127,6 +128,13 @@ pub const REGISTRY: &[ExperimentDef] = &[
         title: "Service: ECO batch throughput vs batch size, warm-cache replay",
         default_scale: 0.015,
         run: serve_throughput::run,
+    },
+    ExperimentDef {
+        name: "serve_saturation",
+        aliases: &["saturation"],
+        title: "Service: networked latency percentiles vs concurrent client count",
+        default_scale: 0.015,
+        run: serve_saturation::run,
     },
     ExperimentDef {
         name: "ablation_depth",
@@ -268,7 +276,7 @@ mod tests {
 
     #[test]
     fn registry_names_and_aliases_resolve_uniquely() {
-        assert_eq!(REGISTRY.len(), 12);
+        assert_eq!(REGISTRY.len(), 13);
         let mut seen = std::collections::BTreeSet::new();
         for def in REGISTRY {
             assert!(seen.insert(def.name), "duplicate name {}", def.name);

@@ -70,6 +70,7 @@ pub(super) fn run(opts: &Options, cache: Option<&ArtifactCache>) -> Result<RunOu
                 queue_capacity: REQUESTS,
                 max_batch,
                 cache_capacity: 0,
+                ..ServiceConfig::default()
             },
         )?;
         for request in request_stream(opts.seed)? {
@@ -102,6 +103,7 @@ pub(super) fn run(opts: &Options, cache: Option<&ArtifactCache>) -> Result<RunOu
             queue_capacity: REQUESTS,
             max_batch: 64,
             cache_capacity: REQUESTS,
+            ..ServiceConfig::default()
         },
     )?;
     for pass in 0..2 {

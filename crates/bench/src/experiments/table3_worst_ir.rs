@@ -33,7 +33,7 @@ pub(super) fn run(opts: &Options, cache: Option<&ArtifactCache>) -> Result<RunOu
         manifest.add_metric(&format!("{preset}_dl_mv"), outcome.predicted_worst_ir_mv);
         let paper = preset
             .table3_worst_ir_mv()
-            .expect("TABLE3 presets all have published values");
+            .ok_or_else(|| format!("{preset} has no published Table III value"))?;
         rows.push(vec![
             preset.name().to_string(),
             format!("{:.1}", outcome.conventional_worst_ir_mv),

@@ -159,9 +159,33 @@ impl PredictRequest {
         Ok(bench)
     }
 
+    /// Whether two requests ask the same question: every payload field
+    /// compared, the `id` ignored — the equality the response cache
+    /// verifies on a fingerprint hit, because a 64-bit
+    /// [`fingerprint`](Self::fingerprint) can collide for distinct
+    /// payloads. Floats compare by bit pattern (via `==` on finite
+    /// values the validators admit), matching the fingerprint's own
+    /// bit-level hashing.
+    #[must_use]
+    pub fn payload_eq(&self, other: &Self) -> bool {
+        let perturbation_eq = match (&self.perturbation, &other.perturbation) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.gamma() == b.gamma() && a.kind() == b.kind() && a.seed() == b.seed()
+            }
+            _ => false,
+        };
+        perturbation_eq
+            && self.load_overrides == other.load_overrides
+            && self.stride == other.stride
+    }
+
     /// A stable content fingerprint of the request *payload* (the `id`
     /// is excluded: two requests asking the same question share a
-    /// fingerprint, which is what a response cache wants).
+    /// fingerprint, which is what a response cache wants). Fingerprints
+    /// are 64-bit hashes, so distinct payloads *can* collide — anything
+    /// keyed by fingerprint must confirm with
+    /// [`payload_eq`](Self::payload_eq) before trusting a hit.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut h = StableHasher::new("predict-request");
@@ -270,6 +294,22 @@ pub struct BundleMeta {
     pub margin_fraction: f64,
     /// Default segment-sampling stride for inference.
     pub inference_stride: usize,
+}
+
+impl BundleMeta {
+    /// A short human-readable provenance label
+    /// (`preset@scale/seed/stride`), used by the serving registry's
+    /// stats and log lines to tell resident bundles apart.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}@{}/s{}/k{}",
+            self.preset.name(),
+            self.scale,
+            self.seed,
+            self.inference_stride
+        )
+    }
 }
 
 /// The persisted prediction asset: a trained [`WidthPredictor`] (with

@@ -1,53 +1,76 @@
-//! The batched prediction service: load a trained bundle once, answer
-//! many ECO queries.
+//! The batched prediction service: load trained bundles once, answer
+//! many ECO queries — over stdin/stdout or a real network listener.
 //!
 //! The paper's speedup (Table IV) pays off operationally when the
-//! trained model is a long-lived asset: a [`PredictionService`] loads a
-//! [`TrainedBundle`] (predictor + fitted scalers + base-design recipe)
-//! once, keeps the regenerated base benchmark resident, and serves
-//! batches of [`PredictRequest`]s through the same
-//! [`ppdl_core::predict`] entry point the experiment pipeline uses —
-//! batched across requests via [`ppdl_solver::parallel`], with a
-//! bounded queue for backpressure, a FIFO response cache keyed by
-//! request fingerprint, and per-batch latency/throughput counters
-//! exposed as a JSON stats snapshot.
+//! trained model is a long-lived asset shared by many clients. The
+//! crate is layered accordingly:
 //!
-//! Transport lives in [`proto`]: newline-delimited JSON over any
-//! `BufRead`/`Write` pair (the `ppdl serve` subcommand wires it to
-//! stdin/stdout; socket transport stays future work). Malformed
-//! request lines yield typed error responses — the process never dies
+//! * [`ServiceCore`] — one resident bundle: the validated
+//!   [`TrainedBundle`], the regenerated base design, the shared
+//!   response cache, per-bundle telemetry, and the admission gauge.
+//!   Thread-safe; every batch executes against a core.
+//! * [`PredictionService`] — the single-bundle session the `ppdl serve`
+//!   stdin/stdout mode uses: a bounded queue in front of one core.
+//! * [`ModelRegistry`] / [`Session`](registry::Session) — many cores
+//!   resident at once, requests routed by a `bundle` id, atomic
+//!   hot-swap of a bundle without dropping in-flight batches, and
+//!   typed `service/overloaded` admission control when a bundle's
+//!   pending work saturates.
+//! * [`net`] — a hand-rolled multi-threaded TCP (and Unix-socket)
+//!   listener speaking the same NDJSON protocol, one session per
+//!   connection, all feeding the shared cores.
+//!
+//! Transport framing lives in [`proto`] (newline-delimited JSON) and
+//! [`line`](crate::net) (the robust byte-level line reader: a final
+//! request line without a trailing newline, a mid-line disconnect, an
+//! invalid-UTF-8 line, or an oversized line all produce a reply or a
+//! typed `service/json` error — never a silent drop). Malformed
+//! request lines yield typed error responses; the process never dies
 //! on bad input.
 //!
 //! ```text
-//!                 ┌──────────────── PredictionService ───────────────┐
-//!  NDJSON in ──▶ parse ──▶ bounded queue ──▶ flush: cache probe      │
-//!                 │            │ (backpressure)   ├─ hit  → response │
-//!  NDJSON out ◀─ render ◀─ replies ◀── par_map ◀──┴─ miss → predict()│
-//!                 └──────────────────────────────────────────────────┘
+//!   TCP/Unix clients ──▶ net listener ──▶ Session ─┐ route by bundle id
+//!   NDJSON stdin ──────▶ PredictionService ────────┼──▶ ServiceCore (per bundle)
+//!                                                  │      cache probe → par_map batch
+//!   {"cmd":"load"} ────▶ ModelRegistry hot-swap ───┘      admission + telemetry
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod json;
+pub(crate) mod line;
+pub mod net;
 pub mod proto;
+pub mod registry;
 
 pub use json::{Json, JsonError, MAX_DEPTH};
+pub use net::{serve_tcp, serve_unix, NetConfig};
 pub use proto::{parse_line, render_reply, serve_ndjson, Command};
+pub use registry::{ModelRegistry, Session};
 
-use std::collections::BTreeMap;
-use std::collections::VecDeque;
+use std::collections::{btree_map, BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use ppdl_core::predict::{predict, PredictRequest, PredictResponse, TrainedBundle};
 use ppdl_core::CoreError;
 use ppdl_netlist::SyntheticBenchmark;
 
-/// Tuning knobs of a [`PredictionService`].
+/// Locks a mutex, recovering the guard from a poisoned lock: every
+/// protected structure here (cache, last-batch pair) stays internally
+/// consistent even if a panic unwound mid-update, and a wedged serving
+/// process is strictly worse than a possibly-stale cache entry.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Tuning knobs of a [`PredictionService`] / [`ServiceCore`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Maximum requests the inbound queue holds before
+    /// Maximum requests one session's inbound queue holds before
     /// [`enqueue`](PredictionService::enqueue) reports backpressure.
     pub queue_capacity: usize,
     /// Maximum requests one parallel batch executes; a flush of a
@@ -55,6 +78,13 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Entries the FIFO response cache retains (0 disables caching).
     pub cache_capacity: usize,
+    /// Admission-control bound: maximum requests a bundle's core
+    /// accepts across *all* sessions (queued plus executing) before new
+    /// arrivals are refused with a typed `service/overloaded` reply.
+    /// Single-session backpressure (`queue_capacity`) triggers first on
+    /// one pipe; this bound is what saturating concurrent network
+    /// clients hit.
+    pub max_pending: usize,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +93,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             max_batch: 64,
             cache_capacity: 1024,
+            max_pending: 1024,
         }
     }
 }
@@ -76,13 +107,29 @@ pub enum ServiceError {
         /// The configured capacity that was hit.
         capacity: usize,
     },
+    /// Admission control refused the request: the bundle's pending work
+    /// (across every session) is at [`ServiceConfig::max_pending`], or
+    /// the listener is at its connection limit. Retry after the backlog
+    /// drains.
+    Overloaded {
+        /// Pending requests when admission was refused.
+        pending: usize,
+        /// The configured admission capacity.
+        capacity: usize,
+    },
+    /// A request named a bundle the registry does not hold.
+    UnknownBundle {
+        /// The bundle id that failed to resolve.
+        bundle: String,
+    },
     /// A protocol line could not be understood.
     Malformed {
         /// What was wrong with it.
         detail: String,
     },
     /// The JSON reader refused a line before protocol interpretation —
-    /// currently: containers nested beyond [`MAX_DEPTH`]. Distinct from
+    /// containers nested beyond [`MAX_DEPTH`], an oversized line, or
+    /// bytes that are not UTF-8. Distinct from
     /// [`Malformed`](Self::Malformed) so operators can tell hostile
     /// input shapes from ordinary typos.
     Json {
@@ -100,6 +147,8 @@ impl ServiceError {
     pub fn code(&self) -> &'static str {
         match self {
             ServiceError::QueueFull { .. } => "service/queue_full",
+            ServiceError::Overloaded { .. } => "service/overloaded",
+            ServiceError::UnknownBundle { .. } => "service/unknown_bundle",
             ServiceError::Malformed { .. } => "service/malformed",
             ServiceError::Json { .. } => "service/json",
             ServiceError::Core(e) => e.code(),
@@ -112,6 +161,15 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::QueueFull { capacity } => {
                 write!(f, "request queue full ({capacity} pending); flush first")
+            }
+            ServiceError::Overloaded { pending, capacity } => {
+                write!(
+                    f,
+                    "service overloaded ({pending} of {capacity} pending requests); retry later"
+                )
+            }
+            ServiceError::UnknownBundle { bundle } => {
+                write!(f, "no bundle '{bundle}' is registered")
             }
             ServiceError::Malformed { detail } => write!(f, "malformed request: {detail}"),
             ServiceError::Json { detail } => write!(f, "unacceptable JSON: {detail}"),
@@ -147,13 +205,13 @@ pub struct ServiceReply {
     pub result: Result<PredictResponse, ServiceError>,
 }
 
-/// A point-in-time snapshot of the service's monotonic counters,
-/// reconstructed from the per-instance [`ppdl_obs::Registry`] by
-/// [`PredictionService::stats`] and serialised by
+/// A point-in-time snapshot of a core's monotonic counters,
+/// reconstructed from the per-bundle [`ppdl_obs::Registry`] by
+/// [`ServiceCore::stats`] and serialised by
 /// [`PredictionService::stats_json`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServiceStats {
-    /// Requests accepted into the queue.
+    /// Requests accepted (admitted) for this bundle.
     pub requests: u64,
     /// Successful responses emitted (cache hits included).
     pub ok: u64,
@@ -161,8 +219,14 @@ pub struct ServiceStats {
     pub errors: u64,
     /// Responses served from the cache.
     pub cache_hits: u64,
+    /// Fingerprint hits whose stored payload did NOT match the probing
+    /// request — 64-bit collisions, served by inference instead of the
+    /// wrong cached response.
+    pub cache_collisions: u64,
     /// Parallel batches executed.
     pub batches: u64,
+    /// Requests admitted but not yet answered, across all sessions.
+    pub pending: usize,
     /// Total seconds spent flushing batches.
     pub busy_secs: f64,
     /// Size of the most recent batch.
@@ -184,7 +248,21 @@ impl ServiceStats {
     }
 }
 
-/// FIFO response cache keyed by request fingerprint.
+/// What a cache probe found.
+enum CacheProbe {
+    /// Fingerprint present and the stored payload matches: a true hit.
+    Hit(PredictResponse),
+    /// Fingerprint present but the stored payload differs — a 64-bit
+    /// collision. Must be answered by inference, never from the cache.
+    Collision,
+    /// Fingerprint absent.
+    Miss,
+}
+
+/// FIFO response cache keyed by request fingerprint, with the full
+/// request payload stored alongside so a hit is *verified*: two
+/// distinct payloads whose 64-bit fingerprints collide must never be
+/// served each other's response.
 ///
 /// Eviction order is carried entirely by the `order` queue — insertion
 /// order, never map iteration order — and the map itself is a
@@ -193,8 +271,14 @@ impl ServiceStats {
 #[derive(Debug, Default)]
 struct ResponseCache {
     capacity: usize,
-    map: BTreeMap<u64, PredictResponse>,
+    map: BTreeMap<u64, CacheEntry>,
     order: VecDeque<u64>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    request: PredictRequest,
+    response: PredictResponse,
 }
 
 impl ResponseCache {
@@ -206,26 +290,327 @@ impl ResponseCache {
         }
     }
 
-    fn get(&self, fingerprint: u64) -> Option<&PredictResponse> {
-        self.map.get(&fingerprint)
+    fn probe(&self, fingerprint: u64, request: &PredictRequest) -> CacheProbe {
+        match self.map.get(&fingerprint) {
+            None => CacheProbe::Miss,
+            Some(entry) if entry.request.payload_eq(request) => {
+                CacheProbe::Hit(entry.response.clone())
+            }
+            Some(_) => CacheProbe::Collision,
+        }
     }
 
-    fn insert(&mut self, fingerprint: u64, response: PredictResponse) {
+    fn insert(&mut self, fingerprint: u64, request: &PredictRequest, response: PredictResponse) {
         if self.capacity == 0 {
             return;
         }
-        if self.map.insert(fingerprint, response).is_none() {
-            self.order.push_back(fingerprint);
-            if self.order.len() > self.capacity {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.map.remove(&evicted);
+        let entry = CacheEntry {
+            request: request.clone(),
+            response,
+        };
+        match self.map.entry(fingerprint) {
+            // Same fingerprint already cached: refresh in place (for a
+            // collision, the newest payload wins the slot). The order
+            // queue is untouched — the slot keeps its eviction age.
+            btree_map::Entry::Occupied(mut o) => {
+                o.insert(entry);
+            }
+            btree_map::Entry::Vacant(v) => {
+                v.insert(entry);
+                self.order.push_back(fingerprint);
+                if self.order.len() > self.capacity {
+                    if let Some(evicted) = self.order.pop_front() {
+                        self.map.remove(&evicted);
+                    }
                 }
             }
         }
     }
 }
 
-/// The long-lived batched prediction engine.
+/// The shared, thread-safe heart of one resident bundle: the validated
+/// [`TrainedBundle`], the regenerated base design, the verified
+/// response cache, the per-bundle telemetry registry, and the
+/// admission gauge. A core is immutable except behind its own locks,
+/// so any number of sessions (stdin, TCP connections) batch against it
+/// concurrently; the [`ModelRegistry`] hot-swaps a bundle by replacing
+/// the `Arc<ServiceCore>` in its slot — an in-flight batch keeps its
+/// clone of the old core and completes bitwise-identically.
+#[derive(Debug)]
+pub struct ServiceCore {
+    bundle: TrainedBundle,
+    base: SyntheticBenchmark,
+    config: ServiceConfig,
+    cache: Mutex<ResponseCache>,
+    /// Per-bundle telemetry registry — always on, isolated from the
+    /// [`ppdl_obs::global`] registry. Counters and the batch-latency
+    /// histogram below are cached handles into it.
+    obs: ppdl_obs::Registry,
+    requests: ppdl_obs::Counter,
+    ok: ppdl_obs::Counter,
+    errors: ppdl_obs::Counter,
+    cache_hits: ppdl_obs::Counter,
+    cache_collisions: ppdl_obs::Counter,
+    batches: ppdl_obs::Counter,
+    /// One sample per executed batch (milliseconds), the source of the
+    /// `busy_ms` total and the p50/p95/p99 fields in
+    /// [`PredictionService::stats_json`].
+    batch_ms: ppdl_obs::HistogramHandle,
+    /// Requests admitted and not yet answered, across every session on
+    /// this core — the admission-control gauge.
+    pending: AtomicUsize,
+    last_batch: Mutex<(usize, f64)>,
+}
+
+impl ServiceCore {
+    /// Builds a core from a validated bundle: the base design is
+    /// regenerated once here and kept resident, so serving never
+    /// re-runs generation, calibration, sizing, or training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bundle validation and base-instantiation errors.
+    pub fn new(bundle: TrainedBundle, config: ServiceConfig) -> Result<Self, ServiceError> {
+        bundle.validate()?;
+        let base = bundle.instantiate_base()?;
+        let cache = Mutex::new(ResponseCache::new(config.cache_capacity));
+        let obs = ppdl_obs::Registry::new();
+        let requests = obs.counter("service/requests");
+        let ok = obs.counter("service/ok");
+        let errors = obs.counter("service/errors");
+        let cache_hits = obs.counter("service/cache_hits");
+        let cache_collisions = obs.counter("service/cache_collisions");
+        let batches = obs.counter("service/batches");
+        let batch_ms = obs.histogram("service/batch_ms", &ppdl_obs::latency_buckets_ms());
+        Ok(Self {
+            bundle,
+            base,
+            config,
+            cache,
+            obs,
+            requests,
+            ok,
+            errors,
+            cache_hits,
+            cache_collisions,
+            batches,
+            batch_ms,
+            pending: AtomicUsize::new(0),
+            last_batch: Mutex::new((0, 0.0)),
+        })
+    }
+
+    /// The resident bundle.
+    #[must_use]
+    pub fn bundle(&self) -> &TrainedBundle {
+        &self.bundle
+    }
+
+    /// The resident base design queries are answered against.
+    #[must_use]
+    pub fn base(&self) -> &SyntheticBenchmark {
+        &self.base
+    }
+
+    /// The configuration the core was built with.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The per-bundle telemetry registry backing the stats.
+    #[must_use]
+    pub fn obs(&self) -> &ppdl_obs::Registry {
+        &self.obs
+    }
+
+    /// Requests admitted and not yet answered, across all sessions.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot, reconstructed from the telemetry registry.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let (last_batch_size, last_batch_secs) = *lock(&self.last_batch);
+        ServiceStats {
+            requests: self.requests.get(),
+            ok: self.ok.get(),
+            errors: self.errors.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_collisions: self.cache_collisions.get(),
+            batches: self.batches.get(),
+            pending: self.pending(),
+            busy_secs: self.batch_ms.sum() / 1e3,
+            last_batch_size,
+            last_batch_secs,
+        }
+    }
+
+    /// Admission control: reserves one pending slot and counts the
+    /// request, or refuses with [`ServiceError::Overloaded`] when the
+    /// core already has [`ServiceConfig::max_pending`] requests queued
+    /// or executing across its sessions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Overloaded`]; nothing is reserved then.
+    pub fn admit(&self) -> Result<(), ServiceError> {
+        let capacity = self.config.max_pending.max(1);
+        let mut current = self.pending.load(Ordering::Relaxed);
+        loop {
+            if current >= capacity {
+                return Err(ServiceError::Overloaded {
+                    pending: current,
+                    capacity,
+                });
+            }
+            match self.pending.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.requests.inc();
+                    return Ok(());
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Releases `n` admission slots reserved by [`admit`](Self::admit)
+    /// — called once the requests are answered, or when a session is
+    /// dropped with requests still queued.
+    pub fn release(&self, n: usize) {
+        if n > 0 {
+            self.pending.fetch_sub(n, Ordering::AcqRel);
+        }
+    }
+
+    /// Executes one batch against this core: verified cache probe,
+    /// parallel inference for the misses, cache fill, and telemetry.
+    /// Returns one reply per request in input order. Admission slots
+    /// are *not* released here — the session that reserved them does
+    /// that, because a hot-swap can retire a core between reservation
+    /// and execution.
+    pub fn run_batch(&self, batch: &[PredictRequest]) -> Vec<ServiceReply> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        // ppdl-lint: allow(determinism/wall-clock) -- per-batch latency telemetry only
+        let t0 = Instant::now();
+        let mut slots: Vec<Option<ServiceReply>> = (0..batch.len()).map(|_| None).collect();
+        let mut miss_indices = Vec::new();
+        {
+            let cache = lock(&self.cache);
+            for (i, request) in batch.iter().enumerate() {
+                match cache.probe(request.fingerprint(), request) {
+                    CacheProbe::Hit(mut response) => {
+                        response.id.clone_from(&request.id);
+                        self.cache_hits.inc();
+                        slots[i] = Some(ServiceReply {
+                            id: request.id.clone(),
+                            cached: true,
+                            result: Ok(response),
+                        });
+                    }
+                    CacheProbe::Collision => {
+                        self.cache_collisions.inc();
+                        miss_indices.push(i);
+                    }
+                    CacheProbe::Miss => miss_indices.push(i),
+                }
+            }
+        }
+        let misses: Vec<&PredictRequest> = miss_indices.iter().map(|&i| &batch[i]).collect();
+        let predictor = &self.bundle.predictor;
+        let base = &self.base;
+        let stride = self.bundle.meta.inference_stride;
+        let computed = ppdl_solver::parallel::par_map_vec(&misses, |_, request| {
+            predict(predictor, base, request, stride)
+        });
+        {
+            let mut cache = lock(&self.cache);
+            for (&i, outcome) in miss_indices.iter().zip(computed) {
+                let request = &batch[i];
+                let result = match outcome {
+                    Ok(prediction) => {
+                        cache.insert(request.fingerprint(), request, prediction.response.clone());
+                        Ok(prediction.response)
+                    }
+                    Err(e) => Err(ServiceError::Core(e)),
+                };
+                slots[i] = Some(ServiceReply {
+                    id: request.id.clone(),
+                    cached: false,
+                    result,
+                });
+            }
+        }
+        let batch_secs = t0.elapsed().as_secs_f64();
+        self.batches.inc();
+        // One latency sample per *batch* — request-level latency is the
+        // batch's latency, so per-request samples would only skew the
+        // quantiles toward large batches.
+        self.batch_ms.record(batch_secs * 1e3);
+        *lock(&self.last_batch) = (batch.len(), batch_secs);
+        let replies: Vec<ServiceReply> = slots.into_iter().flatten().collect();
+        for reply in &replies {
+            match reply.result {
+                Ok(_) => self.ok.inc(),
+                Err(_) => self.errors.inc(),
+            }
+        }
+        replies
+    }
+
+    /// The body of the stats JSON object (everything after the status
+    /// tag), shared by the single-bundle snapshot and the registry's
+    /// per-bundle map. `queue_depth` is session state, so the caller
+    /// supplies it (a registry reports the core-wide pending count).
+    pub(crate) fn stats_body(&self, queue_depth: usize) -> String {
+        use ppdl_core::pipeline::{json_number, json_string};
+        let s = self.stats();
+        let quantile = |q: f64| {
+            self.batch_ms
+                .quantile(q)
+                .map_or_else(|| "null".to_string(), json_number)
+        };
+        format!(
+            concat!(
+                "\"preset\":{},\"requests\":{},\"ok\":{},",
+                "\"errors\":{},\"cache_hits\":{},\"batches\":{},\"queue_depth\":{},",
+                "\"busy_ms\":{},\"last_batch_size\":{},\"last_batch_ms\":{},",
+                "\"throughput_rps\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},",
+                "\"cache_collisions\":{},\"pending\":{}"
+            ),
+            json_string(self.bundle.meta.preset.name()),
+            s.requests,
+            s.ok,
+            s.errors,
+            s.cache_hits,
+            s.batches,
+            queue_depth,
+            json_number(s.busy_secs * 1e3),
+            s.last_batch_size,
+            json_number(s.last_batch_secs * 1e3),
+            json_number(s.throughput_rps()),
+            quantile(0.50),
+            quantile(0.95),
+            quantile(0.99),
+            s.cache_collisions,
+            s.pending,
+        )
+    }
+}
+
+/// The long-lived single-bundle batched prediction engine: a bounded
+/// queue in front of one [`ServiceCore`]. This is what the `ppdl
+/// serve` stdin/stdout mode runs; network serving routes through
+/// [`ModelRegistry`] sessions instead, sharing the same core type.
 ///
 /// # Example
 ///
@@ -250,26 +635,8 @@ impl ResponseCache {
 /// ```
 #[derive(Debug)]
 pub struct PredictionService {
-    bundle: TrainedBundle,
-    base: SyntheticBenchmark,
-    config: ServiceConfig,
+    core: ServiceCore,
     queue: Vec<PredictRequest>,
-    cache: ResponseCache,
-    /// Per-instance telemetry registry — always on, isolated from the
-    /// [`ppdl_obs::global`] registry. Counters and the batch-latency
-    /// histogram below are cached handles into it.
-    registry: ppdl_obs::Registry,
-    requests: ppdl_obs::Counter,
-    ok: ppdl_obs::Counter,
-    errors: ppdl_obs::Counter,
-    cache_hits: ppdl_obs::Counter,
-    batches: ppdl_obs::Counter,
-    /// One sample per executed batch (milliseconds), the source of the
-    /// `busy_ms` total and the p50/p95/p99 fields in
-    /// [`stats_json`](Self::stats_json).
-    batch_ms: ppdl_obs::HistogramHandle,
-    last_batch_size: usize,
-    last_batch_secs: f64,
 }
 
 impl PredictionService {
@@ -281,50 +648,28 @@ impl PredictionService {
     ///
     /// Propagates bundle validation and base-instantiation errors.
     pub fn new(bundle: TrainedBundle, config: ServiceConfig) -> Result<Self, ServiceError> {
-        bundle.validate()?;
-        let base = bundle.instantiate_base()?;
-        let cache = ResponseCache::new(config.cache_capacity);
-        let registry = ppdl_obs::Registry::new();
-        let requests = registry.counter("service/requests");
-        let ok = registry.counter("service/ok");
-        let errors = registry.counter("service/errors");
-        let cache_hits = registry.counter("service/cache_hits");
-        let batches = registry.counter("service/batches");
-        let batch_ms = registry.histogram("service/batch_ms", &ppdl_obs::latency_buckets_ms());
         Ok(Self {
-            bundle,
-            base,
-            config,
+            core: ServiceCore::new(bundle, config)?,
             queue: Vec::new(),
-            cache,
-            registry,
-            requests,
-            ok,
-            errors,
-            cache_hits,
-            batches,
-            batch_ms,
-            last_batch_size: 0,
-            last_batch_secs: 0.0,
         })
     }
 
     /// The loaded bundle.
     #[must_use]
     pub fn bundle(&self) -> &TrainedBundle {
-        &self.bundle
+        self.core.bundle()
     }
 
     /// The resident base design queries are answered against.
     #[must_use]
     pub fn base(&self) -> &SyntheticBenchmark {
-        &self.base
+        self.core.base()
     }
 
     /// The service configuration.
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {
-        &self.config
+        self.core.config()
     }
 
     /// Requests currently queued.
@@ -336,16 +681,7 @@ impl PredictionService {
     /// Counter snapshot, reconstructed from the telemetry registry.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        ServiceStats {
-            requests: self.requests.get(),
-            ok: self.ok.get(),
-            errors: self.errors.get(),
-            cache_hits: self.cache_hits.get(),
-            batches: self.batches.get(),
-            busy_secs: self.batch_ms.sum() / 1e3,
-            last_batch_size: self.last_batch_size,
-            last_batch_secs: self.last_batch_secs,
-        }
+        self.core.stats()
     }
 
     /// The per-instance telemetry registry backing the stats: the
@@ -353,7 +689,7 @@ impl PredictionService {
     /// `service/flush` span.
     #[must_use]
     pub fn registry(&self) -> &ppdl_obs::Registry {
-        &self.registry
+        self.core.obs()
     }
 
     /// Accepts a request into the bounded queue.
@@ -362,15 +698,16 @@ impl PredictionService {
     ///
     /// Returns [`ServiceError::QueueFull`] when the queue is at
     /// capacity — the backpressure signal; [`flush`](Self::flush) and
-    /// retry.
+    /// retry — and [`ServiceError::Overloaded`] when the core's
+    /// admission bound is hit.
     pub fn enqueue(&mut self, request: PredictRequest) -> Result<(), ServiceError> {
-        if self.queue.len() >= self.config.queue_capacity {
+        if self.queue.len() >= self.core.config().queue_capacity {
             return Err(ServiceError::QueueFull {
-                capacity: self.config.queue_capacity,
+                capacity: self.core.config().queue_capacity,
             });
         }
+        self.core.admit()?;
         self.queue.push(request);
-        self.requests.inc();
         Ok(())
     }
 
@@ -384,67 +721,14 @@ impl PredictionService {
         let flush_start = Instant::now();
         let mut replies = Vec::with_capacity(self.queue.len());
         while !self.queue.is_empty() {
-            let n = self.queue.len().min(self.config.max_batch.max(1));
+            let n = self.queue.len().min(self.core.config().max_batch.max(1));
             let batch: Vec<PredictRequest> = self.queue.drain(..n).collect();
-            // ppdl-lint: allow(determinism/wall-clock) -- per-batch latency telemetry only
-            let t0 = Instant::now();
-            let mut slots: Vec<Option<ServiceReply>> = (0..batch.len()).map(|_| None).collect();
-            let mut miss_indices = Vec::new();
-            for (i, request) in batch.iter().enumerate() {
-                if let Some(hit) = self.cache.get(request.fingerprint()) {
-                    let mut response = hit.clone();
-                    response.id.clone_from(&request.id);
-                    self.cache_hits.inc();
-                    slots[i] = Some(ServiceReply {
-                        id: request.id.clone(),
-                        cached: true,
-                        result: Ok(response),
-                    });
-                } else {
-                    miss_indices.push(i);
-                }
-            }
-            let misses: Vec<&PredictRequest> = miss_indices.iter().map(|&i| &batch[i]).collect();
-            let predictor = &self.bundle.predictor;
-            let base = &self.base;
-            let stride = self.bundle.meta.inference_stride;
-            let computed = ppdl_solver::parallel::par_map_vec(&misses, |_, request| {
-                predict(predictor, base, request, stride)
-            });
-            for (&i, outcome) in miss_indices.iter().zip(computed) {
-                let request = &batch[i];
-                let result = match outcome {
-                    Ok(prediction) => {
-                        self.cache
-                            .insert(request.fingerprint(), prediction.response.clone());
-                        Ok(prediction.response)
-                    }
-                    Err(e) => Err(ServiceError::Core(e)),
-                };
-                slots[i] = Some(ServiceReply {
-                    id: request.id.clone(),
-                    cached: false,
-                    result,
-                });
-            }
-            let batch_secs = t0.elapsed().as_secs_f64();
-            self.batches.inc();
-            // One latency sample per *batch* — request-level latency is
-            // the batch's latency, so per-request samples would only
-            // skew the quantiles toward large batches.
-            self.batch_ms.record(batch_secs * 1e3);
-            self.last_batch_size = batch.len();
-            self.last_batch_secs = batch_secs;
-            for reply in slots.into_iter().flatten() {
-                match reply.result {
-                    Ok(_) => self.ok.inc(),
-                    Err(_) => self.errors.inc(),
-                }
-                replies.push(reply);
-            }
+            replies.extend(self.core.run_batch(&batch));
+            self.core.release(batch.len());
         }
         if !replies.is_empty() {
-            self.registry
+            self.core
+                .obs()
                 .record_span("service/flush", flush_start.elapsed().as_secs_f64());
         }
         replies
@@ -453,39 +737,14 @@ impl PredictionService {
     /// The JSON stats snapshot the wire protocol's `{"cmd":"stats"}`
     /// command returns: per-batch latency, lifetime throughput, cache
     /// hits, queue depth, and batch-latency percentiles. The legacy
-    /// keys keep their order; the `p50_ms`/`p95_ms`/`p99_ms` estimates
-    /// (from the `service/batch_ms` histogram; `null` before the first
-    /// batch) extend the object at the end.
+    /// keys keep their order; `cache_collisions` (verified-cache misses
+    /// from fingerprint collisions) and `pending` (admission gauge)
+    /// extend the object at the end.
     #[must_use]
     pub fn stats_json(&self) -> String {
-        use ppdl_core::pipeline::{json_number, json_string};
-        let s = self.stats();
-        let quantile = |q: f64| {
-            self.batch_ms
-                .quantile(q)
-                .map_or_else(|| "null".to_string(), json_number)
-        };
         format!(
-            concat!(
-                "{{\"status\":\"stats\",\"preset\":{},\"requests\":{},\"ok\":{},",
-                "\"errors\":{},\"cache_hits\":{},\"batches\":{},\"queue_depth\":{},",
-                "\"busy_ms\":{},\"last_batch_size\":{},\"last_batch_ms\":{},",
-                "\"throughput_rps\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{}}}"
-            ),
-            json_string(self.bundle.meta.preset.name()),
-            s.requests,
-            s.ok,
-            s.errors,
-            s.cache_hits,
-            s.batches,
-            self.queue.len(),
-            json_number(s.busy_secs * 1e3),
-            s.last_batch_size,
-            json_number(s.last_batch_secs * 1e3),
-            json_number(s.throughput_rps()),
-            quantile(0.50),
-            quantile(0.95),
-            quantile(0.99),
+            "{{\"status\":\"stats\",{}}}",
+            self.core.stats_body(self.queue.len())
         )
     }
 
@@ -497,7 +756,7 @@ impl PredictionService {
     pub fn telemetry_json(&self) -> String {
         format!(
             "{{\"status\":\"telemetry\",\"service\":{},\"global\":{}}}",
-            self.registry.snapshot_json(),
+            self.core.obs().snapshot_json(),
             ppdl_obs::global().snapshot_json()
         )
     }
@@ -538,6 +797,7 @@ mod tests {
         assert_eq!(st.requests, 5);
         assert_eq!(st.ok, 5);
         assert_eq!(st.errors, 0);
+        assert_eq!(st.pending, 0);
         assert!(st.busy_secs > 0.0);
         assert!(st.throughput_rps() > 0.0);
         assert_eq!(st.last_batch_size, 5);
@@ -582,6 +842,7 @@ mod tests {
             b[0].result.as_ref().unwrap().widths
         );
         assert_eq!(s.stats().cache_hits, 1);
+        assert_eq!(s.stats().cache_collisions, 0);
     }
 
     #[test]
@@ -594,6 +855,7 @@ mod tests {
                 queue_capacity: 2,
                 max_batch: 1,
                 cache_capacity: 0,
+                ..ServiceConfig::default()
             },
         )
         .unwrap();
@@ -608,6 +870,34 @@ mod tests {
         // After flushing there is room again.
         s.enqueue(request("c", 3)).unwrap();
         assert_eq!(s.queue_depth(), 1);
+    }
+
+    #[test]
+    fn admission_control_refuses_past_max_pending() {
+        let bundle =
+            TrainedBundle::train(IbmPgPreset::Ibmpg1, 0.01, 3, DlFlowConfig::fast(), None).unwrap();
+        let mut s = PredictionService::new(
+            bundle,
+            ServiceConfig {
+                queue_capacity: 64,
+                max_pending: 3,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..3 {
+            s.enqueue(request(&format!("q{i}"), i)).unwrap();
+        }
+        let err = s.enqueue(request("q3", 3)).unwrap_err();
+        assert_eq!(err.code(), "service/overloaded");
+        assert_eq!(s.stats().pending, 3);
+        // The refused request was not counted as admitted.
+        assert_eq!(s.stats().requests, 3);
+        // Flushing drains the gauge and admission recovers.
+        let replies = s.flush();
+        assert_eq!(replies.len(), 3);
+        assert_eq!(s.stats().pending, 0);
+        s.enqueue(request("q4", 4)).unwrap();
     }
 
     #[test]
@@ -640,6 +930,7 @@ mod tests {
                 queue_capacity: 4,
                 max_batch: 2,
                 cache_capacity: 16,
+                ..ServiceConfig::default()
             },
         )
         .unwrap();
@@ -659,6 +950,7 @@ mod tests {
         assert_eq!(st.ok, 10);
         assert_eq!(st.errors, 0);
         assert_eq!(st.cache_hits, 5);
+        assert_eq!(st.pending, 0);
         // 10 requests drained in batches of ≤2 → exactly 5 batches.
         assert_eq!(st.batches, 5);
         // The latency histogram records one sample per *batch*, never
@@ -688,16 +980,85 @@ mod tests {
             worst_ir_mv: 1.0,
             dl_ms: 0.0,
         };
-        cache.insert(9, resp("a"));
-        cache.insert(1, resp("b"));
-        cache.insert(5, resp("c")); // evicts fingerprint 9 (oldest), not 1 (smallest)
-        assert!(cache.get(9).is_none(), "oldest entry must be evicted");
-        assert!(cache.get(1).is_some());
-        assert!(cache.get(5).is_some());
+        let req = |seed: u64| {
+            PredictRequest::new("r")
+                .with_perturbation(Perturbation::new(0.1, PerturbationKind::Both, seed).unwrap())
+        };
+        cache.insert(9, &req(9), resp("a"));
+        cache.insert(1, &req(1), resp("b"));
+        cache.insert(5, &req(5), resp("c")); // evicts fingerprint 9 (oldest), not 1 (smallest)
+        assert!(
+            matches!(cache.probe(9, &req(9)), CacheProbe::Miss),
+            "oldest entry must be evicted"
+        );
+        assert!(matches!(cache.probe(1, &req(1)), CacheProbe::Hit(_)));
+        assert!(matches!(cache.probe(5, &req(5)), CacheProbe::Hit(_)));
         // Re-inserting an existing key does not grow the queue or evict.
-        cache.insert(1, resp("b2"));
-        assert!(cache.get(5).is_some());
+        cache.insert(1, &req(1), resp("b2"));
+        assert!(matches!(cache.probe(5, &req(5)), CacheProbe::Hit(_)));
         assert_eq!(cache.order.len(), 2);
+    }
+
+    #[test]
+    fn forced_fingerprint_collision_never_returns_wrong_response() {
+        // Regression for the bare-u64 cache key: two requests with
+        // *different* payloads stored under the same fingerprint (as a
+        // real 64-bit collision would produce) must not be served each
+        // other's response. Before the payload-verified cache, probe()
+        // keyed by the bare fingerprint and returned request A's
+        // response for request B.
+        let mut cache = ResponseCache::new(8);
+        let req_a = PredictRequest::new("a")
+            .with_perturbation(Perturbation::new(0.1, PerturbationKind::Both, 1).unwrap());
+        let req_b = PredictRequest::new("b")
+            .with_perturbation(Perturbation::new(0.2, PerturbationKind::Both, 2).unwrap());
+        assert!(!req_a.payload_eq(&req_b));
+        let resp_a = PredictResponse {
+            id: "a".to_string(),
+            widths: vec![1.0, 2.0],
+            worst_ir_mv: 3.0,
+            dl_ms: 0.0,
+        };
+        const COLLIDING_FINGERPRINT: u64 = 0xDEAD_BEEF;
+        cache.insert(COLLIDING_FINGERPRINT, &req_a, resp_a.clone());
+        // The colliding probe must be a typed Collision (answered by
+        // inference), never a Hit carrying request A's response.
+        assert!(matches!(
+            cache.probe(COLLIDING_FINGERPRINT, &req_b),
+            CacheProbe::Collision
+        ));
+        // The true owner still hits.
+        match cache.probe(COLLIDING_FINGERPRINT, &req_a) {
+            CacheProbe::Hit(r) => assert_eq!(r.widths, resp_a.widths),
+            _ => panic!("verified probe must hit for the owning payload"),
+        }
+        // A colliding insert takes the slot over; the old payload now
+        // misses by verification instead of hitting the wrong entry.
+        let resp_b = PredictResponse {
+            id: "b".to_string(),
+            widths: vec![9.0],
+            worst_ir_mv: 1.0,
+            dl_ms: 0.0,
+        };
+        cache.insert(COLLIDING_FINGERPRINT, &req_b, resp_b.clone());
+        assert!(matches!(
+            cache.probe(COLLIDING_FINGERPRINT, &req_a),
+            CacheProbe::Collision
+        ));
+        match cache.probe(COLLIDING_FINGERPRINT, &req_b) {
+            CacheProbe::Hit(r) => assert_eq!(r.widths, resp_b.widths),
+            _ => panic!("newest payload owns the collided slot"),
+        }
+    }
+
+    #[test]
+    fn collision_counter_reaches_the_stats() {
+        // End-to-end through a service: same gamma/kind/seed payloads
+        // hit, and the collision counter surfaces in the stats JSON.
+        let s = service();
+        let v = Json::parse(&s.stats_json()).unwrap();
+        assert_eq!(v.get("cache_collisions").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("pending").unwrap().as_u64(), Some(0));
     }
 
     #[test]

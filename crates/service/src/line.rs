@@ -1,0 +1,292 @@
+//! Byte-level NDJSON line framing that cannot lose a request.
+//!
+//! `BufRead::lines()` has three failure shapes that are fatal for a
+//! wire protocol: a terminal line without a trailing `\n` is easy for
+//! callers to mishandle, an I/O error mid-iteration aborts the loop
+//! with requests still queued, and an invalid-UTF-8 line kills the
+//! whole stream even though only one line was bad. [`LineReader`]
+//! replaces it with an explicit event stream:
+//!
+//! * [`LineEvent::Line`] — one complete line (newline and any `\r`
+//!   stripped), including a **final line that ends at EOF without a
+//!   newline** — a client that writes a request and disconnects
+//!   mid-frame still gets its request parsed.
+//! * [`LineEvent::Refused`] — a line the reader will not hand to the
+//!   parser: longer than the configured cap, or not valid UTF-8. The
+//!   offending bytes are discarded up to the next newline and the
+//!   stream continues; the caller renders one typed `service/json`
+//!   error and keeps serving.
+//! * [`LineEvent::Pending`] — the underlying read timed out or would
+//!   block (`WouldBlock`/`TimedOut`). Network handlers use read
+//!   timeouts to poll a shutdown flag between frames; a partial line
+//!   is carried across `Pending` events and completes when more bytes
+//!   arrive.
+//! * [`LineEvent::Eof`] / [`LineEvent::Io`] — end of stream / a real
+//!   transport error. Callers flush queued work before surfacing
+//!   either, so nothing enqueued is silently dropped.
+
+use std::io::{self, ErrorKind, Read};
+
+/// Default cap on one NDJSON line (1 MiB): far above any legitimate
+/// request (a full `loads` override array is a few hundred KiB at
+/// most) and small enough that a hostile endless line cannot grow the
+/// buffer without bound.
+pub(crate) const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One framing event from a [`LineReader`].
+#[derive(Debug)]
+pub(crate) enum LineEvent {
+    /// A complete UTF-8 line, newline (and trailing `\r`) stripped.
+    Line(String),
+    /// A line the reader refused (oversized or invalid UTF-8); the
+    /// stream continues at the next line.
+    Refused {
+        /// Human-readable reason, carried into the `service/json`
+        /// error reply.
+        detail: String,
+    },
+    /// The read would block or timed out; call again for more.
+    Pending,
+    /// End of stream (any unterminated final line was already emitted
+    /// as its own [`Line`](Self::Line) event).
+    Eof,
+    /// A transport error other than `WouldBlock`/`TimedOut`.
+    Io(io::Error),
+}
+
+/// Incremental line framer over any [`Read`]; see the module docs for
+/// the event contract.
+#[derive(Debug)]
+pub(crate) struct LineReader<R> {
+    inner: R,
+    /// Bytes read but not yet emitted: at most one partial line.
+    buf: Vec<u8>,
+    /// How far `buf` has already been scanned for a newline, so a slow
+    /// trickle of bytes does not rescan the prefix quadratically.
+    scanned: usize,
+    max_line_bytes: usize,
+    /// Set while discarding an oversized line: bytes are dropped until
+    /// the terminating newline, then one `Refused` event is emitted.
+    skipping: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    pub(crate) fn new(inner: R, max_line_bytes: usize) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+            scanned: 0,
+            max_line_bytes: max_line_bytes.max(1),
+            skipping: false,
+        }
+    }
+
+    /// Converts a complete raw line into an event, refusing bad UTF-8.
+    fn finish_line(&mut self, mut raw: Vec<u8>) -> LineEvent {
+        if raw.last() == Some(&b'\r') {
+            raw.pop();
+        }
+        if self.skipping || raw.len() > self.max_line_bytes {
+            // Either we were already draining an over-cap line, or a
+            // complete oversized line arrived inside one read before
+            // the incremental cap check could trigger.
+            self.skipping = false;
+            return LineEvent::Refused {
+                detail: format!("line exceeds the {} byte limit", self.max_line_bytes),
+            };
+        }
+        match String::from_utf8(raw) {
+            Ok(line) => LineEvent::Line(line),
+            Err(_) => LineEvent::Refused {
+                detail: "line is not valid UTF-8".to_string(),
+            },
+        }
+    }
+
+    /// Produces the next framing event, blocking only as long as one
+    /// `read` on the underlying stream blocks.
+    pub(crate) fn next_event(&mut self) -> LineEvent {
+        loop {
+            if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let pos = self.scanned + pos;
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop();
+                self.scanned = 0;
+                return self.finish_line(line);
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > self.max_line_bytes {
+                // Too long with no newline in sight: drop what we have
+                // and keep discarding until the line ends.
+                self.skipping = true;
+                self.buf.clear();
+                self.scanned = 0;
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    if self.skipping {
+                        // Oversized line truncated by EOF: still refuse
+                        // it explicitly rather than vanishing.
+                        let raw = std::mem::take(&mut self.buf);
+                        self.scanned = 0;
+                        return self.finish_line(raw);
+                    }
+                    if self.buf.is_empty() {
+                        return LineEvent::Eof;
+                    }
+                    // Final line without a trailing newline.
+                    let raw = std::mem::take(&mut self.buf);
+                    self.scanned = 0;
+                    return self.finish_line(raw);
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => match e.kind() {
+                    ErrorKind::Interrupted => {}
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut => return LineEvent::Pending,
+                    _ => return LineEvent::Io(e),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(input: &[u8]) -> Vec<String> {
+        let mut reader = LineReader::new(input, DEFAULT_MAX_LINE_BYTES);
+        let mut out = Vec::new();
+        loop {
+            match reader.next_event() {
+                LineEvent::Line(l) => out.push(l),
+                LineEvent::Refused { detail } => out.push(format!("<refused: {detail}>")),
+                LineEvent::Eof => return out,
+                LineEvent::Pending => {}
+                LineEvent::Io(e) => panic!("io: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn final_line_without_newline_is_emitted() {
+        assert_eq!(lines(b"a\nb"), vec!["a", "b"]);
+        assert_eq!(lines(b"only"), vec!["only"]);
+        assert_eq!(lines(b""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn crlf_and_blank_lines() {
+        assert_eq!(lines(b"a\r\n\nb\r\n"), vec!["a", "", "b"]);
+    }
+
+    #[test]
+    fn invalid_utf8_refuses_just_that_line() {
+        let got = lines(b"ok\n\xff\xfe\nafter\n");
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], "ok");
+        assert!(got[1].contains("not valid UTF-8"), "{}", got[1]);
+        assert_eq!(got[2], "after");
+    }
+
+    #[test]
+    fn oversized_line_is_refused_and_stream_continues() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"first\n");
+        input.extend(vec![b'x'; 64]);
+        input.push(b'\n');
+        input.extend_from_slice(b"last\n");
+        let mut reader = LineReader::new(&input[..], 16);
+        let mut got = Vec::new();
+        loop {
+            match reader.next_event() {
+                LineEvent::Line(l) => got.push(l),
+                LineEvent::Refused { detail } => got.push(format!("<{detail}>")),
+                LineEvent::Eof => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], "first");
+        assert!(got[1].contains("byte limit"), "{}", got[1]);
+        assert_eq!(got[2], "last");
+    }
+
+    #[test]
+    fn oversized_line_truncated_by_eof_is_still_refused() {
+        let input = [b'x'; 64];
+        let mut reader = LineReader::new(&input[..], 16);
+        assert!(matches!(reader.next_event(), LineEvent::Refused { .. }));
+        assert!(matches!(reader.next_event(), LineEvent::Eof));
+    }
+
+    /// A reader that yields its scripted results one at a time —
+    /// simulates a socket trickling bytes and timing out between them.
+    struct Script(Vec<io::Result<Vec<u8>>>);
+
+    impl Read for Script {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.0.is_empty() {
+                return Ok(0);
+            }
+            match self.0.remove(0) {
+                Ok(bytes) => {
+                    out[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_line_survives_pending_gaps() {
+        let mut reader = LineReader::new(
+            Script(vec![
+                Ok(b"{\"id\":".to_vec()),
+                Err(io::Error::new(ErrorKind::WouldBlock, "timeout")),
+                Ok(b"\"q\"}".to_vec()),
+                Err(io::Error::new(ErrorKind::TimedOut, "timeout")),
+                Ok(b"\n".to_vec()),
+            ]),
+            DEFAULT_MAX_LINE_BYTES,
+        );
+        assert!(matches!(reader.next_event(), LineEvent::Pending));
+        assert!(matches!(reader.next_event(), LineEvent::Pending));
+        match reader.next_event() {
+            LineEvent::Line(l) => assert_eq!(l, "{\"id\":\"q\"}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(reader.next_event(), LineEvent::Eof));
+    }
+
+    #[test]
+    fn disconnect_mid_line_emits_the_partial_line() {
+        // A client that writes a frame and drops the connection without
+        // the newline: the bytes still come through as a line.
+        let mut reader = LineReader::new(&b"{\"cmd\":\"stats\"}"[..], DEFAULT_MAX_LINE_BYTES);
+        match reader.next_event() {
+            LineEvent::Line(l) => assert_eq!(l, "{\"cmd\":\"stats\"}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(reader.next_event(), LineEvent::Eof));
+    }
+
+    #[test]
+    fn real_io_error_is_surfaced_not_swallowed() {
+        let mut reader = LineReader::new(
+            Script(vec![
+                Ok(b"good\n".to_vec()),
+                Err(io::Error::new(ErrorKind::ConnectionReset, "reset")),
+            ]),
+            DEFAULT_MAX_LINE_BYTES,
+        );
+        assert!(matches!(reader.next_event(), LineEvent::Line(_)));
+        match reader.next_event() {
+            LineEvent::Io(e) => assert_eq!(e.kind(), ErrorKind::ConnectionReset),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -5,13 +5,21 @@
 //! ```json
 //! {"id":"q1","gamma":0.1,"kind":"both","seed":5}
 //! {"id":"q2","loads":[[0,0.0012],[17,0.0009]],"stride":2}
+//! {"id":"q3","bundle":"ibmpg2","gamma":0.1}
 //! {"cmd":"flush"}
 //! {"cmd":"stats"}
 //! {"cmd":"stats","spans":true}
+//! {"cmd":"load","bundle":"ibmpg2","path":"new.bundle"}
+//! {"cmd":"bundles"}
 //! {"cmd":"quit"}
+//! {"cmd":"shutdown"}
 //! ```
 //!
 //! * `id` (required, string) — echoed in the reply.
+//! * `bundle` (optional, string) — which registered bundle answers the
+//!   request. Only meaningful against the multi-bundle registry
+//!   listener (`ppdl serve --listen`/`--unix`); the single-bundle
+//!   stdin/stdout mode rejects it with `service/unknown_bundle`.
 //! * `gamma` (optional, number in `(0,1)`) — §IV-D perturbation size;
 //!   `kind` (`voltages`|`loads`|`both`, default `both`) and `seed`
 //!   (integer, default 1) refine it.
@@ -28,11 +36,20 @@
 //! span/histogram dump (`"status":"telemetry"`). Requests accumulate
 //! in the bounded queue and execute as one parallel batch on `flush`,
 //! on `quit`, at end of input, or when the queue reaches capacity
-//! (backpressure flushes rather than drops). Malformed lines produce
-//! an error reply and the loop keeps serving; lines nesting JSON
-//! containers beyond [`MAX_DEPTH`](crate::MAX_DEPTH) levels are
-//! rejected with code `service/json` before the reader recurses into
-//! them, so a `[[[[…` bomb cannot overflow the stack.
+//! (backpressure flushes rather than drops). `{"cmd":"load"}` and
+//! `{"cmd":"bundles"}` manage the registry in listener mode (hot-swap
+//! a bundle / list the resident ones); `{"cmd":"shutdown"}` stops the
+//! whole listener (in stdin mode it is equivalent to `quit`).
+//!
+//! Malformed lines produce an error reply and the loop keeps serving;
+//! lines nesting JSON containers beyond [`MAX_DEPTH`](crate::MAX_DEPTH)
+//! levels are rejected with code `service/json` before the reader
+//! recurses into them, so a `[[[[…` bomb cannot overflow the stack.
+//! Framing is byte-level (see `line.rs`): a final request line without
+//! a trailing newline is parsed at EOF, an invalid-UTF-8 or oversized
+//! line yields one typed `service/json` error and the stream continues,
+//! and a transport error still flushes everything already queued before
+//! surfacing — no accepted request is ever silently dropped.
 
 use std::io::{self, BufRead, Write};
 
@@ -41,13 +58,20 @@ use ppdl_core::predict::{parse_kind, PredictRequest};
 use ppdl_core::Perturbation;
 
 use crate::json::{Json, JsonError};
+use crate::line::{LineEvent, LineReader, DEFAULT_MAX_LINE_BYTES};
 use crate::{PredictionService, ServiceError, ServiceReply};
 
 /// One parsed protocol line.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// A prediction request to enqueue.
-    Request(PredictRequest),
+    Request {
+        /// The registry bundle that should answer (`None` routes to
+        /// the default bundle / the single loaded bundle).
+        bundle: Option<String>,
+        /// The request itself.
+        request: PredictRequest,
+    },
     /// Execute everything queued and emit the replies.
     Flush,
     /// Emit the stats snapshot (the full telemetry dump when `spans`).
@@ -56,8 +80,19 @@ pub enum Command {
         /// instead of the flat stats object.
         spans: bool,
     },
-    /// Flush, then stop serving.
+    /// Hot-swap (or add) a registry bundle from a saved bundle file.
+    Load {
+        /// Registry name the bundle is installed under.
+        bundle: String,
+        /// Filesystem path of the saved bundle.
+        path: String,
+    },
+    /// List the resident registry bundles.
+    Bundles,
+    /// Flush, then stop serving this connection.
     Quit,
+    /// Flush, then stop the whole listener (all connections drain).
+    Shutdown,
 }
 
 fn malformed(detail: impl Into<String>) -> ServiceError {
@@ -99,9 +134,25 @@ pub fn parse_line(line: &str) -> Result<Command, ServiceError> {
                 };
                 Ok(Command::Stats { spans })
             }
+            "load" => {
+                let bundle = value
+                    .get("bundle")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| malformed("\"load\" needs a string \"bundle\" name"))?;
+                let path = value
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| malformed("\"load\" needs a string \"path\""))?;
+                Ok(Command::Load {
+                    bundle: bundle.to_string(),
+                    path: path.to_string(),
+                })
+            }
+            "bundles" => Ok(Command::Bundles),
             "quit" => Ok(Command::Quit),
+            "shutdown" => Ok(Command::Shutdown),
             other => Err(malformed(format!(
-                "unknown command '{other}' (flush|stats|quit)"
+                "unknown command '{other}' (flush|stats|load|bundles|quit|shutdown)"
             ))),
         };
     }
@@ -109,6 +160,14 @@ pub fn parse_line(line: &str) -> Result<Command, ServiceError> {
         .get("id")
         .and_then(Json::as_str)
         .ok_or_else(|| malformed("request needs a string \"id\""))?;
+    let bundle = match value.get("bundle") {
+        None => None,
+        Some(b) => Some(
+            b.as_str()
+                .ok_or_else(|| malformed("\"bundle\" must be a string"))?
+                .to_string(),
+        ),
+    };
     let mut request = PredictRequest::new(id);
     if let Some(gamma) = value.get("gamma") {
         let gamma = gamma
@@ -158,7 +217,7 @@ pub fn parse_line(line: &str) -> Result<Command, ServiceError> {
         request = request.with_stride(stride as usize);
     }
     request.validate().map_err(ServiceError::Core)?;
-    Ok(Command::Request(request))
+    Ok(Command::Request { bundle, request })
 }
 
 /// Renders one reply as a protocol line (no trailing newline).
@@ -198,10 +257,25 @@ fn emit_replies(replies: &[ServiceReply], output: &mut impl Write) -> io::Result
     output.flush()
 }
 
+/// Extracts the `id` of a line that failed to parse as a command, so
+/// the typed error reply can still be correlated by the client.
+pub(crate) fn salvage_id(line: &str) -> String {
+    Json::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_default()
+}
+
 /// Serves the NDJSON protocol over any reader/writer pair until
-/// `{"cmd":"quit"}` or end of input; pending requests are flushed at
-/// both. Malformed or failing requests yield `"status":"error"` lines —
-/// this loop itself only fails on transport I/O errors.
+/// `{"cmd":"quit"}`/`{"cmd":"shutdown"}` or end of input; pending
+/// requests are flushed at both. Malformed or failing requests yield
+/// `"status":"error"` lines — this loop itself only fails on transport
+/// I/O errors, and even then it flushes everything already queued
+/// before surfacing the error, so no accepted request is dropped.
+///
+/// This is the single-bundle stdin/stdout mode: requests naming a
+/// `bundle` and the registry commands (`load`, `bundles`) are answered
+/// with typed errors pointing at the `--listen` registry mode.
 ///
 /// # Errors
 ///
@@ -211,14 +285,39 @@ pub fn serve_ndjson(
     input: impl BufRead,
     output: &mut impl Write,
 ) -> io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
+    let mut reader = LineReader::new(input, DEFAULT_MAX_LINE_BYTES);
+    loop {
+        let line = match reader.next_event() {
+            LineEvent::Line(line) => line,
+            LineEvent::Refused { detail } => {
+                writeln!(
+                    output,
+                    "{}",
+                    render_error("", &ServiceError::Json { detail })
+                )?;
+                output.flush()?;
+                continue;
+            }
+            // Stdin is blocking, but a caller may hand us a stream
+            // with a read timeout; just keep reading.
+            LineEvent::Pending => continue,
+            LineEvent::Eof => break,
+            LineEvent::Io(e) => {
+                // Answer what was accepted before dying on transport.
+                let replies = service.flush();
+                emit_replies(&replies, output)?;
+                return Err(e);
+            }
+        };
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
         match parse_line(line) {
-            Ok(Command::Request(request)) => {
+            Ok(Command::Request {
+                bundle: None,
+                request,
+            }) => {
                 // Backpressure: a full queue flushes (emitting replies
                 // in arrival order) instead of dropping the request.
                 if service.queue_depth() >= service.config().queue_capacity {
@@ -226,11 +325,30 @@ pub fn serve_ndjson(
                     emit_replies(&replies, output)?;
                 }
                 if let Err(e) = service.enqueue(request) {
-                    // Unreachable after the pre-flush, but a typed
-                    // reply beats a panic if capacities change.
+                    // Reachable through admission control (the queue
+                    // pre-flush covers queue_full): a typed reply, not
+                    // a drop.
                     writeln!(output, "{}", render_error("", &e))?;
                     output.flush()?;
                 }
+            }
+            Ok(Command::Request {
+                bundle: Some(bundle),
+                request,
+            }) => {
+                // One process, one bundle: routing needs the registry
+                // listener.
+                let e = ServiceError::UnknownBundle { bundle };
+                writeln!(output, "{}", render_error(&request.id, &e))?;
+                output.flush()?;
+            }
+            Ok(Command::Load { .. } | Command::Bundles) => {
+                let e = ServiceError::Malformed {
+                    detail: "registry commands need the listener mode (ppdl serve --listen)"
+                        .to_string(),
+                };
+                writeln!(output, "{}", render_error("", &e))?;
+                output.flush()?;
             }
             Ok(Command::Flush) => {
                 let replies = service.flush();
@@ -245,13 +363,9 @@ pub fn serve_ndjson(
                 writeln!(output, "{snapshot}")?;
                 output.flush()?;
             }
-            Ok(Command::Quit) => break,
+            Ok(Command::Quit | Command::Shutdown) => break,
             Err(e) => {
-                let id = Json::parse(line)
-                    .ok()
-                    .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_string))
-                    .unwrap_or_default();
-                writeln!(output, "{}", render_error(&id, &e))?;
+                writeln!(output, "{}", render_error(&salvage_id(line), &e))?;
                 output.flush()?;
             }
         }
@@ -307,17 +421,56 @@ mod tests {
             parse_line("{\"cmd\":\"quit\"}"),
             Ok(Command::Quit)
         ));
-        let Ok(Command::Request(r)) = parse_line(
+        let Ok(Command::Request { bundle, request: r }) = parse_line(
             r#"{"id":"a","gamma":0.1,"kind":"loads","seed":9,"stride":2,"loads":[[3,1e-4]]}"#,
         ) else {
             panic!("expected request");
         };
+        assert_eq!(bundle, None);
         assert_eq!(r.id, "a");
         let p = r.perturbation.unwrap();
         assert_eq!(p.gamma(), 0.1);
         assert_eq!(p.seed(), 9);
         assert_eq!(r.load_overrides, vec![(3, 1e-4)]);
         assert_eq!(r.stride, Some(2));
+    }
+
+    #[test]
+    fn parse_line_registry_shapes() {
+        let Ok(Command::Request { bundle, request }) =
+            parse_line(r#"{"id":"q","bundle":"ibmpg2","gamma":0.1}"#)
+        else {
+            panic!("expected routed request");
+        };
+        assert_eq!(bundle.as_deref(), Some("ibmpg2"));
+        assert_eq!(request.id, "q");
+        let Ok(Command::Load { bundle, path }) =
+            parse_line(r#"{"cmd":"load","bundle":"b2","path":"new.bundle"}"#)
+        else {
+            panic!("expected load");
+        };
+        assert_eq!(bundle, "b2");
+        assert_eq!(path, "new.bundle");
+        assert!(matches!(
+            parse_line("{\"cmd\":\"bundles\"}"),
+            Ok(Command::Bundles)
+        ));
+        assert!(matches!(
+            parse_line("{\"cmd\":\"shutdown\"}"),
+            Ok(Command::Shutdown)
+        ));
+        assert_eq!(
+            parse_line("{\"cmd\":\"load\",\"bundle\":\"x\"}")
+                .unwrap_err()
+                .code(),
+            "service/malformed"
+        );
+        assert_eq!(
+            parse_line("{\"id\":\"q\",\"bundle\":7}")
+                .unwrap_err()
+                .code(),
+            "service/malformed"
+        );
     }
 
     #[test]
@@ -429,6 +582,109 @@ mod tests {
         assert!(service.get("spans").unwrap().get("service/flush").is_some());
         // The global registry section is present even when disabled.
         assert!(telemetry.get("global").unwrap().get("counters").is_some());
+    }
+
+    #[test]
+    fn final_line_without_trailing_newline_is_answered() {
+        // Regression: a client that writes its last request and closes
+        // the pipe without a newline must still get a reply at EOF.
+        let replies = serve("{\"id\":\"tail\",\"gamma\":0.1,\"seed\":3}");
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].get("id").unwrap().as_str(), Some("tail"));
+        assert_eq!(replies[0].get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn invalid_utf8_line_gets_typed_error_and_queued_work_survives() {
+        // Regression: with the old `BufRead::lines()` loop an invalid
+        // UTF-8 line was an I/O error — the loop died, the queued
+        // request was silently dropped, and no error line was written.
+        let mut input: Vec<u8> = b"{\"id\":\"before\",\"gamma\":0.1,\"seed\":3}\n".to_vec();
+        input.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        input.extend_from_slice(b"{\"id\":\"after\",\"gamma\":0.1,\"seed\":4}\n");
+        let mut s = service();
+        let mut out = Vec::new();
+        serve_ndjson(&mut s, &input[..], &mut out).unwrap();
+        let replies: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[0].get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(
+            replies[0].get("code").unwrap().as_str(),
+            Some("service/json")
+        );
+        assert_eq!(replies[1].get("id").unwrap().as_str(), Some("before"));
+        assert_eq!(replies[1].get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(replies[2].get("id").unwrap().as_str(), Some("after"));
+    }
+
+    #[test]
+    fn transport_error_flushes_accepted_requests_before_surfacing() {
+        // A connection reset mid-stream must not eat the requests that
+        // were already accepted: they are answered, then the error
+        // propagates to the transport owner.
+        struct Reset {
+            payload: std::io::Cursor<Vec<u8>>,
+            done: bool,
+        }
+        impl std::io::Read for Reset {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let n = self.payload.read(buf)?;
+                if n == 0 {
+                    if self.done {
+                        return Err(io::Error::new(io::ErrorKind::ConnectionReset, "peer reset"));
+                    }
+                    self.done = true;
+                    return Err(io::Error::new(io::ErrorKind::ConnectionReset, "peer reset"));
+                }
+                Ok(n)
+            }
+        }
+        let reader = std::io::BufReader::new(Reset {
+            payload: std::io::Cursor::new(
+                b"{\"id\":\"queued\",\"gamma\":0.1,\"seed\":3}\n".to_vec(),
+            ),
+            done: false,
+        });
+        let mut s = service();
+        let mut out = Vec::new();
+        let err = serve_ndjson(&mut s, reader, &mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        let replies: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].get("id").unwrap().as_str(), Some("queued"));
+        assert_eq!(replies[0].get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn registry_commands_are_typed_errors_in_stdio_mode() {
+        let replies = serve(concat!(
+            "{\"id\":\"routed\",\"bundle\":\"other\",\"gamma\":0.1}\n",
+            "{\"cmd\":\"load\",\"bundle\":\"b\",\"path\":\"x.bundle\"}\n",
+            "{\"cmd\":\"bundles\"}\n",
+            "{\"cmd\":\"shutdown\"}\n",
+        ));
+        assert_eq!(replies.len(), 3);
+        assert_eq!(
+            replies[0].get("code").unwrap().as_str(),
+            Some("service/unknown_bundle")
+        );
+        assert_eq!(replies[0].get("id").unwrap().as_str(), Some("routed"));
+        assert_eq!(
+            replies[1].get("code").unwrap().as_str(),
+            Some("service/malformed")
+        );
+        assert_eq!(
+            replies[2].get("code").unwrap().as_str(),
+            Some("service/malformed")
+        );
     }
 
     #[test]

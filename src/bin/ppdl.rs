@@ -6,6 +6,8 @@
 //! ppdl flow --preset ibmpg2 --scale 0.01 [--fast] [--gamma 0.1] [--model model.ppdl]
 //! ppdl train --preset ibmpg2 --scale 0.006 --out model.bundle [--fast]
 //! ppdl serve --bundle model.bundle [--queue 256] [--batch 64] [--cache 1024] [--telemetry]
+//! ppdl serve --listen 127.0.0.1:7433 --bundle a.bundle --bundle b.bundle [--bundle-dir models/]
+//! ppdl serve --unix /run/ppdl.sock --bundle-dir models/
 //! ```
 //!
 //! Every subcommand accepts `--threads <n>` to pin the worker pool —
@@ -14,14 +16,19 @@
 //! `ppdl_solver::parallel::current_threads`).
 
 use std::io::BufReader;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use powerplanningdl::analysis::{IrDropMap, StaticAnalysis};
 use powerplanningdl::core::{experiment, PowerPlanningDl, TrainedBundle, WidthPredictor};
 use powerplanningdl::floorplan::SvgOptions;
 use powerplanningdl::netlist::{parse_spice, IbmPgPreset, Orientation, SyntheticBenchmark};
-use powerplanningdl::service::{serve_ndjson, PredictionService, ServiceConfig};
+use powerplanningdl::service::{
+    serve_ndjson, serve_tcp, serve_unix, ModelRegistry, NetConfig, PredictionService, ServiceConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +62,8 @@ USAGE:
   ppdl flow --preset <name> [--scale <f>] [--seed <n>] [--fast] [--gamma <f>] [--model <out.ppdl>]
   ppdl train --preset <name> [--scale <f>] [--seed <n>] [--fast] --out <model.bundle>
   ppdl serve --bundle <model.bundle> [--queue <n>] [--batch <n>] [--cache <n>] [--telemetry]
+  ppdl serve --listen <addr:port> | --unix <sock> (--bundle <f>)* [--bundle-dir <dir>]
+             [--pending <n>] [--max-clients <n>]
 
 Every subcommand also accepts --threads <n> (pin the worker pool before
 the first kernel runs; overrides PPDL_THREADS).
@@ -65,6 +74,14 @@ serve reads NDJSON requests from stdin and answers on stdout, e.g.
   {\"cmd\":\"flush\"} | {\"cmd\":\"stats\"} | {\"cmd\":\"stats\",\"spans\":true} | {\"cmd\":\"quit\"}
 --telemetry additionally collects process-wide spans/counters (solver,
 NN, pipeline) and dumps the snapshot to stderr on exit.
+
+serve --listen (TCP) / --unix (domain socket) holds a *registry* of
+bundles — each --bundle file and every *.bundle under --bundle-dir,
+registered under its file stem — and serves concurrent connections.
+Requests route with \"bundle\":\"<name>\"; {\"cmd\":\"load\",...} hot-swaps a
+bundle, {\"cmd\":\"bundles\"} lists them, {\"cmd\":\"shutdown\"} stops the
+listener. Saturated bundles answer typed service/overloaded errors
+(--pending bounds per-bundle admission, --max-clients the connections).
 
 PRESETS: ibmpg1..ibmpg6, ibmpgnew1, ibmpgnew2 (Table II of the paper)";
 
@@ -118,6 +135,15 @@ impl Flags {
                 .parse()
                 .map_err(|_| format!("bad value '{v}' for --{key}")),
         }
+    }
+
+    /// Every value given for a repeatable `--key` flag, in order.
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn has(&self, switch: &str) -> bool {
@@ -306,13 +332,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if telemetry {
         powerplanningdl::obs::set_enabled(true);
     }
-    let bundle_path = PathBuf::from(flags.get("bundle").ok_or("--bundle is required")?);
+    let defaults = ServiceConfig::default();
     let config = ServiceConfig {
-        queue_capacity: flags.get_parse("queue", ServiceConfig::default().queue_capacity)?,
-        max_batch: flags.get_parse("batch", ServiceConfig::default().max_batch)?,
-        cache_capacity: flags.get_parse("cache", ServiceConfig::default().cache_capacity)?,
+        queue_capacity: flags.get_parse("queue", defaults.queue_capacity)?,
+        max_batch: flags.get_parse("batch", defaults.max_batch)?,
+        cache_capacity: flags.get_parse("cache", defaults.cache_capacity)?,
+        max_pending: flags.get_parse("pending", defaults.max_pending)?,
     };
+    if flags.get("listen").is_some() || flags.get("unix").is_some() {
+        return serve_registry(&flags, config, telemetry);
+    }
 
+    let bundle_path = PathBuf::from(flags.get("bundle").ok_or("--bundle is required")?);
     let bundle = TrainedBundle::load(&bundle_path).map_err(|e| e.to_string())?;
     eprintln!(
         "serving {} ({} at scale {}, {} straps)",
@@ -329,6 +360,78 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     eprintln!("{}", service.stats_json());
     if telemetry {
         eprintln!("{}", service.telemetry_json());
+    }
+    Ok(())
+}
+
+/// The networked registry mode: load every named bundle, then serve
+/// concurrent NDJSON connections over TCP (`--listen`) or a Unix
+/// domain socket (`--unix`) until `{"cmd":"shutdown"}`.
+fn serve_registry(flags: &Flags, config: ServiceConfig, telemetry: bool) -> Result<(), String> {
+    if flags.get("listen").is_some() && flags.get("unix").is_some() {
+        return Err("--listen and --unix are mutually exclusive".to_string());
+    }
+
+    // Bundle set: every --bundle file, plus every *.bundle under
+    // --bundle-dir (sorted for a deterministic registry), each named
+    // by its file stem.
+    let mut paths: Vec<PathBuf> = flags.get_all("bundle").iter().map(PathBuf::from).collect();
+    if let Some(dir) = flags.get("bundle-dir") {
+        let mut found = Vec::new();
+        for entry in std::fs::read_dir(dir).map_err(|e| format!("--bundle-dir {dir}: {e}"))? {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("bundle") {
+                found.push(path);
+            }
+        }
+        found.sort();
+        paths.extend(found);
+    }
+    if paths.is_empty() {
+        return Err("registry mode needs at least one --bundle or a non-empty --bundle-dir".into());
+    }
+
+    let registry = Arc::new(ModelRegistry::new(config));
+    for path in &paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("cannot derive a bundle name from {}", path.display()))?;
+        registry
+            .install_path(name, path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let core = registry
+            .get(name)
+            .ok_or_else(|| format!("bundle '{name}' vanished after install"))?;
+        eprintln!(
+            "loaded bundle '{name}' from {} ({})",
+            path.display(),
+            core.bundle().meta.label()
+        );
+    }
+
+    let net = NetConfig {
+        max_clients: flags.get_parse("max-clients", NetConfig::default().max_clients)?,
+        ..NetConfig::default()
+    };
+    if let Some(addr) = flags.get("listen") {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("--listen {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        // Parsed by clients/tests that bind port 0.
+        eprintln!("listening on {local}");
+        serve_tcp(&registry, &listener, &net).map_err(|e| e.to_string())?;
+    } else if let Some(sock) = flags.get("unix") {
+        // A stale socket file from a dead process blocks bind.
+        let _ = std::fs::remove_file(sock);
+        let listener = UnixListener::bind(sock).map_err(|e| format!("--unix {sock}: {e}"))?;
+        eprintln!("listening on {sock}");
+        let result = serve_unix(&registry, &listener, &net);
+        let _ = std::fs::remove_file(sock);
+        result.map_err(|e| e.to_string())?;
+    }
+    eprintln!("{}", registry.stats_json());
+    if telemetry {
+        eprintln!("{}", registry.telemetry_json());
     }
     Ok(())
 }

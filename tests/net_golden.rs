@@ -1,0 +1,264 @@
+//! End-to-end tests for the networked registry listener: a spawned
+//! `ppdl serve --listen 127.0.0.1:0` holding two resident bundles must
+//! answer exactly like in-process `TrainedBundle::predict`, survive a
+//! mid-stream hot-swap, and refuse bad input with typed errors.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+
+use powerplanningdl::core::{DlFlowConfig, TrainedBundle};
+use powerplanningdl::netlist::IbmPgPreset;
+use powerplanningdl::service::{parse_line, Command as WireCommand, Json};
+
+const PRESET: IbmPgPreset = IbmPgPreset::Ibmpg1;
+const SCALE: f64 = 0.01;
+
+/// Two distinct resident models (different training seeds → different
+/// widths), trained once and shared by every test in this binary.
+fn bundles() -> &'static (TrainedBundle, TrainedBundle) {
+    static BUNDLES: OnceLock<(TrainedBundle, TrainedBundle)> = OnceLock::new();
+    BUNDLES.get_or_init(|| {
+        let train = |seed| {
+            TrainedBundle::train(PRESET, SCALE, seed, DlFlowConfig::fast(), None).expect("train")
+        };
+        (train(3), train(11))
+    })
+}
+
+/// Saves both bundles as `a.bundle` / `b.bundle` (registry names come
+/// from the file stem) into a per-test temp dir.
+fn bundle_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppdl_net_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (a, b) = bundles();
+    a.save(dir.join("a.bundle")).expect("save a");
+    b.save(dir.join("b.bundle")).expect("save b");
+    dir
+}
+
+/// Spawns the listener on an OS-assigned port and parses the bound
+/// address from its `listening on <addr>` stderr line.
+fn spawn_server(
+    dir: &std::path::Path,
+) -> (Child, SocketAddr, BufReader<std::process::ChildStderr>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ppdl"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--bundle-dir",
+            dir.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ppdl serve --listen");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        assert!(
+            stderr.read_line(&mut line).expect("read server stderr") > 0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.parse::<SocketAddr>().expect("parse bound address");
+        }
+    };
+    (child, addr, stderr)
+}
+
+/// One NDJSON connection: line-oriented writes, parsed-JSON reads.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let writer = stream.try_clone().expect("clone stream");
+        Self {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send line");
+        self.writer.flush().expect("flush socket");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        assert!(
+            self.reader.read_line(&mut line).expect("read reply") > 0,
+            "server closed the connection unexpectedly"
+        );
+        Json::parse(line.trim()).expect("reply line is JSON")
+    }
+}
+
+/// The in-process reference answer for a wire line, produced by the
+/// exact same parser and entry point the server uses.
+fn reference(bundle: &TrainedBundle, wire_line: &str) -> (Vec<f64>, f64) {
+    let WireCommand::Request { request, .. } = parse_line(wire_line).expect("parse request") else {
+        panic!("not a request line: {wire_line}");
+    };
+    let prediction = bundle.predict(&request).expect("in-process predict");
+    (prediction.response.widths, prediction.response.worst_ir_mv)
+}
+
+fn assert_matches(reply: &Json, id: &str, want: &(Vec<f64>, f64)) {
+    assert_eq!(
+        reply.get("status").unwrap().as_str(),
+        Some("ok"),
+        "{reply:?}"
+    );
+    assert_eq!(reply.get("id").unwrap().as_str(), Some(id));
+    let widths: Vec<f64> = reply
+        .get("widths")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|w| w.as_f64().unwrap())
+        .collect();
+    // Bitwise equality: same parse, same predict entry point, floats
+    // cross the wire in shortest-round-trip form.
+    assert_eq!(widths, want.0);
+    assert_eq!(reply.get("worst_ir_mv").unwrap().as_f64().unwrap(), want.1);
+}
+
+fn shutdown(conn: &mut Conn, mut child: Child) {
+    conn.send("{\"cmd\":\"shutdown\"}");
+    let status = child.wait().expect("wait for server");
+    assert!(status.success(), "server exited with {status}");
+}
+
+#[test]
+fn tcp_session_with_two_bundles_matches_in_process_predict() {
+    let dir = bundle_dir("golden");
+    let (child, addr, _stderr) = spawn_server(&dir);
+
+    // Three concurrent clients, each routing to both resident bundles
+    // plus the default route (first installed name wins: "a").
+    let mut workers = Vec::new();
+    for c in 0..3 {
+        let handle = std::thread::spawn(move || {
+            let (bundle_a, bundle_b) = bundles();
+            let line_a = format!(
+                "{{\"id\":\"a{c}\",\"gamma\":0.12,\"seed\":{},\"bundle\":\"a\"}}",
+                20 + c
+            );
+            let line_b = format!(
+                "{{\"id\":\"b{c}\",\"gamma\":0.12,\"seed\":{},\"bundle\":\"b\"}}",
+                20 + c
+            );
+            let line_d = format!(
+                "{{\"id\":\"d{c}\",\"gamma\":0.18,\"kind\":\"loads\",\"seed\":{}}}",
+                40 + c
+            );
+            let mut conn = Conn::open(addr);
+            conn.send(&line_a);
+            conn.send(&line_b);
+            conn.send(&line_d);
+            conn.send("{\"cmd\":\"flush\"}");
+            assert_matches(
+                &conn.recv(),
+                &format!("a{c}"),
+                &reference(bundle_a, &line_a),
+            );
+            assert_matches(
+                &conn.recv(),
+                &format!("b{c}"),
+                &reference(bundle_b, &line_b),
+            );
+            assert_matches(
+                &conn.recv(),
+                &format!("d{c}"),
+                &reference(bundle_a, &line_d),
+            );
+        });
+        workers.push(handle);
+    }
+    for handle in workers {
+        handle.join().expect("client thread");
+    }
+
+    // The registry inventory over the same wire.
+    let mut conn = Conn::open(addr);
+    conn.send("{\"cmd\":\"bundles\"}");
+    let inventory = conn.recv();
+    assert_eq!(inventory.get("status").unwrap().as_str(), Some("bundles"));
+    assert_eq!(inventory.get("default").unwrap().as_str(), Some("a"));
+    let listed = inventory.get("bundles").unwrap();
+    assert!(listed.get("a").is_some() && listed.get("b").is_some());
+    shutdown(&mut conn, child);
+}
+
+#[test]
+fn hot_swap_mid_stream_and_typed_errors() {
+    let dir = bundle_dir("swap");
+    let (child, addr, _stderr) = spawn_server(&dir);
+    let (bundle_a, bundle_b) = bundles();
+    let mut conn = Conn::open(addr);
+
+    // Before the swap, name "a" answers with the first model.
+    let line = "{\"id\":\"pre\",\"gamma\":0.15,\"seed\":7,\"bundle\":\"a\"}";
+    conn.send(line);
+    conn.send("{\"cmd\":\"flush\"}");
+    assert_matches(&conn.recv(), "pre", &reference(bundle_a, line));
+
+    // Hot-swap: load b.bundle's weights under the resident name "a",
+    // mid-stream, on the same connection.
+    let swap_path = dir.join("b.bundle");
+    conn.send(&format!(
+        "{{\"cmd\":\"load\",\"bundle\":\"a\",\"path\":\"{}\"}}",
+        swap_path.display()
+    ));
+    let loaded = conn.recv();
+    assert_eq!(loaded.get("status").unwrap().as_str(), Some("loaded"));
+    assert_eq!(loaded.get("bundle").unwrap().as_str(), Some("a"));
+
+    // The same wire line now answers with the swapped-in model,
+    // bitwise.
+    let line2 = "{\"id\":\"post\",\"gamma\":0.15,\"seed\":7,\"bundle\":\"a\"}";
+    conn.send(line2);
+    conn.send("{\"cmd\":\"flush\"}");
+    assert_matches(&conn.recv(), "post", &reference(bundle_b, line2));
+
+    // Typed errors, all on the same still-healthy connection: unknown
+    // bundle, malformed JSON, and an oversized line.
+    conn.send("{\"id\":\"ghost\",\"gamma\":0.1,\"bundle\":\"nope\"}");
+    let unknown = conn.recv();
+    assert_eq!(
+        unknown.get("code").unwrap().as_str(),
+        Some("service/unknown_bundle")
+    );
+    assert_eq!(unknown.get("id").unwrap().as_str(), Some("ghost"));
+
+    conn.send("this is not json");
+    assert_eq!(
+        conn.recv().get("code").unwrap().as_str(),
+        Some("service/malformed")
+    );
+
+    let oversized = format!("{{\"id\":\"big\",\"pad\":\"{}\"}}", "x".repeat(2 << 20));
+    conn.send(&oversized);
+    assert_eq!(
+        conn.recv().get("code").unwrap().as_str(),
+        Some("service/json")
+    );
+
+    // The connection still serves after every refusal.
+    let line3 = "{\"id\":\"alive\",\"gamma\":0.1,\"seed\":9,\"bundle\":\"b\"}";
+    conn.send(line3);
+    conn.send("{\"cmd\":\"flush\"}");
+    assert_matches(&conn.recv(), "alive", &reference(bundle_b, line3));
+    shutdown(&mut conn, child);
+}
