@@ -27,6 +27,7 @@ mod table2_benchmarks;
 mod table3_worst_ir;
 mod table4_speedup;
 mod table5_accuracy_memory;
+mod transfer_matrix;
 
 /// Error type experiments propagate: anything printable.
 pub type DynError = Box<dyn std::error::Error + Send + Sync>;
@@ -149,6 +150,13 @@ pub const REGISTRY: &[ExperimentDef] = &[
         title: "Ablation: Adam vs SGD/momentum/RMSProp",
         default_scale: 0.015,
         run: ablation_optimizer::run,
+    },
+    ExperimentDef {
+        name: "transfer_matrix",
+        aliases: &["transfer"],
+        title: "Transfer: per-backend train-preset x test-preset error matrix",
+        default_scale: 0.015,
+        run: transfer_matrix::run,
     },
 ];
 
@@ -276,7 +284,7 @@ mod tests {
 
     #[test]
     fn registry_names_and_aliases_resolve_uniquely() {
-        assert_eq!(REGISTRY.len(), 13);
+        assert_eq!(REGISTRY.len(), 14);
         let mut seen = std::collections::BTreeSet::new();
         for def in REGISTRY {
             assert!(seen.insert(def.name), "duplicate name {}", def.name);

@@ -45,6 +45,19 @@ pub enum CoreError {
         /// Description of the mismatch.
         detail: String,
     },
+    /// A persisted bundle's schema disagrees with what the loader can
+    /// accept: the error names the offending field and reports the
+    /// *found vs expected* values so operators can tell a stale file
+    /// from a corrupt one at a glance.
+    BundleSchema {
+        /// Which schema field disagrees (`version`, `backend`,
+        /// `input_spec`, …).
+        field: String,
+        /// The value found in the bundle text.
+        found: String,
+        /// The value (or set of values) the loader accepts.
+        expected: String,
+    },
     /// An I/O failure while reading or writing a persisted artifact.
     Io {
         /// The file involved.
@@ -74,6 +87,7 @@ impl CoreError {
             CoreError::CalibrationDidNotConverge { .. } => "core/calibration_did_not_converge",
             CoreError::InvalidConfig { .. } => "core/invalid_config",
             CoreError::BundleMismatch { .. } => "core/bundle_mismatch",
+            CoreError::BundleSchema { .. } => "core/bundle_schema",
             CoreError::Io { .. } => "core/io",
         }
     }
@@ -171,6 +185,14 @@ impl fmt::Display for CoreError {
             ),
             CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
             CoreError::BundleMismatch { detail } => write!(f, "bundle mismatch: {detail}"),
+            CoreError::BundleSchema {
+                field,
+                found,
+                expected,
+            } => write!(
+                f,
+                "bundle schema mismatch in {field}: found {found}, expected {expected}"
+            ),
             CoreError::Io { path, detail } => write!(f, "i/o error on {path}: {detail}"),
         }
     }
@@ -256,6 +278,15 @@ mod tests {
         assert_eq!(
             CoreError::BundleMismatch { detail: "x".into() }.code(),
             "core/bundle_mismatch"
+        );
+        assert_eq!(
+            CoreError::BundleSchema {
+                field: "version".into(),
+                found: "v9".into(),
+                expected: "v1 or v2".into(),
+            }
+            .code(),
+            "core/bundle_schema"
         );
         assert_eq!(
             CoreError::from(ppdl_nn::NnError::EmptyDataset).code(),

@@ -23,7 +23,8 @@ use crate::pipeline::{
     PredictStage, StageRecord, TrainStage, ValidateStage,
 };
 use crate::{
-    ConventionalConfig, Perturbation, PerturbationKind, PredictedIr, PredictorConfig, WidthMetrics,
+    BackendKind, ConventionalConfig, Perturbation, PerturbationKind, PredictedIr, PredictorConfig,
+    WidthMetrics,
 };
 
 /// Configuration of the full flow.
@@ -34,6 +35,9 @@ pub struct DlFlowConfig {
     pub conventional: ConventionalConfig,
     /// The width-prediction model.
     pub predictor: PredictorConfig,
+    /// Which surrogate backend the train stage fits (MLP rows vs
+    /// spatial maps).
+    pub backend: BackendKind,
     /// Perturbation size γ for the test design (the paper's headline
     /// value is 10 %).
     pub perturbation_gamma: f64,
@@ -52,6 +56,7 @@ impl Default for DlFlowConfig {
         Self {
             conventional: ConventionalConfig::default(),
             predictor: PredictorConfig::default(),
+            backend: BackendKind::Mlp,
             perturbation_gamma: 0.10,
             perturbation_kind: PerturbationKind::Both,
             seed: 1,
@@ -127,6 +132,13 @@ impl DlFlowConfigBuilder {
     #[must_use]
     pub fn predictor(mut self, predictor: PredictorConfig) -> Self {
         self.config.predictor = predictor;
+        self
+    }
+
+    /// Selects the surrogate backend the train stage fits.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.config.backend = backend;
         self
     }
 

@@ -12,6 +12,10 @@
 //!   its output widths are the *golden* labels the model learns.
 //! * [`WidthPredictor`] — Problem 1 / Algorithm 1: the deep-learning
 //!   width regressor (MLP + Adam, 10 hidden layers by default).
+//! * [`SpatialPredictor`] / [`BackendModel`] — the spatial (CNN and
+//!   encoder-decoder) width surrogates regressing rasterised width maps,
+//!   and the backend seam that lets the flow, bundles, and the serving
+//!   registry swap them for the MLP.
 //! * [`IrPredictor`] — Problem 2 / Algorithm 2: Kirchhoff-law IR-drop
 //!   estimation from predicted widths and switching currents, *without*
 //!   running a grid solve (eqs. 6–9) — the source of the speedup.
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod calibrate;
 mod conventional;
 mod error;
@@ -52,7 +57,9 @@ pub mod pipeline;
 pub mod predict;
 mod predictor;
 mod predictor_persist;
+mod spatial;
 
+pub use backend::{BackendKind, BackendModel, InputSpec};
 pub use calibrate::{calibrate_to_worst_ir, calibration_tolerance};
 pub use conventional::{ConventionalConfig, ConventionalFlow, ConventionalResult};
 pub use error::CoreError;
@@ -65,6 +72,7 @@ pub use pad_placement::{PadPlacementResult, PadPlacer};
 pub use perturb::{run_perturbation_sweep, Perturbation, PerturbationKind};
 pub use predict::{BundleMeta, PredictRequest, PredictResponse, Prediction, TrainedBundle};
 pub use predictor::{segment_dataset, PredictorConfig, TrainSummary, WidthMetrics, WidthPredictor};
+pub use spatial::{RasterMaps, SpatialArch, SpatialPredictor};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -30,7 +30,7 @@
 //! [`calibrate_to_worst_ir`](crate::calibrate_to_worst_ir);
 //! `FeatureExtract` wraps the conventional sizing loop that
 //! manufactures the golden labels the features are extracted against
-//! (§IV-B); `Train` wraps [`WidthPredictor::train`]; `Predict` wraps
+//! (§IV-B); `Train` wraps [`BackendModel::train`]; `Predict` wraps
 //! the perturb → width-inference → Kirchhoff-IR path (§IV-D,
 //! Algorithm 2); `Validate` wraps the conventional ground-truth
 //! analysis and the quality metrics.
@@ -49,7 +49,7 @@ use std::time::Instant;
 
 use ppdl_netlist::SyntheticBenchmark;
 
-use crate::{DlFlowConfig, PredictedIr, TrainSummary, WidthMetrics, WidthPredictor};
+use crate::{BackendModel, DlFlowConfig, PredictedIr, TrainSummary, WidthMetrics};
 use ppdl_analysis::IrDropReport;
 
 /// The benchmark-source artifact slot: a calibrated benchmark plus the
@@ -88,9 +88,11 @@ pub struct SizingSlot {
 /// The train artifact slot: the fitted predictor and its report.
 #[derive(Debug, Clone)]
 pub struct TrainSlot {
-    /// The trained width predictor.
-    pub predictor: WidthPredictor,
-    /// Per-direction training reports.
+    /// The trained width surrogate, of whichever backend the config
+    /// selected.
+    pub predictor: BackendModel,
+    /// Per-direction training reports (spatial backends report in the
+    /// `vertical` slot only).
     pub summary: TrainSummary,
 }
 

@@ -14,8 +14,8 @@ use ppdl_nn::TrainReport;
 use super::cache::{CacheKey, StableHasher};
 use super::{BenchSlot, PipelineCtx, PredictSlot, SizingSlot, Stage, TrainSlot, ValidateSlot};
 use crate::{
-    calibrate_to_worst_ir, ConventionalFlow, CoreError, Perturbation, PredictedIr, PredictorConfig,
-    TrainSummary, WidthPredictor,
+    calibrate_to_worst_ir, BackendModel, ConventionalFlow, CoreError, Perturbation, PredictedIr,
+    PredictorConfig, TrainSummary,
 };
 
 // ---------------------------------------------------------------------
@@ -129,6 +129,8 @@ fn hash_predictor_config(h: &mut StableHasher, c: &PredictorConfig) {
     h.write_u64("patience", c.train.patience as u64);
     h.write_u64("seed", c.seed);
     h.write_f64("min_width", c.min_width);
+    h.write_u64("map_size", c.map_size as u64);
+    h.write_u64("conv_channels", c.conv_channels as u64);
 }
 
 // ---------------------------------------------------------------------
@@ -447,17 +449,18 @@ impl Stage for FeatureExtractStage {
 // Train
 // ---------------------------------------------------------------------
 
-/// Stage 3: fit the width predictor on the sized design.
+/// Stage 3: fit the configured surrogate backend on the sized design.
 ///
-/// The cached artifact is the full predictor — both direction MLPs and
-/// all four scalers, via the lossless [`ppdl_nn`] text persistence —
-/// plus the training reports, so a warm run restores a bit-identical
-/// model without touching the optimizer.
+/// The cached artifact is the full model — tagged with its backend
+/// kind, via the lossless [`ppdl_nn`]-family text persistence — plus
+/// the training reports, so a warm run restores a bit-identical model
+/// without touching the optimizer. The cache key covers the backend
+/// selection, so switching backends never aliases artifacts.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainStage;
 
 impl TrainStage {
-    const HEADER: &'static str = "ppdl-art train v1";
+    const HEADER: &'static str = "ppdl-art train v2";
 
     fn encode_report(out: &mut String, tag: &str, r: &TrainReport) {
         out.push_str(&format!(
@@ -508,20 +511,33 @@ impl Stage for TrainStage {
         let chain = ctx.chain?;
         let mut h = StableHasher::new("train");
         h.write_key("chain", chain);
+        h.write_str("backend", ctx.config.backend.tag());
         hash_predictor_config(&mut h, &ctx.config.predictor);
         Some(h.finish())
     }
 
     fn decode(&self, ctx: &mut PipelineCtx, text: &str) -> crate::Result<()> {
         let mut r = Reader::new(text, Self::HEADER)?;
+        let backend = crate::BackendKind::parse(r.tagged("backend")?)?;
         let vertical = Self::decode_report(&mut r, "vertical")?;
         let horizontal = Self::decode_report(&mut r, "horizontal")?;
-        // The predictor body follows the reports, starting at its own
+        // The model body follows the reports, starting at its own
         // versioned header.
+        let body_header = match backend {
+            crate::BackendKind::Mlp => "ppdl-width-predictor v1",
+            crate::BackendKind::Cnn | crate::BackendKind::EncoderDecoder => "ppdl-spatial v1",
+        };
         let body_start = text
-            .find("ppdl-width-predictor v1")
-            .ok_or_else(|| decode_err("train artifact missing predictor body"))?;
-        let predictor = WidthPredictor::from_text(&text[body_start..])?;
+            .find(body_header)
+            .ok_or_else(|| decode_err("train artifact missing model body"))?;
+        let predictor = BackendModel::from_text(&text[body_start..])?;
+        if predictor.kind() != backend {
+            return Err(decode_err(format!(
+                "train artifact tagged {} but body decodes as {}",
+                backend.tag(),
+                predictor.kind().tag()
+            )));
+        }
         ctx.trained = Some(TrainSlot {
             predictor,
             summary: TrainSummary {
@@ -534,10 +550,11 @@ impl Stage for TrainStage {
 
     fn execute(&self, ctx: &mut PipelineCtx) -> crate::Result<()> {
         let sizing = ctx.sizing()?;
-        let (predictor, summary) = WidthPredictor::train(
+        let (predictor, summary) = BackendModel::train(
             &sizing.sized,
             &sizing.golden_widths,
-            ctx.config.predictor.clone(),
+            ctx.config.backend,
+            &ctx.config.predictor,
         )?;
         ctx.trained = Some(TrainSlot { predictor, summary });
         Ok(())
@@ -548,6 +565,7 @@ impl Stage for TrainStage {
         let mut out = String::new();
         out.push_str(Self::HEADER);
         out.push('\n');
+        out.push_str(&format!("backend {}\n", t.predictor.kind().tag()));
         Self::encode_report(&mut out, "vertical", &t.summary.vertical);
         Self::encode_report(&mut out, "horizontal", &t.summary.horizontal);
         out.push_str(&t.predictor.to_text());

@@ -6,9 +6,11 @@
 //! change?") is answered by inference alone. This module is the single
 //! inference entry point behind that idea:
 //!
-//! * [`TrainedBundle`] — the persisted asset: the [`WidthPredictor`]
-//!   (models + fitted scalers), the calibrated base design recipe, and
-//!   the golden widths, serialised as one versioned text artifact.
+//! * [`TrainedBundle`] — the persisted asset: the trained
+//!   [`BackendModel`] (of any backend kind — MLP rows, CNN or
+//!   encoder-decoder maps — models + fitted scalers), the calibrated
+//!   base design recipe, and the golden widths, serialised as one
+//!   versioned text artifact tagged with its backend and input spec.
 //! * [`PredictRequest`] / [`PredictResponse`] — the typed query pair
 //!   shared by the pipeline's Predict stage, the `ppdl serve` CLI, and
 //!   the batched [`PredictionService`](../../ppdl_service) engine.
@@ -24,8 +26,8 @@ use crate::pipeline::{
     run_stage, ArtifactCache, FeatureExtractStage, PipelineCtx, StableHasher, TrainStage,
 };
 use crate::{
-    CoreError, DlFlowConfig, IrPredictor, Perturbation, PerturbationKind, PredictedIr,
-    WidthPredictor,
+    BackendKind, BackendModel, CoreError, DlFlowConfig, InputSpec, IrPredictor, Perturbation,
+    PerturbationKind, PredictedIr,
 };
 
 // ---------------------------------------------------------------------
@@ -250,7 +252,7 @@ pub struct Prediction {
 ///
 /// Propagates request validation, netlist, and inference errors.
 pub fn predict(
-    predictor: &WidthPredictor,
+    predictor: &BackendModel,
     base: &SyntheticBenchmark,
     request: &PredictRequest,
     default_stride: usize,
@@ -312,10 +314,14 @@ impl BundleMeta {
     }
 }
 
-/// The persisted prediction asset: a trained [`WidthPredictor`] (with
-/// its fitted feature/target scalers), the provenance [`BundleMeta`],
-/// the calibrated load currents, and the golden (conventionally sized)
-/// strap widths of the base design.
+/// The persisted prediction asset: a trained [`BackendModel`] (with
+/// its fitted scalers), the provenance [`BundleMeta`], the calibrated
+/// load currents, and the golden (conventionally sized) strap widths
+/// of the base design.
+///
+/// The v2 text format tags the bundle with its [`BackendKind`] and
+/// [`InputSpec`]; v1 bundles (which predate backend selection) still
+/// load, as the MLP backend they always were.
 ///
 /// A bundle is self-contained: [`instantiate_base`] regenerates the
 /// exact sized benchmark the model was trained on — bit for bit,
@@ -327,8 +333,8 @@ impl BundleMeta {
 /// [`instantiate_base`]: TrainedBundle::instantiate_base
 #[derive(Debug, Clone)]
 pub struct TrainedBundle {
-    /// The trained predictor (both direction MLPs and all scalers).
-    pub predictor: WidthPredictor,
+    /// The trained width surrogate, of any backend kind.
+    pub predictor: BackendModel,
     /// Provenance: how to regenerate the base design.
     pub meta: BundleMeta,
     /// Calibrated load currents of the base design, in amps.
@@ -338,11 +344,26 @@ pub struct TrainedBundle {
 }
 
 impl TrainedBundle {
-    /// The version header of the bundle text format.
-    pub const HEADER: &'static str = "ppdl-bundle v1";
+    /// The version header the encoder writes.
+    pub const HEADER: &'static str = "ppdl-bundle v2";
+    /// The legacy pre-backend header the loader still accepts (always
+    /// an MLP body).
+    pub const HEADER_V1: &'static str = "ppdl-bundle v1";
+
+    /// The bundle's backend kind (derived from the model).
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.predictor.kind()
+    }
+
+    /// The input geometry the bundle's model consumes.
+    #[must_use]
+    pub fn input_spec(&self) -> InputSpec {
+        self.predictor.input_spec()
+    }
 
     /// Trains a bundle by running the pipeline's train prefix
-    /// (benchmark source → conventional sizing → MLP training) for the
+    /// (benchmark source → conventional sizing → backend training) for the
     /// standard experiment recipe, optionally against an artifact cache
     /// so a repeated training run decodes everything from disk.
     ///
@@ -479,6 +500,8 @@ impl TrainedBundle {
         };
         let mut out = String::new();
         let _ = writeln!(out, "{}", Self::HEADER);
+        let _ = writeln!(out, "backend {}", self.backend().tag());
+        let _ = writeln!(out, "input_spec {}", self.input_spec().encode());
         let _ = writeln!(out, "preset {}", self.meta.preset.name());
         let _ = writeln!(out, "scale {}", self.meta.scale);
         let _ = writeln!(out, "seed {}", self.meta.seed);
@@ -494,23 +517,49 @@ impl TrainedBundle {
     }
 
     /// Reconstructs a bundle from [`to_text`](Self::to_text) output,
-    /// validating the version header and every shape invariant before
-    /// returning.
+    /// validating the version header, the backend/input-spec tags, and
+    /// every shape invariant before returning. Legacy
+    /// [`HEADER_V1`](Self::HEADER_V1) bundles (which predate backend
+    /// tagging) load as the MLP backend.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::BundleMismatch`] for a wrong version or
-    /// inconsistent shapes, and [`CoreError::InvalidConfig`] (via the
-    /// predictor codec) for malformed bodies.
+    /// Returns [`CoreError::BundleSchema`] — reporting what was found
+    /// versus what was expected — for an unknown version, backend tag,
+    /// or input spec; [`CoreError::BundleMismatch`] for truncation or
+    /// inconsistent shapes; and [`CoreError::InvalidConfig`] (via the
+    /// model codecs) for malformed bodies.
     pub fn from_text(text: &str) -> crate::Result<Self> {
         let mut lines = text.lines();
-        let header = lines.next().ok_or_else(|| mismatch("empty bundle file"))?;
-        if header.trim() != Self::HEADER {
-            return Err(mismatch(format!(
-                "bad bundle header '{header}' (wanted '{}')",
-                Self::HEADER
-            )));
+        let header = lines
+            .next()
+            .ok_or_else(|| mismatch("empty bundle file"))?
+            .trim();
+        let legacy = header == Self::HEADER_V1;
+        if !legacy && header != Self::HEADER {
+            return Err(CoreError::BundleSchema {
+                field: "version".into(),
+                found: header.to_string(),
+                expected: format!("{} or {}", Self::HEADER_V1, Self::HEADER),
+            });
         }
+        let declared = if legacy {
+            None
+        } else {
+            let tag = tagged(&mut lines, "backend")?;
+            let kind = BackendKind::parse(tag).map_err(|_| CoreError::BundleSchema {
+                field: "backend".into(),
+                found: tag.to_string(),
+                expected: "mlp, cnn, or encdec".into(),
+            })?;
+            let spec_text = tagged(&mut lines, "input_spec")?;
+            let spec = InputSpec::parse(spec_text).map_err(|_| CoreError::BundleSchema {
+                field: "input_spec".into(),
+                found: spec_text.to_string(),
+                expected: "'rows <n>' or 'maps <c> <h> <w>'".into(),
+            })?;
+            Some((kind, spec))
+        };
         let preset: IbmPgPreset = tagged(&mut lines, "preset")?
             .parse()
             .map_err(|e| mismatch(format!("bad preset: {e}")))?;
@@ -528,13 +577,44 @@ impl TrainedBundle {
             .map_err(|_| mismatch("bad inference_stride"))?;
         let loads = vec_field(&mut lines, "loads")?;
         let golden_widths = vec_field(&mut lines, "golden_widths")?;
-        let body_start = text
-            .find("ppdl-width-predictor v1")
+        let body_start = ["ppdl-width-predictor v1", "ppdl-spatial v1"]
+            .iter()
+            .filter_map(|h| text.find(h))
+            .min()
             .ok_or_else(|| mismatch("bundle missing predictor body"))?;
         if !text.trim_end().ends_with("end-bundle") {
             return Err(mismatch("bundle missing end-bundle trailer"));
         }
-        let predictor = WidthPredictor::from_text(&text[body_start..])?;
+        let predictor = BackendModel::from_text(&text[body_start..])?;
+        match declared {
+            Some((kind, spec)) => {
+                if predictor.kind() != kind {
+                    return Err(CoreError::BundleSchema {
+                        field: "backend".into(),
+                        found: predictor.kind().tag().to_string(),
+                        expected: kind.tag().to_string(),
+                    });
+                }
+                if predictor.input_spec() != spec {
+                    return Err(CoreError::BundleSchema {
+                        field: "input_spec".into(),
+                        found: predictor.input_spec().to_string(),
+                        expected: spec.to_string(),
+                    });
+                }
+            }
+            // v1 bundles predate spatial backends; a spatial body under
+            // a v1 header is a hand-edited or corrupted file.
+            None => {
+                if predictor.kind() != BackendKind::Mlp {
+                    return Err(CoreError::BundleSchema {
+                        field: "backend".into(),
+                        found: predictor.kind().tag().to_string(),
+                        expected: BackendKind::Mlp.tag().to_string(),
+                    });
+                }
+            }
+        }
         let bundle = Self {
             predictor,
             meta: BundleMeta {
@@ -656,10 +736,6 @@ mod tests {
     fn load_rejects_version_and_shape_mismatch() {
         let bundle = fast_bundle();
         let text = bundle.to_text();
-        assert!(matches!(
-            TrainedBundle::from_text(&text.replace("ppdl-bundle v1", "ppdl-bundle v9")),
-            Err(CoreError::BundleMismatch { .. })
-        ));
         // Shrinking the declared feature set makes the 3-input models
         // inconsistent with it: a typed mismatch, not a panic.
         let narrowed = text.replace("feature_set combined", "feature_set x");
@@ -667,6 +743,127 @@ mod tests {
         assert_eq!(err.code(), "core/bundle_mismatch");
         // Truncation fails typed too.
         assert!(TrainedBundle::from_text(&text[..text.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn schema_error_reports_version_found_vs_expected() {
+        let text = fast_bundle()
+            .to_text()
+            .replace("ppdl-bundle v2", "ppdl-bundle v9");
+        match TrainedBundle::from_text(&text).unwrap_err() {
+            CoreError::BundleSchema {
+                field,
+                found,
+                expected,
+            } => {
+                assert_eq!(field, "version");
+                assert_eq!(found, "ppdl-bundle v9");
+                assert!(expected.contains("ppdl-bundle v1") && expected.contains("ppdl-bundle v2"));
+            }
+            other => panic!("wanted BundleSchema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_error_reports_backend_found_vs_expected() {
+        let bundle = fast_bundle();
+        // An unknown backend tag names the accepted set.
+        let unknown = bundle
+            .to_text()
+            .replace("backend mlp", "backend transformer");
+        match TrainedBundle::from_text(&unknown).unwrap_err() {
+            CoreError::BundleSchema {
+                field,
+                found,
+                expected,
+            } => {
+                assert_eq!(field, "backend");
+                assert_eq!(found, "transformer");
+                assert!(expected.contains("mlp"));
+            }
+            other => panic!("wanted BundleSchema, got {other:?}"),
+        }
+        // A known tag that disagrees with the model body reports both
+        // sides (body says mlp, header says cnn).
+        let lied = bundle.to_text().replace("backend mlp", "backend cnn");
+        let lied = lied.replace("input_spec rows 3", "input_spec maps 2 8 8");
+        match TrainedBundle::from_text(&lied).unwrap_err() {
+            CoreError::BundleSchema {
+                field,
+                found,
+                expected,
+            } => {
+                assert_eq!(field, "backend");
+                assert_eq!(found, "mlp");
+                assert_eq!(expected, "cnn");
+            }
+            other => panic!("wanted BundleSchema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_error_reports_input_spec_found_vs_expected() {
+        let bundle = fast_bundle();
+        // Unparseable spec text.
+        let garbled = bundle
+            .to_text()
+            .replace("input_spec rows 3", "input_spec cols 3");
+        match TrainedBundle::from_text(&garbled).unwrap_err() {
+            CoreError::BundleSchema {
+                field,
+                found,
+                expected,
+            } => {
+                assert_eq!(field, "input_spec");
+                assert_eq!(found, "cols 3");
+                assert!(expected.contains("rows") && expected.contains("maps"));
+            }
+            other => panic!("wanted BundleSchema, got {other:?}"),
+        }
+        // A well-formed spec that disagrees with the model body reports
+        // found (the body's real geometry) vs expected (the declaration).
+        let lied = bundle
+            .to_text()
+            .replace("input_spec rows 3", "input_spec rows 7");
+        match TrainedBundle::from_text(&lied).unwrap_err() {
+            CoreError::BundleSchema {
+                field,
+                found,
+                expected,
+            } => {
+                assert_eq!(field, "input_spec");
+                assert_eq!(found, "rows(3)");
+                assert_eq!(expected, "rows(7)");
+            }
+            other => panic!("wanted BundleSchema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_text_loads_as_mlp_and_predicts_identically() {
+        let bundle = fast_bundle();
+        assert_eq!(bundle.backend(), BackendKind::Mlp);
+        // Derive the legacy v1 encoding: old header, no backend or
+        // input_spec lines.
+        let v2 = bundle.to_text();
+        let v1 = v2
+            .replace("ppdl-bundle v2\n", "ppdl-bundle v1\n")
+            .replace("backend mlp\n", "")
+            .replace("input_spec rows 3\n", "");
+        let legacy = TrainedBundle::from_text(&v1).unwrap();
+        assert_eq!(legacy.backend(), BackendKind::Mlp);
+        // Re-encoding a legacy bundle upgrades it to v2, bit-identically
+        // to the original v2 encoding.
+        assert_eq!(legacy.to_text(), v2);
+        let p = Perturbation::new(0.1, PerturbationKind::Both, 5).unwrap();
+        let request = PredictRequest::new("compat").with_perturbation(p);
+        let a = bundle.predict(&request).unwrap();
+        let b = legacy.predict(&request).unwrap();
+        assert_eq!(a.response.widths, b.response.widths);
+        assert_eq!(a.response.worst_ir_mv, b.response.worst_ir_mv);
+        // A spatial body under a v1 header is rejected as malformed.
+        let forged = v1.replace("ppdl-width-predictor v1", "ppdl-spatial v1");
+        assert!(TrainedBundle::from_text(&forged).is_err());
     }
 
     #[test]

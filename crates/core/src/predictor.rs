@@ -35,6 +35,12 @@ pub struct PredictorConfig {
     /// Lower clamp on predicted widths (µm) so downstream geometry
     /// stays physical.
     pub min_width: f64,
+    /// Side length of the S×S raster grid the spatial backends
+    /// (CNN / encoder-decoder) see; ignored by the MLP backend.
+    pub map_size: usize,
+    /// Channel width of the spatial backends' convolution stacks;
+    /// ignored by the MLP backend.
+    pub conv_channels: usize,
 }
 
 impl Default for PredictorConfig {
@@ -58,6 +64,8 @@ impl Default for PredictorConfig {
             },
             seed: 1,
             min_width: 0.1,
+            map_size: 16,
+            conv_channels: 8,
         }
     }
 }
@@ -78,6 +86,8 @@ impl PredictorConfig {
                 patience: 0,
                 ..TrainConfig::default()
             },
+            map_size: 8,
+            conv_channels: 4,
             ..Self::default()
         }
     }

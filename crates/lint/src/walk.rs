@@ -149,6 +149,26 @@ mod tests {
         assert!(files
             .iter()
             .any(|f| f.rel_path == "src/lib.rs" && f.crate_name == "root"));
+        // The layer-graph and backend modules added by the multi-backend
+        // refactor are walked (and therefore linted) like everything
+        // else.
+        for new_module in [
+            "crates/nn/src/engine.rs",
+            "crates/nn/src/conv.rs",
+            "crates/nn/src/network.rs",
+            "crates/nn/src/net_persist.rs",
+            "crates/nn/src/trainer.rs",
+            "crates/core/src/spatial.rs",
+            "crates/core/src/backend.rs",
+            "crates/bench/src/experiments/transfer_matrix.rs",
+        ] {
+            assert!(
+                files
+                    .iter()
+                    .any(|f| f.rel_path == new_module && f.class == FileClass::Lib),
+                "walk missed {new_module}"
+            );
+        }
         // Exclusions hold.
         assert!(files.iter().all(|f| !f.rel_path.starts_with("vendor/")));
         assert!(files.iter().all(|f| !f.rel_path.contains("/tests/")));

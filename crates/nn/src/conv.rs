@@ -1,0 +1,948 @@
+//! Spatial layers: 2-D convolution, pooling, upsampling, and flatten.
+//!
+//! Samples stay ordinary [`Matrix`] rows — one row per sample, holding
+//! a `C×H×W` map flattened channel-major (`idx = c·H·W + y·W + x`) —
+//! so the row-chunk data-parallel engine drives spatial layers exactly
+//! like dense ones. Every kernel is a plain fixed-order loop: no
+//! accumulation order depends on the thread count, which keeps the
+//! bitwise-determinism contract intact.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{Activation, Matrix, NnError};
+
+fn check_dims(detail: &str, dims: &[usize]) -> crate::Result<()> {
+    if dims.contains(&0) {
+        return Err(NnError::InvalidConfig {
+            detail: format!("{detail}: dimensions must be positive, got {dims:?}"),
+        });
+    }
+    Ok(())
+}
+
+fn check_input_width(name: &str, input: &Matrix, expected: usize) -> crate::Result<()> {
+    if input.cols() != expected {
+        return Err(NnError::ShapeMismatch {
+            detail: format!(
+                "{name}: input width {} vs expected {expected}",
+                input.cols()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// A 2-D convolution with a square `k×k` kernel (odd `k`), stride 1,
+/// and symmetric zero padding, so the spatial size is preserved:
+/// `in_c×H×W → out_c×H×W`.
+///
+/// Weights are stored as an `out_c × (in_c·k·k)` matrix (row `oc`,
+/// column `ic·k² + dy·k + dx`), which keeps persistence and the
+/// optimizer's flat-slice protocol identical to the dense layer's.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    k: usize,
+    weights: Matrix,
+    bias: Vec<f64>,
+    activation: Activation,
+    cached_input: Option<Matrix>,
+    cached_preact: Option<Matrix>,
+    grad_weights: Matrix,
+    grad_bias: Vec<f64>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-style scaled uniform
+    /// initialisation over the `in_c·k²` fan-in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero dimensions or an
+    /// even kernel size (symmetric padding needs odd `k`).
+    pub fn new(
+        in_c: usize,
+        h: usize,
+        w: usize,
+        out_c: usize,
+        k: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> crate::Result<Self> {
+        check_dims("conv2d", &[in_c, h, w, out_c, k])?;
+        if k % 2 == 0 {
+            return Err(NnError::InvalidConfig {
+                detail: format!("conv2d kernel size {k} must be odd"),
+            });
+        }
+        let fan_in = in_c * k * k;
+        let bound = (6.0 / fan_in as f64).sqrt();
+        let weights = Matrix::from_fn(out_c, fan_in, |_, _| rng.gen_range(-bound..bound));
+        Ok(Self {
+            in_c,
+            h,
+            w,
+            out_c,
+            k,
+            weights,
+            bias: vec![0.0; out_c],
+            activation,
+            cached_input: None,
+            cached_preact: None,
+            grad_weights: Matrix::zeros(out_c, fan_in),
+            grad_bias: vec![0.0; out_c],
+        })
+    }
+
+    /// Rebuilds a convolution from explicit parameters (persistence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the weight matrix or bias
+    /// length disagrees with the declared geometry, or
+    /// [`NnError::InvalidConfig`] for invalid geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parameters(
+        in_c: usize,
+        h: usize,
+        w: usize,
+        out_c: usize,
+        k: usize,
+        activation: Activation,
+        weights: Matrix,
+        bias: Vec<f64>,
+    ) -> crate::Result<Self> {
+        check_dims("conv2d", &[in_c, h, w, out_c, k])?;
+        if k % 2 == 0 {
+            return Err(NnError::InvalidConfig {
+                detail: format!("conv2d kernel size {k} must be odd"),
+            });
+        }
+        let fan_in = in_c * k * k;
+        if weights.shape() != (out_c, fan_in) || bias.len() != out_c {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "conv2d parameters {:?}/{} vs declared {}x{}",
+                    weights.shape(),
+                    bias.len(),
+                    out_c,
+                    fan_in
+                ),
+            });
+        }
+        Ok(Self {
+            in_c,
+            h,
+            w,
+            out_c,
+            k,
+            weights,
+            bias,
+            activation,
+            cached_input: None,
+            cached_preact: None,
+            grad_weights: Matrix::zeros(out_c, fan_in),
+            grad_bias: vec![0.0; out_c],
+        })
+    }
+
+    /// Input channel count.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Output channel count.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Spatial size `(h, w)` (preserved by the layer).
+    #[must_use]
+    pub fn spatial(&self) -> (usize, usize) {
+        (self.h, self.w)
+    }
+
+    /// Kernel size.
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// The layer's activation.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// The weight matrix (`out_c × in_c·k²`).
+    #[must_use]
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The per-output-channel bias.
+    #[must_use]
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Total trainable parameter count.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    fn input_len(&self) -> usize {
+        self.in_c * self.h * self.w
+    }
+
+    fn output_len(&self) -> usize {
+        self.out_c * self.h * self.w
+    }
+
+    pub(crate) fn forward_pure(&self, input: &Matrix) -> crate::Result<(Matrix, Matrix)> {
+        check_input_width("conv2d", input, self.input_len())?;
+        let (h, w, k) = (self.h, self.w, self.k);
+        let pad = k / 2;
+        let plane = h * w;
+        let mut pre = Matrix::zeros(input.rows(), self.output_len());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let out = pre.row_mut(r);
+            for oc in 0..self.out_c {
+                let wt = self.weights.row(oc);
+                let base = oc * plane;
+                for oy in 0..h {
+                    for ox in 0..w {
+                        let mut acc = self.bias[oc];
+                        for ic in 0..self.in_c {
+                            let in_base = ic * plane;
+                            let w_base = ic * k * k;
+                            for dy in 0..k {
+                                let iy = oy + dy;
+                                if iy < pad || iy - pad >= h {
+                                    continue;
+                                }
+                                let iy = iy - pad;
+                                for dx in 0..k {
+                                    let ix = ox + dx;
+                                    if ix < pad || ix - pad >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - pad;
+                                    acc += x[in_base + iy * w + ix] * wt[w_base + dy * k + dx];
+                                }
+                            }
+                        }
+                        out[base + oy * w + ox] = acc;
+                    }
+                }
+            }
+        }
+        let act = self.activation;
+        let out = pre.map(|v| act.apply(v));
+        Ok((pre, out))
+    }
+
+    pub(crate) fn forward_inference(&self, input: &Matrix) -> crate::Result<Matrix> {
+        let (_, out) = self.forward_pure(input)?;
+        Ok(out)
+    }
+
+    pub(crate) fn backward_pure(
+        &self,
+        input: &Matrix,
+        pre: &Matrix,
+        grad_output: &Matrix,
+    ) -> crate::Result<(Matrix, Matrix, Vec<f64>)> {
+        check_input_width("conv2d", input, self.input_len())?;
+        let act = self.activation;
+        let dpre = grad_output.hadamard(&pre.map(|v| act.derivative(v)))?;
+        let (h, w, k) = (self.h, self.w, self.k);
+        let pad = k / 2;
+        let plane = h * w;
+        let fan_in = self.in_c * k * k;
+        let mut grad_weights = Matrix::zeros(self.out_c, fan_in);
+        let mut grad_bias = vec![0.0; self.out_c];
+        let mut grad_input = Matrix::zeros(input.rows(), self.input_len());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let d = dpre.row(r);
+            #[allow(clippy::needless_range_loop)] // oc also indexes grad_weights/self.weights rows
+            for oc in 0..self.out_c {
+                let base = oc * plane;
+                let gw = grad_weights.row_mut(oc);
+                let wt = self.weights.row(oc);
+                // Borrowing grad_input mutably inside the oc loop would
+                // alias gw; accumulate input gradients afterwards.
+                for oy in 0..h {
+                    for ox in 0..w {
+                        let g = d[base + oy * w + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        grad_bias[oc] += g;
+                        for ic in 0..self.in_c {
+                            let in_base = ic * plane;
+                            let w_base = ic * k * k;
+                            for dy in 0..k {
+                                let iy = oy + dy;
+                                if iy < pad || iy - pad >= h {
+                                    continue;
+                                }
+                                let iy = iy - pad;
+                                for dx in 0..k {
+                                    let ix = ox + dx;
+                                    if ix < pad || ix - pad >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - pad;
+                                    gw[w_base + dy * k + dx] += g * x[in_base + iy * w + ix];
+                                }
+                            }
+                        }
+                    }
+                }
+                let gi = grad_input.row_mut(r);
+                for oy in 0..h {
+                    for ox in 0..w {
+                        let g = d[base + oy * w + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ic in 0..self.in_c {
+                            let in_base = ic * plane;
+                            let w_base = ic * k * k;
+                            for dy in 0..k {
+                                let iy = oy + dy;
+                                if iy < pad || iy - pad >= h {
+                                    continue;
+                                }
+                                let iy = iy - pad;
+                                for dx in 0..k {
+                                    let ix = ox + dx;
+                                    if ix < pad || ix - pad >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - pad;
+                                    gi[in_base + iy * w + ix] += g * wt[w_base + dy * k + dx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok((grad_input, grad_weights, grad_bias))
+    }
+
+    pub(crate) fn forward(&mut self, input: &Matrix) -> crate::Result<Matrix> {
+        let (pre, out) = self.forward_pure(input)?;
+        self.cached_input = Some(input.clone());
+        self.cached_preact = Some(pre);
+        Ok(out)
+    }
+
+    pub(crate) fn backward(&mut self, grad_output: &Matrix) -> crate::Result<Matrix> {
+        let input = self.cached_input.as_ref().ok_or(NnError::InvalidConfig {
+            detail: "conv2d backward called before forward".into(),
+        })?;
+        let pre = self.cached_preact.as_ref().ok_or(NnError::InvalidConfig {
+            detail: "conv2d backward called before forward".into(),
+        })?;
+        let (grad_input, grad_weights, grad_bias) = self.backward_pure(input, pre, grad_output)?;
+        self.grad_weights = grad_weights;
+        self.grad_bias = grad_bias;
+        Ok(grad_input)
+    }
+
+    pub(crate) fn set_gradients(&mut self, grad_weights: Matrix, grad_bias: Vec<f64>) {
+        self.grad_weights = grad_weights;
+        self.grad_bias = grad_bias;
+    }
+
+    pub(crate) fn update_parameters(&mut self, mut f: impl FnMut(&mut [f64], &[f64])) {
+        f(self.weights.as_mut_slice(), self.grad_weights.as_slice());
+        f(&mut self.bias, &self.grad_bias);
+    }
+}
+
+/// How a pooling window reduces: maximum or mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoolKind {
+    Max,
+    Avg,
+}
+
+/// Shared geometry/kernels for the two pooling layers:
+/// `c×H×W → c×(H/k)×(W/k)` with `kernel = stride = k`.
+#[derive(Debug, Clone)]
+struct Pool2d {
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    kind: PoolKind,
+    cached_input: Option<Matrix>,
+}
+
+impl Pool2d {
+    fn new(kind: PoolKind, c: usize, h: usize, w: usize, k: usize) -> crate::Result<Self> {
+        check_dims("pool2d", &[c, h, w, k])?;
+        if h % k != 0 || w % k != 0 {
+            return Err(NnError::InvalidConfig {
+                detail: format!("pool2d window {k} must divide the {h}x{w} map"),
+            });
+        }
+        Ok(Self {
+            c,
+            h,
+            w,
+            k,
+            kind,
+            cached_input: None,
+        })
+    }
+
+    fn input_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    fn output_len(&self) -> usize {
+        self.c * (self.h / self.k) * (self.w / self.k)
+    }
+
+    fn forward_values(&self, input: &Matrix) -> crate::Result<Matrix> {
+        check_input_width("pool2d", input, self.input_len())?;
+        let (h, w, k) = (self.h, self.w, self.k);
+        let (h2, w2) = (h / k, w / k);
+        let mut out = Matrix::zeros(input.rows(), self.output_len());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let o = out.row_mut(r);
+            for c in 0..self.c {
+                let in_base = c * h * w;
+                let out_base = c * h2 * w2;
+                for oy in 0..h2 {
+                    for ox in 0..w2 {
+                        let mut acc = match self.kind {
+                            PoolKind::Max => f64::NEG_INFINITY,
+                            PoolKind::Avg => 0.0,
+                        };
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let v = x[in_base + (oy * k + dy) * w + ox * k + dx];
+                                match self.kind {
+                                    // Strict > keeps the first maximum
+                                    // on ties — a deterministic argmax
+                                    // the backward pass re-derives.
+                                    PoolKind::Max => {
+                                        if v > acc {
+                                            acc = v;
+                                        }
+                                    }
+                                    PoolKind::Avg => acc += v,
+                                }
+                            }
+                        }
+                        if self.kind == PoolKind::Avg {
+                            acc /= (k * k) as f64;
+                        }
+                        o[out_base + oy * w2 + ox] = acc;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward_values(&self, input: &Matrix, grad_output: &Matrix) -> crate::Result<Matrix> {
+        check_input_width("pool2d", input, self.input_len())?;
+        if grad_output.shape() != (input.rows(), self.output_len()) {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "pool2d gradient {:?} vs expected {}x{}",
+                    grad_output.shape(),
+                    input.rows(),
+                    self.output_len()
+                ),
+            });
+        }
+        let (h, w, k) = (self.h, self.w, self.k);
+        let (h2, w2) = (h / k, w / k);
+        let inv_area = 1.0 / (k * k) as f64;
+        let mut grad_input = Matrix::zeros(input.rows(), self.input_len());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let d = grad_output.row(r);
+            let gi = grad_input.row_mut(r);
+            for c in 0..self.c {
+                let in_base = c * h * w;
+                let out_base = c * h2 * w2;
+                for oy in 0..h2 {
+                    for ox in 0..w2 {
+                        let g = d[out_base + oy * w2 + ox];
+                        match self.kind {
+                            PoolKind::Max => {
+                                // First-max tie-break, matching forward.
+                                let mut best = f64::NEG_INFINITY;
+                                let mut best_idx = in_base + (oy * k) * w + ox * k;
+                                for dy in 0..k {
+                                    for dx in 0..k {
+                                        let idx = in_base + (oy * k + dy) * w + ox * k + dx;
+                                        if x[idx] > best {
+                                            best = x[idx];
+                                            best_idx = idx;
+                                        }
+                                    }
+                                }
+                                gi[best_idx] += g;
+                            }
+                            PoolKind::Avg => {
+                                for dy in 0..k {
+                                    for dx in 0..k {
+                                        gi[in_base + (oy * k + dy) * w + ox * k + dx] +=
+                                            g * inv_area;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+}
+
+macro_rules! pool_layer {
+    ($name:ident, $kind:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            inner: Pool2d,
+        }
+
+        impl $name {
+            /// Creates the pooling layer over a `c×h×w` input with
+            /// window (and stride) `k`.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`NnError::InvalidConfig`] for zero dimensions
+            /// or a window that does not divide the map evenly.
+            pub fn new(c: usize, h: usize, w: usize, k: usize) -> crate::Result<Self> {
+                Ok(Self {
+                    inner: Pool2d::new($kind, c, h, w, k)?,
+                })
+            }
+
+            /// Channel count (unchanged by pooling).
+            #[must_use]
+            pub fn channels(&self) -> usize {
+                self.inner.c
+            }
+
+            /// Input spatial size `(h, w)`.
+            #[must_use]
+            pub fn spatial(&self) -> (usize, usize) {
+                (self.inner.h, self.inner.w)
+            }
+
+            /// Pooling window / stride.
+            #[must_use]
+            pub fn window(&self) -> usize {
+                self.inner.k
+            }
+
+            pub(crate) fn forward_pure(&self, input: &Matrix) -> crate::Result<(Matrix, Matrix)> {
+                let out = self.inner.forward_values(input)?;
+                Ok((out.clone(), out))
+            }
+
+            pub(crate) fn forward_inference(&self, input: &Matrix) -> crate::Result<Matrix> {
+                self.inner.forward_values(input)
+            }
+
+            pub(crate) fn backward_pure(
+                &self,
+                input: &Matrix,
+                _pre: &Matrix,
+                grad_output: &Matrix,
+            ) -> crate::Result<(Matrix, Matrix, Vec<f64>)> {
+                let grad_input = self.inner.backward_values(input, grad_output)?;
+                Ok((grad_input, Matrix::zeros(0, 0), Vec::new()))
+            }
+
+            pub(crate) fn forward(&mut self, input: &Matrix) -> crate::Result<Matrix> {
+                let out = self.inner.forward_values(input)?;
+                self.inner.cached_input = Some(input.clone());
+                Ok(out)
+            }
+
+            pub(crate) fn backward(&mut self, grad_output: &Matrix) -> crate::Result<Matrix> {
+                let input = self
+                    .inner
+                    .cached_input
+                    .as_ref()
+                    .ok_or(NnError::InvalidConfig {
+                        detail: "pool2d backward called before forward".into(),
+                    })?;
+                self.inner.backward_values(input, grad_output)
+            }
+        }
+    };
+}
+
+pool_layer!(
+    MaxPool2d,
+    PoolKind::Max,
+    "Max pooling: `c×H×W → c×(H/k)×(W/k)`, window = stride = `k`, \
+     deterministic first-max tie-break."
+);
+pool_layer!(
+    AvgPool2d,
+    PoolKind::Avg,
+    "Average pooling: `c×H×W → c×(H/k)×(W/k)`, window = stride = `k`."
+);
+
+/// Nearest-neighbour upsampling: `c×H×W → c×(H·k)×(W·k)`. The backward
+/// pass sums each `k×k` block of the output gradient — the exact
+/// adjoint of replication.
+#[derive(Debug, Clone)]
+pub struct Upsample2d {
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    cached_rows: Option<usize>,
+}
+
+impl Upsample2d {
+    /// Creates the upsampling layer over a `c×h×w` input with factor
+    /// `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero dimensions.
+    pub fn new(c: usize, h: usize, w: usize, k: usize) -> crate::Result<Self> {
+        check_dims("upsample2d", &[c, h, w, k])?;
+        Ok(Self {
+            c,
+            h,
+            w,
+            k,
+            cached_rows: None,
+        })
+    }
+
+    /// Channel count (unchanged).
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Input spatial size `(h, w)`.
+    #[must_use]
+    pub fn spatial(&self) -> (usize, usize) {
+        (self.h, self.w)
+    }
+
+    /// Upsampling factor.
+    #[must_use]
+    pub fn factor(&self) -> usize {
+        self.k
+    }
+
+    fn input_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    fn output_len(&self) -> usize {
+        self.c * self.h * self.k * self.w * self.k
+    }
+
+    fn forward_values(&self, input: &Matrix) -> crate::Result<Matrix> {
+        check_input_width("upsample2d", input, self.input_len())?;
+        let (h, w, k) = (self.h, self.w, self.k);
+        let (h2, w2) = (h * k, w * k);
+        let mut out = Matrix::zeros(input.rows(), self.output_len());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let o = out.row_mut(r);
+            for c in 0..self.c {
+                let in_base = c * h * w;
+                let out_base = c * h2 * w2;
+                for y in 0..h2 {
+                    for xcol in 0..w2 {
+                        o[out_base + y * w2 + xcol] = x[in_base + (y / k) * w + xcol / k];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward_values(&self, rows: usize, grad_output: &Matrix) -> crate::Result<Matrix> {
+        if grad_output.shape() != (rows, self.output_len()) {
+            return Err(NnError::ShapeMismatch {
+                detail: format!(
+                    "upsample2d gradient {:?} vs expected {rows}x{}",
+                    grad_output.shape(),
+                    self.output_len()
+                ),
+            });
+        }
+        let (h, w, k) = (self.h, self.w, self.k);
+        let (h2, w2) = (h * k, w * k);
+        let mut grad_input = Matrix::zeros(rows, self.input_len());
+        for r in 0..rows {
+            let d = grad_output.row(r);
+            let gi = grad_input.row_mut(r);
+            for c in 0..self.c {
+                let in_base = c * h * w;
+                let out_base = c * h2 * w2;
+                for y in 0..h2 {
+                    for xcol in 0..w2 {
+                        gi[in_base + (y / k) * w + xcol / k] += d[out_base + y * w2 + xcol];
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    pub(crate) fn forward_pure(&self, input: &Matrix) -> crate::Result<(Matrix, Matrix)> {
+        let out = self.forward_values(input)?;
+        Ok((out.clone(), out))
+    }
+
+    pub(crate) fn forward_inference(&self, input: &Matrix) -> crate::Result<Matrix> {
+        self.forward_values(input)
+    }
+
+    pub(crate) fn backward_pure(
+        &self,
+        input: &Matrix,
+        _pre: &Matrix,
+        grad_output: &Matrix,
+    ) -> crate::Result<(Matrix, Matrix, Vec<f64>)> {
+        let grad_input = self.backward_values(input.rows(), grad_output)?;
+        Ok((grad_input, Matrix::zeros(0, 0), Vec::new()))
+    }
+
+    pub(crate) fn forward(&mut self, input: &Matrix) -> crate::Result<Matrix> {
+        let out = self.forward_values(input)?;
+        self.cached_rows = Some(input.rows());
+        Ok(out)
+    }
+
+    pub(crate) fn backward(&mut self, grad_output: &Matrix) -> crate::Result<Matrix> {
+        let rows = self.cached_rows.ok_or(NnError::InvalidConfig {
+            detail: "upsample2d backward called before forward".into(),
+        })?;
+        self.backward_values(rows, grad_output)
+    }
+}
+
+/// Flatten: reinterprets a `c×h×w` map as a flat feature row. Because
+/// samples are already stored as flattened rows, the data path is the
+/// identity — the layer exists so the graph (and its persisted form)
+/// records where spatial structure ends and dense layers begin.
+#[derive(Debug, Clone)]
+pub struct Flatten {
+    c: usize,
+    h: usize,
+    w: usize,
+}
+
+impl Flatten {
+    /// Creates a flatten marker for a `c×h×w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero dimensions.
+    pub fn new(c: usize, h: usize, w: usize) -> crate::Result<Self> {
+        check_dims("flatten", &[c, h, w])?;
+        Ok(Self { c, h, w })
+    }
+
+    /// The input map shape `(c, h, w)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h, self.w)
+    }
+
+    fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    pub(crate) fn forward_pure(&self, input: &Matrix) -> crate::Result<(Matrix, Matrix)> {
+        check_input_width("flatten", input, self.len())?;
+        Ok((input.clone(), input.clone()))
+    }
+
+    pub(crate) fn forward_inference(&self, input: &Matrix) -> crate::Result<Matrix> {
+        check_input_width("flatten", input, self.len())?;
+        Ok(input.clone())
+    }
+
+    pub(crate) fn backward_pure(
+        &self,
+        _input: &Matrix,
+        _pre: &Matrix,
+        grad_output: &Matrix,
+    ) -> crate::Result<(Matrix, Matrix, Vec<f64>)> {
+        Ok((grad_output.clone(), Matrix::zeros(0, 0), Vec::new()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn conv_geometry_validated() {
+        assert!(Conv2d::new(1, 4, 4, 2, 2, Activation::Relu, &mut rng()).is_err());
+        assert!(Conv2d::new(0, 4, 4, 2, 3, Activation::Relu, &mut rng()).is_err());
+        let c = Conv2d::new(2, 4, 5, 3, 3, Activation::Relu, &mut rng()).unwrap();
+        assert_eq!(c.parameter_count(), 3 * 2 * 9 + 3);
+        assert_eq!(c.spatial(), (4, 5));
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_input_through() {
+        // 1x1 kernel with weight 1 and identity activation: output
+        // equals input.
+        let w = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let c = Conv2d::from_parameters(1, 3, 3, 1, 1, Activation::Identity, w, vec![0.0]).unwrap();
+        let x = Matrix::from_fn(2, 9, |r, i| (r * 9 + i) as f64 * 0.1);
+        let (_, out) = c.forward_pure(&x).unwrap();
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn conv_matches_manual_3x3() {
+        // A single 3x3 all-ones kernel on a 3x3 input sums the 3x3
+        // neighbourhood under zero padding; check the centre and a
+        // corner by hand.
+        let w = Matrix::from_fn(1, 9, |_, _| 1.0);
+        let c = Conv2d::from_parameters(1, 3, 3, 1, 3, Activation::Identity, w, vec![0.5]).unwrap();
+        let x = Matrix::from_fn(1, 9, |_, i| (i + 1) as f64);
+        let (_, out) = c.forward_pure(&x).unwrap();
+        // Centre sees all nine values: 45 + bias.
+        assert_eq!(out.get(0, 4), 45.5);
+        // Top-left corner sees the 2x2 block {1,2,4,5}: 12 + bias.
+        assert_eq!(out.get(0, 0), 12.5);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_difference() {
+        let mut c = Conv2d::new(2, 4, 4, 3, 3, Activation::Tanh, &mut rng()).unwrap();
+        let x = Matrix::from_fn(3, 2 * 16, |r, i| {
+            ((r * 31 + i * 7) % 13) as f64 * 0.11 - 0.6
+        });
+        let _ = c.forward(&x).unwrap();
+        let ones = Matrix::from_fn(3, 3 * 16, |_, _| 1.0);
+        let dx = c.backward(&ones).unwrap();
+        let h = 1e-6;
+        let sum_out = |c: &Conv2d, x: &Matrix| -> f64 {
+            c.forward_inference(x).unwrap().as_slice().iter().sum()
+        };
+        // Weight gradient spot checks.
+        for (r, col) in [(0, 0), (1, 7), (2, 17)] {
+            let mut cp = c.clone();
+            let mut wp = cp.weights().clone();
+            wp.set(r, col, wp.get(r, col) + h);
+            cp = Conv2d::from_parameters(2, 4, 4, 3, 3, cp.activation(), wp, cp.bias().to_vec())
+                .unwrap();
+            let mut cm = c.clone();
+            let mut wm = cm.weights().clone();
+            wm.set(r, col, wm.get(r, col) - h);
+            cm = Conv2d::from_parameters(2, 4, 4, 3, 3, cm.activation(), wm, cm.bias().to_vec())
+                .unwrap();
+            let fd = (sum_out(&cp, &x) - sum_out(&cm, &x)) / (2.0 * h);
+            let an = c.grad_weights.get(r, col);
+            assert!((fd - an).abs() < 1e-4, "dW[{r}][{col}]: fd {fd} vs {an}");
+        }
+        // Bias gradient.
+        let mut bp = c.clone();
+        let mut bias = bp.bias().to_vec();
+        bias[1] += h;
+        bp = Conv2d::from_parameters(2, 4, 4, 3, 3, bp.activation(), bp.weights().clone(), bias)
+            .unwrap();
+        let fd = (sum_out(&bp, &x) - sum_out(&c, &x)) / h;
+        assert!((fd - c.grad_bias[1]).abs() < 1e-3, "db: fd {fd}");
+        // Input gradient spot check.
+        let mut xp = x.clone();
+        xp.set(1, 9, xp.get(1, 9) + h);
+        let mut xm = x.clone();
+        xm.set(1, 9, xm.get(1, 9) - h);
+        let fd = (sum_out(&c, &xp) - sum_out(&c, &xm)) / (2.0 * h);
+        assert!((fd - dx.get(1, 9)).abs() < 1e-4, "dx: fd {fd}");
+    }
+
+    #[test]
+    fn max_pool_picks_first_maximum() {
+        let p = MaxPool2d::new(1, 2, 2, 2).unwrap();
+        // Tie between positions 0 and 3: forward takes the value, and
+        // backward routes the whole gradient to the first.
+        let x = Matrix::from_rows(&[&[5.0, 1.0, 2.0, 5.0]]).unwrap();
+        let (_, out) = p.forward_pure(&x).unwrap();
+        assert_eq!(out.as_slice(), &[5.0]);
+        let g = Matrix::from_rows(&[&[2.0]]).unwrap();
+        let (gi, gw, gb) = p.backward_pure(&x, &out, &g).unwrap();
+        assert_eq!(gi.as_slice(), &[2.0, 0.0, 0.0, 0.0]);
+        assert_eq!(gw.shape(), (0, 0));
+        assert!(gb.is_empty());
+    }
+
+    #[test]
+    fn avg_pool_averages_and_spreads() {
+        let p = AvgPool2d::new(1, 2, 2, 2).unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 6.0]]).unwrap();
+        let (_, out) = p.forward_pure(&x).unwrap();
+        assert_eq!(out.as_slice(), &[3.0]);
+        let g = Matrix::from_rows(&[&[4.0]]).unwrap();
+        let (gi, _, _) = p.backward_pure(&x, &out, &g).unwrap();
+        assert_eq!(gi.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn pool_window_must_divide() {
+        assert!(MaxPool2d::new(1, 5, 4, 2).is_err());
+        assert!(AvgPool2d::new(1, 4, 6, 4).is_err());
+    }
+
+    #[test]
+    fn upsample_replicates_and_adjoint_sums() {
+        let u = Upsample2d::new(1, 1, 2, 2).unwrap();
+        let x = Matrix::from_rows(&[&[3.0, 7.0]]).unwrap();
+        let (_, out) = u.forward_pure(&x).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, 3.0, 7.0, 7.0, 3.0, 3.0, 7.0, 7.0]);
+        let g = Matrix::from_fn(1, 8, |_, i| (i + 1) as f64);
+        let (gi, _, _) = u.backward_pure(&x, &out, &g).unwrap();
+        // Each input cell collects its 2x2 block: {1,2,5,6} and {3,4,7,8}.
+        assert_eq!(gi.as_slice(), &[14.0, 22.0]);
+    }
+
+    #[test]
+    fn flatten_is_identity_with_checked_width() {
+        let f = Flatten::new(2, 2, 2).unwrap();
+        let x = Matrix::from_fn(3, 8, |r, i| (r + i) as f64);
+        let (_, out) = f.forward_pure(&x).unwrap();
+        assert_eq!(out, x);
+        assert!(f.forward_inference(&Matrix::zeros(1, 7)).is_err());
+    }
+}

@@ -242,6 +242,41 @@ impl DenseLayer {
     }
 }
 
+impl crate::engine::LayerOps for DenseLayer {
+    fn forward(&mut self, input: &Matrix) -> crate::Result<Matrix> {
+        DenseLayer::forward(self, input)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> crate::Result<Matrix> {
+        DenseLayer::backward(self, grad_output)
+    }
+
+    fn forward_pure(&self, input: &Matrix) -> crate::Result<(Matrix, Matrix)> {
+        DenseLayer::forward_pure(self, input)
+    }
+
+    fn forward_inference(&self, input: &Matrix) -> crate::Result<Matrix> {
+        DenseLayer::forward_inference(self, input)
+    }
+
+    fn backward_pure(
+        &self,
+        input: &Matrix,
+        pre: &Matrix,
+        grad_output: &Matrix,
+    ) -> crate::Result<(Matrix, Matrix, Vec<f64>)> {
+        DenseLayer::backward_pure(self, input, pre, grad_output)
+    }
+
+    fn set_gradients(&mut self, grad_weights: Matrix, grad_bias: Vec<f64>) {
+        DenseLayer::set_gradients(self, grad_weights, grad_bias);
+    }
+
+    fn update_parameters(&mut self, f: impl FnMut(&mut [f64], &[f64])) {
+        DenseLayer::update_parameters(self, f);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

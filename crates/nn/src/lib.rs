@@ -11,6 +11,11 @@
 //!   backpropagation needs.
 //! * [`DenseLayer`] / [`Mlp`] — layers and the sequential network, with
 //!   manual forward/backward passes.
+//! * [`Network`] / [`NetworkBuilder`] — the general layer graph
+//!   composing [`Layer`] kinds ([`Conv2d`], [`MaxPool2d`],
+//!   [`AvgPool2d`], [`Upsample2d`], [`Flatten`], and dense) for the
+//!   spatial CNN / encoder-decoder surrogates, on the same
+//!   bitwise-deterministic parallel minibatch engine the MLP uses.
 //! * [`Activation`] — ReLU / LeakyReLU / Tanh / Sigmoid / Identity.
 //! * [`Loss`] — MSE (the paper's choice), MAE, and Huber.
 //! * [`Optimizer`] implementations — [`Sgd`], [`Momentum`], [`RmsProp`],
@@ -55,26 +60,32 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod conv;
 mod data;
+mod engine;
 mod error;
 mod layer;
 mod loss;
 pub mod metrics;
 mod model;
+mod net_persist;
+mod network;
 mod optimizer;
 mod persist;
 mod tensor;
 mod trainer;
 
 pub use activation::Activation;
+pub use conv::{AvgPool2d, Conv2d, Flatten, MaxPool2d, Upsample2d};
 pub use data::{Dataset, StandardScaler};
 pub use error::NnError;
 pub use layer::DenseLayer;
 pub use loss::Loss;
 pub use model::{Mlp, MlpBuilder};
+pub use network::{Layer, Network, NetworkBuilder, TensorShape};
 pub use optimizer::{Adam, Momentum, Optimizer, RmsProp, Sgd};
 pub use tensor::Matrix;
-pub use trainer::{TrainConfig, TrainReport, Trainer};
+pub use trainer::{TrainConfig, TrainReport, TrainableModel, Trainer};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,390 @@
+//! Versioned text persistence for layer-graph [`Network`] models.
+//!
+//! The format extends the MLP codec with per-kind layer declarations:
+//!
+//! ```text
+//! ppdl-net v1
+//! input chw 2 8 8
+//! layers 4
+//! conv2d 4 2 8 8 3 relu
+//! <4 weight rows (2·3·3 values each)>
+//! <1 bias row>
+//! maxpool2d 4 8 8 2
+//! flatten 4 4 4
+//! dense 1 64 identity
+//! <1 weight row>
+//! <1 bias row>
+//! end
+//! ```
+//!
+//! Values use shortest-round-trip float formatting, so save/load is
+//! lossless and re-encoding a loaded model is byte-identical.
+
+use crate::conv::{AvgPool2d, Conv2d, Flatten, MaxPool2d, Upsample2d};
+use crate::network::{Layer, Network, TensorShape};
+use crate::persist::parse_floats;
+use crate::{Activation, DenseLayer, Matrix, NnError};
+
+fn activation_suffix(act: Activation) -> String {
+    match act {
+        Activation::LeakyRelu(alpha) => format!("leaky_relu {alpha}"),
+        other => other.name().to_string(),
+    }
+}
+
+fn parse_activation(fields: &[&str], at: usize, ln: usize) -> crate::Result<Activation> {
+    let name = fields.get(at).ok_or_else(|| NnError::Decode {
+        line: ln,
+        detail: "missing activation".into(),
+    })?;
+    Ok(match *name {
+        "identity" => Activation::Identity,
+        "relu" => Activation::Relu,
+        "tanh" => Activation::Tanh,
+        "sigmoid" => Activation::Sigmoid,
+        "leaky_relu" => {
+            let alpha: f64 = fields
+                .get(at + 1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| NnError::Decode {
+                    line: ln,
+                    detail: "leaky_relu requires an alpha".into(),
+                })?;
+            Activation::LeakyRelu(alpha)
+        }
+        other => {
+            return Err(NnError::Decode {
+                line: ln,
+                detail: format!("unknown activation '{other}'"),
+            })
+        }
+    })
+}
+
+fn parse_usizes(fields: &[&str], from: usize, n: usize, ln: usize) -> crate::Result<Vec<usize>> {
+    (from..from + n)
+        .map(|i| {
+            fields
+                .get(i)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| NnError::Decode {
+                    line: ln,
+                    detail: format!("expected {n} integer fields"),
+                })
+        })
+        .collect()
+}
+
+fn write_matrix_rows(out: &mut String, weights: &Matrix, bias: &[f64]) {
+    use std::fmt::Write as _;
+    for r in 0..weights.rows() {
+        let row: Vec<String> = weights.row(r).iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+    let brow: Vec<String> = bias.iter().map(|b| format!("{b}")).collect();
+    let _ = writeln!(out, "{}", brow.join(" "));
+}
+
+impl Network {
+    /// Serialises the network to the versioned text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "ppdl-net v1");
+        match self.input_shape() {
+            TensorShape::Flat(n) => {
+                let _ = writeln!(out, "input flat {n}");
+            }
+            TensorShape::Chw { c, h, w } => {
+                let _ = writeln!(out, "input chw {c} {h} {w}");
+            }
+        }
+        let _ = writeln!(out, "layers {}", self.layer_count());
+        for layer in self.layers() {
+            match layer {
+                Layer::Dense(l) => {
+                    let _ = writeln!(
+                        out,
+                        "dense {} {} {}",
+                        l.output_dim(),
+                        l.input_dim(),
+                        activation_suffix(l.activation())
+                    );
+                    write_matrix_rows(&mut out, l.weights(), l.bias());
+                }
+                Layer::Conv2d(l) => {
+                    let (h, w) = l.spatial();
+                    let _ = writeln!(
+                        out,
+                        "conv2d {} {} {h} {w} {} {}",
+                        l.out_channels(),
+                        l.in_channels(),
+                        l.kernel(),
+                        activation_suffix(l.activation())
+                    );
+                    write_matrix_rows(&mut out, l.weights(), l.bias());
+                }
+                Layer::MaxPool2d(l) => {
+                    let (h, w) = l.spatial();
+                    let _ = writeln!(out, "maxpool2d {} {h} {w} {}", l.channels(), l.window());
+                }
+                Layer::AvgPool2d(l) => {
+                    let (h, w) = l.spatial();
+                    let _ = writeln!(out, "avgpool2d {} {h} {w} {}", l.channels(), l.window());
+                }
+                Layer::Upsample2d(l) => {
+                    let (h, w) = l.spatial();
+                    let _ = writeln!(out, "upsample2d {} {h} {w} {}", l.channels(), l.factor());
+                }
+                Layer::Flatten(l) => {
+                    let (c, h, w) = l.shape();
+                    let _ = writeln!(out, "flatten {c} {h} {w}");
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Reconstructs a network from [`to_text`](Self::to_text) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Decode`] (with a line number) for malformed
+    /// input, and shape errors from
+    /// [`Network::from_parts`] if the declared chain is inconsistent.
+    pub fn from_text(text: &str) -> crate::Result<Self> {
+        let mut lines = text.lines().enumerate();
+        let (ln, header) = next_line(&mut lines, "header")?;
+        if header != "ppdl-net v1" {
+            return Err(NnError::Decode {
+                line: ln,
+                detail: format!("bad header '{header}'"),
+            });
+        }
+        let (ln, input_line) = next_line(&mut lines, "input shape")?;
+        let fields: Vec<&str> = input_line.split_whitespace().collect();
+        let input_shape = match (fields.first(), fields.get(1)) {
+            (Some(&"input"), Some(&"flat")) => {
+                let d = parse_usizes(&fields, 2, 1, ln)?;
+                TensorShape::Flat(d[0])
+            }
+            (Some(&"input"), Some(&"chw")) => {
+                let d = parse_usizes(&fields, 2, 3, ln)?;
+                TensorShape::Chw {
+                    c: d[0],
+                    h: d[1],
+                    w: d[2],
+                }
+            }
+            _ => {
+                return Err(NnError::Decode {
+                    line: ln,
+                    detail: format!("bad input shape line '{input_line}'"),
+                })
+            }
+        };
+        let (ln, count_line) = next_line(&mut lines, "layer count")?;
+        let count: usize = count_line
+            .strip_prefix("layers ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| NnError::Decode {
+                line: ln,
+                detail: format!("bad layer count line '{count_line}'"),
+            })?;
+        let mut layers = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (ln, decl) = next_line(&mut lines, "layer declaration")?;
+            let fields: Vec<&str> = decl.split_whitespace().collect();
+            let kind = fields.first().copied().unwrap_or("");
+            let layer = match kind {
+                "dense" => {
+                    let d = parse_usizes(&fields, 1, 2, ln)?;
+                    let activation = parse_activation(&fields, 3, ln)?;
+                    let (weights, bias) = read_params(&mut lines, d[0], d[1])?;
+                    Layer::Dense(DenseLayer::from_parameters(weights, bias, activation)?)
+                }
+                "conv2d" => {
+                    let d = parse_usizes(&fields, 1, 5, ln)?;
+                    let activation = parse_activation(&fields, 6, ln)?;
+                    let (out_c, in_c, h, w, k) = (d[0], d[1], d[2], d[3], d[4]);
+                    let (weights, bias) = read_params(&mut lines, out_c, in_c * k * k)?;
+                    Layer::Conv2d(Conv2d::from_parameters(
+                        in_c, h, w, out_c, k, activation, weights, bias,
+                    )?)
+                }
+                "maxpool2d" => {
+                    let d = parse_usizes(&fields, 1, 4, ln)?;
+                    Layer::MaxPool2d(MaxPool2d::new(d[0], d[1], d[2], d[3])?)
+                }
+                "avgpool2d" => {
+                    let d = parse_usizes(&fields, 1, 4, ln)?;
+                    Layer::AvgPool2d(AvgPool2d::new(d[0], d[1], d[2], d[3])?)
+                }
+                "upsample2d" => {
+                    let d = parse_usizes(&fields, 1, 4, ln)?;
+                    Layer::Upsample2d(Upsample2d::new(d[0], d[1], d[2], d[3])?)
+                }
+                "flatten" => {
+                    let d = parse_usizes(&fields, 1, 3, ln)?;
+                    Layer::Flatten(Flatten::new(d[0], d[1], d[2])?)
+                }
+                other => {
+                    return Err(NnError::Decode {
+                        line: ln,
+                        detail: format!("unknown layer kind '{other}'"),
+                    })
+                }
+            };
+            layers.push(layer);
+        }
+        let (ln, terminator) = next_line(&mut lines, "end")?;
+        if terminator != "end" {
+            return Err(NnError::Decode {
+                line: ln,
+                detail: format!("expected 'end', found '{terminator}'"),
+            });
+        }
+        Network::from_parts(input_shape, layers)
+    }
+}
+
+fn next_line<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    expect: &str,
+) -> crate::Result<(usize, &'a str)> {
+    lines
+        .next()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .ok_or_else(|| NnError::Decode {
+            line: 0,
+            detail: format!("unexpected end of input, expected {expect}"),
+        })
+}
+
+fn read_params<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    rows: usize,
+    cols: usize,
+) -> crate::Result<(Matrix, Vec<f64>)> {
+    let mut weights = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        let (ln, row) = next_line(lines, "weight row")?;
+        let vals = parse_floats(row, ln)?;
+        if vals.len() != cols {
+            return Err(NnError::Decode {
+                line: ln,
+                detail: format!("weight row has {} values, expected {cols}", vals.len()),
+            });
+        }
+        weights.row_mut(r).copy_from_slice(&vals);
+    }
+    let (ln, brow) = next_line(lines, "bias row")?;
+    let bias = parse_floats(brow, ln)?;
+    if bias.len() != rows {
+        return Err(NnError::Decode {
+            line: ln,
+            detail: format!("bias row has {} values, expected {rows}", bias.len()),
+        });
+    }
+    Ok((weights, bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkBuilder, TensorShape};
+
+    fn chw(c: usize, h: usize, w: usize) -> TensorShape {
+        TensorShape::Chw { c, h, w }
+    }
+
+    fn spatial_net() -> Network {
+        NetworkBuilder::new(chw(2, 4, 4))
+            .conv2d(3, 3, Activation::Relu)
+            .max_pool(2)
+            .conv2d(4, 1, Activation::LeakyRelu(0.03))
+            .upsample(2)
+            .avg_pool(2)
+            .flatten()
+            .dense(2, Activation::Identity)
+            .seed(13)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_covers_every_layer_kind() {
+        let net = spatial_net();
+        let text = net.to_text();
+        // All six layer kinds appear in the artifact.
+        for kind in [
+            "conv2d",
+            "maxpool2d",
+            "avgpool2d",
+            "upsample2d",
+            "flatten",
+            "dense",
+        ] {
+            assert!(text.contains(kind), "missing {kind} in:\n{text}");
+        }
+        let back = Network::from_text(&text).unwrap();
+        assert_eq!(back.layer_count(), net.layer_count());
+        assert_eq!(back.input_shape(), net.input_shape());
+        assert_eq!(back.output_shape(), net.output_shape());
+        let x = Matrix::from_fn(5, 32, |r, i| ((r * 7 + i) % 9) as f64 * 0.2 - 0.8);
+        assert_eq!(back.predict(&x).unwrap(), net.predict(&x).unwrap());
+        // The text is a fixed point.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn flat_input_round_trips() {
+        let net = NetworkBuilder::new(TensorShape::Flat(3))
+            .dense(5, Activation::Tanh)
+            .dense(1, Activation::Identity)
+            .seed(4)
+            .build()
+            .unwrap();
+        let back = Network::from_text(&net.to_text()).unwrap();
+        assert_eq!(back.input_shape(), TensorShape::Flat(3));
+        let x = Matrix::from_fn(4, 3, |r, c| (r + c) as f64 * 0.3);
+        assert_eq!(back.predict(&x).unwrap(), net.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = Network::from_text("ppdl-mlp v1\n").unwrap_err();
+        assert!(matches!(err, NnError::Decode { line: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_layer_kind_rejected() {
+        let text = "ppdl-net v1\ninput flat 2\nlayers 1\nattention 2 2\nend\n";
+        match Network::from_text(text) {
+            Err(NnError::Decode { line: 4, detail }) => {
+                assert!(detail.contains("attention"), "{detail}")
+            }
+            other => panic!("expected decode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broken_shape_chain_rejected() {
+        // maxpool2d declares a 4x4 map but the conv output is 2x4x4,
+        // i.e. widths disagree (1*4*4 != 2*4*4).
+        let text = "ppdl-net v1\ninput chw 1 4 4\nlayers 2\n\
+                    conv2d 2 1 4 4 1 identity\n1.0\n0.5\n1.0\n0.5\n\
+                    maxpool2d 1 4 4 2\nend\n";
+        assert!(Network::from_text(text).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let net = spatial_net();
+        let text = net.to_text();
+        let truncated: String = text.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert!(Network::from_text(&truncated).is_err());
+    }
+}

@@ -165,7 +165,7 @@ impl Mlp {
     }
 }
 
-fn parse_floats(line: &str, ln: usize) -> crate::Result<Vec<f64>> {
+pub(crate) fn parse_floats(line: &str, ln: usize) -> crate::Result<Vec<f64>> {
     line.split_whitespace()
         .map(|t| {
             t.parse().map_err(|_| NnError::Decode {

@@ -1,6 +1,68 @@
 use std::time::Instant;
 
-use crate::{Adam, Dataset, Loss, Mlp, NnError};
+use crate::{Adam, Dataset, Loss, Matrix, Mlp, Network, NnError, Optimizer};
+
+/// What the [`Trainer`] needs from a model: one regularized
+/// minibatch step and batch inference. Implemented by [`Mlp`] and
+/// [`Network`], so the same training loop (shuffling, validation
+/// split, early stopping, telemetry) drives every backend.
+pub trait TrainableModel {
+    /// One optimisation step on a batch with an L2 weight penalty,
+    /// returning the pre-update batch loss (penalty excluded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape, optimizer, and configuration errors.
+    fn train_batch_regularized<O: Optimizer>(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        loss: Loss,
+        weight_decay: f64,
+        optimizer: &mut O,
+    ) -> crate::Result<f64>;
+
+    /// Batch inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error for a wrong input width.
+    fn predict(&self, x: &Matrix) -> crate::Result<Matrix>;
+}
+
+impl TrainableModel for Mlp {
+    fn train_batch_regularized<O: Optimizer>(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        loss: Loss,
+        weight_decay: f64,
+        optimizer: &mut O,
+    ) -> crate::Result<f64> {
+        Mlp::train_batch_regularized(self, x, y, loss, weight_decay, optimizer)
+    }
+
+    fn predict(&self, x: &Matrix) -> crate::Result<Matrix> {
+        Mlp::predict(self, x)
+    }
+}
+
+impl TrainableModel for Network {
+    fn train_batch_regularized<O: Optimizer>(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        loss: Loss,
+        weight_decay: f64,
+        optimizer: &mut O,
+    ) -> crate::Result<f64> {
+        Network::train_batch_regularized(self, x, y, loss, weight_decay, optimizer)
+    }
+
+    fn predict(&self, x: &Matrix) -> crate::Result<Matrix> {
+        Network::predict(self, x)
+    }
+}
 
 /// Per-epoch loss histogram edges: 1e-10 to 100, one decade per bucket.
 const LOSS_BOUNDS: [f64; 13] = [
@@ -78,7 +140,7 @@ impl TrainReport {
     }
 }
 
-/// Mini-batch trainer driving an [`Mlp`] with Adam.
+/// Mini-batch trainer driving a [`TrainableModel`] with Adam.
 ///
 /// # Example
 ///
@@ -112,7 +174,8 @@ impl Trainer {
         &self.config
     }
 
-    /// Trains `model` on `data`.
+    /// Trains `model` on `data`. Works for any [`TrainableModel`] —
+    /// the paper's [`Mlp`] as well as spatial [`Network`] graphs.
     ///
     /// # Errors
     ///
@@ -120,7 +183,11 @@ impl Trainer {
     ///   validation split.
     /// * [`NnError::Diverged`] — a non-finite loss appeared.
     /// * Shape errors propagate from the model.
-    pub fn fit(&self, model: &mut Mlp, data: &Dataset) -> crate::Result<TrainReport> {
+    pub fn fit<M: TrainableModel>(
+        &self,
+        model: &mut M,
+        data: &Dataset,
+    ) -> crate::Result<TrainReport> {
         let c = &self.config;
         if c.epochs == 0 || c.batch_size == 0 {
             return Err(NnError::InvalidConfig {

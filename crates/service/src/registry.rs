@@ -162,10 +162,11 @@ impl ModelRegistry {
             let meta = &core.bundle().meta;
             let _ = write!(
                 out,
-                "{}:{{\"label\":{},\"preset\":{},\"straps\":{},\"pending\":{}}}",
+                "{}:{{\"label\":{},\"preset\":{},\"backend\":{},\"straps\":{},\"pending\":{}}}",
                 json_string(name),
                 json_string(&meta.label()),
                 json_string(meta.preset.name()),
+                json_string(core.bundle().backend().tag()),
                 core.bundle().golden_widths.len(),
                 core.pending(),
             );
@@ -458,6 +459,10 @@ mod tests {
                 map.get(name).unwrap().get("preset").unwrap().as_str(),
                 Some("ibmpg1")
             );
+            assert_eq!(
+                map.get(name).unwrap().get("backend").unwrap().as_str(),
+                Some("mlp")
+            );
         }
 
         let stats = Json::parse(&registry.stats_json()).unwrap();
@@ -475,5 +480,62 @@ mod tests {
             .get("counters")
             .is_some());
         assert!(telemetry.get("global").is_some());
+    }
+
+    #[test]
+    fn routes_across_backend_kinds() {
+        use ppdl_core::BackendKind;
+        let registry = Arc::new(ModelRegistry::new(ServiceConfig::default()));
+        registry.install("mlp", bundle(3)).unwrap();
+        let cnn = TrainedBundle::train(
+            IbmPgPreset::Ibmpg1,
+            0.01,
+            3,
+            DlFlowConfig::builder()
+                .fast()
+                .backend(BackendKind::Cnn)
+                .build(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(cnn.backend(), BackendKind::Cnn);
+        registry.install("cnn", cnn).unwrap();
+
+        let mut session = registry.session();
+        session.enqueue(Some("cnn"), request("via-cnn", 1)).unwrap();
+        session.enqueue(Some("mlp"), request("via-mlp", 1)).unwrap();
+        let replies = session.flush();
+        assert_eq!(replies.len(), 2);
+        // Each request runs on the backend it was routed to, and the
+        // two surrogates genuinely differ.
+        for (reply, name) in replies.iter().zip(["cnn", "mlp"]) {
+            let core = registry.get(name).unwrap();
+            let direct = predict(
+                &core.bundle().predictor,
+                core.base(),
+                &request(&reply.id, 1),
+                core.bundle().meta.inference_stride,
+            )
+            .unwrap();
+            assert_eq!(
+                reply.result.as_ref().unwrap().widths,
+                direct.response.widths
+            );
+        }
+        assert_ne!(
+            replies[0].result.as_ref().unwrap().widths,
+            replies[1].result.as_ref().unwrap().widths
+        );
+        // The bundles snapshot reports each core's backend kind.
+        let bundles = Json::parse(&registry.bundles_json()).unwrap();
+        let map = bundles.get("bundles").unwrap();
+        assert_eq!(
+            map.get("cnn").unwrap().get("backend").unwrap().as_str(),
+            Some("cnn")
+        );
+        assert_eq!(
+            map.get("mlp").unwrap().get("backend").unwrap().as_str(),
+            Some("mlp")
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! ppdl generate --preset ibmpg2 --scale 0.01 --seed 7 --out grid.spice [--svg fp.svg]
 //! ppdl analyze <deck.spice> [--map map.csv] [--resolution 100]
 //! ppdl flow --preset ibmpg2 --scale 0.01 [--fast] [--gamma 0.1] [--model model.ppdl]
-//! ppdl train --preset ibmpg2 --scale 0.006 --out model.bundle [--fast]
+//! ppdl train --preset ibmpg2 --scale 0.006 --out model.bundle [--fast] [--backend mlp|cnn|encdec]
 //! ppdl serve --bundle model.bundle [--queue 256] [--batch 64] [--cache 1024] [--telemetry]
 //! ppdl serve --listen 127.0.0.1:7433 --bundle a.bundle --bundle b.bundle [--bundle-dir models/]
 //! ppdl serve --unix /run/ppdl.sock --bundle-dir models/
@@ -60,7 +60,8 @@ USAGE:
   ppdl generate --preset <name> [--scale <f>] [--seed <n>] --out <deck.spice> [--svg <fp.svg>]
   ppdl analyze <deck.spice> [--map <map.csv>] [--resolution <n>]
   ppdl flow --preset <name> [--scale <f>] [--seed <n>] [--fast] [--gamma <f>] [--model <out.ppdl>]
-  ppdl train --preset <name> [--scale <f>] [--seed <n>] [--fast] --out <model.bundle>
+  ppdl train --preset <name> [--scale <f>] [--seed <n>] [--fast]
+             [--backend mlp|cnn|encdec] --out <model.bundle>
   ppdl serve --bundle <model.bundle> [--queue <n>] [--batch <n>] [--cache <n>] [--telemetry]
   ppdl serve --listen <addr:port> | --unix <sock> (--bundle <f>)* [--bundle-dir <dir>]
              [--pending <n>] [--max-clients <n>]
@@ -311,13 +312,18 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     if flags.has("fast") {
         builder = builder.fast();
     }
+    if let Some(tag) = flags.get("backend") {
+        let kind = powerplanningdl::core::BackendKind::parse(tag).map_err(|e| e.to_string())?;
+        builder = builder.backend(kind);
+    }
     let config = builder.try_build().map_err(|e| e.to_string())?;
     let bundle =
         TrainedBundle::train(preset, scale, seed, config, None).map_err(|e| e.to_string())?;
     bundle.save(&out).map_err(|e| e.to_string())?;
     println!(
-        "wrote {} ({} at scale {scale}, seed {seed}, {} golden widths, stride {})",
+        "wrote {} ({} {} at scale {scale}, seed {seed}, {} golden widths, stride {})",
         out.display(),
+        bundle.backend().tag(),
         preset.name(),
         bundle.golden_widths.len(),
         bundle.meta.inference_stride

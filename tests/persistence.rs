@@ -39,6 +39,50 @@ fn deck_file_round_trip_preserves_analysis() {
     assert!((a.worst_drop().unwrap().1 - b.worst_drop().unwrap().1).abs() < 1e-12);
 }
 
+/// A committed pre-backend (v1) bundle must keep loading as the MLP it
+/// always was, and predict bitwise-identically to the golden widths
+/// captured when the fixture was created. Guards the on-disk contract
+/// across the layer-graph/backend refactor.
+#[test]
+fn committed_v1_bundle_loads_as_mlp_and_matches_golden() {
+    use powerplanningdl::core::predict::{PredictRequest, TrainedBundle};
+    use powerplanningdl::core::{BackendKind, Perturbation, PerturbationKind};
+
+    let bundle = TrainedBundle::load(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/v1_mlp.bundle"
+    ))
+    .unwrap();
+    assert_eq!(bundle.backend(), BackendKind::Mlp);
+    // Re-encoding upgrades the header to the current version and tags
+    // the backend, and the upgraded text still round-trips.
+    let upgraded = bundle.to_text();
+    assert!(upgraded.starts_with("ppdl-bundle v2\nbackend mlp\ninput_spec rows 3\n"));
+    let back = TrainedBundle::from_text(&upgraded).unwrap();
+    assert_eq!(back.to_text(), upgraded);
+
+    let request = PredictRequest::new("compat")
+        .with_perturbation(Perturbation::new(0.1, PerturbationKind::Both, 5).unwrap());
+    let prediction = bundle.predict(&request).unwrap();
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/v1_mlp_golden.txt"
+    ))
+    .unwrap();
+    let mut lines = golden.lines();
+    let mut golden_widths = Vec::new();
+    let mut golden_worst_ir = None;
+    for line in &mut lines {
+        if let Some(v) = line.strip_prefix("worst_ir_mv ") {
+            golden_worst_ir = Some(v.parse::<f64>().unwrap());
+        } else {
+            golden_widths.push(line.parse::<f64>().unwrap());
+        }
+    }
+    assert_eq!(prediction.response.widths, golden_widths);
+    assert_eq!(prediction.response.worst_ir_mv, golden_worst_ir.unwrap());
+}
+
 #[test]
 fn corrupted_model_file_fails_loudly() {
     let model = MlpBuilder::new(2).output(1).build().unwrap();
