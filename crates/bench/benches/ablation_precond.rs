@@ -1,5 +1,6 @@
 //! Ablation bench: preconditioner choice for the IR-drop solve on a
-//! generated power-grid benchmark (None vs Jacobi vs IC(0)).
+//! generated power-grid benchmark (None vs Jacobi vs block-Jacobi vs
+//! IC(0)).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppdl_analysis::{AnalysisOptions, PreconditionerKind, StaticAnalysis};
@@ -13,6 +14,7 @@ fn bench_preconditioners(c: &mut Criterion) {
     for (name, kind) in [
         ("none", PreconditionerKind::None),
         ("jacobi", PreconditionerKind::Jacobi),
+        ("block-jacobi", PreconditionerKind::BlockJacobi),
         ("ic0", PreconditionerKind::Ic0),
     ] {
         let analyzer = StaticAnalysis::new(AnalysisOptions {

@@ -17,8 +17,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ppdl_nn::{Activation, Adam, Loss, Matrix, MlpBuilder};
 use ppdl_solver::{
-    parallel_config, set_threads, CgOptions, ConjugateGradient, CsrMatrix, JacobiPreconditioner,
-    TripletMatrix,
+    parallel_config, set_threads, CgOptions, ConjugateGradient, CsrMatrix, TripletMatrix,
 };
 
 /// 2-D grid Laplacian with grounded corner — the structure of a
@@ -85,12 +84,55 @@ fn bench_cg_threads(c: &mut Criterion) {
             tolerance: 1e-8,
             ..CgOptions::default()
         });
-        let pc = JacobiPreconditioner::from_matrix(&a).expect("jacobi");
         for threads in thread_points() {
             set_threads(threads);
             group.bench_function(
                 BenchmarkId::new(format!("threads{threads}"), side * side),
-                |b| b.iter(|| cg.solve(&a, &b_vec, &pc).expect("cg")),
+                |b| b.iter(|| cg.solve(&a, &b_vec).expect("cg")),
+            );
+        }
+        set_threads(0);
+    }
+    group.finish();
+}
+
+/// Naive triple-loop matmul — the kernel the tiled GEMM replaced.
+/// Kept here as the throughput baseline so `par_gemm` reports the
+/// speedup of the register-tiled path over the scalar one.
+fn scalar_matmul(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+fn bench_gemm_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_gemm");
+    group.sample_size(20);
+    // Paper-scale shapes: a full-batch hidden-layer product from the
+    // ibmpg2-scale MLP (4096×24 · 24×24) and a square shape large
+    // enough to expose cache blocking (256³).
+    for (m, k, n) in [(4096usize, 24usize, 24usize), (256, 256, 256)] {
+        let a = Matrix::from_fn(m, k, |r, cc| ((r * 31 + cc * 7) % 113) as f64 / 113.0 - 0.5);
+        let b = Matrix::from_fn(k, n, |r, cc| {
+            ((r * 13 + cc * 17) % 127) as f64 / 127.0 - 0.5
+        });
+        let flops = 2 * m * k * n;
+        group.throughput(Throughput::Elements(flops as u64));
+        group.bench_function(BenchmarkId::new("scalar", format!("{m}x{k}x{n}")), |bn| {
+            let mut out = vec![0.0f64; m * n];
+            bn.iter(|| scalar_matmul(m, k, n, a.as_slice(), b.as_slice(), &mut out));
+        });
+        for threads in thread_points() {
+            set_threads(threads);
+            group.bench_function(
+                BenchmarkId::new(format!("tiled_threads{threads}"), format!("{m}x{k}x{n}")),
+                |bn| bn.iter(|| a.matmul(&b).expect("matmul")),
             );
         }
         set_threads(0);
@@ -160,11 +202,10 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         tolerance: 1e-8,
         ..CgOptions::default()
     });
-    let pc = JacobiPreconditioner::from_matrix(&a).expect("jacobi");
     for (label, on) in [("disabled", false), ("enabled", true)] {
         ppdl_obs::set_enabled(on);
         group.bench_function(BenchmarkId::new(format!("cg_{label}"), 150 * 150), |b| {
-            b.iter(|| cg.solve(&a, &b_vec, &pc).expect("cg"))
+            b.iter(|| cg.solve(&a, &b_vec).expect("cg"))
         });
     }
     ppdl_obs::set_enabled(false);
@@ -175,6 +216,7 @@ criterion_group!(
     benches,
     bench_spmv_threads,
     bench_cg_threads,
+    bench_gemm_threads,
     bench_training_epoch_threads,
     bench_telemetry_overhead
 );

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ppdl_solver::{
-    CgOptions, ConjugateGradient, CsrMatrix, IdentityPreconditioner, IncompleteCholesky,
-    JacobiPreconditioner, SparseCholesky, TripletMatrix,
+    CgOptions, ConjugateGradient, CsrMatrix, PrecondKind, SparseCholesky, TripletMatrix,
 };
 
 /// 2-D grid Laplacian with grounded corner — the structure of a
@@ -47,22 +46,13 @@ fn bench_cg(c: &mut Criterion) {
     for side in [32usize, 64] {
         let a = grid(side);
         let b_vec: Vec<f64> = (0..a.nrows()).map(|i| (i % 7) as f64 * 0.1).collect();
-        let cg = ConjugateGradient::new(CgOptions {
-            tolerance: 1e-8,
-            ..CgOptions::default()
-        });
-        group.bench_with_input(BenchmarkId::new("plain", side * side), &a, |bn, a| {
-            let pc = IdentityPreconditioner::new(a.nrows());
-            bn.iter(|| cg.solve(a, &b_vec, &pc).expect("cg"));
-        });
-        group.bench_with_input(BenchmarkId::new("jacobi", side * side), &a, |bn, a| {
-            let pc = JacobiPreconditioner::from_matrix(a).expect("jacobi");
-            bn.iter(|| cg.solve(a, &b_vec, &pc).expect("cg"));
-        });
-        group.bench_with_input(BenchmarkId::new("ic0", side * side), &a, |bn, a| {
-            let pc = IncompleteCholesky::from_matrix(a).expect("ic0");
-            bn.iter(|| cg.solve(a, &b_vec, &pc).expect("cg"));
-        });
+        for kind in PrecondKind::ALL {
+            let cg =
+                ConjugateGradient::new(CgOptions::builder().tolerance(1e-8).precond(kind).build());
+            group.bench_with_input(BenchmarkId::new(kind.name(), side * side), &a, |bn, a| {
+                bn.iter(|| cg.solve(a, &b_vec).expect("cg"));
+            });
+        }
     }
     group.finish();
 }

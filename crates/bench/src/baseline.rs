@@ -1,0 +1,339 @@
+//! Manifest-diff baseline checks: compare a run-manifest's metrics
+//! against a committed, tolerance-tagged baseline file and fail on
+//! regression.
+//!
+//! The baseline is a small JSON document kept under version control
+//! (e.g. `bench_results/BENCH_kernels.json`):
+//!
+//! ```json
+//! {
+//!   "experiment": "kernels",
+//!   "checks": [
+//!     {"metric": "gemm_speedup_4096x24x24", "min": 2.0},
+//!     {"metric": "cg_iters_ic0", "baseline": 210, "rel_tol": 0.15, "direction": "lower"}
+//!   ]
+//! }
+//! ```
+//!
+//! Every check names a metric from the manifest's `metrics` object and
+//! carries its own tolerance: hard bounds (`min`/`max`) or a recorded
+//! `baseline` value with a relative tolerance and a direction
+//! (`"higher"` = bigger is better, `"lower"` = smaller is better).
+//! `ppdl-bench baseline <baseline.json> <manifest.json>` prints one
+//! verdict line per check and exits non-zero if any check regressed —
+//! the CI bench-smoke job runs exactly that.
+
+use ppdl_service::Json;
+
+/// Which way a metric is allowed to drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better: fail when the candidate drops below
+    /// `baseline * (1 - rel_tol)`.
+    Higher,
+    /// Smaller is better: fail when the candidate rises above
+    /// `baseline * (1 + rel_tol)`.
+    Lower,
+}
+
+/// One tolerance-tagged metric check.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Metric name, as recorded in the manifest's `metrics` object.
+    pub metric: String,
+    /// Hard lower bound (inclusive), checked when present.
+    pub min: Option<f64>,
+    /// Hard upper bound (inclusive), checked when present.
+    pub max: Option<f64>,
+    /// Recorded baseline value for relative comparison.
+    pub baseline: Option<f64>,
+    /// Allowed relative degradation from `baseline` (e.g. `0.15`).
+    pub rel_tol: f64,
+    /// Which direction counts as a regression from `baseline`.
+    pub direction: Direction,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// The experiment the baseline was recorded for (documentation
+    /// only; the diff does not enforce it).
+    pub experiment: String,
+    /// The checks, in file order.
+    pub checks: Vec<Check>,
+}
+
+/// One check's outcome against a candidate manifest.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The metric checked.
+    pub metric: String,
+    /// The candidate's value, when the manifest had the metric.
+    pub value: Option<f64>,
+    /// Whether the check passed.
+    pub ok: bool,
+    /// Human-readable pass/fail explanation.
+    pub detail: String,
+}
+
+fn field_f64(obj: &Json, key: &str) -> Option<f64> {
+    obj.get(key).and_then(Json::as_f64)
+}
+
+impl Baseline {
+    /// Parses a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        let experiment = root
+            .get("experiment")
+            .and_then(Json::as_str)
+            .ok_or("baseline needs a string 'experiment' field")?
+            .to_string();
+        let entries = root
+            .get("checks")
+            .and_then(Json::as_array)
+            .ok_or("baseline needs a 'checks' array")?;
+        let mut checks = Vec::new();
+        for entry in entries {
+            let metric = entry
+                .get("metric")
+                .and_then(Json::as_str)
+                .ok_or("every check needs a string 'metric' field")?
+                .to_string();
+            let direction = match entry.get("direction").and_then(Json::as_str) {
+                None | Some("higher") => Direction::Higher,
+                Some("lower") => Direction::Lower,
+                Some(other) => {
+                    return Err(format!(
+                        "check '{metric}': direction must be 'higher' or 'lower', got '{other}'"
+                    ))
+                }
+            };
+            let check = Check {
+                min: field_f64(entry, "min"),
+                max: field_f64(entry, "max"),
+                baseline: field_f64(entry, "baseline"),
+                rel_tol: field_f64(entry, "rel_tol").unwrap_or(0.0),
+                direction,
+                metric,
+            };
+            if check.min.is_none() && check.max.is_none() && check.baseline.is_none() {
+                return Err(format!(
+                    "check '{}' has no bound: set 'min', 'max', or 'baseline'",
+                    check.metric
+                ));
+            }
+            checks.push(check);
+        }
+        Ok(Self { experiment, checks })
+    }
+}
+
+impl Check {
+    /// Evaluates this check against a candidate metric value (or its
+    /// absence).
+    #[must_use]
+    pub fn evaluate(&self, value: Option<f64>) -> Verdict {
+        let Some(v) = value else {
+            return Verdict {
+                metric: self.metric.clone(),
+                value: None,
+                ok: false,
+                detail: "metric missing from manifest".into(),
+            };
+        };
+        let mut failures = Vec::new();
+        if let Some(min) = self.min {
+            if v < min {
+                failures.push(format!("{v:.4} below min {min:.4}"));
+            }
+        }
+        if let Some(max) = self.max {
+            if v > max {
+                failures.push(format!("{v:.4} above max {max:.4}"));
+            }
+        }
+        if let Some(base) = self.baseline {
+            let (bound, bad) = match self.direction {
+                Direction::Higher => {
+                    let bound = base * (1.0 - self.rel_tol);
+                    (bound, v < bound)
+                }
+                Direction::Lower => {
+                    let bound = base * (1.0 + self.rel_tol);
+                    (bound, v > bound)
+                }
+            };
+            if bad {
+                failures.push(format!(
+                    "{v:.4} regressed past {bound:.4} (baseline {base:.4}, rel_tol {})",
+                    self.rel_tol
+                ));
+            }
+        }
+        if failures.is_empty() {
+            Verdict {
+                metric: self.metric.clone(),
+                value: Some(v),
+                ok: true,
+                detail: format!("{v:.4} ok"),
+            }
+        } else {
+            Verdict {
+                metric: self.metric.clone(),
+                value: Some(v),
+                ok: false,
+                detail: failures.join("; "),
+            }
+        }
+    }
+}
+
+/// Extracts the `metrics` object of a run-manifest JSON document.
+///
+/// # Errors
+///
+/// Returns a message when the document is not JSON or has no metrics
+/// object.
+pub fn manifest_metrics(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let root = Json::parse(text).map_err(|e| format!("manifest is not valid JSON: {e}"))?;
+    let Some(Json::Obj(fields)) = root.get("metrics") else {
+        return Err("manifest has no 'metrics' object".into());
+    };
+    Ok(fields
+        .iter()
+        .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+        .collect())
+}
+
+/// Diffs a candidate manifest against a baseline: one verdict per
+/// check, in baseline order.
+///
+/// # Errors
+///
+/// Propagates manifest-parse errors.
+pub fn diff(baseline: &Baseline, manifest_json: &str) -> Result<Vec<Verdict>, String> {
+    let metrics = manifest_metrics(manifest_json)?;
+    let lookup = |name: &str| {
+        metrics
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    };
+    Ok(baseline
+        .checks
+        .iter()
+        .map(|c| c.evaluate(lookup(&c.metric)))
+        .collect())
+}
+
+/// The whole body of `ppdl-bench baseline <baseline.json>
+/// <manifest.json>`: prints one verdict line per check and returns the
+/// process exit code (0 = all pass, 1 = regression, 2 = usage or I/O).
+#[must_use]
+pub fn run_cli(args: &[String]) -> i32 {
+    let (Some(baseline_path), Some(manifest_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: ppdl-bench baseline <baseline.json> <manifest.json>");
+        return 2;
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let outcome = read(baseline_path)
+        .and_then(|text| Baseline::parse(&text))
+        .and_then(|baseline| {
+            read(manifest_path).and_then(|m| diff(&baseline, &m).map(|v| (baseline, v)))
+        });
+    match outcome {
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
+        Ok((baseline, verdicts)) => {
+            println!(
+                "baseline '{}': {} checks vs {}",
+                baseline.experiment,
+                verdicts.len(),
+                manifest_path
+            );
+            let mut failed = 0;
+            for v in &verdicts {
+                let mark = if v.ok { "PASS" } else { "FAIL" };
+                println!("  {mark} {:<32} {}", v.metric, v.detail);
+                if !v.ok {
+                    failed += 1;
+                }
+            }
+            if failed > 0 {
+                eprintln!("{failed} baseline check(s) regressed");
+                1
+            } else {
+                0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+        "experiment": "kernels",
+        "checks": [
+            {"metric": "gemm_speedup", "min": 2.0},
+            {"metric": "cg_iters", "baseline": 200, "rel_tol": 0.1, "direction": "lower"},
+            {"metric": "spmv_gflops", "baseline": 1.0, "rel_tol": 0.5}
+        ]
+    }"#;
+
+    fn manifest(gemm: f64, iters: f64, gflops: f64) -> String {
+        format!(
+            "{{\"metrics\": {{\"gemm_speedup\": {gemm}, \"cg_iters\": {iters}, \
+             \"spmv_gflops\": {gflops}}}}}"
+        )
+    }
+
+    #[test]
+    fn all_checks_pass_within_tolerance() {
+        let b = Baseline::parse(BASELINE).unwrap();
+        assert_eq!(b.experiment, "kernels");
+        let verdicts = diff(&b, &manifest(2.4, 215.0, 0.6)).unwrap();
+        assert!(verdicts.iter().all(|v| v.ok), "{verdicts:?}");
+    }
+
+    #[test]
+    fn regression_in_each_direction_fails() {
+        let b = Baseline::parse(BASELINE).unwrap();
+        // gemm below hard min.
+        assert!(!diff(&b, &manifest(1.5, 200.0, 1.0)).unwrap()[0].ok);
+        // iteration count grew past +10%.
+        assert!(!diff(&b, &manifest(2.5, 230.0, 1.0)).unwrap()[1].ok);
+        // throughput dropped past -50%.
+        assert!(!diff(&b, &manifest(2.5, 200.0, 0.4)).unwrap()[2].ok);
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let b = Baseline::parse(BASELINE).unwrap();
+        let verdicts = diff(&b, "{\"metrics\": {\"gemm_speedup\": 3.0}}").unwrap();
+        assert!(verdicts[0].ok);
+        assert!(!verdicts[1].ok);
+        assert!(verdicts[1].detail.contains("missing"));
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"experiment\": \"x\"}").is_err());
+        let unbounded = r#"{"experiment": "x", "checks": [{"metric": "m"}]}"#;
+        assert!(Baseline::parse(unbounded).unwrap_err().contains("no bound"));
+        let bad_dir =
+            r#"{"experiment": "x", "checks": [{"metric": "m", "min": 0, "direction": "up"}]}"#;
+        assert!(Baseline::parse(bad_dir).is_err());
+    }
+}

@@ -16,6 +16,8 @@ fn usage() -> String {
          commands:\n  \
          run <name> [flags]   run a registered experiment\n  \
          list                 list registered experiments\n  \
+         baseline <baseline.json> <manifest.json>\n                       \
+         check a run manifest against a committed baseline\n  \
          help                 show this message\n\n",
     );
     out.push_str(&help_text(0.02));
@@ -37,6 +39,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => list(),
+        Some("baseline") => {
+            std::process::exit(ppdl_bench::baseline::run_cli(&args[1..]));
+        }
         Some("run") => {
             let Some(name) = args.get(1) else {
                 eprintln!("error: 'run' needs an experiment name (see 'ppdl-bench list')");

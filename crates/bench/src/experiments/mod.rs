@@ -21,6 +21,7 @@ mod fig4b_table1;
 mod fig7_width_prediction;
 mod fig8_ir_maps;
 mod fig9_perturbation;
+mod kernels;
 mod serve_saturation;
 mod serve_throughput;
 mod table2_benchmarks;
@@ -158,6 +159,13 @@ pub const REGISTRY: &[ExperimentDef] = &[
         default_scale: 0.015,
         run: transfer_matrix::run,
     },
+    ExperimentDef {
+        name: "kernels",
+        aliases: &["kernel_bench"],
+        title: "Kernels: tiled GEMM vs scalar, blocked SpMV, CG iterations per preconditioner",
+        default_scale: 0.02,
+        run: kernels::run,
+    },
 ];
 
 /// Looks up an experiment by canonical name or alias.
@@ -180,12 +188,14 @@ pub fn base_config(opts: &Options) -> DlFlowConfig {
 /// [`DlFlowConfig`] fields.
 #[must_use]
 pub fn base_builder(opts: &Options) -> ppdl_core::DlFlowConfigBuilder {
-    let builder = DlFlowConfig::builder();
+    let mut builder = DlFlowConfig::builder();
     if opts.fast {
-        builder.fast()
-    } else {
-        builder
+        builder = builder.fast();
     }
+    if let Some(kind) = opts.precond {
+        builder = builder.preconditioner(kind);
+    }
+    builder
 }
 
 /// Starts a manifest with the shared configuration echoed.
@@ -197,6 +207,9 @@ pub fn manifest_for(name: &str, opts: &Options) -> RunManifest {
     m.set_config("fast", opts.fast);
     m.set_config("cache", !opts.no_cache);
     m.set_config("out_dir", opts.out_dir.display());
+    if let Some(kind) = opts.precond {
+        m.set_config("precond", kind.name());
+    }
     m
 }
 
@@ -284,7 +297,7 @@ mod tests {
 
     #[test]
     fn registry_names_and_aliases_resolve_uniquely() {
-        assert_eq!(REGISTRY.len(), 14);
+        assert_eq!(REGISTRY.len(), 15);
         let mut seen = std::collections::BTreeSet::new();
         for def in REGISTRY {
             assert!(seen.insert(def.name), "duplicate name {}", def.name);

@@ -21,9 +21,10 @@ use ppdl_netlist::IbmPgPreset;
 /// directory, default `bench_results`), `--json` (print the run
 /// manifest to stdout, tables to stderr), `--csv <path>` (redirect the
 /// experiment's primary CSV), `--threads <n>` (worker pool size),
-/// `--no-cache` (bypass the artifact cache), and `--telemetry
+/// `--no-cache` (bypass the artifact cache), `--telemetry
 /// <out.json>` (collect process-wide spans/counters and write the
-/// snapshot there).
+/// snapshot there), and `--precond <kind>` (preconditioner for the
+/// conventional analysis solves).
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Grid scale relative to Table II sizes.
@@ -45,6 +46,9 @@ pub struct Options {
     /// Enable telemetry collection and write the
     /// [`ppdl_obs`] snapshot to this path after the run.
     pub telemetry: Option<PathBuf>,
+    /// Preconditioner override for the conventional analysis solves
+    /// (`None` keeps each experiment's default).
+    pub precond: Option<ppdl_analysis::PreconditionerKind>,
 }
 
 /// Why [`Options::parse`] did not produce options.
@@ -75,6 +79,9 @@ Options (shared by every ppdl experiment):
                   collect solver/NN/pipeline telemetry during the run and
                   write the snapshot to <out.json> (also embedded in the
                   run manifest)
+  --precond <kind>
+                  preconditioner for the conventional analysis solves:
+                  none|jacobi|block-jacobi|ic0|direct (default ic0)
   --help          show this message
 "
     )
@@ -94,6 +101,7 @@ impl Options {
             threads: None,
             no_cache: false,
             telemetry: None,
+            precond: None,
         }
     }
 
@@ -147,6 +155,18 @@ impl Options {
                 "--telemetry" => {
                     i += 1;
                     opts.telemetry = Some(PathBuf::from(value(args, i, "--telemetry")?));
+                }
+                "--precond" => {
+                    i += 1;
+                    let spelling = value(args, i, "--precond")?;
+                    opts.precond = Some(
+                        ppdl_analysis::PreconditionerKind::parse(&spelling).ok_or_else(|| {
+                            ParseError::Bad(format!(
+                                "--precond: unknown preconditioner '{spelling}' \
+                                     (none|jacobi|block-jacobi|ic0|direct)"
+                            ))
+                        })?,
+                    );
                 }
                 "--help" | "-h" => return Err(ParseError::Help),
                 other => {
@@ -394,6 +414,8 @@ mod tests {
                 "--no-cache",
                 "--telemetry",
                 "t.json",
+                "--precond",
+                "block-jacobi",
             ]),
             0.02,
         )
@@ -405,6 +427,10 @@ mod tests {
         assert_eq!(opts.csv.as_deref(), Some(Path::new("x.csv")));
         assert_eq!(opts.threads, Some(2));
         assert_eq!(opts.telemetry.as_deref(), Some(Path::new("t.json")));
+        assert_eq!(
+            opts.precond,
+            Some(ppdl_analysis::PreconditionerKind::BlockJacobi)
+        );
         assert_eq!(opts.cache_dir(), PathBuf::from("o").join("cache"));
     }
 
@@ -431,7 +457,13 @@ mod tests {
             Options::parse(&argv(&["--seed"]), 0.02),
             Err(ParseError::Bad(_))
         ));
+        assert!(opts.precond.is_none());
+        assert!(matches!(
+            Options::parse(&argv(&["--precond", "bogus"]), 0.02),
+            Err(ParseError::Bad(_))
+        ));
         assert!(help_text(0.02).contains("--no-cache"));
+        assert!(help_text(0.02).contains("--precond"));
     }
 
     #[test]

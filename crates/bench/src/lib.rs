@@ -10,6 +10,9 @@
 //! * [`experiments`] — the experiment registry: each paper table and
 //!   figure as a named entry over the cached pipeline engine, producing
 //!   a [`RunManifest`](ppdl_core::pipeline::RunManifest) per run.
+//! * [`baseline`] — manifest-diff baseline checks: tolerance-tagged
+//!   metric bounds committed to the repo, compared against a fresh
+//!   manifest in CI (`ppdl-bench baseline`).
 //!
 //! The `ppdl-bench` binary dispatches them (`ppdl-bench run <name>
 //! [--json] [--no-cache]`, `ppdl-bench list`); the per-table binaries
@@ -26,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod harness;
 pub mod memtrack;

@@ -128,6 +128,15 @@ impl DlFlowConfigBuilder {
         self
     }
 
+    /// Selects the preconditioner for the conventional sizing's
+    /// analysis solves (shorthand for the common case of
+    /// [`conventional`](Self::conventional)).
+    #[must_use]
+    pub fn preconditioner(mut self, kind: ppdl_analysis::PreconditionerKind) -> Self {
+        self.config.conventional.analysis.preconditioner = kind;
+        self
+    }
+
     /// Replaces the width-prediction model configuration.
     #[must_use]
     pub fn predictor(mut self, predictor: PredictorConfig) -> Self {

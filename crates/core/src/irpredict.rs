@@ -280,15 +280,15 @@ impl IrPredictor {
         if u > 0 {
             let reduced_csr = reduced.to_csr();
             let map_err = |e: ppdl_solver::SolverError| CoreError::Analysis(e.into());
-            let pc = ppdl_solver::IncompleteCholesky::from_matrix(&reduced_csr).map_err(map_err)?;
             // Prediction-grade tolerance: well below the millivolt
             // resolution the estimate targets, far looser than the
             // conventional sign-off solve.
             let sol = ppdl_solver::ConjugateGradient::new(ppdl_solver::CgOptions {
                 tolerance: 1e-3,
+                precond: ppdl_solver::PrecondKind::Ic0,
                 ..ppdl_solver::CgOptions::default()
             })
-            .solve(&reduced_csr, &rhs, &pc)
+            .solve(&reduced_csr, &rhs)
             .map_err(map_err)?;
             for (ui, &c) in unknowns.iter().enumerate() {
                 coarse_drop[c] = sol.x[ui];

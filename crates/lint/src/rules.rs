@@ -36,6 +36,14 @@ pub const PRINT_IN_LIB: &str = "robustness/print-in-lib";
 /// (allowlisted: `bench/src/memtrack.rs`, whose `GlobalAlloc` impl is
 /// the one necessary exception).
 pub const FORBID_UNSAFE: &str = "hygiene/forbid-unsafe";
+/// `perf/scalar-matmul`: a triple-nested (or deeper) `for` loop whose
+/// innermost body subscripts a slice with an arithmetic index
+/// expression (`a[i * k + j]`) — the shape of a scalar matmul/stencil.
+/// Dense inner kernels belong in the blessed kernel modules
+/// (`nn/gemm.rs`, `solver/csr.rs`, …), which are register-tiled,
+/// cache-blocked, and covered by bitwise-determinism tests; ad-hoc
+/// triple loops elsewhere silently forfeit that work.
+pub const SCALAR_MATMUL: &str = "perf/scalar-matmul";
 /// `hygiene/unused-allow`: a `ppdl-lint: allow(…)` comment that
 /// suppresses nothing. Dead suppressions hide rot: the next violation
 /// on that line would be silently excused.
@@ -74,6 +82,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         FORBID_UNSAFE,
         "crate root missing #![forbid(unsafe_code)], or unsafe keyword used",
+    ),
+    (
+        SCALAR_MATMUL,
+        "triple-nested index loop outside the blessed kernel modules",
     ),
     (UNUSED_ALLOW, "suppression comment that matches no finding"),
     (
@@ -195,6 +207,7 @@ pub fn lint_file(input: &FileInput<'_>) -> Vec<Finding> {
 
     let mut raw = Vec::new();
     scan_token_rules(input, &sig, &mut raw);
+    check_scalar_matmul(input, &sig, &mut raw);
     if input.is_crate_root && input.crate_name != "bench" {
         check_forbid_unsafe_root(input, &toks, &mut raw);
     }
@@ -321,6 +334,96 @@ fn scan_token_rules(input: &FileInput<'_>, sig: &[&Tok], out: &mut Vec<Finding>)
             }
             "unsafe" if unsafe_applies => {
                 push(out, FORBID_UNSAFE, t.line, "unsafe code".into());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The modules allowed to hold dense inner kernels: register-tiled,
+/// cache-blocked, and covered by bitwise-determinism tests. The
+/// `perf/scalar-matmul` rule is silent here and nowhere else.
+const KERNEL_MODULES: &[&str] = &[
+    "nn/src/gemm.rs",
+    "nn/src/conv.rs",
+    "solver/src/csr.rs",
+    "solver/src/dense.rs",
+    "solver/src/sparse_chol.rs",
+    "solver/src/precond.rs",
+];
+
+/// Flags triple-nested `for` loops that subscript with arithmetic
+/// index expressions outside [`KERNEL_MODULES`].
+///
+/// Loop nesting is tracked by brace depth: a `for` whose header
+/// contains `in` before the body brace opens a loop; the loop closes
+/// with its body brace. Inside three or more open loops, the first
+/// `ident[…]` subscript per line whose brackets contain `*` or `+` is
+/// a finding.
+fn check_scalar_matmul(input: &FileInput<'_>, sig: &[&Tok], out: &mut Vec<Finding>) {
+    if KERNEL_MODULES.iter().any(|m| input.path.ends_with(m)) {
+        return;
+    }
+    let mut depth = 0u32; // brace depth
+    let mut pending_for = false; // saw a for-loop header, body brace next
+    let mut loops: Vec<u32> = Vec::new(); // body depth of each open loop
+    for (i, t) in sig.iter().enumerate() {
+        match (t.kind, t.text.as_str()) {
+            // `impl Trait for Type` also lexes a `for`; a real loop
+            // header carries `in` before its body brace.
+            (TokKind::Ident, "for") => {
+                pending_for = sig[i + 1..]
+                    .iter()
+                    .take_while(|n| n.text != "{" && n.text != ";")
+                    .any(|n| n.kind == TokKind::Ident && n.text == "in");
+            }
+            (TokKind::Punct, "{") => {
+                depth += 1;
+                if pending_for {
+                    loops.push(depth);
+                    pending_for = false;
+                }
+            }
+            (TokKind::Punct, "}") => {
+                while loops.last() == Some(&depth) {
+                    loops.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            (TokKind::Punct, "[")
+                if loops.len() >= 3 && i > 0 && sig[i - 1].kind == TokKind::Ident =>
+            {
+                let mut brackets = 1u32;
+                let mut has_arith = false;
+                for inner in &sig[i + 1..] {
+                    match inner.text.as_str() {
+                        "[" => brackets += 1,
+                        "]" => {
+                            brackets -= 1;
+                            if brackets == 0 {
+                                break;
+                            }
+                        }
+                        "*" | "+" => has_arith = true,
+                        _ => {}
+                    }
+                }
+                let new_line = out
+                    .last()
+                    .map_or(true, |f| !(f.rule == SCALAR_MATMUL && f.line == t.line));
+                if has_arith && new_line {
+                    out.push(Finding {
+                        rule: SCALAR_MATMUL,
+                        path: input.path.to_string(),
+                        line: t.line,
+                        detail: format!(
+                            "{}[…] indexed arithmetically inside a {}-deep loop nest; \
+                             use the blessed kernels (nn::gemm, CsrMatrix) instead",
+                            sig[i - 1].text,
+                            loops.len()
+                        ),
+                    });
+                }
             }
             _ => {}
         }
@@ -518,6 +621,46 @@ mod tests {
             source: "unsafe impl Sync for X {}",
         });
         assert!(memtrack.is_empty(), "{memtrack:?}");
+    }
+
+    #[test]
+    fn scalar_matmul_positive_and_negative() {
+        let triple = "fn mm(m: usize, a: &[f64], out: &mut [f64]) {\n\
+                      for i in 0..m { for j in 0..m { for k in 0..m {\n\
+                      out[i * m + j] += a[i * m + k] * a[k * m + j]; } } } }";
+        let bad = lint_file(&lib_file(triple));
+        assert_eq!(rules_hit(&bad), vec![SCALAR_MATMUL]);
+        // Two loops deep is fine; so is plain (non-arithmetic) indexing
+        // three deep.
+        let two_deep = lint_file(&lib_file(
+            "fn f(m: usize, a: &mut [f64]) { for i in 0..m { for j in 0..m { a[i * m + j] = 0.0; } } }",
+        ));
+        assert!(two_deep.is_empty(), "{two_deep:?}");
+        let flat_index = lint_file(&lib_file(
+            "fn f(m: usize, a: &mut [f64]) { for i in 0..m { for j in 0..m { for k in 0..m { a[k] = a[j]; } } } }",
+        ));
+        assert!(flat_index.is_empty(), "{flat_index:?}");
+    }
+
+    #[test]
+    fn scalar_matmul_ignores_impl_for_and_kernel_modules() {
+        // `impl Trait for Type` must not count as a loop level.
+        let impl_for = lint_file(&lib_file(
+            "impl Kernel for Dense {\n\
+             fn mm(&self, m: usize, a: &[f64], out: &mut [f64]) {\n\
+             for i in 0..m { for j in 0..m { out[i * m + j] = a[j]; } } } }",
+        ));
+        assert!(impl_for.is_empty(), "{impl_for:?}");
+        let kernel = lint_file(&FileInput {
+            path: "crates/nn/src/gemm.rs",
+            class: FileClass::Lib,
+            crate_name: "nn",
+            is_crate_root: false,
+            source: "fn mm(m: usize, a: &[f64], out: &mut [f64]) {\n\
+                     for i in 0..m { for j in 0..m { for k in 0..m {\n\
+                     out[i * m + j] += a[i * m + k] * a[k * m + j]; } } } }",
+        });
+        assert!(kernel.is_empty(), "{kernel:?}");
     }
 
     #[test]

@@ -3,14 +3,50 @@
 //! Samples stay ordinary [`Matrix`] rows — one row per sample, holding
 //! a `C×H×W` map flattened channel-major (`idx = c·H·W + y·W + x`) —
 //! so the row-chunk data-parallel engine drives spatial layers exactly
-//! like dense ones. Every kernel is a plain fixed-order loop: no
-//! accumulation order depends on the thread count, which keeps the
-//! bitwise-determinism contract intact.
+//! like dense ones. The convolution forward pass lowers each sample via
+//! [`im2col`] into the bias-seeded GEMM in [`crate::gemm`]; the
+//! backward pass and the pooling/upsampling kernels stay plain
+//! fixed-order loops. No accumulation order depends on the thread
+//! count, which keeps the bitwise-determinism contract intact.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::{Activation, Matrix, NnError};
+
+/// Lowers one `C×H×W` sample into a `(H·W) × (C·k²)` patch matrix:
+/// row `oy·W + ox` holds the receptive field of that output position,
+/// columns ordered `ic·k² + dy·k + dx` to match the weight layout.
+/// Out-of-bounds (padding) taps stay `0.0`.
+fn im2col(x: &[f64], in_c: usize, h: usize, w: usize, k: usize, pad: usize, patches: &mut [f64]) {
+    let plane = h * w;
+    let fan_in = in_c * k * k;
+    patches.fill(0.0);
+    for oy in 0..h {
+        for ox in 0..w {
+            let prow = &mut patches[(oy * w + ox) * fan_in..(oy * w + ox + 1) * fan_in];
+            for ic in 0..in_c {
+                let in_base = ic * plane;
+                let w_base = ic * k * k;
+                for dy in 0..k {
+                    let iy = oy + dy;
+                    if iy < pad || iy - pad >= h {
+                        continue;
+                    }
+                    let iy = iy - pad;
+                    for dx in 0..k {
+                        let ix = ox + dx;
+                        if ix < pad || ix - pad >= w {
+                            continue;
+                        }
+                        let ix = ix - pad;
+                        prow[w_base + dy * k + dx] = x[in_base + iy * w + ix];
+                    }
+                }
+            }
+        }
+    }
+}
 
 fn check_dims(detail: &str, dims: &[usize]) -> crate::Result<()> {
     if dims.contains(&0) {
@@ -211,39 +247,26 @@ impl Conv2d {
         let (h, w, k) = (self.h, self.w, self.k);
         let pad = k / 2;
         let plane = h * w;
+        let fan_in = self.in_c * k * k;
         let mut pre = Matrix::zeros(input.rows(), self.output_len());
+        // im2col + GEMM: lower each sample's padded receptive fields
+        // into a `plane × fan_in` patch matrix once, then one
+        // register-tiled product computes every output channel. The
+        // bias-seeded serial-k kernel reproduces the direct loop's
+        // accumulation order bitwise — padding only contributes `+0.0`
+        // terms, which cannot change a finite sum.
+        let mut patches = vec![0.0; plane * fan_in];
         for r in 0..input.rows() {
-            let x = input.row(r);
-            let out = pre.row_mut(r);
-            for oc in 0..self.out_c {
-                let wt = self.weights.row(oc);
-                let base = oc * plane;
-                for oy in 0..h {
-                    for ox in 0..w {
-                        let mut acc = self.bias[oc];
-                        for ic in 0..self.in_c {
-                            let in_base = ic * plane;
-                            let w_base = ic * k * k;
-                            for dy in 0..k {
-                                let iy = oy + dy;
-                                if iy < pad || iy - pad >= h {
-                                    continue;
-                                }
-                                let iy = iy - pad;
-                                for dx in 0..k {
-                                    let ix = ox + dx;
-                                    if ix < pad || ix - pad >= w {
-                                        continue;
-                                    }
-                                    let ix = ix - pad;
-                                    acc += x[in_base + iy * w + ix] * wt[w_base + dy * k + dx];
-                                }
-                            }
-                        }
-                        out[base + oy * w + ox] = acc;
-                    }
-                }
-            }
+            im2col(input.row(r), self.in_c, h, w, k, pad, &mut patches);
+            crate::gemm::gemm_nt_bias_rows(
+                self.out_c,
+                fan_in,
+                plane,
+                self.weights.as_slice(),
+                &patches,
+                &self.bias,
+                pre.row_mut(r),
+            );
         }
         let act = self.activation;
         let out = pre.map(|v| act.apply(v));

@@ -1,0 +1,480 @@
+//! Cache-blocked, register-tiled GEMM microkernels.
+//!
+//! This is the blessed home of every dense triple loop in `ppdl-nn`
+//! (the `perf/scalar-matmul` lint steers new code here). All three
+//! [`Matrix`](crate::Matrix) products route through this module, plus
+//! the bias-seeded variant the im2col convolution path uses.
+//!
+//! # The fixed-order reduction contract
+//!
+//! Every kernel computes each output element as **one accumulator
+//! folded in ascending-`k` order** (except the documented
+//! [`unrolled_dot`] tail of `gemm_nt`, which keeps the historical
+//! 4-accumulator association). Register tiling only changes *which*
+//! elements are in flight simultaneously — never the association of any
+//! single element's sum — and the parallel split over row blocks is a
+//! pure partition of output rows. Both properties together make the
+//! results bitwise identical to the pre-tiling scalar loops (for finite
+//! inputs) and bitwise identical across thread counts, which the
+//! committed golden-model tests rely on.
+//!
+//! Tiling scheme: `MR×NR = 4×8` register tiles over a B panel packed
+//! contiguously per `NR`-column strip (`gemm_nn` / `gemm_tn`), or
+//! `4×4` tiles straight out of row-major B (`gemm_nt`, where B's rows
+//! are already contiguous along `k`). One A element is broadcast
+//! against an NR-wide B row per step, so the fixed-size inner loops
+//! autovectorize without any unsafe code.
+
+use ppdl_solver::parallel::par_row_chunks_mut;
+
+/// Rows per register tile.
+const MR: usize = 4;
+/// Columns per register tile (one 64-byte cache line of `f64`).
+const NR: usize = 8;
+
+/// Telemetry for one kernel call (no-op unless collection is on).
+fn record_gemm(kind: &'static str, m: usize, k: usize, n: usize) {
+    if !ppdl_obs::enabled() {
+        return;
+    }
+    let reg = ppdl_obs::global();
+    reg.counter(kind).inc();
+    reg.counter("nn/gemm/fmas").add((m * k * n) as u64);
+}
+
+/// Packs columns `[j, j+jw)` of the row-major `kdim×ldb` matrix `b`
+/// into a contiguous `kdim×jw` panel so the microkernel streams it
+/// linearly.
+fn pack_panel(b: &[f64], ldb: usize, kdim: usize, j: usize, jw: usize, panel: &mut Vec<f64>) {
+    panel.clear();
+    for kk in 0..kdim {
+        let base = kk * ldb + j;
+        panel.extend_from_slice(&b[base..base + jw]);
+    }
+}
+
+/// `out = A·B` where `a` is `m×kdim` and `b` is `kdim×n`, both
+/// row-major. Each element is a serial ascending-`k` sum — bitwise
+/// equal to the textbook loop for finite inputs.
+pub(crate) fn gemm_nn(m: usize, kdim: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * kdim);
+    debug_assert_eq!(b.len(), kdim * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    record_gemm("nn/gemm/nn", m, kdim, n);
+    par_row_chunks_mut(out, n, |i0, chunk| {
+        let rows = chunk.len() / n;
+        let mut panel = Vec::new();
+        let mut j = 0;
+        while j < n {
+            let jw = (n - j).min(NR);
+            pack_panel(b, n, kdim, j, jw, &mut panel);
+            let mut i = 0;
+            while i < rows {
+                let iw = (rows - i).min(MR);
+                if jw == NR {
+                    // Two 4-wide half-tiles, each swept over all of k
+                    // in turn: a 4×8 f64 accumulator block needs 16
+                    // vector registers and spills on baseline x86-64;
+                    // 4×4 fits. Each element still folds one serial
+                    // ascending-k accumulator.
+                    for half in 0..2 {
+                        let off = half * (NR / 2);
+                        let mut acc = [[0.0_f64; NR / 2]; MR];
+                        for kk in 0..kdim {
+                            let prow = &panel[kk * NR + off..kk * NR + off + NR / 2];
+                            for (r, acc_r) in acc.iter_mut().enumerate().take(iw) {
+                                let ar = a[(i0 + i + r) * kdim + kk];
+                                for t in 0..NR / 2 {
+                                    acc_r[t] += ar * prow[t];
+                                }
+                            }
+                        }
+                        for (r, acc_r) in acc.iter().enumerate().take(iw) {
+                            let base = (i + r) * n + j + off;
+                            chunk[base..base + NR / 2].copy_from_slice(acc_r);
+                        }
+                    }
+                } else {
+                    let mut acc = [[0.0_f64; NR]; MR];
+                    for kk in 0..kdim {
+                        let prow = &panel[kk * jw..kk * jw + jw];
+                        for (r, acc_r) in acc.iter_mut().enumerate().take(iw) {
+                            let ar = a[(i0 + i + r) * kdim + kk];
+                            for t in 0..jw {
+                                acc_r[t] += ar * prow[t];
+                            }
+                        }
+                    }
+                    for (r, acc_r) in acc.iter().enumerate().take(iw) {
+                        let base = (i + r) * n + j;
+                        chunk[base..base + jw].copy_from_slice(&acc_r[..jw]);
+                    }
+                }
+                i += iw;
+            }
+            j += jw;
+        }
+    });
+}
+
+/// `out = A·Bᵀ` where `a` is `m×kdim` and `b` is `n×kdim`, both
+/// row-major. Complete 4-column blocks use serial ascending-`k`
+/// accumulators; the `n % 4` tail columns use [`unrolled_dot`] — the
+/// exact association of the historical inference kernel, preserved so
+/// committed golden predictions stay bitwise stable.
+pub(crate) fn gemm_nt(m: usize, kdim: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * kdim);
+    debug_assert_eq!(b.len(), n * kdim);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    record_gemm("nn/gemm/nt", m, kdim, n);
+    let jmain = n / 4 * 4;
+    par_row_chunks_mut(out, n, |i0, chunk| {
+        let rows = chunk.len() / n;
+        let mut i = 0;
+        while i < rows {
+            let iw = (rows - i).min(MR);
+            let mut j = 0;
+            while j < jmain {
+                // iw×4 register tile: four B rows stream once and feed
+                // every A row in the tile.
+                let mut acc = [[0.0_f64; 4]; MR];
+                let b0 = &b[j * kdim..(j + 1) * kdim];
+                let b1 = &b[(j + 1) * kdim..(j + 2) * kdim];
+                let b2 = &b[(j + 2) * kdim..(j + 3) * kdim];
+                let b3 = &b[(j + 3) * kdim..(j + 4) * kdim];
+                for kk in 0..kdim {
+                    let (v0, v1, v2, v3) = (b0[kk], b1[kk], b2[kk], b3[kk]);
+                    for (r, acc_r) in acc.iter_mut().enumerate().take(iw) {
+                        let ar = a[(i0 + i + r) * kdim + kk];
+                        acc_r[0] += ar * v0;
+                        acc_r[1] += ar * v1;
+                        acc_r[2] += ar * v2;
+                        acc_r[3] += ar * v3;
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate().take(iw) {
+                    let base = (i + r) * n + j;
+                    chunk[base..base + 4].copy_from_slice(acc_r);
+                }
+                j += 4;
+            }
+            for jj in jmain..n {
+                let brow = &b[jj * kdim..(jj + 1) * kdim];
+                for r in 0..iw {
+                    let arow = &a[(i0 + i + r) * kdim..(i0 + i + r + 1) * kdim];
+                    chunk[(i + r) * n + jj] = unrolled_dot(arow, brow);
+                }
+            }
+            i += iw;
+        }
+    });
+}
+
+/// `out = Aᵀ·B` where `a` is `kdim×m` and `b` is `kdim×n`, both
+/// row-major. Each element is a serial ascending-`k` sum over A's rows
+/// — bitwise equal to the historical k-outer scatter loop for finite
+/// inputs.
+pub(crate) fn gemm_tn(m: usize, kdim: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), kdim * m);
+    debug_assert_eq!(b.len(), kdim * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    record_gemm("nn/gemm/tn", m, kdim, n);
+    par_row_chunks_mut(out, n, |i0, chunk| {
+        let rows = chunk.len() / n;
+        let mut panel = Vec::new();
+        let mut j = 0;
+        while j < n {
+            let jw = (n - j).min(NR);
+            pack_panel(b, n, kdim, j, jw, &mut panel);
+            let mut i = 0;
+            while i < rows {
+                let iw = (rows - i).min(MR);
+                if jw == NR {
+                    // Same two-half-tile split as gemm_nn: 4×4
+                    // accumulators fit the register file, 4×8 spills.
+                    // Per-element association is untouched.
+                    for half in 0..2 {
+                        let off = half * (NR / 2);
+                        let mut acc = [[0.0_f64; NR / 2]; MR];
+                        for kk in 0..kdim {
+                            let prow = &panel[kk * NR + off..kk * NR + off + NR / 2];
+                            for (r, acc_r) in acc.iter_mut().enumerate().take(iw) {
+                                let ar = a[kk * m + i0 + i + r];
+                                for t in 0..NR / 2 {
+                                    acc_r[t] += ar * prow[t];
+                                }
+                            }
+                        }
+                        for (r, acc_r) in acc.iter().enumerate().take(iw) {
+                            let base = (i + r) * n + j + off;
+                            chunk[base..base + NR / 2].copy_from_slice(acc_r);
+                        }
+                    }
+                } else {
+                    let mut acc = [[0.0_f64; NR]; MR];
+                    for kk in 0..kdim {
+                        let prow = &panel[kk * jw..kk * jw + jw];
+                        for (r, acc_r) in acc.iter_mut().enumerate().take(iw) {
+                            let ar = a[kk * m + i0 + i + r];
+                            for t in 0..jw {
+                                acc_r[t] += ar * prow[t];
+                            }
+                        }
+                    }
+                    for (r, acc_r) in acc.iter().enumerate().take(iw) {
+                        let base = (i + r) * n + j;
+                        chunk[base..base + jw].copy_from_slice(&acc_r[..jw]);
+                    }
+                }
+                i += iw;
+            }
+            j += jw;
+        }
+    });
+}
+
+/// `out[i][j] = bias[i] + Σₖ a[i][k]·b[j][k]` with **every** element a
+/// serial ascending-`k` sum seeded from the bias — the association the
+/// direct convolution loop uses, so the im2col path reproduces it
+/// bitwise (padding contributes `+0.0` terms, which cannot change a
+/// finite accumulation). Sequential on purpose: the minibatch engine
+/// already parallelizes over the samples that call this.
+pub(crate) fn gemm_nt_bias_rows(
+    m: usize,
+    kdim: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    bias: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(a.len(), m * kdim);
+    debug_assert_eq!(b.len(), n * kdim);
+    debug_assert_eq!(bias.len(), m);
+    debug_assert_eq!(out.len(), m * n);
+    record_gemm("nn/gemm/nt_bias", m, kdim, n);
+    for i in 0..m {
+        let arow = &a[i * kdim..(i + 1) * kdim];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let seed = bias[i];
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut acc = [seed; 4];
+            let b0 = &b[j * kdim..(j + 1) * kdim];
+            let b1 = &b[(j + 1) * kdim..(j + 2) * kdim];
+            let b2 = &b[(j + 2) * kdim..(j + 3) * kdim];
+            let b3 = &b[(j + 3) * kdim..(j + 4) * kdim];
+            for (kk, &ak) in arow.iter().enumerate() {
+                acc[0] += ak * b0[kk];
+                acc[1] += ak * b1[kk];
+                acc[2] += ak * b2[kk];
+                acc[3] += ak * b3[kk];
+            }
+            orow[j..j + 4].copy_from_slice(&acc);
+            j += 4;
+        }
+        while j < n {
+            let brow = &b[j * kdim..(j + 1) * kdim];
+            let mut acc = seed;
+            for (kk, &ak) in arow.iter().enumerate() {
+                acc += ak * brow[kk];
+            }
+            orow[j] = acc;
+            j += 1;
+        }
+    }
+}
+
+/// Dot product with four independent accumulators, breaking the serial
+/// addition dependency so the inference-critical `x · Wᵀ` tail columns
+/// vectorise. (Changes summation order, which is fine at f64 for the
+/// well-conditioned sums a forward pass produces — and the association
+/// is frozen: golden predictions depend on it.)
+pub(crate) fn unrolled_dot(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let chunks = n / 4 * 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let mut i = 0;
+    while i < chunks {
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut tail = 0.0;
+    while i < n {
+        tail += a[i] * b[i];
+        i += 1;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(rows: usize, cols: usize, salt: u64) -> Vec<f64> {
+        (0..rows * cols)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(salt);
+                ((h >> 33) % 2000) as f64 / 997.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Pre-tiling reference: per-element serial ascending-k (what the
+    /// old ikj loop computed for finite data).
+    fn ref_nn(m: usize, k: usize, n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Pre-tiling reference for A·Bᵀ: the historical hybrid (serial
+    /// 4-column blocks, unrolled_dot tail).
+    fn ref_nt(m: usize, k: usize, n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let mut j = 0;
+            while j + 4 <= n {
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                for kk in 0..k {
+                    let av = arow[kk];
+                    s0 += av * b[j * k + kk];
+                    s1 += av * b[(j + 1) * k + kk];
+                    s2 += av * b[(j + 2) * k + kk];
+                    s3 += av * b[(j + 3) * k + kk];
+                }
+                out[i * n + j] = s0;
+                out[i * n + j + 1] = s1;
+                out[i * n + j + 2] = s2;
+                out[i * n + j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
+                out[i * n + j] = unrolled_dot(arow, &b[j * k..(j + 1) * k]);
+                j += 1;
+            }
+        }
+        out
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn tiled_nn_is_bitwise_equal_to_reference() {
+        for (m, k, n) in [(1, 1, 1), (5, 7, 9), (13, 3, 17), (8, 16, 8), (9, 24, 33)] {
+            let a = fill(m, k, 1);
+            let b = fill(k, n, 2);
+            let mut out = vec![0.0; m * n];
+            gemm_nn(m, k, n, &a, &b, &mut out);
+            assert_eq!(bits(&out), bits(&ref_nn(m, k, n, &a, &b)), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn tiled_nt_is_bitwise_equal_to_reference() {
+        for (m, k, n) in [(1, 1, 1), (5, 7, 9), (13, 3, 17), (6, 24, 11), (9, 32, 4)] {
+            let a = fill(m, k, 3);
+            let b = fill(n, k, 4);
+            let mut out = vec![0.0; m * n];
+            gemm_nt(m, k, n, &a, &b, &mut out);
+            assert_eq!(bits(&out), bits(&ref_nt(m, k, n, &a, &b)), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn tiled_tn_is_bitwise_equal_to_reference() {
+        for (m, k, n) in [(1, 1, 1), (5, 7, 9), (17, 13, 3), (8, 40, 12)] {
+            // a is k×m here; the reference transposes explicitly.
+            let a = fill(k, m, 5);
+            let b = fill(k, n, 6);
+            let mut at = vec![0.0; m * k];
+            for r in 0..k {
+                for c in 0..m {
+                    at[c * k + r] = a[r * m + c];
+                }
+            }
+            let mut out = vec![0.0; m * n];
+            gemm_tn(m, k, n, &a, &b, &mut out);
+            assert_eq!(bits(&out), bits(&ref_nn(m, k, n, &at, &b)), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn bias_rows_matches_seeded_serial_sum() {
+        let (m, k, n) = (3, 10, 13);
+        let a = fill(m, k, 7);
+        let b = fill(n, k, 8);
+        let bias = [0.5, -1.25, 0.0];
+        let mut out = vec![0.0; m * n];
+        gemm_nt_bias_rows(m, k, n, &a, &b, &bias, &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = bias[i];
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[j * k + kk];
+                }
+                assert_eq!(out[i * n + j].to_bits(), acc.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_yields_zero_product() {
+        let mut out = vec![1.0; 6];
+        gemm_nn(2, 0, 3, &[], &[], &mut out);
+        assert_eq!(out, vec![0.0; 6]);
+    }
+
+    /// The tentpole determinism contract: tiled GEMM output is bitwise
+    /// identical at 1 and 4 threads on matrices large enough to take
+    /// the parallel row-block path (same shape as the conv determinism
+    /// tests).
+    #[test]
+    fn tiled_gemm_is_bitwise_deterministic_across_thread_counts() {
+        let (m, k, n) = (96, 48, 80); // out 96×80 = 7680 > par threshold
+        let a = fill(m, k, 11);
+        let bn = fill(k, n, 12);
+        let bt = fill(n, k, 13);
+        let at = fill(k, m, 14);
+        let run = || {
+            let mut nn = vec![0.0; m * n];
+            gemm_nn(m, k, n, &a, &bn, &mut nn);
+            let mut nt = vec![0.0; m * n];
+            gemm_nt(m, k, n, &a, &bt, &mut nt);
+            let mut tn = vec![0.0; m * n];
+            gemm_tn(m, k, n, &at, &bn, &mut tn);
+            (bits(&nn), bits(&nt), bits(&tn))
+        };
+        ppdl_solver::set_threads(1);
+        let r1 = run();
+        ppdl_solver::set_threads(4);
+        let r4 = run();
+        ppdl_solver::set_threads(0);
+        assert_eq!(r1, r4, "tiled GEMM must not depend on thread count");
+    }
+}

@@ -64,6 +64,7 @@ mod conv;
 mod data;
 mod engine;
 mod error;
+mod gemm;
 mod layer;
 mod loss;
 pub mod metrics;

@@ -164,7 +164,9 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Matrix product `self · other`.
+    /// Matrix product `self · other`, computed by the register-tiled
+    /// kernel in [`crate::gemm`] (parallel over row blocks, bitwise
+    /// deterministic across thread counts).
     ///
     /// # Errors
     ///
@@ -179,20 +181,14 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj loop order: cache-friendly for row-major storage.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm_nn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 
@@ -213,37 +209,14 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.rows);
-        let ocols = other.rows;
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            // Process four B-rows at a time: the A-row stays in
-            // registers/L1 while four independent dot products keep the
-            // FMA pipes busy.
-            let mut j = 0;
-            while j + 4 <= ocols {
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-                let b0 = other.row(j);
-                let b1 = other.row(j + 1);
-                let b2 = other.row(j + 2);
-                let b3 = other.row(j + 3);
-                for (k, &a) in arow.iter().enumerate() {
-                    s0 += a * b0[k];
-                    s1 += a * b1[k];
-                    s2 += a * b2[k];
-                    s3 += a * b3[k];
-                }
-                let base = i * ocols + j;
-                out.data[base] = s0;
-                out.data[base + 1] = s1;
-                out.data[base + 2] = s2;
-                out.data[base + 3] = s3;
-                j += 4;
-            }
-            while j < ocols {
-                out.data[i * ocols + j] = unrolled_dot(arow, other.row(j));
-                j += 1;
-            }
-        }
+        crate::gemm::gemm_nt(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 
@@ -263,19 +236,14 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm_tn(
+            self.cols,
+            self.rows,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 
@@ -449,30 +417,6 @@ impl Matrix {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }
-}
-
-/// Dot product with four independent accumulators, breaking the serial
-/// addition dependency so the inference-critical `x · Wᵀ` products
-/// vectorise. (Changes summation order, which is fine at f64 for the
-/// well-conditioned sums a forward pass produces.)
-fn unrolled_dot(a: &[f64], b: &[f64]) -> f64 {
-    let n = a.len().min(b.len());
-    let chunks = n / 4 * 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    let mut i = 0;
-    while i < chunks {
-        s0 += a[i] * b[i];
-        s1 += a[i + 1] * b[i + 1];
-        s2 += a[i + 2] * b[i + 2];
-        s3 += a[i + 3] * b[i + 3];
-        i += 4;
-    }
-    let mut tail = 0.0;
-    while i < n {
-        tail += a[i] * b[i];
-        i += 1;
-    }
-    (s0 + s1) + (s2 + s3) + tail
 }
 
 #[cfg(test)]

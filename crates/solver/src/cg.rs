@@ -1,5 +1,5 @@
 use crate::vecops::{all_finite, axpy, dot, norm2, xpby};
-use crate::{CsrMatrix, Preconditioner, SolverError};
+use crate::{CsrMatrix, PrecondKind, Preconditioner, SolverError};
 
 /// Iteration-count histogram edges: 1 to 16k iterations, doubling.
 const ITER_BOUNDS: [f64; 15] = [
@@ -29,6 +29,12 @@ fn record_converged_solve(iterations: usize, relative_residual: f64) {
 }
 
 /// Options controlling a (preconditioned) conjugate-gradient solve.
+///
+/// The preconditioner is part of the options ([`CgOptions::precond`]),
+/// selected at runtime by [`PrecondKind`] rather than threaded through a
+/// generic parameter — see [`ConjugateGradient::solve`]. Construct with
+/// [`CgOptions::builder`] for range checking, or a struct literal with
+/// `..CgOptions::default()` when the values are statically known-good.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CgOptions {
     /// Relative residual tolerance: the solve stops when
@@ -39,7 +45,17 @@ pub struct CgOptions {
     /// If `true`, record the residual norm at every iteration in
     /// [`CgSolution::residual_history`] (off by default; it allocates).
     pub record_history: bool,
+    /// Which preconditioner [`ConjugateGradient::solve`] builds.
+    pub precond: PrecondKind,
+    /// Block size for [`PrecondKind::BlockJacobi`]; ignored by the other
+    /// kinds.
+    pub precond_block: usize,
 }
+
+/// Default block size for [`PrecondKind::BlockJacobi`]: large enough to
+/// capture a strip of a row-major grid, small enough that the dense
+/// per-block Cholesky stays cheap.
+pub const DEFAULT_PRECOND_BLOCK: usize = 64;
 
 impl Default for CgOptions {
     fn default() -> Self {
@@ -47,7 +63,97 @@ impl Default for CgOptions {
             tolerance: 1e-9,
             max_iterations: 0,
             record_history: false,
+            precond: PrecondKind::default(),
+            precond_block: DEFAULT_PRECOND_BLOCK,
         }
+    }
+}
+
+impl CgOptions {
+    /// Starts a builder pre-loaded with the defaults.
+    #[must_use]
+    pub fn builder() -> CgOptionsBuilder {
+        CgOptionsBuilder {
+            options: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`CgOptions`], mirroring `DlFlowConfig::builder()` in
+/// `ppdl-core`: chainable `#[must_use]` setters, an infallible
+/// [`build`](CgOptionsBuilder::build) for known-good values, and a
+/// range-checked [`try_build`](CgOptionsBuilder::try_build) for values
+/// arriving from config files or CLI flags.
+#[derive(Debug, Clone)]
+pub struct CgOptionsBuilder {
+    options: CgOptions,
+}
+
+impl CgOptionsBuilder {
+    /// Sets the relative residual tolerance.
+    #[must_use]
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.options.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the hard iteration cap (`0` = dimension-derived default).
+    #[must_use]
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.options.max_iterations = max_iterations;
+        self
+    }
+
+    /// Enables or disables per-iteration residual recording.
+    #[must_use]
+    pub fn record_history(mut self, record_history: bool) -> Self {
+        self.options.record_history = record_history;
+        self
+    }
+
+    /// Selects the preconditioner kind.
+    #[must_use]
+    pub fn precond(mut self, precond: PrecondKind) -> Self {
+        self.options.precond = precond;
+        self
+    }
+
+    /// Sets the block size used by [`PrecondKind::BlockJacobi`].
+    #[must_use]
+    pub fn precond_block(mut self, precond_block: usize) -> Self {
+        self.options.precond_block = precond_block;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> CgOptions {
+        self.options
+    }
+
+    /// Finishes the builder, rejecting out-of-range knobs (non-positive
+    /// or non-finite tolerance, zero or absurd block size) instead of
+    /// failing later inside a solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidOptions`].
+    pub fn try_build(self) -> crate::Result<CgOptions> {
+        let o = self.options;
+        if !(o.tolerance.is_finite() && o.tolerance > 0.0 && o.tolerance < 1.0) {
+            return Err(SolverError::InvalidOptions {
+                detail: format!("cg tolerance {:e} outside (0, 1)", o.tolerance),
+            });
+        }
+        if o.precond_block == 0 || o.precond_block > 4096 {
+            return Err(SolverError::InvalidOptions {
+                detail: format!(
+                    "preconditioner block size {} outside 1..=4096",
+                    o.precond_block
+                ),
+            });
+        }
+        Ok(o)
     }
 }
 
@@ -76,7 +182,7 @@ pub struct CgSolution {
 /// # Example
 ///
 /// ```
-/// use ppdl_solver::{TripletMatrix, ConjugateGradient, CgOptions, IdentityPreconditioner};
+/// use ppdl_solver::{TripletMatrix, ConjugateGradient, CgOptions, PrecondKind};
 ///
 /// let mut t = TripletMatrix::new(3, 3);
 /// t.stamp_conductance(0, 1, 1.0);
@@ -85,8 +191,12 @@ pub struct CgSolution {
 /// let a = t.to_csr();
 /// let b = vec![0.0, 0.0, 1.0]; // 1 A injected at the far node
 ///
-/// let cg = ConjugateGradient::new(CgOptions::default());
-/// let sol = cg.solve(&a, &b, &IdentityPreconditioner::new(3)).unwrap();
+/// let options = CgOptions::builder()
+///     .precond(PrecondKind::Ic0)
+///     .try_build()
+///     .unwrap();
+/// let cg = ConjugateGradient::new(options);
+/// let sol = cg.solve(&a, &b).unwrap();
 /// // Voltages accumulate along the chain: 1, 2, 3 volts.
 /// assert!((sol.x[2] - 3.0).abs() < 1e-7);
 /// ```
@@ -108,7 +218,8 @@ impl ConjugateGradient {
         &self.options
     }
 
-    /// Solves `A x = b` starting from `x = 0`.
+    /// Solves `A x = b` starting from `x = 0`, building the
+    /// preconditioner selected by [`CgOptions::precond`].
     ///
     /// # Errors
     ///
@@ -117,28 +228,113 @@ impl ConjugateGradient {
     ///   before the residual dropped below tolerance.
     /// * [`SolverError::NonFiniteValue`] — the recurrence produced a NaN
     ///   or infinity (e.g. the matrix is not SPD).
-    pub fn solve<P: Preconditioner>(
+    /// * [`SolverError::NotPositiveDefinite`] — the preconditioner could
+    ///   not be built from `a`.
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> crate::Result<CgSolution> {
+        let x0 = vec![0.0; b.len()];
+        self.solve_with_guess(a, b, x0)
+    }
+
+    /// Solves `A x = b` starting from a caller-provided initial guess —
+    /// the warm-start path the iterative design loop uses between sizing
+    /// rounds, where consecutive solves differ only slightly. The
+    /// preconditioner is built per call from [`CgOptions::precond`];
+    /// callers that reuse one factorization across many solves should
+    /// build it once and use
+    /// [`solve_with_guess_using`](Self::solve_with_guess_using).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_with_guess(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: Vec<f64>,
+    ) -> crate::Result<CgSolution> {
+        let precond = self.options.precond.build(a, self.options.precond_block)?;
+        self.solve_core(a, b, &precond, x)
+    }
+
+    /// Solves `A x = b` from `x = 0` with an explicit, caller-built
+    /// preconditioner. This is the escape hatch for custom
+    /// [`Preconditioner`] implementations and for amortizing one
+    /// factorization over many right-hand sides; everything else should
+    /// let [`solve`](Self::solve) build from [`CgOptions::precond`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), minus the build errors.
+    pub fn solve_using(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        precond: &dyn Preconditioner,
+    ) -> crate::Result<CgSolution> {
+        let x0 = vec![0.0; b.len()];
+        self.solve_core(a, b, precond, x0)
+    }
+
+    /// Warm-start variant of [`solve_using`](Self::solve_using).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), minus the build errors.
+    pub fn solve_with_guess_using(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        precond: &dyn Preconditioner,
+        x: Vec<f64>,
+    ) -> crate::Result<CgSolution> {
+        self.solve_core(a, b, precond, x)
+    }
+
+    /// Deprecated shim for the retired generic surface.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_using`](Self::solve_using).
+    #[deprecated(
+        since = "0.9.0",
+        note = "select a PrecondKind via CgOptions and call solve(a, b); \
+                for custom preconditioners use solve_using"
+    )]
+    pub fn solve_with<P: Preconditioner>(
         &self,
         a: &CsrMatrix,
         b: &[f64],
         precond: &P,
     ) -> crate::Result<CgSolution> {
-        let x0 = vec![0.0; b.len()];
-        self.solve_with_guess(a, b, precond, x0)
+        self.solve_using(a, b, precond)
     }
 
-    /// Solves `A x = b` starting from a caller-provided initial guess —
-    /// the warm-start path the iterative design loop uses between sizing
-    /// rounds, where consecutive solves differ only slightly.
+    /// Deprecated shim for the retired generic warm-start surface.
     ///
     /// # Errors
     ///
-    /// Same as [`solve`](Self::solve).
-    pub fn solve_with_guess<P: Preconditioner>(
+    /// Same as [`solve_using`](Self::solve_using).
+    #[deprecated(
+        since = "0.9.0",
+        note = "select a PrecondKind via CgOptions and call solve_with_guess(a, b, x0); \
+                for custom preconditioners use solve_with_guess_using"
+    )]
+    pub fn solve_with_guess_with<P: Preconditioner>(
         &self,
         a: &CsrMatrix,
         b: &[f64],
         precond: &P,
+        x: Vec<f64>,
+    ) -> crate::Result<CgSolution> {
+        self.solve_core(a, b, precond, x)
+    }
+
+    /// The PCG iteration shared by every public entry point.
+    fn solve_core(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        precond: &dyn Preconditioner,
         mut x: Vec<f64>,
     ) -> crate::Result<CgSolution> {
         let n = a.nrows();
@@ -287,12 +483,19 @@ mod tests {
         t.to_csr()
     }
 
+    fn with_precond(kind: PrecondKind) -> ConjugateGradient {
+        ConjugateGradient::new(CgOptions {
+            precond: kind,
+            ..CgOptions::default()
+        })
+    }
+
     #[test]
     fn solves_chain_exactly() {
         let a = chain(4);
         let b = vec![0.0, 0.0, 0.0, 1.0];
-        let cg = ConjugateGradient::new(CgOptions::default());
-        let sol = cg.solve(&a, &b, &IdentityPreconditioner::new(4)).unwrap();
+        let cg = with_precond(PrecondKind::Identity);
+        let sol = cg.solve(&a, &b).unwrap();
         for (i, &v) in sol.x.iter().enumerate() {
             assert!((v - (i as f64 + 1.0)).abs() < 1e-7, "node {i}: {v}");
         }
@@ -303,9 +506,7 @@ mod tests {
     fn zero_rhs_returns_zero_instantly() {
         let a = chain(5);
         let cg = ConjugateGradient::default();
-        let sol = cg
-            .solve(&a, &[0.0; 5], &IdentityPreconditioner::new(5))
-            .unwrap();
+        let sol = cg.solve(&a, &[0.0; 5]).unwrap();
         assert_eq!(sol.iterations, 0);
         assert_eq!(sol.x, vec![0.0; 5]);
     }
@@ -319,8 +520,7 @@ mod tests {
             tolerance: 1e-12,
             ..CgOptions::default()
         });
-        let pc = JacobiPreconditioner::from_matrix(&a).unwrap();
-        let sol = cg.solve(&a, &b, &pc).unwrap();
+        let sol = cg.solve(&a, &b).unwrap();
         let dense = a.to_dense().cholesky().unwrap().solve(&b).unwrap();
         for (u, v) in sol.x.iter().zip(&dense) {
             assert!((u - v).abs() < 1e-7, "{u} vs {v}");
@@ -328,23 +528,45 @@ mod tests {
     }
 
     #[test]
-    fn ic0_converges_faster_than_plain() {
+    fn every_precond_kind_solves_the_same_system() {
+        let a = grid2d(8);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3 + 1) % 9) as f64 * 0.25).collect();
+        let reference = a.to_dense().cholesky().unwrap().solve(&b).unwrap();
+        for kind in PrecondKind::ALL {
+            let cg = ConjugateGradient::new(
+                CgOptions::builder()
+                    .tolerance(1e-11)
+                    .precond(kind)
+                    .precond_block(16)
+                    .try_build()
+                    .unwrap(),
+            );
+            let sol = cg.solve(&a, &b).unwrap();
+            for (u, v) in sol.x.iter().zip(&reference) {
+                assert!((u - v).abs() < 1e-7, "{kind}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_preconditioners_cut_iterations() {
         let a = grid2d(12);
         let n = a.nrows();
         let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 * 0.2 + 0.1).collect();
-        let cg = ConjugateGradient::new(CgOptions {
-            tolerance: 1e-10,
-            ..CgOptions::default()
-        });
-        let plain = cg.solve(&a, &b, &IdentityPreconditioner::new(n)).unwrap();
-        let ic = IncompleteCholesky::from_matrix(&a).unwrap();
-        let pre = cg.solve(&a, &b, &ic).unwrap();
-        assert!(
-            pre.iterations < plain.iterations,
-            "IC(0) {} iters vs plain {}",
-            pre.iterations,
-            plain.iterations
-        );
+        let iters = |kind| {
+            let cg = ConjugateGradient::new(CgOptions {
+                tolerance: 1e-10,
+                precond: kind,
+                ..CgOptions::default()
+            });
+            cg.solve(&a, &b).unwrap().iterations
+        };
+        let plain = iters(PrecondKind::Identity);
+        let block = iters(PrecondKind::BlockJacobi);
+        let ic = iters(PrecondKind::Ic0);
+        assert!(ic < plain, "IC(0) {ic} iters vs plain {plain}");
+        assert!(block < plain, "block-Jacobi {block} iters vs plain {plain}");
     }
 
     #[test]
@@ -356,17 +578,91 @@ mod tests {
             tolerance: 1e-10,
             ..CgOptions::default()
         });
-        let pc = JacobiPreconditioner::from_matrix(&a).unwrap();
-        let cold = cg.solve(&a, &b, &pc).unwrap();
+        let cold = cg.solve(&a, &b).unwrap();
         // Perturb b slightly and warm-start from the previous solution.
         let b2: Vec<f64> = b.iter().map(|v| v * 1.01).collect();
-        let warm = cg.solve_with_guess(&a, &b2, &pc, cold.x.clone()).unwrap();
+        let warm = cg.solve_with_guess(&a, &b2, cold.x.clone()).unwrap();
         assert!(
             warm.iterations < cold.iterations,
             "warm {} vs cold {}",
             warm.iterations,
             cold.iterations
         );
+    }
+
+    #[test]
+    fn solve_using_amortizes_one_factorization() {
+        // Explicit-preconditioner path must agree bitwise with the
+        // options-built path for the same kind.
+        let a = grid2d(7);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 4) as f64 + 0.5).collect();
+        let cg = with_precond(PrecondKind::Ic0);
+        let built = cg.solve(&a, &b).unwrap();
+        let ic = IncompleteCholesky::from_matrix(&a).unwrap();
+        let explicit = cg.solve_using(&a, &b, &ic).unwrap();
+        assert_eq!(built.x, explicit.x);
+        assert_eq!(built.iterations, explicit.iterations);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_new_surface() {
+        let a = grid2d(6);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 3) as f64 * 0.4 + 0.1).collect();
+        let cg = ConjugateGradient::default();
+        let pc = JacobiPreconditioner::from_matrix(&a).unwrap();
+        let new = cg.solve(&a, &b).unwrap();
+        let shim = cg.solve_with(&a, &b, &pc).unwrap();
+        assert_eq!(new.x, shim.x);
+        let guess = vec![0.0; n];
+        let shim2 = cg.solve_with_guess_with(&a, &b, &pc, guess).unwrap();
+        assert_eq!(new.x, shim2.x);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let o = CgOptions::builder()
+            .tolerance(1e-6)
+            .max_iterations(77)
+            .record_history(true)
+            .precond(PrecondKind::BlockJacobi)
+            .precond_block(32)
+            .build();
+        assert_eq!(
+            o,
+            CgOptions {
+                tolerance: 1e-6,
+                max_iterations: 77,
+                record_history: true,
+                precond: PrecondKind::BlockJacobi,
+                precond_block: 32,
+            }
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_out_of_range_knobs() {
+        for bad in [0.0, -1e-9, f64::NAN, f64::INFINITY, 1.0] {
+            let err = CgOptions::builder().tolerance(bad).try_build().unwrap_err();
+            assert!(matches!(err, SolverError::InvalidOptions { .. }), "{bad}");
+        }
+        for bad in [0usize, 4097] {
+            let err = CgOptions::builder()
+                .precond_block(bad)
+                .try_build()
+                .unwrap_err();
+            assert!(matches!(err, SolverError::InvalidOptions { .. }), "{bad}");
+        }
+        assert!(CgOptions::builder().try_build().is_ok());
+    }
+
+    #[test]
+    fn default_options_use_jacobi() {
+        let o = CgOptions::default();
+        assert_eq!(o.precond, PrecondKind::Jacobi);
+        assert_eq!(o.precond_block, DEFAULT_PRECOND_BLOCK);
     }
 
     #[test]
@@ -377,11 +673,10 @@ mod tests {
         let cg = ConjugateGradient::new(CgOptions {
             tolerance: 1e-14,
             max_iterations: 2,
-            record_history: false,
+            precond: PrecondKind::Identity,
+            ..CgOptions::default()
         });
-        let err = cg
-            .solve(&a, &b, &IdentityPreconditioner::new(n))
-            .unwrap_err();
+        let err = cg.solve(&a, &b).unwrap_err();
         assert!(matches!(
             err,
             SolverError::DidNotConverge { iterations: 2, .. }
@@ -397,8 +692,7 @@ mod tests {
             record_history: true,
             ..CgOptions::default()
         });
-        let pc = JacobiPreconditioner::from_matrix(&a).unwrap();
-        let sol = cg.solve(&a, &b, &pc).unwrap();
+        let sol = cg.solve(&a, &b).unwrap();
         assert_eq!(sol.residual_history.len(), sol.iterations + 1);
         assert!(sol.residual_history.last().unwrap() < sol.residual_history.first().unwrap());
     }
@@ -410,10 +704,8 @@ mod tests {
         t.push(0, 0, 1.0);
         t.push(1, 1, -1.0);
         let a = t.to_csr();
-        let cg = ConjugateGradient::default();
-        let err = cg
-            .solve(&a, &[0.0, 1.0], &IdentityPreconditioner::new(2))
-            .unwrap_err();
+        let cg = with_precond(PrecondKind::Identity);
+        let err = cg.solve(&a, &[0.0, 1.0]).unwrap_err();
         assert!(matches!(err, SolverError::NonFiniteValue { .. }));
     }
 
@@ -421,9 +713,7 @@ mod tests {
     fn rejects_nan_rhs() {
         let a = chain(3);
         let cg = ConjugateGradient::default();
-        let err = cg
-            .solve(&a, &[1.0, f64::NAN, 0.0], &IdentityPreconditioner::new(3))
-            .unwrap_err();
+        let err = cg.solve(&a, &[1.0, f64::NAN, 0.0]).unwrap_err();
         assert!(matches!(err, SolverError::NonFiniteValue { .. }));
     }
 
@@ -431,11 +721,10 @@ mod tests {
     fn dim_mismatch_rejected() {
         let a = chain(3);
         let cg = ConjugateGradient::default();
+        assert!(cg.solve(&a, &[1.0, 2.0]).is_err());
+        // Explicit-preconditioner path checks the preconditioner dim too.
         assert!(cg
-            .solve(&a, &[1.0, 2.0], &IdentityPreconditioner::new(3))
-            .is_err());
-        assert!(cg
-            .solve(&a, &[1.0, 2.0, 3.0], &IdentityPreconditioner::new(2))
+            .solve_using(&a, &[1.0, 2.0, 3.0], &IdentityPreconditioner::new(2))
             .is_err());
     }
 }

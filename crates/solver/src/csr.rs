@@ -40,9 +40,57 @@ pub struct CsrMatrix {
     indptr: Vec<usize>,
     indices: Vec<usize>,
     data: Vec<f64>,
+    /// Cached diagonal (empty for non-square matrices). Computed once at
+    /// construction; the matrix is immutable, so no invalidation exists.
+    diag: Vec<f64>,
+    /// Cached row-nnz profile: the widest row, used to dispatch SpMV
+    /// between the interleaved short-row kernel and the general one.
+    max_row_nnz: usize,
 }
 
+/// Rows at or below this many stored entries take the 4-row interleaved
+/// SpMV kernel; the serial per-row accumulation chain of such short rows
+/// (a 2-D grid stencil has ≤ 5) is too short to hide load latency, so
+/// four independent row accumulators run in lockstep instead. Each
+/// row's own accumulation order is unchanged, keeping the result
+/// bitwise identical to the general kernel.
+const SPMV_INTERLEAVE_MAX_ROW_NNZ: usize = 16;
+
 impl CsrMatrix {
+    /// Finishes construction from validated parts: computes the cached
+    /// diagonal and row-nnz profile. Every constructor funnels through
+    /// here so the caches always exist.
+    fn assemble(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Self {
+        let max_row_nnz = indptr.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let diag = if nrows == ncols {
+            let mut d = vec![0.0; nrows];
+            for (r, dr) in d.iter_mut().enumerate() {
+                let row = &indices[indptr[r]..indptr[r + 1]];
+                if let Ok(pos) = row.binary_search(&r) {
+                    *dr = data[indptr[r] + pos];
+                }
+            }
+            d
+        } else {
+            Vec::new()
+        };
+        Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+            diag,
+            max_row_nnz,
+        }
+    }
+
     /// Builds a CSR matrix from raw parts, validating the structure.
     ///
     /// # Errors
@@ -109,25 +157,13 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(Self {
-            nrows,
-            ncols,
-            indptr,
-            indices,
-            data,
-        })
+        Ok(Self::assemble(nrows, ncols, indptr, indices, data))
     }
 
     /// Builds an `n x n` identity matrix.
     #[must_use]
     pub fn identity(n: usize) -> Self {
-        Self {
-            nrows: n,
-            ncols: n,
-            indptr: (0..=n).collect(),
-            indices: (0..n).collect(),
-            data: vec![1.0; n],
-        }
+        Self::assemble(n, n, (0..=n).collect(), (0..n).collect(), vec![1.0; n])
     }
 
     /// Number of rows.
@@ -214,7 +250,14 @@ impl CsrMatrix {
     /// Rows are computed in parallel when the matrix is at least
     /// [`crate::parallel::par_threshold`] rows tall; each output element
     /// is a single row's accumulation regardless of the split, so the
-    /// result is bitwise identical at every thread count.
+    /// result is bitwise identical at every thread count. Within a
+    /// chunk the kernel dispatches on the cached row-nnz profile:
+    /// matrices whose widest row holds at most
+    /// [`SPMV_INTERLEAVE_MAX_ROW_NNZ`] entries (the grid-stencil
+    /// regime) take a 4-row interleaved kernel that overlaps four
+    /// independent accumulation chains; wider rows take the general
+    /// per-row loop. Both produce identical bits — each row is always
+    /// one serial ascending-column accumulation.
     ///
     /// # Errors
     ///
@@ -236,19 +279,77 @@ impl CsrMatrix {
             calls.inc();
             elements.add(self.nnz() as u64);
         }
-        crate::parallel::par_chunks_mut(y, |row0, out| {
-            for (i, yi) in out.iter_mut().enumerate() {
-                let r = row0 + i;
-                let lo = self.indptr[r];
-                let hi = self.indptr[r + 1];
-                let mut acc = 0.0;
-                for k in lo..hi {
-                    acc += self.data[k] * x[self.indices[k]];
-                }
-                *yi = acc;
-            }
-        });
+        if self.max_row_nnz <= SPMV_INTERLEAVE_MAX_ROW_NNZ {
+            crate::parallel::par_chunks_mut(y, |row0, out| {
+                self.spmv_rows_interleaved(x, row0, out);
+            });
+        } else {
+            crate::parallel::par_chunks_mut(y, |row0, out| {
+                self.spmv_rows_general(x, row0, out);
+            });
+        }
         Ok(())
+    }
+
+    /// General SpMV over rows `row0..row0 + out.len()`: one serial
+    /// accumulation chain per row, in ascending column order.
+    fn spmv_rows_general(&self, x: &[f64], row0: usize, out: &mut [f64]) {
+        for (i, yi) in out.iter_mut().enumerate() {
+            let r = row0 + i;
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.data[k] * x[self.indices[k]];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Short-row SpMV: walks four rows in lockstep so four independent
+    /// accumulation chains are in flight, hiding the gather latency
+    /// that dominates stencil-width rows. Each accumulator still adds
+    /// its own row's entries in ascending column order, so every output
+    /// element is bitwise identical to [`Self::spmv_rows_general`].
+    fn spmv_rows_interleaved(&self, x: &[f64], row0: usize, out: &mut [f64]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let r = row0 + i;
+            let (s0, e0) = (self.indptr[r], self.indptr[r + 1]);
+            let (s1, e1) = (self.indptr[r + 1], self.indptr[r + 2]);
+            let (s2, e2) = (self.indptr[r + 2], self.indptr[r + 3]);
+            let (s3, e3) = (self.indptr[r + 3], self.indptr[r + 4]);
+            let (l0, l1, l2, l3) = (e0 - s0, e1 - s1, e2 - s2, e3 - s3);
+            let shared = l0.min(l1).min(l2).min(l3);
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+            for p in 0..shared {
+                a0 += self.data[s0 + p] * x[self.indices[s0 + p]];
+                a1 += self.data[s1 + p] * x[self.indices[s1 + p]];
+                a2 += self.data[s2 + p] * x[self.indices[s2 + p]];
+                a3 += self.data[s3 + p] * x[self.indices[s3 + p]];
+            }
+            for p in shared..l0 {
+                a0 += self.data[s0 + p] * x[self.indices[s0 + p]];
+            }
+            for p in shared..l1 {
+                a1 += self.data[s1 + p] * x[self.indices[s1 + p]];
+            }
+            for p in shared..l2 {
+                a2 += self.data[s2 + p] * x[self.indices[s2 + p]];
+            }
+            for p in shared..l3 {
+                a3 += self.data[s3 + p] * x[self.indices[s3 + p]];
+            }
+            out[i] = a0;
+            out[i + 1] = a1;
+            out[i + 2] = a2;
+            out[i + 3] = a3;
+            i += 4;
+        }
+        // Remainder rows (< 4 left) take the general path.
+        let row0_tail = row0 + i;
+        self.spmv_rows_general(x, row0_tail, &mut out[i..]);
     }
 
     /// Returns the transpose as a new CSR matrix.
@@ -266,13 +367,36 @@ impl CsrMatrix {
     /// Extracts the diagonal into a vector (missing diagonal entries are
     /// `0.0`). Defined for square matrices only.
     ///
+    /// This is a copy of the cached diagonal; callers that only need to
+    /// read it should prefer [`Self::diagonal_ref`].
+    ///
     /// # Panics
     ///
     /// Panics if the matrix is not square.
     #[must_use]
     pub fn diagonal(&self) -> Vec<f64> {
+        self.diagonal_ref().to_vec()
+    }
+
+    /// Borrows the diagonal cached at construction (missing entries are
+    /// `0.0`). The matrix is immutable, so the cache never goes stale;
+    /// preconditioner setup and dominance checks read it for free
+    /// instead of re-deriving it with per-entry binary searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn diagonal_ref(&self) -> &[f64] {
         assert_eq!(self.nrows, self.ncols, "diagonal requires a square matrix");
-        (0..self.nrows).map(|i| self.get(i, i)).collect()
+        &self.diag
+    }
+
+    /// The number of stored entries in the widest row — the profile the
+    /// SpMV dispatch uses, cached at construction.
+    #[must_use]
+    pub fn max_row_nnz(&self) -> usize {
+        self.max_row_nnz
     }
 
     /// Checks structural and numerical symmetry to within `tol` (relative
@@ -303,12 +427,12 @@ impl CsrMatrix {
             return false;
         }
         for r in 0..self.nrows {
-            let mut diag = 0.0;
+            // The diagonal comes from the construction-time cache; the
+            // row walk only accumulates the off-diagonal magnitudes.
+            let diag = self.diag[r].abs();
             let mut off = 0.0;
             for (c, v) in self.row(r) {
-                if c == r {
-                    diag = v.abs();
-                } else {
+                if c != r {
                     off += v.abs();
                 }
             }
@@ -457,6 +581,100 @@ mod tests {
     fn diagonal_extraction() {
         let a = sample();
         assert_eq!(a.diagonal(), vec![1.0, 3.0, 5.0]);
+        assert_eq!(a.diagonal_ref(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn row_nnz_profile_is_cached() {
+        assert_eq!(sample().max_row_nnz(), 2);
+        assert_eq!(CsrMatrix::identity(4).max_row_nnz(), 1);
+        assert_eq!(CsrMatrix::identity(0).max_row_nnz(), 0);
+    }
+
+    #[test]
+    fn interleaved_spmv_matches_general_bitwise() {
+        // A short-row matrix (stencil regime) with ragged row lengths,
+        // including empty rows, exercising the interleaved kernel's
+        // shared-prefix and tail paths plus the < 4-row remainder.
+        let mut t = TripletMatrix::new(103, 103);
+        for i in 0..103usize {
+            t.push(i, i, 2.0 + (i % 7) as f64 * 0.25);
+            if i + 1 < 103 && i % 3 != 0 {
+                t.push(i, i + 1, -0.5 - (i % 5) as f64 * 0.125);
+            }
+            if i >= 10 && i % 4 == 0 {
+                t.push(i, i - 10, 0.75);
+            }
+        }
+        let a = t.to_csr();
+        assert!(a.max_row_nnz() <= SPMV_INTERLEAVE_MAX_ROW_NNZ);
+        let x: Vec<f64> = (0..103)
+            .map(|i| ((i * 13) % 17) as f64 * 0.3 - 1.1)
+            .collect();
+        let mut fast = vec![0.0; 103];
+        a.spmv_rows_interleaved(&x, 0, &mut fast);
+        let mut reference = vec![0.0; 103];
+        a.spmv_rows_general(&x, 0, &mut reference);
+        for (f, r) in fast.iter().zip(&reference) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
+        // And mul_vec (which dispatches to the interleaved path here)
+        // agrees too.
+        let y = a.mul_vec(&x).unwrap();
+        for (f, r) in y.iter().zip(&reference) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_spmv_is_bitwise_deterministic_across_thread_counts() {
+        // Large enough (n > par threshold) that 4 threads actually
+        // split the rows; per-row serial accumulation must make the
+        // result bitwise identical to the single-thread run.
+        let n = 5000usize;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0 + (i % 9) as f64 * 0.5);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0 - (i % 3) as f64 * 0.25);
+            }
+            if i >= 50 {
+                t.push(i, i - 50, 0.375);
+            }
+        }
+        let a = t.to_csr();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 29) % 101) as f64 * 0.07 - 3.0)
+            .collect();
+        crate::set_threads(1);
+        let y1 = a.mul_vec(&x).unwrap();
+        crate::set_threads(4);
+        let y4 = a.mul_vec(&x).unwrap();
+        crate::set_threads(0);
+        for (u, v) in y1.iter().zip(&y4) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn wide_row_matrix_dispatches_to_general_path() {
+        // One dense row pushes the profile past the interleave bound.
+        let mut t = TripletMatrix::new(40, 40);
+        for i in 0..40usize {
+            t.push(i, i, 3.0);
+        }
+        for c in 0..40usize {
+            if c != 20 {
+                t.push(20, c, 0.01 * (c as f64 + 1.0));
+            }
+        }
+        let a = t.to_csr();
+        assert!(a.max_row_nnz() > SPMV_INTERLEAVE_MAX_ROW_NNZ);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64).mul_add(0.1, -2.0)).collect();
+        let y = a.mul_vec(&x).unwrap();
+        let mut reference = vec![0.0; 40];
+        a.spmv_rows_general(&x, 0, &mut reference);
+        assert_eq!(y, reference);
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub enum SolverError {
         /// Description of where the non-finite value appeared.
         context: String,
     },
+    /// Solver options were outside their valid range (e.g. a
+    /// non-positive tolerance or a zero preconditioner block size).
+    InvalidOptions {
+        /// Description of the offending knob and its value.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -84,6 +90,9 @@ impl fmt::Display for SolverError {
             ),
             SolverError::NonFiniteValue { context } => {
                 write!(f, "non-finite value encountered in {context}")
+            }
+            SolverError::InvalidOptions { detail } => {
+                write!(f, "invalid solver options: {detail}")
             }
         }
     }
@@ -131,6 +140,16 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<SolverError>();
+    }
+
+    #[test]
+    fn display_invalid_options() {
+        let e = SolverError::InvalidOptions {
+            detail: "tolerance 0e0 must be positive".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("invalid solver options"));
+        assert!(s.contains("tolerance"));
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //!   products, transpose, and structural queries.
 //! * [`DenseMatrix`] — small dense matrices with Cholesky and LU
 //!   factorizations, used for tiny systems and as a test oracle.
-//! * [`ConjugateGradient`] — (preconditioned) conjugate-gradient solver
-//!   with pluggable [`Preconditioner`]s: [`IdentityPreconditioner`],
-//!   [`JacobiPreconditioner`], and [`IncompleteCholesky`] (IC(0)).
+//! * [`ConjugateGradient`] — (preconditioned) conjugate-gradient solver.
+//!   The preconditioner is chosen at runtime by a [`PrecondKind`] carried
+//!   in [`CgOptions`] ([`IdentityPreconditioner`], [`JacobiPreconditioner`],
+//!   [`BlockJacobiPreconditioner`], or [`IncompleteCholesky`] IC(0));
+//!   custom [`Preconditioner`] implementations go through
+//!   [`ConjugateGradient::solve_using`].
 //! * [`vecops`] — the BLAS-1 style kernels (`dot`, `axpy`, norms) shared
 //!   by the iterative solvers.
 //! * [`parallel`] — the workspace-wide parallel execution layer: thread
@@ -26,7 +29,7 @@
 //! Solve a small SPD system with preconditioned CG:
 //!
 //! ```
-//! use ppdl_solver::{TripletMatrix, ConjugateGradient, CgOptions, JacobiPreconditioner};
+//! use ppdl_solver::{TripletMatrix, ConjugateGradient, CgOptions, PrecondKind};
 //!
 //! // 2x2 SPD system: [[4, 1], [1, 3]] x = [1, 2]
 //! let mut t = TripletMatrix::new(2, 2);
@@ -36,9 +39,12 @@
 //! t.push(1, 1, 3.0);
 //! let a = t.to_csr();
 //!
-//! let pc = JacobiPreconditioner::from_matrix(&a).unwrap();
-//! let solver = ConjugateGradient::new(CgOptions::default());
-//! let sol = solver.solve(&a, &[1.0, 2.0], &pc).unwrap();
+//! let options = CgOptions::builder()
+//!     .precond(PrecondKind::Jacobi)
+//!     .try_build()
+//!     .unwrap();
+//! let solver = ConjugateGradient::new(options);
+//! let sol = solver.solve(&a, &[1.0, 2.0]).unwrap();
 //! assert!((sol.x[0] - 1.0 / 11.0).abs() < 1e-8);
 //! assert!((sol.x[1] - 7.0 / 11.0).abs() < 1e-8);
 //! ```
@@ -57,13 +63,14 @@ mod stationary;
 mod triplet;
 pub mod vecops;
 
-pub use cg::{CgOptions, CgSolution, ConjugateGradient};
+pub use cg::{CgOptions, CgOptionsBuilder, CgSolution, ConjugateGradient, DEFAULT_PRECOND_BLOCK};
 pub use csr::CsrMatrix;
 pub use dense::{DenseCholesky, DenseLu, DenseMatrix};
 pub use error::SolverError;
 pub use parallel::{parallel_config, set_par_threshold, set_threads, ParallelConfig};
 pub use precond::{
-    IdentityPreconditioner, IncompleteCholesky, JacobiPreconditioner, Preconditioner,
+    BlockJacobiPreconditioner, BuiltPreconditioner, IdentityPreconditioner, IncompleteCholesky,
+    JacobiPreconditioner, PrecondKind, Preconditioner,
 };
 pub use sparse_chol::SparseCholesky;
 pub use stationary::{GaussSeidel, StationaryOptions, StationarySolution};

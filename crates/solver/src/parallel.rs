@@ -196,6 +196,54 @@ where
     });
 }
 
+/// Row-aligned variant of [`par_chunks_mut`]: runs `f(row0, chunk)`
+/// over disjoint chunks of `out` whose boundaries always fall on
+/// multiples of `width` elements, so a caller can treat `out` as a
+/// row-major matrix and hand each worker whole rows. `f` receives the
+/// index of the first row in its chunk.
+///
+/// Parallel when the matrix has at least [`par_threshold`] *elements*
+/// and more than one worker thread is configured; otherwise `f(0, out)`
+/// runs inline. The GEMM row-block kernels in `ppdl-nn` are built on
+/// this: each output row is a fixed-order accumulation independent of
+/// the split, so results are bitwise identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `out.len()` is not a multiple of `width`.
+pub fn par_row_chunks_mut<T, F>(out: &mut [T], width: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(width > 0, "par_row_chunks_mut: width must be positive");
+    assert_eq!(
+        out.len() % width,
+        0,
+        "par_row_chunks_mut: slice length {} is not a multiple of row width {width}",
+        out.len()
+    );
+    let rows = out.len() / width;
+    let threads = current_threads();
+    if threads <= 1 || out.len() < par_threshold() {
+        f(0, out);
+        return;
+    }
+    let ranges = split_ranges(rows, threads);
+    thread::scope(|scope| {
+        let mut rest = out;
+        let mut row0 = 0;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len() * width);
+            rest = tail;
+            let first_row = row0;
+            row0 += range.len();
+            let f = &f;
+            scope.spawn(move || f(first_row, chunk));
+        }
+    });
+}
+
 /// Deterministic chunked map-reduce over `0..len`.
 ///
 /// The index space is cut into fixed [`REDUCTION_CHUNK`]-element chunks
@@ -337,6 +385,34 @@ mod tests {
         }
         set_threads(0);
         set_par_threshold(old);
+    }
+
+    #[test]
+    fn par_row_chunks_mut_respects_row_boundaries() {
+        let _g = LOCK.lock().unwrap();
+        let old = par_threshold();
+        set_par_threshold(16);
+        set_threads(3);
+        const WIDTH: usize = 7;
+        let mut v = vec![0usize; 100 * WIDTH];
+        par_row_chunks_mut(&mut v, WIDTH, |row0, chunk| {
+            assert_eq!(chunk.len() % WIDTH, 0, "chunk not row-aligned");
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (row0 * WIDTH + i) % WIDTH + row0 + i / WIDTH;
+            }
+        });
+        set_threads(0);
+        set_par_threshold(old);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i % WIDTH + i / WIDTH, "element {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of row width")]
+    fn par_row_chunks_mut_rejects_misaligned_slice() {
+        let mut v = vec![0.0_f64; 10];
+        par_row_chunks_mut(&mut v, 3, |_, _| {});
     }
 
     #[test]

@@ -243,7 +243,7 @@ mod tests {
 
     #[test]
     fn matches_cg() {
-        use crate::{CgOptions, ConjugateGradient, JacobiPreconditioner};
+        use crate::{CgOptions, ConjugateGradient};
         let a = grid2d(9);
         let chol = SparseCholesky::factor(&a).unwrap();
         let b = vec![0.25; a.nrows()];
@@ -252,10 +252,7 @@ mod tests {
             tolerance: 1e-12,
             ..CgOptions::default()
         });
-        let xc = cg
-            .solve(&a, &b, &JacobiPreconditioner::from_matrix(&a).unwrap())
-            .unwrap()
-            .x;
+        let xc = cg.solve(&a, &b).unwrap().x;
         for (s, c) in xs.iter().zip(&xc) {
             assert!((s - c).abs() < 1e-7);
         }

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! ppdl generate --preset ibmpg2 --scale 0.01 --seed 7 --out grid.spice [--svg fp.svg]
-//! ppdl analyze <deck.spice> [--map map.csv] [--resolution 100]
+//! ppdl analyze <deck.spice> [--map map.csv] [--resolution 100] [--precond ic0]
 //! ppdl flow --preset ibmpg2 --scale 0.01 [--fast] [--gamma 0.1] [--model model.ppdl]
+//!           [--precond jacobi|block-jacobi|ic0|none|direct]
 //! ppdl train --preset ibmpg2 --scale 0.006 --out model.bundle [--fast] [--backend mlp|cnn|encdec]
 //! ppdl serve --bundle model.bundle [--queue 256] [--batch 64] [--cache 1024] [--telemetry]
 //! ppdl serve --listen 127.0.0.1:7433 --bundle a.bundle --bundle b.bundle [--bundle-dir models/]
@@ -22,7 +23,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use powerplanningdl::analysis::{IrDropMap, StaticAnalysis};
+use powerplanningdl::analysis::{AnalysisOptions, IrDropMap, PreconditionerKind, StaticAnalysis};
 use powerplanningdl::core::{experiment, PowerPlanningDl, TrainedBundle, WidthPredictor};
 use powerplanningdl::floorplan::SvgOptions;
 use powerplanningdl::netlist::{parse_spice, IbmPgPreset, Orientation, SyntheticBenchmark};
@@ -58,8 +59,9 @@ ppdl — reliability-aware power grid design using deep learning
 
 USAGE:
   ppdl generate --preset <name> [--scale <f>] [--seed <n>] --out <deck.spice> [--svg <fp.svg>]
-  ppdl analyze <deck.spice> [--map <map.csv>] [--resolution <n>]
+  ppdl analyze <deck.spice> [--map <map.csv>] [--resolution <n>] [--precond <kind>]
   ppdl flow --preset <name> [--scale <f>] [--seed <n>] [--fast] [--gamma <f>] [--model <out.ppdl>]
+            [--precond <kind>]
   ppdl train --preset <name> [--scale <f>] [--seed <n>] [--fast]
              [--backend mlp|cnn|encdec] --out <model.bundle>
   ppdl serve --bundle <model.bundle> [--queue <n>] [--batch <n>] [--cache <n>] [--telemetry]
@@ -67,7 +69,9 @@ USAGE:
              [--pending <n>] [--max-clients <n>]
 
 Every subcommand also accepts --threads <n> (pin the worker pool before
-the first kernel runs; overrides PPDL_THREADS).
+the first kernel runs; overrides PPDL_THREADS). analyze and flow accept
+--precond <none|jacobi|block-jacobi|ic0|direct> to pick the
+preconditioner of the conventional IR-drop solves (default ic0).
 
 serve reads NDJSON requests from stdin and answers on stdout, e.g.
   {\"id\":\"q1\",\"gamma\":0.1,\"kind\":\"both\",\"seed\":5}
@@ -166,6 +170,18 @@ fn apply_threads(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--precond <kind>`, or `None` when the flag is absent.
+fn precond_from(flags: &Flags) -> Result<Option<PreconditionerKind>, String> {
+    flags
+        .get("precond")
+        .map(|s| {
+            PreconditionerKind::parse(s).ok_or_else(|| {
+                format!("unknown preconditioner '{s}' (none|jacobi|block-jacobi|ic0|direct)")
+            })
+        })
+        .transpose()
+}
+
 fn preset_from(flags: &Flags) -> Result<IbmPgPreset, String> {
     let name = flags.get("preset").ok_or("--preset is required")?;
     name.parse()
@@ -219,9 +235,14 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         "{deck_path}: #n={} #r={} #v={} #i={}",
         stats.nodes, stats.resistors, stats.sources, stats.loads
     );
-    let report = StaticAnalysis::default()
-        .solve(&network)
-        .map_err(|e| e.to_string())?;
+    let analyzer = match precond_from(&flags)? {
+        Some(kind) => StaticAnalysis::new(AnalysisOptions {
+            preconditioner: kind,
+            ..AnalysisOptions::default()
+        }),
+        None => StaticAnalysis::default(),
+    };
+    let report = analyzer.solve(&network).map_err(|e| e.to_string())?;
     let (node, worst) = report.worst_drop().ok_or("grid has no non-ground node")?;
     println!(
         "worst-case IR drop: {:.3} mV at {} (mean {:.3} mV, {} unknowns, {} CG iterations)",
@@ -253,10 +274,12 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
     let gamma: f64 = flags.get_parse("gamma", 0.10)?;
 
     let prepared = experiment::prepare(preset, scale, seed, 2.5).map_err(|e| e.to_string())?;
-    let config = experiment::flow_builder(&prepared, flags.has("fast"))
-        .perturbation_gamma(gamma)
-        .try_build()
-        .map_err(|e| e.to_string())?;
+    let mut builder =
+        experiment::flow_builder(&prepared, flags.has("fast")).perturbation_gamma(gamma);
+    if let Some(kind) = precond_from(&flags)? {
+        builder = builder.preconditioner(kind);
+    }
+    let config = builder.try_build().map_err(|e| e.to_string())?;
     let outcome = PowerPlanningDl::new(config.clone())
         .run(&prepared.bench)
         .map_err(|e| e.to_string())?;
