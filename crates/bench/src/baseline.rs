@@ -25,6 +25,53 @@
 
 use ppdl_service::Json;
 
+/// Typed failure modes of the baseline machinery. Every fallible path
+/// returns one of these (not a bare string), so callers — and the CI
+/// exit-code mapping in [`run_cli`] — can distinguish an unusable
+/// input (exit 2) from a genuine regression verdict (exit 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The committed baseline document is malformed.
+    BadBaseline {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The candidate run manifest is malformed.
+    BadManifest {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A file could not be read.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The operating-system error text.
+        detail: String,
+    },
+    /// The run manifest lacks a metric the baseline declares a check
+    /// for — a deleted metric must fail loudly, never silently pass by
+    /// diffing only the intersection.
+    MissingMetric {
+        /// The declared metric that the manifest does not carry.
+        metric: String,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadBaseline { detail } => write!(f, "baseline: {detail}"),
+            Self::BadManifest { detail } => write!(f, "manifest: {detail}"),
+            Self::Io { path, detail } => write!(f, "cannot read {path}: {detail}"),
+            Self::MissingMetric { metric } => {
+                write!(f, "metric '{metric}' missing from manifest")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
 /// Which way a metric is allowed to drift.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
@@ -85,32 +132,34 @@ impl Baseline {
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first malformed field.
-    pub fn parse(text: &str) -> Result<Self, String> {
-        let root = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    /// Returns [`BaselineError::BadBaseline`] describing the first
+    /// malformed field.
+    pub fn parse(text: &str) -> Result<Self, BaselineError> {
+        let bad = |detail: String| BaselineError::BadBaseline { detail };
+        let root = Json::parse(text).map_err(|e| bad(format!("not valid JSON: {e}")))?;
         let experiment = root
             .get("experiment")
             .and_then(Json::as_str)
-            .ok_or("baseline needs a string 'experiment' field")?
+            .ok_or_else(|| bad("needs a string 'experiment' field".into()))?
             .to_string();
         let entries = root
             .get("checks")
             .and_then(Json::as_array)
-            .ok_or("baseline needs a 'checks' array")?;
+            .ok_or_else(|| bad("needs a 'checks' array".into()))?;
         let mut checks = Vec::new();
         for entry in entries {
             let metric = entry
                 .get("metric")
                 .and_then(Json::as_str)
-                .ok_or("every check needs a string 'metric' field")?
+                .ok_or_else(|| bad("every check needs a string 'metric' field".into()))?
                 .to_string();
             let direction = match entry.get("direction").and_then(Json::as_str) {
                 None | Some("higher") => Direction::Higher,
                 Some("lower") => Direction::Lower,
                 Some(other) => {
-                    return Err(format!(
+                    return Err(bad(format!(
                         "check '{metric}': direction must be 'higher' or 'lower', got '{other}'"
-                    ))
+                    )))
                 }
             };
             let check = Check {
@@ -122,10 +171,10 @@ impl Baseline {
                 metric,
             };
             if check.min.is_none() && check.max.is_none() && check.baseline.is_none() {
-                return Err(format!(
+                return Err(bad(format!(
                     "check '{}' has no bound: set 'min', 'max', or 'baseline'",
                     check.metric
-                ));
+                )));
             }
             checks.push(check);
         }
@@ -139,11 +188,17 @@ impl Check {
     #[must_use]
     pub fn evaluate(&self, value: Option<f64>) -> Verdict {
         let Some(v) = value else {
+            // Absence is a hard failure, not a skip: a metric deleted
+            // from the run must never pass by intersection. The detail
+            // carries the typed error's message.
             return Verdict {
                 metric: self.metric.clone(),
                 value: None,
                 ok: false,
-                detail: "metric missing from manifest".into(),
+                detail: BaselineError::MissingMetric {
+                    metric: self.metric.clone(),
+                }
+                .to_string(),
             };
         };
         let mut failures = Vec::new();
@@ -197,12 +252,16 @@ impl Check {
 ///
 /// # Errors
 ///
-/// Returns a message when the document is not JSON or has no metrics
-/// object.
-pub fn manifest_metrics(text: &str) -> Result<Vec<(String, f64)>, String> {
-    let root = Json::parse(text).map_err(|e| format!("manifest is not valid JSON: {e}"))?;
+/// Returns [`BaselineError::BadManifest`] when the document is not
+/// JSON or has no metrics object.
+pub fn manifest_metrics(text: &str) -> Result<Vec<(String, f64)>, BaselineError> {
+    let root = Json::parse(text).map_err(|e| BaselineError::BadManifest {
+        detail: format!("not valid JSON: {e}"),
+    })?;
     let Some(Json::Obj(fields)) = root.get("metrics") else {
-        return Err("manifest has no 'metrics' object".into());
+        return Err(BaselineError::BadManifest {
+            detail: "no 'metrics' object".into(),
+        });
     };
     Ok(fields
         .iter()
@@ -211,12 +270,14 @@ pub fn manifest_metrics(text: &str) -> Result<Vec<(String, f64)>, String> {
 }
 
 /// Diffs a candidate manifest against a baseline: one verdict per
-/// check, in baseline order.
+/// check, in baseline order. Every declared check is evaluated — a
+/// metric absent from the manifest yields a failing
+/// [`BaselineError::MissingMetric`] verdict rather than being skipped.
 ///
 /// # Errors
 ///
-/// Propagates manifest-parse errors.
-pub fn diff(baseline: &Baseline, manifest_json: &str) -> Result<Vec<Verdict>, String> {
+/// Propagates manifest-parse errors as [`BaselineError::BadManifest`].
+pub fn diff(baseline: &Baseline, manifest_json: &str) -> Result<Vec<Verdict>, BaselineError> {
     let metrics = manifest_metrics(manifest_json)?;
     let lookup = |name: &str| {
         metrics
@@ -241,8 +302,12 @@ pub fn run_cli(args: &[String]) -> i32 {
         eprintln!("usage: ppdl-bench baseline <baseline.json> <manifest.json>");
         return 2;
     };
-    let read =
-        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| BaselineError::Io {
+            path: path.to_string(),
+            detail: e.to_string(),
+        })
+    };
     let outcome = read(baseline_path)
         .and_then(|text| Baseline::parse(&text))
         .and_then(|baseline| {
@@ -318,22 +383,74 @@ mod tests {
     }
 
     #[test]
-    fn missing_metric_fails() {
+    fn missing_metric_fails_every_declared_check() {
         let b = Baseline::parse(BASELINE).unwrap();
+        // Two of three declared metrics deleted from the run: both must
+        // fail — the diff covers the baseline's checks, never just the
+        // intersection.
         let verdicts = diff(&b, "{\"metrics\": {\"gemm_speedup\": 3.0}}").unwrap();
+        assert_eq!(verdicts.len(), b.checks.len());
         assert!(verdicts[0].ok);
-        assert!(!verdicts[1].ok);
-        assert!(verdicts[1].detail.contains("missing"));
+        for v in &verdicts[1..] {
+            assert!(!v.ok, "{v:?}");
+            assert_eq!(
+                v.detail,
+                BaselineError::MissingMetric {
+                    metric: v.metric.clone()
+                }
+                .to_string()
+            );
+        }
     }
 
     #[test]
     fn malformed_baselines_are_rejected() {
-        assert!(Baseline::parse("not json").is_err());
+        assert!(matches!(
+            Baseline::parse("not json").unwrap_err(),
+            BaselineError::BadBaseline { .. }
+        ));
         assert!(Baseline::parse("{\"experiment\": \"x\"}").is_err());
         let unbounded = r#"{"experiment": "x", "checks": [{"metric": "m"}]}"#;
-        assert!(Baseline::parse(unbounded).unwrap_err().contains("no bound"));
+        assert!(Baseline::parse(unbounded)
+            .unwrap_err()
+            .to_string()
+            .contains("no bound"));
         let bad_dir =
             r#"{"experiment": "x", "checks": [{"metric": "m", "min": 0, "direction": "up"}]}"#;
         assert!(Baseline::parse(bad_dir).is_err());
+        assert!(matches!(
+            manifest_metrics("42").unwrap_err(),
+            BaselineError::BadManifest { .. }
+        ));
+    }
+
+    /// End-to-end exit-code contract of `ppdl-bench baseline`: 0 when
+    /// every check passes, 1 when the manifest is missing a declared
+    /// metric (or regressed), 2 for unusable inputs.
+    #[test]
+    fn run_cli_exit_codes_cover_missing_metrics_and_bad_inputs() {
+        let dir = std::env::temp_dir().join(format!("ppdl-baseline-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, text: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, text).unwrap();
+            path.to_string_lossy().into_owned()
+        };
+        let baseline = write("baseline.json", BASELINE);
+        let ok_manifest = write("ok.json", &manifest(2.4, 215.0, 0.6));
+        let missing_manifest = write("missing.json", "{\"metrics\": {\"gemm_speedup\": 3.0}}");
+        let garbage = write("garbage.json", "not json");
+        let run =
+            |paths: &[&str]| run_cli(&paths.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+        assert_eq!(run(&[&baseline, &ok_manifest]), 0);
+        // A deleted metric is a regression, not a silent pass.
+        assert_eq!(run(&[&baseline, &missing_manifest]), 1);
+        // Unusable inputs (unreadable or unparseable) and bad usage.
+        assert_eq!(run(&[&baseline, &garbage]), 2);
+        let absent = dir.join("absent.json").to_string_lossy().into_owned();
+        assert_eq!(run(&[&baseline, &absent]), 2);
+        assert_eq!(run(&[&baseline]), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -24,6 +24,7 @@ mod fig9_perturbation;
 mod kernels;
 mod serve_saturation;
 mod serve_throughput;
+mod synth_oracle;
 mod table2_benchmarks;
 mod table3_worst_ir;
 mod table4_speedup;
@@ -166,6 +167,14 @@ pub const REGISTRY: &[ExperimentDef] = &[
         default_scale: 0.02,
         run: kernels::run,
     },
+    ExperimentDef {
+        name: "synth_oracle",
+        aliases: &["synth"],
+        title:
+            "Synthesis: predictor-in-the-loop template annealing vs conventional full-solve count",
+        default_scale: 0.01,
+        run: synth_oracle::run,
+    },
 ];
 
 /// Looks up an experiment by canonical name or alias.
@@ -297,7 +306,7 @@ mod tests {
 
     #[test]
     fn registry_names_and_aliases_resolve_uniquely() {
-        assert_eq!(REGISTRY.len(), 15);
+        assert_eq!(REGISTRY.len(), 16);
         let mut seen = std::collections::BTreeSet::new();
         for def in REGISTRY {
             assert!(seen.insert(def.name), "duplicate name {}", def.name);

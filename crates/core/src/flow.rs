@@ -128,6 +128,17 @@ impl DlFlowConfigBuilder {
         self
     }
 
+    /// Sets the per-iteration widening multiplier of the conventional
+    /// sizing loop (shorthand for the common case of
+    /// [`conventional`](Self::conventional)). Finer factors converge
+    /// tighter margins at the price of more full-solve iterations —
+    /// the trade the synthesis experiment measures.
+    #[must_use]
+    pub fn widen_factor(mut self, factor: f64) -> Self {
+        self.config.conventional.widen_factor = factor;
+        self
+    }
+
     /// Selects the preconditioner for the conventional sizing's
     /// analysis solves (shorthand for the common case of
     /// [`conventional`](Self::conventional)).

@@ -58,6 +58,7 @@ pub mod predict;
 mod predictor;
 mod predictor_persist;
 mod spatial;
+pub mod synth;
 
 pub use backend::{BackendKind, BackendModel, InputSpec};
 pub use calibrate::{calibrate_to_worst_ir, calibration_tolerance};
@@ -73,6 +74,7 @@ pub use perturb::{run_perturbation_sweep, Perturbation, PerturbationKind};
 pub use predict::{BundleMeta, PredictRequest, PredictResponse, Prediction, TrainedBundle};
 pub use predictor::{segment_dataset, PredictorConfig, TrainSummary, WidthMetrics, WidthPredictor};
 pub use spatial::{RasterMaps, SpatialArch, SpatialPredictor};
+pub use synth::{synthesize, SynthConfig, SynthResult};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

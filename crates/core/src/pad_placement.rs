@@ -269,6 +269,39 @@ mod tests {
         assert!(r.chosen.iter().all(|n| sites.contains(n)));
     }
 
+    /// Regression guard for greedy re-selection: when the requested pin
+    /// count equals the entire (strided) candidate pool, the only way
+    /// to satisfy it is to pick every candidate exactly once — any
+    /// round that re-selected an already-chosen index would either
+    /// duplicate a node or run out of sites.
+    #[test]
+    fn full_pool_request_exhausts_every_candidate_exactly_once() {
+        let b = bench();
+        let stride = 7;
+        let pool: Vec<NodeId> = PadPlacer::candidate_sites(&b)
+            .into_iter()
+            .step_by(stride)
+            .collect();
+        assert!(pool.len() >= 3, "strided pool too small to exercise");
+        let r = PadPlacer::new(pool.len())
+            .with_candidate_stride(stride)
+            .place(&b)
+            .unwrap();
+        assert_eq!(r.chosen.len(), pool.len());
+        let mut distinct = r.chosen.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert_eq!(distinct.len(), pool.len(), "a pin node was selected twice");
+        let mut expected = pool;
+        expected.sort();
+        assert_eq!(distinct, expected, "selection must cover the whole pool");
+        assert_eq!(
+            r.bench.network().voltage_sources().len(),
+            r.chosen.len(),
+            "one source per chosen pin"
+        );
+    }
+
     #[test]
     fn greedy_beats_arbitrary_prefix() {
         // The greedy k-pin placement should beat (or match) simply

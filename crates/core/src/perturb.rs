@@ -329,6 +329,67 @@ mod tests {
         }
     }
 
+    /// One failing evaluation point must land as `Err` in its own slot
+    /// while every other point still returns `Ok` — and the whole
+    /// result vector (including which slot failed and the surviving
+    /// values, bit for bit) must not depend on the thread count.
+    #[test]
+    fn one_failing_point_is_isolated_to_its_slot() {
+        use ppdl_solver::parallel::DEFAULT_PAR_THRESHOLD;
+        use ppdl_solver::{set_par_threshold, set_threads};
+
+        let b = bench();
+        let points: Vec<Perturbation> = [0.1, 0.2, 0.3, 0.4]
+            .iter()
+            .map(|&g| Perturbation::new(g, PerturbationKind::Both, 11).unwrap())
+            .collect();
+        let failing_gamma = points[2].gamma();
+        let sweep = |threads: usize| {
+            set_threads(threads);
+            set_par_threshold(1);
+            let out = run_perturbation_sweep(&b, &points, |perturbed, p| {
+                if p.gamma() == failing_gamma {
+                    Err(crate::CoreError::InvalidConfig {
+                        detail: format!("injected failure at gamma {}", p.gamma()),
+                    })
+                } else {
+                    Ok(perturbed.network().total_load_current())
+                }
+            });
+            set_threads(0);
+            set_par_threshold(DEFAULT_PAR_THRESHOLD);
+            out
+        };
+
+        let one = sweep(1);
+        let four = sweep(4);
+        for results in [&one, &four] {
+            assert_eq!(results.len(), points.len());
+            for (i, slot) in results.iter().enumerate() {
+                if i == 2 {
+                    let err = slot.as_ref().unwrap_err();
+                    assert!(
+                        err.to_string().contains("injected failure"),
+                        "slot 2 should carry the injected error, got {err}"
+                    );
+                } else {
+                    assert!(slot.is_ok(), "slot {i} should survive the failing point");
+                }
+            }
+        }
+        for (a, b) in one.iter().zip(&four) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "surviving value differs between 1 and 4 threads"
+                ),
+                (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string()),
+                _ => panic!("slot outcome flipped with the thread count"),
+            }
+        }
+    }
+
     #[test]
     fn labels_match_figure_legend() {
         assert_eq!(PerturbationKind::ALL.len(), 3);

@@ -77,6 +77,11 @@ pub struct PredictRequest {
     pub perturbation: Option<Perturbation>,
     /// `(load index, amps)` overrides applied after the perturbation.
     pub load_overrides: Vec<(usize, f64)>,
+    /// Explicit per-strap widths to evaluate instead of the model's
+    /// inference (one entry per strap). When set, [`predict`] skips the
+    /// width network and scores exactly these widths with the Kirchhoff
+    /// IR estimator — the synthesis optimizer's cost-oracle mode.
+    pub width_overrides: Option<Vec<f64>>,
     /// Segment-sampling stride override; `None` uses the bundle's
     /// configured stride.
     pub stride: Option<usize>,
@@ -90,6 +95,7 @@ impl PredictRequest {
             id: id.into(),
             perturbation: None,
             load_overrides: Vec::new(),
+            width_overrides: None,
             stride: None,
         }
     }
@@ -115,6 +121,14 @@ impl PredictRequest {
         self
     }
 
+    /// Asks for these exact per-strap widths to be scored instead of
+    /// running width inference (the synthesis oracle mode).
+    #[must_use]
+    pub fn with_widths(mut self, widths: Vec<f64>) -> Self {
+        self.width_overrides = Some(widths);
+        self
+    }
+
     /// Validates the request's own fields (overrides finite and
     /// non-negative, stride non-zero when given).
     ///
@@ -133,6 +147,20 @@ impl PredictRequest {
             return Err(CoreError::InvalidConfig {
                 detail: "inference stride must be at least 1".into(),
             });
+        }
+        if let Some(widths) = &self.width_overrides {
+            if widths.is_empty() {
+                return Err(CoreError::InvalidConfig {
+                    detail: "width overrides must name at least one strap".into(),
+                });
+            }
+            for (i, &w) in widths.iter().enumerate() {
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(CoreError::InvalidConfig {
+                        detail: format!("width override [{i}] = {w} must be finite and > 0"),
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -158,6 +186,11 @@ impl PredictRequest {
             }
             bench.network_mut().set_load_current(index, amps)?;
         }
+        if let Some(widths) = &self.width_overrides {
+            // set_strap_widths enforces the one-entry-per-strap length
+            // contract and re-derives every segment/via resistance.
+            bench.set_strap_widths(widths)?;
+        }
         Ok(bench)
     }
 
@@ -179,6 +212,7 @@ impl PredictRequest {
         };
         perturbation_eq
             && self.load_overrides == other.load_overrides
+            && self.width_overrides == other.width_overrides
             && self.stride == other.stride
     }
 
@@ -203,6 +237,15 @@ impl PredictRequest {
         for &(index, amps) in &self.load_overrides {
             h.write_u64("index", index as u64);
             h.write_f64("amps", amps);
+        }
+        match &self.width_overrides {
+            Some(widths) => {
+                h.write_u64("widths", widths.len() as u64);
+                for &w in widths {
+                    h.write_f64("width", w);
+                }
+            }
+            None => h.write_str("widths", "inferred"),
         }
         match self.stride {
             Some(s) => h.write_u64("stride", s as u64),
@@ -262,7 +305,14 @@ pub fn predict(
     let stride = request.stride.unwrap_or(default_stride).max(1);
     // ppdl-lint: allow(determinism/wall-clock) -- reports dl_ms latency alongside the prediction; the widths themselves are deterministic
     let t0 = Instant::now();
-    let widths = predictor.predict_strap_widths_sampled(&test_bench, stride)?;
+    // Width overrides short-circuit inference: the request names the
+    // exact widths to score (already applied to `test_bench` by
+    // `apply`), so only the Kirchhoff IR estimate runs — the cheap
+    // cost-oracle path the synthesis optimizer hammers.
+    let widths = match &request.width_overrides {
+        Some(w) => w.clone(),
+        None => predictor.predict_strap_widths_sampled(&test_bench, stride)?,
+    };
     let ir = IrPredictor::new().predict(&test_bench, &widths)?;
     let dl_secs = t0.elapsed().as_secs_f64();
     Ok(Prediction {
@@ -911,6 +961,40 @@ mod tests {
     }
 
     #[test]
+    fn width_overrides_bypass_inference_and_score_exact_widths() {
+        let bundle = fast_bundle();
+        let base = bundle.instantiate_base().unwrap();
+        let widths = vec![2.5; base.straps().len()];
+        let request = PredictRequest::new("oracle").with_widths(widths.clone());
+        let p = predict(
+            &bundle.predictor,
+            &base,
+            &request,
+            bundle.meta.inference_stride,
+        )
+        .unwrap();
+        assert_eq!(p.response.widths, widths);
+        assert_eq!(p.test_bench.strap_widths(), widths);
+        // The score is the IR estimate for exactly those widths on the
+        // overridden design.
+        let direct = IrPredictor::new().predict(&p.test_bench, &widths).unwrap();
+        assert_eq!(p.response.worst_ir_mv, direct.worst_mv());
+        // Wrong length and non-positive widths are typed errors.
+        assert!(PredictRequest::new("x")
+            .with_widths(vec![1.0; 3])
+            .apply(&base)
+            .is_err());
+        assert!(PredictRequest::new("x")
+            .with_widths(vec![0.0])
+            .validate()
+            .is_err());
+        assert!(PredictRequest::new("x")
+            .with_widths(Vec::new())
+            .validate()
+            .is_err());
+    }
+
+    #[test]
     fn fingerprint_ignores_id_and_tracks_payload() {
         let p = Perturbation::new(0.1, PerturbationKind::Both, 5).unwrap();
         let a = PredictRequest::new("a").with_perturbation(p);
@@ -930,6 +1014,12 @@ mod tests {
                 .with_stride(2)
                 .fingerprint()
         );
+        let widened = PredictRequest::new("a")
+            .with_perturbation(p)
+            .with_widths(vec![1.5, 2.0]);
+        assert_ne!(a.fingerprint(), widened.fingerprint());
+        assert!(!a.payload_eq(&widened));
+        assert!(widened.payload_eq(&widened.clone()));
     }
 
     #[test]

@@ -559,6 +559,79 @@ impl SyntheticBenchmark {
         Ok(())
     }
 
+    /// Partitions the straps into `per_orientation` contiguous bands
+    /// per direction for template-based synthesis (OpeNPDN-style: one
+    /// width template per region rather than one free width per strap).
+    ///
+    /// Straps of each orientation are ordered by centreline position
+    /// and split into bands of near-equal size; vertical bands come
+    /// first, then horizontal, so region `i` always means the same
+    /// physical stripe for a given grid. Every strap lands in exactly
+    /// one region, and no region is empty (directions with fewer straps
+    /// than `per_orientation` yield fewer, non-empty bands).
+    #[must_use]
+    pub fn strap_regions(&self, per_orientation: usize) -> Vec<Vec<usize>> {
+        let per_orientation = per_orientation.max(1);
+        let mut regions = Vec::new();
+        for orientation in [Orientation::Vertical, Orientation::Horizontal] {
+            let mut ids: Vec<usize> = (0..self.straps.len())
+                .filter(|&i| self.straps[i].orientation == orientation)
+                .collect();
+            ids.sort_by(|&a, &b| {
+                self.straps[a]
+                    .position
+                    .total_cmp(&self.straps[b].position)
+                    .then(a.cmp(&b))
+            });
+            if ids.is_empty() {
+                continue;
+            }
+            let bands = per_orientation.min(ids.len());
+            // Spread the remainder over the leading bands so sizes
+            // differ by at most one.
+            let (base, extra) = (ids.len() / bands, ids.len() % bands);
+            let mut start = 0;
+            for b in 0..bands {
+                let len = base + usize::from(b < extra);
+                regions.push(ids[start..start + len].to_vec());
+                start += len;
+            }
+        }
+        regions
+    }
+
+    /// Applies one width per region (as produced by
+    /// [`strap_regions`](Self::strap_regions)): every strap in region
+    /// `i` is set to `widths[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InfeasibleGrid`] on a length mismatch
+    /// between `regions` and `widths`, and propagates
+    /// [`set_strap_width`](Self::set_strap_width) errors for invalid
+    /// widths or stale strap indices.
+    pub fn apply_region_widths(
+        &mut self,
+        regions: &[Vec<usize>],
+        widths: &[f64],
+    ) -> crate::Result<()> {
+        if regions.len() != widths.len() {
+            return Err(NetlistError::InfeasibleGrid {
+                detail: format!(
+                    "{} region widths provided for {} regions",
+                    widths.len(),
+                    regions.len()
+                ),
+            });
+        }
+        for (region, &width) in regions.iter().zip(widths) {
+            for &strap in region {
+                self.set_strap_width(strap, width)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Applies a full load-current vector (one entry per current load,
     /// in [`PowerGridNetwork::current_loads`] order) — the bulk form of
     /// [`PowerGridNetwork::set_load_current`], used to restore cached
@@ -761,5 +834,47 @@ mod tests {
         let b = SyntheticBenchmark::generate("t", spec, small_floorplan()).unwrap();
         // 25% of 40 nodes = 10 sources.
         assert_eq!(b.network().voltage_sources().len(), 10);
+    }
+
+    #[test]
+    fn strap_regions_partition_every_strap_once() {
+        let b = SyntheticBenchmark::generate("t", small_spec(), small_floorplan()).unwrap();
+        // 4 vertical + 5 horizontal straps, 2 bands each direction.
+        let regions = b.strap_regions(2);
+        assert_eq!(regions.len(), 4);
+        let mut seen: Vec<usize> = regions.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..b.straps().len()).collect::<Vec<_>>());
+        assert!(regions.iter().all(|r| !r.is_empty()));
+        // Bands are contiguous in position and single-orientation.
+        for region in &regions {
+            let o = b.straps()[region[0]].orientation;
+            assert!(region.iter().all(|&i| b.straps()[i].orientation == o));
+            for pair in region.windows(2) {
+                assert!(b.straps()[pair[0]].position <= b.straps()[pair[1]].position);
+            }
+        }
+        // More bands than straps degrades to one strap per band, never
+        // an empty band.
+        let fine = b.strap_regions(100);
+        assert_eq!(fine.len(), b.straps().len());
+        assert!(fine.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn region_widths_apply_per_band_and_reject_mismatch() {
+        let mut b = SyntheticBenchmark::generate("t", small_spec(), small_floorplan()).unwrap();
+        let regions = b.strap_regions(2);
+        let widths: Vec<f64> = (0..regions.len()).map(|i| 1.0 + i as f64).collect();
+        b.apply_region_widths(&regions, &widths).unwrap();
+        for (region, &w) in regions.iter().zip(&widths) {
+            for &strap in region {
+                assert_eq!(b.straps()[strap].width, w);
+            }
+        }
+        assert!(b.apply_region_widths(&regions, &widths[1..]).is_err());
+        assert!(b
+            .apply_region_widths(&regions, &vec![-1.0; regions.len()])
+            .is_err());
     }
 }

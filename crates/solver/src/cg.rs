@@ -290,7 +290,12 @@ impl ConjugateGradient {
         self.solve_core(a, b, precond, x)
     }
 
-    /// Deprecated shim for the retired generic surface.
+    /// Deprecated shim for the retired generic surface: forwards to
+    /// [`solve_using`](Self::solve_using) unchanged. New code should
+    /// select a [`PrecondKind`](crate::PrecondKind) via
+    /// [`CgOptions::precond`] and call [`solve`](Self::solve); keep a
+    /// caller-built preconditioner only to amortize one factorization,
+    /// via `solve_using`.
     ///
     /// # Errors
     ///
@@ -309,11 +314,18 @@ impl ConjugateGradient {
         self.solve_using(a, b, precond)
     }
 
-    /// Deprecated shim for the retired generic warm-start surface.
+    /// Deprecated shim for the retired generic warm-start surface:
+    /// forwards to
+    /// [`solve_with_guess_using`](Self::solve_with_guess_using)
+    /// unchanged (it used to reach into the iteration core directly —
+    /// same behaviour, but the forwarding keeps the shims uniform).
+    /// New code should select a [`PrecondKind`](crate::PrecondKind) via
+    /// [`CgOptions::precond`] and call
+    /// [`solve_with_guess`](Self::solve_with_guess).
     ///
     /// # Errors
     ///
-    /// Same as [`solve_using`](Self::solve_using).
+    /// Same as [`solve_with_guess_using`](Self::solve_with_guess_using).
     #[deprecated(
         since = "0.9.0",
         note = "select a PrecondKind via CgOptions and call solve_with_guess(a, b, x0); \
@@ -326,7 +338,7 @@ impl ConjugateGradient {
         precond: &P,
         x: Vec<f64>,
     ) -> crate::Result<CgSolution> {
-        self.solve_core(a, b, precond, x)
+        self.solve_with_guess_using(a, b, precond, x)
     }
 
     /// The PCG iteration shared by every public entry point.

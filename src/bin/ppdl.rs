@@ -6,6 +6,8 @@
 //! ppdl flow --preset ibmpg2 --scale 0.01 [--fast] [--gamma 0.1] [--model model.ppdl]
 //!           [--precond jacobi|block-jacobi|ic0|none|direct]
 //! ppdl train --preset ibmpg2 --scale 0.006 --out model.bundle [--fast] [--backend mlp|cnn|encdec]
+//! ppdl synth --preset ibmpg2 [--scale 0.01] [--seed 7] [--fast] [--backend mlp|cnn|encdec]
+//!            [--precond ic0] [--budget 1200] [--bundle model.bundle] [--out widths.csv]
 //! ppdl serve --bundle model.bundle [--queue 256] [--batch 64] [--cache 1024] [--telemetry]
 //! ppdl serve --listen 127.0.0.1:7433 --bundle a.bundle --bundle b.bundle [--bundle-dir models/]
 //! ppdl serve --unix /run/ppdl.sock --bundle-dir models/
@@ -24,7 +26,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use powerplanningdl::analysis::{AnalysisOptions, IrDropMap, PreconditionerKind, StaticAnalysis};
-use powerplanningdl::core::{experiment, PowerPlanningDl, TrainedBundle, WidthPredictor};
+use powerplanningdl::core::{
+    experiment, synthesize, PowerPlanningDl, SynthConfig, TrainedBundle, WidthPredictor,
+};
 use powerplanningdl::floorplan::SvgOptions;
 use powerplanningdl::netlist::{parse_spice, IbmPgPreset, Orientation, SyntheticBenchmark};
 use powerplanningdl::service::{
@@ -38,6 +42,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("flow") => cmd_flow(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
@@ -64,6 +69,8 @@ USAGE:
             [--precond <kind>]
   ppdl train --preset <name> [--scale <f>] [--seed <n>] [--fast]
              [--backend mlp|cnn|encdec] --out <model.bundle>
+  ppdl synth --preset <name> [--scale <f>] [--seed <n>] [--fast] [--backend <kind>]
+             [--precond <kind>] [--budget <n>] [--bundle <model.bundle>] [--out <widths.csv>]
   ppdl serve --bundle <model.bundle> [--queue <n>] [--batch <n>] [--cache <n>] [--telemetry]
   ppdl serve --listen <addr:port> | --unix <sock> (--bundle <f>)* [--bundle-dir <dir>]
              [--pending <n>] [--max-clients <n>]
@@ -72,6 +79,13 @@ Every subcommand also accepts --threads <n> (pin the worker pool before
 the first kernel runs; overrides PPDL_THREADS). analyze and flow accept
 --precond <none|jacobi|block-jacobi|ic0|direct> to pick the
 preconditioner of the conventional IR-drop solves (default ic0).
+
+synth runs predictor-in-the-loop synthesis: it trains (or loads, with
+--bundle) a width model, anneals one width template per grid region
+with the model as cost oracle, and verifies the result with real MNA
+solves only at escalations and termination. --budget caps the oracle
+calls; the run is bitwise deterministic for a fixed --seed at any
+--threads count.
 
 serve reads NDJSON requests from stdin and answers on stdout, e.g.
   {\"id\":\"q1\",\"gamma\":0.1,\"kind\":\"both\",\"seed\":5}
@@ -351,6 +365,98 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         bundle.golden_widths.len(),
         bundle.meta.inference_stride
     );
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["fast"])?;
+    apply_threads(&flags)?;
+    let scale: f64 = flags.get_parse("scale", 0.01)?;
+    let seed: u64 = flags.get_parse("seed", 7)?;
+
+    // The oracle: a persisted bundle when given, otherwise train one
+    // in-process exactly like `ppdl train` would.
+    let bundle = match flags.get("bundle") {
+        Some(path) => {
+            let bundle = TrainedBundle::load(path).map_err(|e| e.to_string())?;
+            println!("loaded bundle {path} ({})", bundle.meta.label());
+            bundle
+        }
+        None => {
+            let preset = preset_from(&flags)?;
+            let mut builder = powerplanningdl::core::DlFlowConfig::builder().seed(seed);
+            if flags.has("fast") {
+                builder = builder.fast();
+            }
+            if let Some(tag) = flags.get("backend") {
+                let kind =
+                    powerplanningdl::core::BackendKind::parse(tag).map_err(|e| e.to_string())?;
+                builder = builder.backend(kind);
+            }
+            let config = builder.try_build().map_err(|e| e.to_string())?;
+            TrainedBundle::train(preset, scale, seed, config, None).map_err(|e| e.to_string())?
+        }
+    };
+
+    let mut config = if flags.has("fast") {
+        SynthConfig::fast()
+    } else {
+        SynthConfig::default()
+    };
+    config.seed = seed;
+    config.budget = flags.get_parse("budget", config.budget)?;
+    if let Some(kind) = precond_from(&flags)? {
+        config.precond = kind;
+    }
+    let result = synthesize(&bundle, &config, None).map_err(|e| e.to_string())?;
+
+    println!(
+        "template:         {} regions x {}-level ladder ({:.3}..{:.3} um)",
+        result.regions,
+        result.ladder.len(),
+        result.ladder.first().copied().unwrap_or(0.0),
+        result.ladder.last().copied().unwrap_or(0.0)
+    );
+    println!(
+        "search:           {} proposed, {} accepted over {} rounds ({} oracle calls)",
+        result.proposed, result.accepted, result.rounds, result.oracle_calls
+    );
+    println!(
+        "verification:     {} full MNA solves, {} repair round(s)",
+        result.full_solves, result.repair_rounds
+    );
+    println!(
+        "worst IR:         {:.3} mV verified vs {:.3} mV target ({})",
+        result.worst_ir_mv(),
+        result.target_worst_ir * 1e3,
+        if result.feasible {
+            "feasible"
+        } else {
+            "INFEASIBLE"
+        }
+    );
+    println!(
+        "metal area:       {:.0} um^2 ({:+.1}% vs golden widths)",
+        result.metal_area,
+        100.0 * (result.metal_area - result.golden_metal_area) / result.golden_metal_area
+    );
+
+    if let Some(out) = flags.get("out") {
+        let mut csv = String::from("strap,width_um\n");
+        for (i, w) in result.widths.iter().enumerate() {
+            csv.push_str(&format!("{i},{w}\n"));
+        }
+        std::fs::write(out, csv).map_err(|e| e.to_string())?;
+        println!("wrote {out} ({} strap widths)", result.widths.len());
+    }
+    if !result.feasible {
+        return Err(format!(
+            "synthesis missed the IR margin: {:.3} mV > {:.3} mV after {} repair round(s)",
+            result.worst_ir_mv(),
+            result.target_worst_ir * 1e3,
+            result.repair_rounds
+        ));
+    }
     Ok(())
 }
 
