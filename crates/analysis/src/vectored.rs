@@ -154,6 +154,7 @@ impl VectoredAnalysis {
         // Each step is an independent cold-start solve on a private copy
         // of the grid, so steps parallelize without changing any result.
         let steps: Vec<usize> = (0..trace.len()).collect();
+        // ppdl-lint: allow(determinism/tainted-parallel) -- over-approximated edge: the untyped `.build()` in mna.rs resolves to MlpBuilder::build by name; StaticAnalysis::solve builds no network and the only RNG on that chain is seeded weight init
         let solved = ppdl_solver::parallel::par_map_vec(&steps, |_, &t| {
             let mut working = network.clone();
             for (i, (b, f)) in base.iter().zip(trace.step(t)).enumerate() {

@@ -393,6 +393,7 @@ impl PowerPlanningDl {
         run_stage(&TrainStage, &mut ctx)?;
         let shared_records = std::mem::take(&mut ctx.records);
 
+        // ppdl-lint: allow(determinism/tainted-parallel) -- each point's RNG is StdRng seeded from its own Perturbation seed (bitwise deterministic; perturb::tests::deterministic_per_seed) and run_stage's clock read is span telemetry under its own wall-clock allow
         let points = ppdl_solver::parallel::par_map_vec(perturbations, |_, p| {
             let mut point_ctx = ctx.clone();
             let outcome = (|| {

@@ -199,6 +199,7 @@ where
     R: Send,
     F: Fn(&SyntheticBenchmark, &Perturbation) -> crate::Result<R> + Sync,
 {
+    // ppdl-lint: allow(determinism/tainted-parallel) -- apply() seeds StdRng from the perturbation's own seed field, so every item is bitwise deterministic regardless of scheduling (tests::deterministic_per_seed)
     ppdl_solver::parallel::par_map_vec(perturbations, |_, p| {
         let perturbed = p.apply(bench)?;
         eval(&perturbed, p)

@@ -338,6 +338,7 @@ fn best_step(
         return Ok(None);
     }
     let scored: Vec<crate::Result<(f64, f64)>> =
+        // ppdl-lint: allow(determinism/tainted-parallel) -- oracle_eval -> predict reaches Perturbation::apply (StdRng seeded per perturbation) and predict's clock read is telemetry under its own wall-clock allow; candidate scoring is bitwise deterministic
         ppdl_solver::parallel::par_map_vec(&movable, |_, &r| {
             let mut next = levels.to_vec();
             next[r] = if up { next[r] + 1 } else { next[r] - 1 };
@@ -512,6 +513,7 @@ pub fn synthesize(
         // Deterministic fan-out: par_map_vec fills slot i with
         // candidate i's score regardless of thread interleaving.
         let scored: Vec<crate::Result<(f64, f64)>> =
+            // ppdl-lint: allow(determinism/tainted-parallel) -- oracle_eval -> predict reaches Perturbation::apply (StdRng seeded per perturbation) and predict's clock read is telemetry under its own wall-clock allow; candidate scoring is bitwise deterministic
             ppdl_solver::parallel::par_map_vec(&candidates, |_, cand| {
                 let widths = expand(&regions, &ladder, cand, n_straps);
                 oracle_eval(bundle, &base, &widths)

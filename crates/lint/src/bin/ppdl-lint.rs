@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ppdl_lint::{baseline, findings_to_json, lint_workspace, Finding, RULES};
+use ppdl_lint::{baseline, findings_to_json_with_stats, lint_workspace_with_stats, Finding, RULES};
 
 const USAGE: &str = "\
 ppdl-lint — workspace invariant checker (DESIGN.md §12)
@@ -19,8 +19,9 @@ OPTIONS:
     --root <dir>        Workspace root to lint (default: .)
     --baseline <file>   Baseline file (default: <root>/lint-baseline.txt)
     --deny              Exit 1 on any finding not covered by the baseline
-    --json              Emit findings as JSON instead of text
+    --json              Emit findings as JSON (with call-graph stats and per-rule timing)
     --update-baseline   Rewrite the baseline with current counts
+    --check-dag         Exit 1 unless lint-layers.txt matches Cargo.toml deps exactly
     --rules             List every rule ID and exit
     --help              Show this help
 ";
@@ -31,6 +32,7 @@ struct Args {
     deny: bool,
     json: bool,
     update_baseline: bool,
+    check_dag: bool,
     list_rules: bool,
 }
 
@@ -41,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         deny: false,
         json: false,
         update_baseline: false,
+        check_dag: false,
         list_rules: false,
     };
     let mut it = std::env::args().skip(1);
@@ -56,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
             "--deny" => args.deny = true,
             "--json" => args.json = true,
             "--update-baseline" => args.update_baseline = true,
+            "--check-dag" => args.check_dag = true,
             "--rules" => args.list_rules = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -82,8 +86,12 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let findings = match lint_workspace(&args.root) {
-        Ok(f) => f,
+    if args.check_dag {
+        return check_dag(&args.root);
+    }
+
+    let (findings, stats) = match lint_workspace_with_stats(&args.root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("error: linting {}: {e}", args.root.display());
             return ExitCode::from(2);
@@ -123,7 +131,7 @@ fn main() -> ExitCode {
     let diff = baseline::diff(&findings, &baseline_counts);
 
     if args.json {
-        println!("{}", findings_to_json(&findings));
+        println!("{}", findings_to_json_with_stats(&findings, Some(&stats)));
     } else {
         report_text(&findings, &diff, &baseline_counts);
     }
@@ -137,6 +145,42 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// `--check-dag`: the declared layering DAG must match the manifests'
+/// workspace-local dependency edges exactly, both directions.
+fn check_dag(root: &std::path::Path) -> ExitCode {
+    let ws = match ppdl_lint::walk::discover_workspace(root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: discovering {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let Some(layering) = ppdl_lint::arch::load_layering(root) else {
+        eprintln!(
+            "error: {} not found under {}",
+            ppdl_lint::arch::LAYERS_FILE,
+            root.display()
+        );
+        return ExitCode::from(2);
+    };
+    let mismatches = ppdl_lint::arch::dag_mismatches(&ws, &layering);
+    if mismatches.is_empty() {
+        println!(
+            "layering DAG matches Cargo.toml workspace deps exactly ({} crates)",
+            ws.crates.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for m in &mismatches {
+        eprintln!("DAG MISMATCH: {m}");
+    }
+    eprintln!(
+        "ppdl-lint: {} mismatch(es) between lint-layers.txt and Cargo.toml",
+        mismatches.len()
+    );
+    ExitCode::FAILURE
 }
 
 fn report_text(findings: &[Finding], diff: &baseline::Diff, baseline_counts: &baseline::Counts) {

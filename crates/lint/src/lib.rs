@@ -35,19 +35,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arch;
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod symbols;
 pub mod walk;
 
 pub use baseline::{count_findings, diff, Counts, Diff};
-pub use rules::{lint_file, FileClass, FileInput, Finding, RULES};
-pub use walk::{discover, lint_workspace};
+pub use rules::{lint_file, lint_files, FileClass, FileInput, Finding, RULES};
+pub use walk::{discover, lint_workspace, lint_workspace_with_stats, LintStats};
 
 /// Renders findings as one JSON object (deterministic key order), for
-/// `--json` mode and machine consumption in CI.
+/// `--json` mode and machine consumption in CI. With `stats`, appends
+/// the size/shape numbers (files, functions, call edges) and per-phase
+/// timings from the run.
 #[must_use]
-pub fn findings_to_json(findings: &[Finding]) -> String {
+pub fn findings_to_json_with_stats(findings: &[Finding], stats: Option<&LintStats>) -> String {
     let mut out = String::from("{\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
@@ -61,8 +67,36 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
             json_str(&f.detail),
         ));
     }
-    out.push_str(&format!("],\"total\":{}}}", findings.len()));
+    out.push_str(&format!("],\"total\":{}", findings.len()));
+    if let Some(s) = stats {
+        out.push_str(&format!(
+            ",\"stats\":{{\"files\":{},\"functions\":{},\"call_edges\":{}",
+            s.files, s.functions, s.call_edges
+        ));
+        out.push_str(",\"findings_by_rule\":{");
+        for (i, (rule, n)) in s.findings_by_rule.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{n}", json_str(rule)));
+        }
+        out.push_str("},\"timing_ms\":{");
+        for (i, (phase, ms)) in s.timing_ms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{ms:.3}", json_str(phase)));
+        }
+        out.push_str("}}");
+    }
+    out.push('}');
     out
+}
+
+/// [`findings_to_json_with_stats`] without the stats block.
+#[must_use]
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    findings_to_json_with_stats(findings, None)
 }
 
 fn json_str(s: &str) -> String {

@@ -1,0 +1,634 @@
+//! A recursive-descent *item* parser over the lexer's token stream.
+//!
+//! The semantic rules need to know which functions exist, what each
+//! file imports, and which impl block a method lives in — nothing
+//! more. So this parser recognises item structure only: `use` trees,
+//! `mod` declarations, `impl`/`trait` headers, and `fn` signatures.
+//! Function *bodies* are never parsed into an expression tree; each is
+//! recorded as a token index range and handed back to the call-graph
+//! builder ([`crate::callgraph`]) as a flat stream. Like the lexer,
+//! the parser is total: unrecognised tokens are skipped, so a
+//! syntactically creative file degrades to weaker analysis instead of
+//! a crash.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One binding introduced by a `use` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// Full path segments (`["ppdl_solver", "parallel", "par_map_vec"]`).
+    pub path: Vec<String>,
+    /// The name the binding is visible as in this file (the last
+    /// segment, or the `as` alias; `"*"` for glob imports).
+    pub alias: String,
+    /// 1-based source line of the `use`.
+    pub line: u32,
+}
+
+/// One function item (free fn, or method in an `impl`/`trait` block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// The `impl`/`trait` self type the fn is a method of, if any.
+    pub self_type: Option<String>,
+    /// Inline `mod` path within the file (usually empty; file-level
+    /// module structure comes from the walk).
+    pub module: Vec<String>,
+    /// Whether the fn is `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body *contents* (exclusive of the
+    /// braces) within the parsed stream; `None` for bodyless trait
+    /// methods.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Everything the item parser extracts from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// All `use` bindings, flattened (groups expanded).
+    pub uses: Vec<UseImport>,
+    /// All function items, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// Parses the item structure of a (test-stripped) token stream.
+#[must_use]
+pub fn parse_items(toks: &[Tok]) -> ParsedFile {
+    let sig: Vec<(usize, &Tok)> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokKind::Comment))
+        .collect();
+    let mut out = ParsedFile::default();
+    let mut p = Parser {
+        toks,
+        sig: &sig,
+        i: 0,
+    };
+    p.items(&mut out, &mut Vec::new(), None, usize::MAX);
+    out
+}
+
+struct Parser<'a> {
+    /// The full token stream (body ranges index into this).
+    toks: &'a [Tok],
+    /// (index-into-toks, token) with comments removed.
+    sig: &'a [(usize, &'a Tok)],
+    /// Cursor into `sig`.
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.sig.get(self.i).map(|(_, t)| *t)
+    }
+
+    fn peek_at(&self, k: usize) -> Option<&'a Tok> {
+        self.sig.get(self.i + k).map(|(_, t)| *t)
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.peek();
+        self.i += 1;
+        t
+    }
+
+    fn eat(&mut self, text: &str) -> bool {
+        if self.peek().is_some_and(|t| t.text == text) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses items until `stop` sig-index (exclusive) or EOF.
+    fn items(
+        &mut self,
+        out: &mut ParsedFile,
+        module: &mut Vec<String>,
+        self_type: Option<&str>,
+        stop: usize,
+    ) {
+        let mut is_pub = false;
+        while self.i < stop.min(self.sig.len()) {
+            let Some(t) = self.peek() else { break };
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "#") => {
+                    self.skip_attribute();
+                    continue; // attributes don't reset pending visibility
+                }
+                (TokKind::Ident, "pub") => {
+                    self.i += 1;
+                    // pub(crate) / pub(in path)
+                    if self.peek().is_some_and(|t| t.text == "(") {
+                        self.skip_balanced("(", ")");
+                    }
+                    is_pub = true;
+                    continue;
+                }
+                (TokKind::Ident, "use") => {
+                    self.i += 1;
+                    self.parse_use(out, t.line);
+                }
+                (TokKind::Ident, "mod") => {
+                    self.i += 1;
+                    let name = match self.peek() {
+                        Some(n) if n.kind == TokKind::Ident => n.text.clone(),
+                        _ => {
+                            self.i += 1;
+                            is_pub = false;
+                            continue;
+                        }
+                    };
+                    self.i += 1;
+                    if self.eat("{") {
+                        let end = self.matching_close("{", "}");
+                        module.push(name);
+                        self.items(out, module, None, end);
+                        module.pop();
+                        self.i = end + 1; // past the `}`
+                    } else {
+                        self.eat(";");
+                    }
+                }
+                (TokKind::Ident, "impl") => {
+                    self.i += 1;
+                    let ty = self.parse_impl_header();
+                    if self.peek().is_some_and(|t| t.text == "{") {
+                        self.i += 1;
+                        let end = self.matching_close("{", "}");
+                        self.items(out, module, ty.as_deref(), end);
+                        self.i = end + 1;
+                    }
+                }
+                (TokKind::Ident, "trait") => {
+                    self.i += 1;
+                    let ty = match self.peek() {
+                        Some(n) if n.kind == TokKind::Ident => Some(n.text.clone()),
+                        _ => None,
+                    };
+                    // Skip to the trait body `{` (supertraits, generics,
+                    // where clauses may intervene).
+                    while let Some(t) = self.peek() {
+                        if t.text == "{" || t.text == ";" {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    if self.eat("{") {
+                        let end = self.matching_close_from(self.i, "{", "}");
+                        self.items(out, module, ty.as_deref(), end);
+                        self.i = end + 1;
+                    }
+                }
+                (TokKind::Ident, "fn") => {
+                    let line = t.line;
+                    self.i += 1;
+                    if let Some(f) = self.parse_fn(line, is_pub, module, self_type) {
+                        out.fns.push(f);
+                    }
+                }
+                // Qualifiers that may precede `fn`.
+                (TokKind::Ident, "const" | "async" | "unsafe" | "extern" | "default") => {
+                    self.i += 1;
+                    if t.text == "extern" && self.peek().is_some_and(|t| t.kind == TokKind::Literal)
+                    {
+                        self.i += 1; // extern "C"
+                    }
+                    if t.text == "const" && self.peek().is_some_and(|t| t.kind == TokKind::Ident) {
+                        // `const NAME: Ty = …;` (not `const fn`): skip the item.
+                        if self.peek().is_some_and(|t| t.text != "fn") {
+                            self.skip_to_semicolon();
+                            is_pub = false;
+                        }
+                    }
+                    continue;
+                }
+                (TokKind::Ident, "static" | "type") => {
+                    self.i += 1;
+                    self.skip_to_semicolon();
+                }
+                (TokKind::Ident, "struct" | "enum" | "union") => {
+                    self.i += 1;
+                    // Skip to `;` (tuple/unit struct) or balanced `{…}`.
+                    while let Some(t) = self.peek() {
+                        match t.text.as_str() {
+                            ";" => {
+                                self.i += 1;
+                                break;
+                            }
+                            "{" => {
+                                self.i += 1;
+                                let end = self.matching_close("{", "}");
+                                self.i = end + 1;
+                                break;
+                            }
+                            "(" => {
+                                self.i += 1;
+                                let end = self.matching_close("(", ")");
+                                self.i = end + 1;
+                            }
+                            _ => self.i += 1,
+                        }
+                    }
+                }
+                (TokKind::Ident, "macro_rules") => {
+                    self.i += 1;
+                    while let Some(t) = self.peek() {
+                        if t.text == "{" {
+                            self.i += 1;
+                            let end = self.matching_close("{", "}");
+                            self.i = end + 1;
+                            break;
+                        }
+                        if t.text == ";" {
+                            self.i += 1;
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                }
+                _ => {
+                    self.i += 1;
+                }
+            }
+            is_pub = false;
+        }
+    }
+
+    /// Parses one `fn` after the keyword; returns the item and leaves
+    /// the cursor past the body (or `;`).
+    fn parse_fn(
+        &mut self,
+        line: u32,
+        is_pub: bool,
+        module: &[String],
+        self_type: Option<&str>,
+    ) -> Option<FnItem> {
+        let name = match self.peek() {
+            Some(n) if n.kind == TokKind::Ident => n.text.clone(),
+            _ => return None,
+        };
+        self.i += 1;
+        if self.peek().is_some_and(|t| t.text == "<") {
+            self.skip_angles();
+        }
+        if !self.eat("(") {
+            return None;
+        }
+        let end = self.matching_close("(", ")");
+        self.i = end + 1;
+        // Return type / where clause: scan to the body `{` or `;` at
+        // bracket depth zero.
+        let mut depth = 0i32;
+        let body = loop {
+            let Some(t) = self.peek() else { break None };
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    self.i += 1;
+                    let close = self.matching_close("{", "}");
+                    let body_start = self.sig.get(self.i).map_or(self.toks.len(), |(j, _)| *j);
+                    let body_end = self.sig.get(close).map_or(self.toks.len(), |(j, _)| *j);
+                    self.i = close + 1;
+                    break Some((body_start, body_end));
+                }
+                ";" if depth == 0 => {
+                    self.i += 1;
+                    break None;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        };
+        Some(FnItem {
+            name,
+            self_type: self_type.map(str::to_string),
+            module: module.to_vec(),
+            is_pub,
+            line,
+            body,
+        })
+    }
+
+    /// Parses an `impl` header (cursor just past `impl`); returns the
+    /// self-type name and leaves the cursor at the body `{` (or
+    /// wherever scanning stopped).
+    fn parse_impl_header(&mut self) -> Option<String> {
+        if self.peek().is_some_and(|t| t.text == "<") {
+            self.skip_angles();
+        }
+        // Collect idents at angle depth 0 until `{`/`where`; if a
+        // top-level `for` appears, restart (the self type follows it).
+        let mut last_ident: Option<String> = None;
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "<") => {
+                    angle += 1;
+                    self.i += 1;
+                }
+                (TokKind::Punct, ">") if angle > 0 => {
+                    angle -= 1;
+                    self.i += 1;
+                }
+                (TokKind::Punct, "{") if angle == 0 => break,
+                (TokKind::Ident, "where") if angle == 0 => break,
+                (TokKind::Ident, "for") if angle == 0 => {
+                    last_ident = None;
+                    self.i += 1;
+                }
+                (TokKind::Ident, name) if angle == 0 => {
+                    if !matches!(name, "dyn" | "crate" | "self" | "super") {
+                        last_ident = Some(name.to_string());
+                    }
+                    self.i += 1;
+                }
+                (TokKind::Punct, "-") if self.peek_at(1).is_some_and(|n| n.text == ">") => {
+                    self.i += 2; // `->` in an Fn() bound: not an angle close
+                }
+                _ => self.i += 1,
+            }
+        }
+        // Skip a trailing where clause to the `{`.
+        while let Some(t) = self.peek() {
+            if t.text == "{" {
+                break;
+            }
+            self.i += 1;
+        }
+        last_ident
+    }
+
+    /// Parses a use tree after the `use` keyword, flattening groups.
+    fn parse_use(&mut self, out: &mut ParsedFile, line: u32) {
+        let mut prefix = Vec::new();
+        self.parse_use_tree(&mut prefix, out, line);
+        self.eat(";");
+    }
+
+    fn parse_use_tree(&mut self, prefix: &mut Vec<String>, out: &mut ParsedFile, line: u32) {
+        loop {
+            match self.peek() {
+                Some(t) if t.kind == TokKind::Ident => {
+                    let seg = t.text.clone();
+                    self.i += 1;
+                    if self.peek().is_some_and(|t| t.text == "::") {
+                        self.i += 1;
+                        prefix.push(seg);
+                        continue;
+                    }
+                    // Leaf: `seg`, `seg as alias`, or end of tree.
+                    let mut alias = seg.clone();
+                    if self.peek().is_some_and(|t| t.text == "as") {
+                        self.i += 1;
+                        if let Some(a) = self.peek() {
+                            if a.kind == TokKind::Ident {
+                                alias = a.text.clone();
+                                self.i += 1;
+                            }
+                        }
+                    }
+                    let mut path = prefix.clone();
+                    if seg != "self" {
+                        path.push(seg);
+                    } else if alias == "self" {
+                        // `use a::b::{self}` binds `b`.
+                        alias = prefix.last().cloned().unwrap_or(alias);
+                    }
+                    out.uses.push(UseImport { path, alias, line });
+                    return;
+                }
+                Some(t) if t.text == "*" => {
+                    self.i += 1;
+                    out.uses.push(UseImport {
+                        path: prefix.clone(),
+                        alias: "*".into(),
+                        line,
+                    });
+                    return;
+                }
+                Some(t) if t.text == "{" => {
+                    self.i += 1;
+                    loop {
+                        if self.peek().is_none() || self.eat("}") {
+                            return;
+                        }
+                        let mut sub = prefix.clone();
+                        self.parse_use_tree(&mut sub, out, line);
+                        if !self.eat(",") {
+                            self.eat("}");
+                            return;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skips a balanced `<…>` group (cursor on the opening `<`),
+    /// treating `->` and `=>` arrows as non-closers.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    let arrow = self.i > 0
+                        && self
+                            .sig
+                            .get(self.i - 1)
+                            .is_some_and(|(_, p)| p.text == "-" || p.text == "=");
+                    if !arrow {
+                        depth -= 1;
+                        if depth == 0 {
+                            self.i += 1;
+                            return;
+                        }
+                    }
+                }
+                ";" | "{" => return, // malformed; bail without consuming
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+
+    /// With the cursor just past an opening delimiter, returns the
+    /// sig-index of its matching closer (or EOF).
+    fn matching_close(&self, open: &str, close: &str) -> usize {
+        self.matching_close_from(self.i, open, close)
+    }
+
+    fn matching_close_from(&self, from: usize, open: &str, close: &str) -> usize {
+        let mut depth = 1i32;
+        let mut j = from;
+        while j < self.sig.len() {
+            let t = self.sig[j].1;
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        if self.eat(open) {
+            let end = self.matching_close(open, close);
+            self.i = (end + 1).min(self.sig.len());
+        }
+    }
+
+    /// Skips to just past the next `;` at delimiter depth zero.
+    fn skip_to_semicolon(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.bump() {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Skips an attribute `#[…]` / `#![…]` (cursor on `#`).
+    fn skip_attribute(&mut self) {
+        self.i += 1; // `#`
+        self.eat("!");
+        self.skip_balanced("[", "]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn free_fns_and_visibility() {
+        let p = parse("pub fn a() {}\nfn b(x: usize) -> usize { x }\npub(crate) fn c() {}");
+        let names: Vec<(&str, bool)> = p.fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(names, vec![("a", true), ("b", false), ("c", true)]);
+        assert!(p.fns.iter().all(|f| f.self_type.is_none()));
+        assert!(p.fns.iter().all(|f| f.body.is_some() == (f.name != "zzz")));
+    }
+
+    #[test]
+    fn impl_methods_carry_self_type() {
+        let p = parse(
+            "struct Grid;\nimpl Grid { pub fn solve(&self) {} fn helper() {} }\n\
+             impl Display for Grid { fn fmt(&self) {} }",
+        );
+        let methods: Vec<(&str, Option<&str>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_type.as_deref()))
+            .collect();
+        assert_eq!(
+            methods,
+            vec![
+                ("solve", Some("Grid")),
+                ("helper", Some("Grid")),
+                ("fmt", Some("Grid")),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_type() {
+        let p = parse("impl<T: Clone> Stack<T> { fn push(&mut self, t: T) {} }");
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Stack"));
+        let p = parse("impl<F: Fn(usize) -> f64> Runner<F> { fn go(&self) {} }");
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Runner"));
+        let p = parse("impl Stage for TrainStage { fn execute(&self) {} }");
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("TrainStage"));
+    }
+
+    #[test]
+    fn use_trees_flatten_with_aliases_and_globs() {
+        let p = parse(
+            "use ppdl_solver::parallel::par_map_vec;\n\
+             use ppdl_core::{predict, synth as synthesis, pipeline::{Stage, self}};\n\
+             use ppdl_obs::*;",
+        );
+        let got: Vec<(String, String)> = p
+            .uses
+            .iter()
+            .map(|u| (u.path.join("::"), u.alias.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (
+                    "ppdl_solver::parallel::par_map_vec".into(),
+                    "par_map_vec".into()
+                ),
+                ("ppdl_core::predict".into(), "predict".into()),
+                ("ppdl_core::synth".into(), "synthesis".into()),
+                ("ppdl_core::pipeline::Stage".into(), "Stage".into()),
+                ("ppdl_core::pipeline".into(), "pipeline".into()),
+                ("ppdl_obs".into(), "*".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn inline_modules_track_path_and_bodies_are_ranges() {
+        let p = parse("mod inner { pub fn deep() { helper(); } }\nfn outer() {}");
+        let deep = p.fns.iter().find(|f| f.name == "deep").unwrap();
+        assert_eq!(deep.module, vec!["inner".to_string()]);
+        let (a, b) = deep.body.unwrap();
+        assert!(b > a, "non-empty body range");
+        let outer = p.fns.iter().find(|f| f.name == "outer").unwrap();
+        assert!(outer.module.is_empty());
+    }
+
+    #[test]
+    fn trait_default_methods_and_bodyless_sigs() {
+        let p = parse("trait Kernel { fn required(&self); fn provided(&self) -> usize { 4 } }");
+        let req = p.fns.iter().find(|f| f.name == "required").unwrap();
+        assert!(req.body.is_none());
+        assert_eq!(req.self_type.as_deref(), Some("Kernel"));
+        let prov = p.fns.iter().find(|f| f.name == "provided").unwrap();
+        assert!(prov.body.is_some());
+    }
+
+    #[test]
+    fn consts_statics_structs_do_not_confuse_items() {
+        let p = parse(
+            "const LIMIT: usize = 8;\nstatic NAME: &str = \"x\";\n\
+             pub struct S { pub field: usize }\nenum E { A, B(usize) }\n\
+             pub const fn cfn() -> usize { LIMIT }\nfn after() {}",
+        );
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["cfn", "after"]);
+        assert!(p.fns.iter().find(|f| f.name == "cfn").unwrap().is_pub);
+    }
+
+    #[test]
+    fn generic_fn_signatures_parse() {
+        let p = parse(
+            "pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>\n\
+             where F: Fn(usize, &T) -> R + Sync { Vec::new() }",
+        );
+        assert_eq!(p.fns[0].name, "par_map");
+        assert!(p.fns[0].body.is_some());
+    }
+}

@@ -56,6 +56,28 @@ pub const ALLOW_WITHOUT_REASON: &str = "hygiene/allow-without-reason";
 /// not exist (typo, or a rule that was renamed — IDs are append-only
 /// precisely so this cannot happen silently).
 pub const UNKNOWN_RULE: &str = "hygiene/unknown-rule";
+/// `arch/layering`: a crate depends on (via `Cargo.toml` or a resolved
+/// `use`/path reference) a workspace crate the declared layering DAG
+/// in `lint-layers.txt` does not allow. The DAG is the architecture;
+/// manifests merely implement it.
+pub const ARCH_LAYERING: &str = "arch/layering";
+/// `determinism/tainted-parallel`: a closure (or fn reference) passed
+/// to a `ppdl_solver::parallel` entry point transitively reaches an
+/// RNG draw, a wall-clock read, or `HashMap`/`HashSet` — through any
+/// number of helper fns. The file-local determinism rules see one
+/// file; this one sees the call graph.
+pub const TAINTED_PARALLEL: &str = "determinism/tainted-parallel";
+/// `robustness/panic-reachable`: an `unwrap`/`expect`/`panic!` (or, in
+/// the `service` crate, arithmetic slice indexing) in library code
+/// that is reachable on the call graph from a serving entry point
+/// (public `ppdl-service` fn) or a `solve*` public API. Panics there
+/// abort the serving process, not a test.
+pub const PANIC_REACHABLE: &str = "robustness/panic-reachable";
+/// `obs/uninstrumented-hot-path`: a function on the blessed hot-path
+/// list (CG inner solve, GEMM kernels, pipeline stage driver, service
+/// batch flush) carries no span/counter telemetry — or has vanished
+/// from its declared location, which would silently drop coverage.
+pub const UNINSTRUMENTED_HOT_PATH: &str = "obs/uninstrumented-hot-path";
 
 /// Every rule ID with a one-line summary, in stable display order.
 pub const RULES: &[(&str, &str)] = &[
@@ -95,6 +117,22 @@ pub const RULES: &[(&str, &str)] = &[
     (
         UNKNOWN_RULE,
         "suppression naming a rule ID that does not exist",
+    ),
+    (
+        ARCH_LAYERING,
+        "crate dependency or use path outside the declared layering DAG (lint-layers.txt)",
+    ),
+    (
+        TAINTED_PARALLEL,
+        "parallel closure transitively reaches RNG, wall clock, or HashMap",
+    ),
+    (
+        PANIC_REACHABLE,
+        "unwrap/expect/panic! reachable from serve or solve* entry points",
+    ),
+    (
+        UNINSTRUMENTED_HOT_PATH,
+        "blessed hot-path fn without a span/counter call (or missing entirely)",
     ),
 ];
 
@@ -192,34 +230,45 @@ fn parse_allows(toks: &[Tok]) -> Vec<Allow> {
     allows
 }
 
-/// Lints one file: lexes, collects suppressions, strips test code,
-/// applies every applicable rule, then resolves suppressions (a valid
-/// allow on the finding's line or the line above removes it).
+/// Lints one file in isolation: lexes, collects suppressions, strips
+/// test code, applies every *file-local* rule, then resolves
+/// suppressions (a valid allow on the finding's line or the line above
+/// removes it). The workspace-wide semantic rules (call-graph
+/// reachability, layering, hot-path coverage) need every file at once
+/// and run only under [`lint_files`].
 #[must_use]
 pub fn lint_file(input: &FileInput<'_>) -> Vec<Finding> {
     let toks = lex(input.source);
     let mut allows = parse_allows(&toks);
-    let code = strip_test_code(&toks);
+    let raw = file_local_findings(input, &toks);
+    resolve_with_allows(input.path, &mut allows, raw)
+}
+
+/// The file-local rules applied to one file's full token stream.
+fn file_local_findings(input: &FileInput<'_>, toks: &[Tok]) -> Vec<Finding> {
+    let code = strip_test_code(toks);
     let sig: Vec<&Tok> = code
         .iter()
         .filter(|t| matches!(t.kind, TokKind::Ident | TokKind::Punct))
         .collect();
-
     let mut raw = Vec::new();
     scan_token_rules(input, &sig, &mut raw);
     check_scalar_matmul(input, &sig, &mut raw);
     if input.is_crate_root && input.crate_name != "bench" {
-        check_forbid_unsafe_root(input, &toks, &mut raw);
+        check_forbid_unsafe_root(input, toks, &mut raw);
     }
+    raw
+}
 
+/// Applies a file's suppressions to its raw findings and appends the
+/// suppression-hygiene findings (which are never suppressible).
+fn resolve_with_allows(path: &str, allows: &mut [Allow], raw: Vec<Finding>) -> Vec<Finding> {
     let mut findings = Vec::new();
-    // Hygiene findings about the suppressions themselves come first and
-    // are never suppressible.
-    for a in &allows {
+    for a in allows.iter() {
         if !a.has_reason {
             findings.push(Finding {
                 rule: ALLOW_WITHOUT_REASON,
-                path: input.path.to_string(),
+                path: path.to_string(),
                 line: a.line,
                 detail: "suppression must carry `-- reason`; it is ignored until it does".into(),
             });
@@ -228,7 +277,7 @@ pub fn lint_file(input: &FileInput<'_>) -> Vec<Finding> {
             if !is_known_rule(r) {
                 findings.push(Finding {
                     rule: UNKNOWN_RULE,
-                    path: input.path.to_string(),
+                    path: path.to_string(),
                     line: a.line,
                     detail: format!("allow names unknown rule '{r}'"),
                 });
@@ -251,11 +300,11 @@ pub fn lint_file(input: &FileInput<'_>) -> Vec<Finding> {
         }
     }
 
-    for a in &allows {
+    for a in allows.iter() {
         if a.has_reason && !a.used && a.rules.iter().all(|r| is_known_rule(r)) {
             findings.push(Finding {
                 rule: UNUSED_ALLOW,
-                path: input.path.to_string(),
+                path: path.to_string(),
                 line: a.line,
                 detail: format!("allow({}) suppresses nothing", a.rules.join(", ")),
             });
@@ -264,6 +313,120 @@ pub fn lint_file(input: &FileInput<'_>) -> Vec<Finding> {
 
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
+}
+
+/// Lints a whole workspace at once: every file-local rule per file,
+/// plus the semantic rules over the symbol table and call graph built
+/// from all files together. Semantic findings are attributed to
+/// (path, line) and flow through the same suppression resolution as
+/// file-local ones; findings on non-source paths (`Cargo.toml`) pass
+/// through unsuppressed. Returns the findings and the size/shape/
+/// timing stats the CLI reports under `--json`.
+#[must_use]
+pub fn lint_files(
+    inputs: &[FileInput<'_>],
+    ws: &crate::walk::WorkspaceInfo,
+    layering: Option<&crate::arch::Layering>,
+) -> (Vec<Finding>, crate::walk::LintStats) {
+    use crate::callgraph::{check_panic_reachable, check_tainted_parallel, CallGraph, Taint};
+    use crate::symbols::{module_path_of, FileSem, Symbols};
+    use std::time::Instant;
+
+    let mut stats = crate::walk::LintStats {
+        files: inputs.len(),
+        ..Default::default()
+    };
+    // ppdl-lint: allow(determinism/wall-clock) -- phase timing reported in --json; the linter is a reporting tool and its output never feeds computation
+    let t0 = Instant::now();
+    let mut last_ms = 0.0f64;
+    let mut mark = |stats: &mut crate::walk::LintStats, phase: &str| {
+        let now_ms = t0.elapsed().as_secs_f64() * 1e3;
+        stats.timing_ms.insert(phase.to_string(), now_ms - last_ms);
+        last_ms = now_ms;
+    };
+
+    // Phase 1: lex, collect suppressions, strip tests, parse items.
+    let mut allows_by_file: Vec<Vec<Allow>> = Vec::with_capacity(inputs.len());
+    let mut full_toks: Vec<Vec<Tok>> = Vec::with_capacity(inputs.len());
+    let mut sems: Vec<FileSem> = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let toks = lex(input.source);
+        allows_by_file.push(parse_allows(&toks));
+        let code = strip_test_code(&toks);
+        let parsed = crate::parse::parse_items(&code);
+        let lib_name = ws
+            .crate_by_dir(input.crate_name)
+            .map_or_else(|| input.crate_name.to_string(), |c| c.lib_name.clone());
+        sems.push(FileSem {
+            path: input.path.to_string(),
+            crate_dir: input.crate_name.to_string(),
+            lib_name,
+            class: input.class,
+            module: module_path_of(input.path),
+            toks: code,
+            parsed,
+        });
+        full_toks.push(toks);
+    }
+    mark(&mut stats, "lex+parse");
+
+    // Phase 2: file-local rules.
+    let mut raw_by_file: Vec<Vec<Finding>> = inputs
+        .iter()
+        .zip(&full_toks)
+        .map(|(input, toks)| file_local_findings(input, toks))
+        .collect();
+    mark(&mut stats, "file-rules");
+
+    // Phase 3: the semantic layer.
+    let symbols = Symbols::build(&sems);
+    let graph = CallGraph::build(&sems, &symbols);
+    stats.functions = symbols.fns.len();
+    stats.call_edges = graph.edge_count;
+    let taint = Taint::compute(&sems, &symbols, &graph);
+    mark(&mut stats, "graph-build");
+
+    let mut semantic = Vec::new();
+    check_tainted_parallel(&sems, &symbols, &taint, &mut semantic);
+    mark(&mut stats, TAINTED_PARALLEL);
+    check_panic_reachable(&sems, &symbols, &graph, &mut semantic);
+    mark(&mut stats, PANIC_REACHABLE);
+    if let Some(l) = layering {
+        crate::arch::check_layering(ws, &sems, l, &mut semantic);
+    }
+    mark(&mut stats, ARCH_LAYERING);
+    crate::arch::check_hot_paths(&sems, &symbols, &graph, &mut semantic);
+    mark(&mut stats, UNINSTRUMENTED_HOT_PATH);
+
+    // Merge: semantic findings join their file's raw set so one allow
+    // line can cover both; findings on non-source paths pass through.
+    let mut findings = Vec::new();
+    let path_index: std::collections::BTreeMap<&str, usize> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.path, i))
+        .collect();
+    for f in semantic {
+        match path_index.get(f.path.as_str()) {
+            Some(&i) => raw_by_file[i].push(f),
+            None => findings.push(f),
+        }
+    }
+    for ((input, allows), raw) in inputs
+        .iter()
+        .zip(&mut allows_by_file)
+        .zip(raw_by_file.drain(..))
+    {
+        findings.extend(resolve_with_allows(input.path, allows, raw));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    for f in &findings {
+        *stats
+            .findings_by_rule
+            .entry(f.rule.to_string())
+            .or_default() += 1;
+    }
+    (findings, stats)
 }
 
 /// Applies the token-pattern rules to the significant (non-comment,

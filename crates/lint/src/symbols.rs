@@ -1,0 +1,316 @@
+//! The workspace symbol table: every function the item parser found,
+//! qualified by crate, module path, and impl type, with the indexes
+//! the call-graph resolver needs.
+//!
+//! Precision policy: resolution must be *useful*, not perfect. Rust's
+//! re-export graph (`pub use` chains) is not modelled; instead, when
+//! an exact `lib::module::name` lookup misses, the table falls back to
+//! matching by `(crate, type, name)` and then `(crate, name)` across
+//! modules. Inside one workspace that fallback is almost always
+//! unambiguous, and where it over-approximates it only *adds* edges —
+//! safe for the reachability rules, which are may-analyses.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::Tok;
+use crate::parse::ParsedFile;
+use crate::rules::FileClass;
+
+/// One function in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index of the owning file in the analysis file list.
+    pub file_idx: usize,
+    /// Crate directory name (`core`, `solver`, `root`, …).
+    pub crate_dir: String,
+    /// Lib target name `use` paths refer to (`ppdl_core`, …).
+    pub lib_name: String,
+    /// Module path within the crate (file path derived + inline mods).
+    pub module: Vec<String>,
+    /// Bare function name.
+    pub name: String,
+    /// Impl/trait self type for methods.
+    pub self_type: Option<String>,
+    /// Whether the fn carries a visibility qualifier.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Body token range in the owning file's stripped stream.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnSym {
+    /// Human-readable qualified name
+    /// (`ppdl_solver::cg::ConjugateGradient::solve`).
+    #[must_use]
+    pub fn qualified(&self) -> String {
+        let mut parts = vec![self.lib_name.clone()];
+        parts.extend(self.module.iter().cloned());
+        if let Some(t) = &self.self_type {
+            parts.push(t.clone());
+        }
+        parts.push(self.name.clone());
+        parts.join("::")
+    }
+}
+
+/// One analyzed file: identity, stripped tokens, and parsed items.
+/// The call-graph builder walks these; the symbol table indexes them.
+#[derive(Debug)]
+pub struct FileSem {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Crate directory name.
+    pub crate_dir: String,
+    /// Lib target name of the owning crate.
+    pub lib_name: String,
+    /// Lib or bin source.
+    pub class: FileClass,
+    /// Module path derived from the file's location under `src/`.
+    pub module: Vec<String>,
+    /// Test-stripped token stream (fn body ranges index into this).
+    pub toks: Vec<Tok>,
+    /// Items the parser extracted.
+    pub parsed: ParsedFile,
+}
+
+/// Derives a file's module path from its path relative to the crate
+/// `src/` dir: `a/b.rs` → `[a, b]`, `a/mod.rs` → `[a]`,
+/// `lib.rs`/`main.rs` → `[]`, `bin/x.rs` → `[]` (bins are their own
+/// crate roots).
+#[must_use]
+pub fn module_path_of(rel_path: &str) -> Vec<String> {
+    let Some(pos) = rel_path.find("src/") else {
+        return Vec::new();
+    };
+    let tail = &rel_path[pos + 4..];
+    if tail == "lib.rs" || tail == "main.rs" || tail.starts_with("bin/") {
+        return Vec::new();
+    }
+    let tail = tail.strip_suffix(".rs").unwrap_or(tail);
+    let mut parts: Vec<String> = tail.split('/').map(str::to_string).collect();
+    if parts.last().is_some_and(|p| p == "mod") {
+        parts.pop();
+    }
+    parts
+}
+
+/// The workspace symbol table.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// All functions, indexed by `FnId` (= position).
+    pub fns: Vec<FnSym>,
+    /// Exact qualified path → fn id.
+    by_qualified: BTreeMap<String, usize>,
+    /// (lib name, bare name) → free-fn ids anywhere in the crate.
+    free_by_crate: BTreeMap<(String, String), Vec<usize>>,
+    /// (type name, method name) → ids.
+    methods_by_type: BTreeMap<(String, String), Vec<usize>>,
+    /// Method name → ids (receiver type unknown at `.m(…)` call sites).
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// Type names that have any impl in the workspace.
+    type_names: BTreeMap<String, ()>,
+}
+
+impl Symbols {
+    /// Builds the table from every analyzed file.
+    #[must_use]
+    pub fn build(files: &[FileSem]) -> Self {
+        let mut s = Symbols::default();
+        for (file_idx, f) in files.iter().enumerate() {
+            for item in &f.parsed.fns {
+                let mut module = f.module.clone();
+                module.extend(item.module.iter().cloned());
+                let id = s.fns.len();
+                let sym = FnSym {
+                    file_idx,
+                    crate_dir: f.crate_dir.clone(),
+                    lib_name: f.lib_name.clone(),
+                    module,
+                    name: item.name.clone(),
+                    self_type: item.self_type.clone(),
+                    is_pub: item.is_pub,
+                    line: item.line,
+                    body: item.body,
+                };
+                s.by_qualified.insert(sym.qualified(), id);
+                match &sym.self_type {
+                    Some(t) => {
+                        s.methods_by_type
+                            .entry((t.clone(), sym.name.clone()))
+                            .or_default()
+                            .push(id);
+                        s.methods_by_name
+                            .entry(sym.name.clone())
+                            .or_default()
+                            .push(id);
+                        s.type_names.insert(t.clone(), ());
+                    }
+                    None => {
+                        s.free_by_crate
+                            .entry((sym.lib_name.clone(), sym.name.clone()))
+                            .or_default()
+                            .push(id);
+                    }
+                }
+                s.fns.push(sym);
+            }
+        }
+        s
+    }
+
+    /// Exact qualified lookup.
+    #[must_use]
+    pub fn by_qualified(&self, q: &str) -> Option<usize> {
+        self.by_qualified.get(q).copied()
+    }
+
+    /// Free fns named `name` anywhere in crate `lib_name`.
+    #[must_use]
+    pub fn free_in_crate(&self, lib_name: &str, name: &str) -> &[usize] {
+        self.free_by_crate
+            .get(&(lib_name.to_string(), name.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Methods `Type::name` anywhere in the workspace.
+    #[must_use]
+    pub fn methods_of(&self, ty: &str, name: &str) -> &[usize] {
+        self.methods_by_type
+            .get(&(ty.to_string(), name.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Methods named `name` on any workspace type.
+    #[must_use]
+    pub fn methods_named(&self, name: &str) -> &[usize] {
+        self.methods_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether any workspace impl block targets `ty`.
+    #[must_use]
+    pub fn is_workspace_type(&self, ty: &str) -> bool {
+        self.type_names.contains_key(ty)
+    }
+
+    /// Resolves an absolute path (first segment = lib name) to fn
+    /// candidates: exact module match first, then crate-wide fallback
+    /// (`pub use` re-exports make exact paths unreliable; see module
+    /// docs).
+    #[must_use]
+    pub fn resolve_absolute(&self, path: &[String]) -> Vec<usize> {
+        if path.len() < 2 {
+            return Vec::new();
+        }
+        if let Some(id) = self.by_qualified(&path.join("::")) {
+            return vec![id];
+        }
+        let lib = &path[0];
+        let name = &path[path.len() - 1];
+        // `lib::…::Type::name` method form: second-to-last segment
+        // names a workspace type.
+        if path.len() >= 3 {
+            let ty = &path[path.len() - 2];
+            if self.is_workspace_type(ty) {
+                let ids: Vec<usize> = self
+                    .methods_of(ty, name)
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.fns[id].lib_name == *lib)
+                    .collect();
+                if !ids.is_empty() {
+                    return ids;
+                }
+            }
+        }
+        self.free_in_crate(lib, name).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+    use crate::parse::parse_items;
+
+    fn file(path: &str, crate_dir: &str, lib: &str, src: &str) -> FileSem {
+        let toks = strip_test_code(&lex(src));
+        let parsed = parse_items(&toks);
+        FileSem {
+            path: path.to_string(),
+            crate_dir: crate_dir.to_string(),
+            lib_name: lib.to_string(),
+            class: FileClass::Lib,
+            module: module_path_of(path),
+            toks,
+            parsed,
+        }
+    }
+
+    #[test]
+    fn module_paths_from_file_layout() {
+        assert!(module_path_of("crates/core/src/lib.rs").is_empty());
+        assert_eq!(
+            module_path_of("crates/core/src/pipeline/mod.rs"),
+            vec!["pipeline"]
+        );
+        assert_eq!(
+            module_path_of("crates/core/src/pipeline/stages.rs"),
+            vec!["pipeline", "stages"]
+        );
+        assert!(module_path_of("src/bin/ppdl.rs").is_empty());
+    }
+
+    #[test]
+    fn qualified_names_and_lookups() {
+        let files = vec![
+            file(
+                "crates/solver/src/cg.rs",
+                "solver",
+                "ppdl_solver",
+                "pub struct Cg;\nimpl Cg { pub fn solve(&self) {} }\nfn helper() {}",
+            ),
+            file(
+                "crates/core/src/synth.rs",
+                "core",
+                "ppdl_core",
+                "pub fn synthesize() {}",
+            ),
+        ];
+        let s = Symbols::build(&files);
+        assert!(s.by_qualified("ppdl_solver::cg::Cg::solve").is_some());
+        assert!(s.by_qualified("ppdl_core::synth::synthesize").is_some());
+        assert_eq!(s.free_in_crate("ppdl_solver", "helper").len(), 1);
+        assert_eq!(s.methods_of("Cg", "solve").len(), 1);
+        assert!(s.is_workspace_type("Cg"));
+    }
+
+    #[test]
+    fn resolve_absolute_handles_reexport_style_paths() {
+        let files = vec![file(
+            "crates/solver/src/csr.rs",
+            "solver",
+            "ppdl_solver",
+            "pub struct CsrMatrix;\nimpl CsrMatrix { pub fn spmv(&self) {} }\npub fn build() {}",
+        )];
+        let s = Symbols::build(&files);
+        // Exact path.
+        let exact: Vec<String> = ["ppdl_solver", "csr", "CsrMatrix", "spmv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(s.resolve_absolute(&exact).len(), 1);
+        // Re-export style path (module omitted) still resolves.
+        let reexport: Vec<String> = ["ppdl_solver", "CsrMatrix", "spmv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(s.resolve_absolute(&reexport).len(), 1);
+        // Crate-wide free-fn fallback.
+        let free: Vec<String> = ["ppdl_solver", "build"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(s.resolve_absolute(&free).len(), 1);
+    }
+}

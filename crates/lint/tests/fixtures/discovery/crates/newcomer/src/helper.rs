@@ -1,0 +1,5 @@
+//! Reached only through `mod helper;` in lib.rs.
+
+pub fn double(x: u64) -> u64 {
+    x * 2
+}

@@ -1,0 +1,10 @@
+//! A crate nobody hand-registered: discovery must find it from the
+//! workspace members list, and `helper` from the `mod` declaration.
+#![forbid(unsafe_code)]
+
+mod helper;
+
+/// Doubles via the helper module.
+pub fn twice(x: u64) -> u64 {
+    helper::double(x)
+}

@@ -1,0 +1,7 @@
+//! The upper layer; depending downward on `leaf` would be legal.
+#![forbid(unsafe_code)]
+
+/// A value for the fixture call chain.
+pub fn run() -> u64 {
+    7
+}

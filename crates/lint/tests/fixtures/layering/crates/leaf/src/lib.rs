@@ -1,0 +1,9 @@
+//! The lower layer — which illegally reaches up into `app`.
+#![forbid(unsafe_code)]
+
+use fixture_app::run;
+
+/// Calls upward against the declared DAG.
+pub fn leaf_value() -> u64 {
+    run()
+}

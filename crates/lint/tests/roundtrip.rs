@@ -18,6 +18,18 @@ impl Fixture {
         let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("lint-rt-{tag}"));
         let _ = fs::remove_dir_all(&root);
         fs::create_dir_all(root.join("crates/demo/src")).unwrap();
+        // Discovery is manifest-driven: the fixture needs a members
+        // list and a package manifest, same as a real workspace.
+        fs::write(
+            root.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/*\"]\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("crates/demo/Cargo.toml"),
+            "[package]\nname = \"demo\"\nversion = \"0.1.0\"\n\n[dependencies]\n",
+        )
+        .unwrap();
         Self { root }
     }
 

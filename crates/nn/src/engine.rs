@@ -77,6 +77,7 @@ pub(crate) fn predict<L: LayerOps>(layers: &[L], x: &Matrix) -> crate::Result<Ma
 
 fn predict_chunked<L: LayerOps>(layers: &[L], x: &Matrix) -> crate::Result<Matrix> {
     let chunks = row_chunks(x.rows());
+    // ppdl-lint: allow(determinism/tainted-parallel) -- over-approximated edge: the untyped `act.apply(v)` in conv.rs resolves to Perturbation::apply by name; activation functions draw no RNG
     let parts = par_map_vec(&chunks, |_, r| -> crate::Result<Matrix> {
         let mut a = x.slice_rows(r.start, r.end);
         for layer in layers {
@@ -177,6 +178,7 @@ pub(crate) fn train_step_chunked<L: LayerOps>(
     let total_rows = x.rows() as f64;
     let shared = &*layers;
     type ChunkResult = (f64, Vec<(Matrix, Vec<f64>)>);
+    // ppdl-lint: allow(determinism/tainted-parallel) -- over-approximated edge: the untyped `act.apply(v)` in conv.rs resolves to Perturbation::apply by name; activation functions draw no RNG
     let results = par_map_vec(&chunks, |_, r| -> crate::Result<ChunkResult> {
         let weight = (r.end - r.start) as f64 / total_rows;
         let xc = x.slice_rows(r.start, r.end);

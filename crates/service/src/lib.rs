@@ -529,6 +529,7 @@ impl ServiceCore {
         let predictor = &self.bundle.predictor;
         let base = &self.base;
         let stride = self.bundle.meta.inference_stride;
+        // ppdl-lint: allow(determinism/tainted-parallel) -- predict reaches Perturbation::apply (StdRng seeded per perturbation) and its clock read is latency telemetry under its own wall-clock allow; replies are bitwise deterministic per request
         let computed = ppdl_solver::parallel::par_map_vec(&misses, |_, request| {
             predict(predictor, base, request, stride)
         });

@@ -187,7 +187,7 @@ impl TripletMatrix {
             indptr.push(indices.len());
         }
         CsrMatrix::from_raw_parts(self.nrows, self.ncols, indptr, indices, data)
-            // ppdl-lint: allow(robustness/unwrap-in-lib) -- indptr/indices/data are built sorted and in-bounds by the loop above; to_csr is infallible by construction and returning Result would ripple an impossible error through every assembly site
+            // ppdl-lint: allow(robustness/unwrap-in-lib, robustness/panic-reachable) -- indptr/indices/data are built sorted and in-bounds by the loop above; to_csr is infallible by construction and returning Result would ripple an impossible error through every assembly site
             .expect("triplet-to-CSR conversion produced invalid structure")
     }
 

@@ -25,6 +25,42 @@ fn workspace_is_lint_clean_against_committed_baseline() {
 }
 
 #[test]
+fn semantic_rules_are_registered_and_workspace_is_fully_clean() {
+    // The graph-based rule families from DESIGN.md §12 must stay
+    // registered — a regression that drops one would silently stop
+    // enforcing layering/taint/reachability on every future change.
+    for id in [
+        "arch/layering",
+        "determinism/tainted-parallel",
+        "robustness/panic-reachable",
+        "obs/uninstrumented-hot-path",
+    ] {
+        assert!(
+            ppdl_lint::rules::RULES.iter().any(|(r, _)| *r == id),
+            "rule '{id}' missing from the RULES registry"
+        );
+    }
+
+    // Stronger than the baseline diff above: the workspace is fully
+    // clean (every finding fixed or reason-annotated), so the committed
+    // baseline must be empty and stay that way.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = ppdl_lint::lint_workspace(root).expect("lint workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace must be lint-clean with an empty baseline:\n{findings:#?}"
+    );
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint-baseline.txt")).expect("read lint-baseline.txt");
+    assert!(
+        baseline_text
+            .lines()
+            .all(|l| l.trim().is_empty() || l.trim_start().starts_with('#')),
+        "lint-baseline.txt must stay empty (shrink-only ratchet at zero):\n{baseline_text}"
+    );
+}
+
+#[test]
 fn baseline_contains_no_determinism_entries() {
     // The determinism rules guard the paper's bitwise-reproducibility
     // claim (DESIGN.md §4); they are never allowed to be grandfathered.
